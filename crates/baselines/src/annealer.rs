@@ -1,0 +1,259 @@
+//! Analog annealer simulator — the D-Wave Advantage stand-in (paper §VI-C).
+//!
+//! A quantum annealer receives couplings scaled into its analog ranges
+//! (`J ∈ [−1, 1]`, `h ∈ [−4, 4]`) and realises them with a fixed physical
+//! noise floor; a resolution-`r` model therefore loses the distinctions
+//! between adjacent coupling levels once `1/r` approaches the noise. This
+//! simulator reproduces that mechanism:
+//!
+//! 1. scale the integer model by `1/max|J|` into the analog range,
+//! 2. corrupt every coupling and bias with Gaussian noise of fixed σ
+//!    (σ ≈ 0.02 matches the flux-noise scale reported for D-Wave \[10\]),
+//! 3. run `num_reads` *independent short anneals on the corrupted model*,
+//! 4. return the best read — evaluated on the **true** model.
+//!
+//! Because the anneal optimises the corrupted Hamiltonian, its best read
+//! drifts away from the true optimum as `r` grows — the Table IV gap trend.
+
+use crate::sa::{SaConfig, SimulatedAnnealing};
+use crate::BaselineResult;
+use dabs_model::{IsingModel, Solution};
+use dabs_rng::{Rng64, SplitMix64, Xorshift64Star};
+use std::time::Instant;
+
+/// Analog sampling parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnealerConfig {
+    /// Independent anneal reads (the paper runs 10⁶ total, 10⁴ per call).
+    pub num_reads: u32,
+    /// Sweeps of each (short) anneal — annealers run ~20 µs schedules, so
+    /// each read is fast but shallow.
+    pub sweeps_per_read: u64,
+    /// Analog noise, in units of the full-scale coupling range.
+    pub noise_sigma: f64,
+    /// Fixed-point scale used to re-integerise the corrupted model.
+    pub quantization: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealerConfig {
+    fn default() -> Self {
+        Self {
+            num_reads: 100,
+            sweeps_per_read: 10,
+            noise_sigma: 0.02,
+            quantization: 1_000_000,
+            seed: 1,
+        }
+    }
+}
+
+/// The simulator.
+#[derive(Debug, Clone)]
+pub struct AnalogAnnealer {
+    pub config: AnnealerConfig,
+}
+
+impl AnalogAnnealer {
+    pub fn new(config: AnnealerConfig) -> Self {
+        assert!(config.num_reads >= 1 && config.sweeps_per_read >= 1);
+        assert!(config.noise_sigma >= 0.0);
+        assert!(config.quantization >= 1);
+        Self { config }
+    }
+
+    /// Sample the Ising model; returns the best read scored on the true
+    /// model (as spin bits — convert through the instance's offset to
+    /// compare with QUBO energies).
+    pub fn sample(&self, ising: &IsingModel) -> BaselineResult {
+        let started = Instant::now();
+        let corrupted = self.corrupt(ising);
+        let (qubo_corrupted, _) = corrupted.to_qubo();
+        let mut seeder = SplitMix64::new(self.config.seed ^ 0xA11EA);
+
+        let mut best = Solution::zeros(ising.n());
+        let mut best_h = i64::MAX;
+        for _ in 0..self.config.num_reads {
+            let sa = SimulatedAnnealing::new(SaConfig::scaled_to(
+                &qubo_corrupted,
+                self.config.sweeps_per_read,
+                seeder.next_u64(),
+            ));
+            let read = sa.solve(&qubo_corrupted);
+            // score on the TRUE model — the annealer can only optimise what
+            // its analog hardware actually realised
+            let h = ising.hamiltonian(&read.best);
+            if h < best_h {
+                best_h = h;
+                best = read.best;
+            }
+        }
+        BaselineResult {
+            best,
+            energy: best_h,
+            elapsed: started.elapsed(),
+            work: self.config.num_reads as u64,
+            proven_optimal: false,
+        }
+    }
+
+    /// The corrupted analog realisation of `ising`, re-integerised at
+    /// `quantization` steps per unit.
+    fn corrupt(&self, ising: &IsingModel) -> IsingModel {
+        let scale = ising.max_abs_coupling().max(1) as f64;
+        let q = self.config.quantization as f64;
+        let mut rng = Xorshift64Star::new(SplitMix64::new(self.config.seed).next_u64());
+        let edges: Vec<(usize, usize, i64)> = ising
+            .couplings()
+            .iter_edges()
+            .map(|(i, j, jij)| {
+                let analog = jij as f64 / scale + self.config.noise_sigma * gaussian(&mut rng);
+                (i, j, (analog * q).round() as i64)
+            })
+            .collect();
+        let biases: Vec<i64> = (0..ising.n())
+            .map(|i| {
+                // biases use the 4× range; noise floor applies on the same
+                // absolute analog scale
+                let analog =
+                    ising.bias(i) as f64 / scale + self.config.noise_sigma * gaussian(&mut rng);
+                (analog * q).round() as i64
+            })
+            .collect();
+        IsingModel::new(ising.n(), &edges, biases).expect("same topology")
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian<R: Rng64 + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = rng.next_f64().max(f64::MIN_POSITIVE);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_ising(n: usize, density: f64, resolution: i64, seed: u64) -> IsingModel {
+        let mut rng = Xorshift64Star::new(seed);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.next_bool(density) {
+                    let mut w = rng.next_range_i64(-resolution, resolution);
+                    if w == 0 {
+                        w = 1;
+                    }
+                    edges.push((i, j, w));
+                }
+            }
+        }
+        let biases: Vec<i64> = (0..n)
+            .map(|_| {
+                let mut v = rng.next_range_i64(-4 * resolution, 4 * resolution);
+                if v == 0 {
+                    v = 1;
+                }
+                v
+            })
+            .collect();
+        IsingModel::new(n, &edges, biases).unwrap()
+    }
+
+    fn brute_force_h(m: &IsingModel) -> i64 {
+        let n = m.n();
+        let mut best = i64::MAX;
+        for v in 0..(1u64 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
+            best = best.min(m.hamiltonian(&Solution::from_bits(&bits)));
+        }
+        best
+    }
+
+    #[test]
+    fn noiseless_sampler_finds_small_optimum() {
+        let m = random_ising(12, 0.5, 1, 351);
+        let opt = brute_force_h(&m);
+        let r = AnalogAnnealer::new(AnnealerConfig {
+            num_reads: 50,
+            sweeps_per_read: 50,
+            noise_sigma: 0.0,
+            ..AnnealerConfig::default()
+        })
+        .sample(&m);
+        assert_eq!(r.energy, opt, "noise-free annealer should be exact here");
+        assert_eq!(m.hamiltonian(&r.best), r.energy);
+    }
+
+    #[test]
+    fn corruption_preserves_topology() {
+        let m = random_ising(15, 0.4, 16, 352);
+        let annealer = AnalogAnnealer::new(AnnealerConfig::default());
+        let c = annealer.corrupt(&m);
+        assert_eq!(c.n(), m.n());
+        assert_eq!(c.edge_count(), m.edge_count());
+    }
+
+    #[test]
+    fn higher_resolution_suffers_more_from_noise() {
+        // Measure the *relative corruption* of the realised couplings: at
+        // fixed analog σ the relative error of the smallest nonzero coupling
+        // grows with resolution.
+        let annealer = AnalogAnnealer::new(AnnealerConfig {
+            noise_sigma: 0.02,
+            seed: 353,
+            ..AnnealerConfig::default()
+        });
+        let rel_err = |r: i64| {
+            let m = random_ising(20, 0.4, r, 354);
+            let c = annealer.corrupt(&m);
+            let scale = m.max_abs_coupling() as f64;
+            let q = annealer.config.quantization as f64;
+            let mut total = 0.0;
+            let mut count = 0.0;
+            for (i, j, jij) in m.couplings().iter_edges() {
+                let realised = c.coupling(i, j) as f64 / q * scale;
+                total += ((realised - jij as f64) / jij.abs().max(1) as f64).abs();
+                count += 1.0;
+            }
+            total / count
+        };
+        let low = rel_err(1);
+        let high = rel_err(256);
+        assert!(
+            high > 5.0 * low,
+            "relative corruption should grow with resolution: r=1 → {low}, r=256 → {high}"
+        );
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = Xorshift64Star::new(355);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn more_reads_never_worse() {
+        let m = random_ising(14, 0.5, 4, 356);
+        let mk = |reads| {
+            AnalogAnnealer::new(AnnealerConfig {
+                num_reads: reads,
+                sweeps_per_read: 5,
+                noise_sigma: 0.05,
+                seed: 357,
+                ..AnnealerConfig::default()
+            })
+            .sample(&m)
+            .energy
+        };
+        // same seed ⇒ the first `k` reads coincide; more reads only add
+        assert!(mk(40) <= mk(5));
+    }
+}

@@ -1,0 +1,186 @@
+//! Time-boxed hybrid portfolio — the D-Wave Hybrid solver stand-in
+//! (paper §VI-A/B: runs for a fixed limit `T` and returns its best).
+//!
+//! Like the real hybrid service, it interleaves global exploration with
+//! local refinement until the deadline:
+//!
+//! 1. an SA restart from a random vector (exploration),
+//! 2. greedy polish of the SA result,
+//! 3. a *kick* phase: perturb the incumbent (random segment re-randomised)
+//!    and re-polish — a large-neighbourhood move around the best known
+//!    solution.
+//!
+//! Strong on unconstrained problems (MaxCut), notably weaker on the
+//! penalty-cliff landscape of one-hot QAP encodings — the same qualitative
+//! profile the paper reports for the D-Wave Hybrid solver.
+
+use crate::sa::{SaConfig, SimulatedAnnealing};
+use crate::BaselineResult;
+use dabs_model::{BestTracker, IncrementalState, QuboModel, Solution};
+use dabs_rng::{Rng64, SplitMix64, Xorshift64Star};
+use dabs_search::{greedy, TabuList};
+use std::time::{Duration, Instant};
+
+/// Configuration of the hybrid portfolio.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridConfig {
+    /// The fixed wall-clock budget (the paper's `T = 50/100/200 s`, scaled).
+    pub time_limit: Duration,
+    /// Sweeps per SA restart.
+    pub sa_sweeps: u64,
+    /// Kick iterations between SA restarts.
+    pub kicks_per_round: u32,
+    /// Fraction of bits re-randomised by a kick.
+    pub kick_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self {
+            time_limit: Duration::from_millis(500),
+            sa_sweeps: 50,
+            kicks_per_round: 4,
+            kick_fraction: 0.15,
+            seed: 1,
+        }
+    }
+}
+
+/// The portfolio solver.
+#[derive(Debug, Clone)]
+pub struct HybridSolver {
+    pub config: HybridConfig,
+}
+
+impl HybridSolver {
+    pub fn new(config: HybridConfig) -> Self {
+        assert!(config.time_limit > Duration::ZERO);
+        assert!((0.0..=1.0).contains(&config.kick_fraction));
+        Self { config }
+    }
+
+    /// Run until the deadline; always returns the best solution seen.
+    pub fn solve(&self, model: &QuboModel) -> BaselineResult {
+        let started = Instant::now();
+        let deadline = started + self.config.time_limit;
+        let n = model.n();
+        let mut seeder = SplitMix64::new(self.config.seed);
+        let mut rng = Xorshift64Star::new(seeder.next_u64());
+        let mut best = BestTracker::unbounded(n);
+        let mut rounds = 0u64;
+
+        while Instant::now() < deadline {
+            rounds += 1;
+            // 1. SA restart
+            let sa = SimulatedAnnealing::new(SaConfig::scaled_to(
+                model,
+                self.config.sa_sweeps,
+                seeder.next_u64(),
+            ));
+            let r = sa.solve_from(model, Solution::random(n, &mut rng), &mut rng);
+            best.observe_value(&r.best, r.energy);
+
+            // 2. polish
+            let mut state = IncrementalState::from_solution(model, r.best);
+            let mut tabu = TabuList::new(n, 0);
+            greedy(&mut state, &mut best, &mut tabu, u64::MAX);
+
+            // 3. kicks around the incumbent
+            for _ in 0..self.config.kicks_per_round {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                let mut kicked = best.solution().clone();
+                let kick_bits = ((n as f64 * self.config.kick_fraction) as usize).max(1);
+                for _ in 0..kick_bits {
+                    let i = rng.next_index(n);
+                    kicked.set(i, rng.next_bool(0.5));
+                }
+                let mut state = IncrementalState::from_solution(model, kicked);
+                greedy(&mut state, &mut best, &mut tabu, u64::MAX);
+            }
+        }
+
+        let (best, energy) = best.into_parts();
+        BaselineResult {
+            best,
+            energy,
+            elapsed: started.elapsed(),
+            work: rounds,
+            proven_optimal: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exhaustive;
+    use dabs_model::QuboBuilder;
+
+    fn random_model(n: usize, density: f64, seed: u64) -> QuboModel {
+        let mut rng = Xorshift64Star::new(seed);
+        let mut b = QuboBuilder::new(n);
+        for i in 0..n {
+            b.add_linear(i, rng.next_range_i64(-9, 9));
+            for j in (i + 1)..n {
+                if rng.next_bool(density) {
+                    b.add_quadratic(i, j, rng.next_range_i64(-9, 9));
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_small_optimum_within_budget() {
+        let q = random_model(16, 0.4, 341);
+        let truth = exhaustive(&q);
+        let r = HybridSolver::new(HybridConfig {
+            time_limit: Duration::from_millis(400),
+            seed: 342,
+            ..HybridConfig::default()
+        })
+        .solve(&q);
+        assert_eq!(r.energy, truth.energy);
+        assert_eq!(q.energy(&r.best), r.energy);
+    }
+
+    #[test]
+    fn respects_deadline_roughly() {
+        let q = random_model(60, 0.2, 343);
+        let limit = Duration::from_millis(150);
+        let r = HybridSolver::new(HybridConfig {
+            time_limit: limit,
+            seed: 344,
+            ..HybridConfig::default()
+        })
+        .solve(&q);
+        assert!(
+            r.elapsed < limit + Duration::from_secs(2),
+            "overshot deadline: {:?}",
+            r.elapsed
+        );
+        assert!(r.work >= 1);
+    }
+
+    #[test]
+    fn longer_budget_never_worse() {
+        let q = random_model(40, 0.3, 345);
+        let short = HybridSolver::new(HybridConfig {
+            time_limit: Duration::from_millis(30),
+            seed: 9,
+            ..HybridConfig::default()
+        })
+        .solve(&q);
+        let long = HybridSolver::new(HybridConfig {
+            time_limit: Duration::from_millis(600),
+            seed: 9,
+            ..HybridConfig::default()
+        })
+        .solve(&q);
+        assert!(long.energy <= short.energy);
+    }
+}

@@ -1,0 +1,191 @@
+//! Simulated annealing on QUBO models.
+//!
+//! The reference Metropolis annealer: geometric temperature schedule from
+//! `t_hot` to `t_cold`, one *sweep* = `n` proposed single-bit flips at
+//! uniformly random positions, acceptance `min(1, exp(−Δ/T))`. Runs on the
+//! same incremental Δ state as every other solver in the repo.
+
+use crate::BaselineResult;
+use dabs_model::{BestTracker, IncrementalState, QuboModel, Solution};
+use dabs_rng::{Rng64, Xorshift64Star};
+use std::time::Instant;
+
+/// Annealing schedule and budget.
+#[derive(Debug, Clone, Copy)]
+pub struct SaConfig {
+    /// Number of sweeps (each `n` proposals).
+    pub sweeps: u64,
+    /// Starting temperature.
+    pub t_hot: f64,
+    /// Final temperature.
+    pub t_cold: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        Self {
+            sweeps: 100,
+            t_hot: 10.0,
+            t_cold: 0.1,
+            seed: 1,
+        }
+    }
+}
+
+impl SaConfig {
+    /// A schedule scaled to the model's weight magnitude: hot enough to
+    /// accept typical uphill moves, cold enough to freeze.
+    pub fn scaled_to(model: &QuboModel, sweeps: u64, seed: u64) -> Self {
+        let w = model.max_abs_weight().max(1) as f64;
+        Self {
+            sweeps,
+            t_hot: 2.0 * w,
+            t_cold: 0.05 * w.max(1.0).min(20.0),
+            seed,
+        }
+    }
+}
+
+/// The annealer.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    pub config: SaConfig,
+}
+
+impl SimulatedAnnealing {
+    pub fn new(config: SaConfig) -> Self {
+        assert!(config.sweeps >= 1);
+        assert!(config.t_hot > 0.0 && config.t_cold > 0.0);
+        assert!(config.t_hot >= config.t_cold, "schedule must cool");
+        Self { config }
+    }
+
+    /// Anneal from a random start.
+    pub fn solve(&self, model: &QuboModel) -> BaselineResult {
+        let mut rng = Xorshift64Star::new(self.config.seed);
+        let start_vec = Solution::random(model.n(), &mut rng);
+        self.solve_from(model, start_vec, &mut rng)
+    }
+
+    /// Anneal from a given start vector with a caller-supplied RNG (used by
+    /// the hybrid portfolio to chain restarts).
+    pub fn solve_from<R: Rng64 + ?Sized>(
+        &self,
+        model: &QuboModel,
+        start_vec: Solution,
+        rng: &mut R,
+    ) -> BaselineResult {
+        let started = Instant::now();
+        let n = model.n();
+        let mut state = IncrementalState::from_solution(model, start_vec);
+        let mut best = BestTracker::new(state.solution().clone(), state.energy());
+
+        let sweeps = self.config.sweeps;
+        let ratio = (self.config.t_cold / self.config.t_hot).max(f64::MIN_POSITIVE);
+        for sweep in 0..sweeps {
+            let frac = if sweeps <= 1 {
+                1.0
+            } else {
+                sweep as f64 / (sweeps - 1) as f64
+            };
+            let temp = self.config.t_hot * ratio.powf(frac);
+            for _ in 0..n {
+                let i = rng.next_index(n);
+                let d = state.delta(i);
+                if d <= 0 || rng.next_f64() < (-(d as f64) / temp).exp() {
+                    state.flip(i);
+                    best.observe(&state);
+                }
+            }
+        }
+        let (best, energy) = best.into_parts();
+        BaselineResult {
+            best,
+            energy,
+            elapsed: started.elapsed(),
+            work: sweeps,
+            proven_optimal: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dabs_model::QuboBuilder;
+
+    fn random_model(n: usize, density: f64, seed: u64) -> QuboModel {
+        let mut rng = Xorshift64Star::new(seed);
+        let mut b = QuboBuilder::new(n);
+        for i in 0..n {
+            b.add_linear(i, rng.next_range_i64(-9, 9));
+            for j in (i + 1)..n {
+                if rng.next_bool(density) {
+                    b.add_quadratic(i, j, rng.next_range_i64(-9, 9));
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn brute_force(q: &QuboModel) -> i64 {
+        let n = q.n();
+        let mut best = i64::MAX;
+        for v in 0..(1u64 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
+            best = best.min(q.energy(&Solution::from_bits(&bits)));
+        }
+        best
+    }
+
+    #[test]
+    fn finds_small_optimum() {
+        let q = random_model(16, 0.4, 301);
+        let opt = brute_force(&q);
+        let sa = SimulatedAnnealing::new(SaConfig::scaled_to(&q, 400, 302));
+        let r = sa.solve(&q);
+        assert_eq!(r.energy, opt, "SA should solve 16-bit models");
+        assert_eq!(q.energy(&r.best), r.energy);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let q = random_model(30, 0.3, 303);
+        let sa = SimulatedAnnealing::new(SaConfig::scaled_to(&q, 50, 7));
+        assert_eq!(sa.solve(&q).energy, sa.solve(&q).energy);
+    }
+
+    #[test]
+    fn more_sweeps_do_not_hurt() {
+        let q = random_model(40, 0.3, 304);
+        let short = SimulatedAnnealing::new(SaConfig::scaled_to(&q, 5, 9)).solve(&q);
+        let long = SimulatedAnnealing::new(SaConfig::scaled_to(&q, 500, 9)).solve(&q);
+        assert!(
+            long.energy <= short.energy,
+            "long anneal {} worse than short {}",
+            long.energy,
+            short.energy
+        );
+    }
+
+    #[test]
+    fn result_energy_matches_model() {
+        let q = random_model(25, 0.4, 305);
+        let r = SimulatedAnnealing::new(SaConfig::scaled_to(&q, 30, 11)).solve(&q);
+        assert_eq!(q.energy(&r.best), r.energy);
+        assert_eq!(r.work, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule must cool")]
+    fn rejects_heating_schedule() {
+        SimulatedAnnealing::new(SaConfig {
+            sweeps: 10,
+            t_hot: 1.0,
+            t_cold: 5.0,
+            seed: 1,
+        });
+    }
+}

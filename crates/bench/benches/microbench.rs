@@ -1,0 +1,153 @@
+//! Criterion microbenchmarks backing the paper's cost claims:
+//!
+//! * `energy`   — direct evaluation is O(n + m) (the "O(n²)" dense cost the
+//!   incremental scheme avoids, §III-A);
+//! * `flip`     — one incremental flip is O(deg) (Eqs. 4–5);
+//! * `search`   — per-flip cost of each main algorithm;
+//! * `batch`    — a full batch search;
+//! * `pool`     — pool insertion and biased selection;
+//! * `genetic`  — target-generation operations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dabs_core::{GeneticOp, PoolEntry, SolutionPool};
+use dabs_model::{BestTracker, IncrementalState, QuboModel, Solution};
+use dabs_problems::gset;
+use dabs_rng::{Rng64, Xorshift64Star};
+use dabs_search::{BatchSearch, MainAlgorithm, SearchParams, TabuList};
+
+fn model_for(n: usize) -> QuboModel {
+    gset::k2000_like(n, 42).to_qubo()
+}
+
+fn sparse_model(n: usize) -> QuboModel {
+    gset::g22_like(n, n * 5, 43).to_qubo()
+}
+
+fn bench_energy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("energy");
+    for n in [128usize, 512, 2000] {
+        let q = model_for(n);
+        let mut rng = Xorshift64Star::new(1);
+        let x = Solution::random(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("direct_complete", n), &n, |b, _| {
+            b.iter(|| black_box(q.energy(&x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_flip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flip");
+    for n in [512usize, 2000] {
+        // dense: deg = n−1 → flip is O(n)
+        let q = model_for(n);
+        let mut st = IncrementalState::new(&q);
+        let mut rng = Xorshift64Star::new(2);
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| {
+                let i = rng.next_index(n);
+                black_box(st.flip(i))
+            })
+        });
+        // sparse: deg ≈ 10 → flip is O(1)-ish
+        let qs = sparse_model(n);
+        let mut sts = IncrementalState::new(&qs);
+        group.bench_with_input(BenchmarkId::new("sparse", n), &n, |b, _| {
+            b.iter(|| {
+                let i = rng.next_index(n);
+                black_box(sts.flip(i))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_search_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search");
+    let n = 512;
+    let q = model_for(n);
+    for algo in MainAlgorithm::ALL {
+        group.bench_function(BenchmarkId::new("per_leg", algo.name()), |b| {
+            let mut st = IncrementalState::new(&q);
+            let mut best = BestTracker::unbounded(n);
+            let mut tabu = TabuList::new(n, 8);
+            let mut rng = Xorshift64Star::new(3);
+            b.iter(|| {
+                black_box(algo.run(&mut st, &mut best, &mut tabu, &mut rng, 64));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(20);
+    let n = 512;
+    let q = model_for(n);
+    group.bench_function("maxcut_params", |b| {
+        let mut st = IncrementalState::new(&q);
+        let mut batch = BatchSearch::new(n, SearchParams::maxcut());
+        let mut rng = Xorshift64Star::new(4);
+        b.iter(|| {
+            let target = Solution::random(n, &mut rng);
+            black_box(batch.run(&mut st, &target, MainAlgorithm::PositiveMin, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool");
+    let n = 512;
+    let mut rng = Xorshift64Star::new(5);
+    let mut pool = SolutionPool::new(100, true);
+    for i in 0..100 {
+        pool.insert(PoolEntry {
+            solution: Solution::random(n, &mut rng),
+            energy: -(i as i64),
+            algorithm: MainAlgorithm::MaxMin,
+            operation: GeneticOp::Mutation,
+        });
+    }
+    group.bench_function("insert_reject", |b| {
+        // energy worse than worst → cheapest path
+        let e = PoolEntry {
+            solution: Solution::random(n, &mut rng),
+            energy: 100,
+            algorithm: MainAlgorithm::MaxMin,
+            operation: GeneticOp::Mutation,
+        };
+        b.iter(|| black_box(pool.clone().insert(e.clone())))
+    });
+    group.bench_function("select_biased", |b| {
+        b.iter(|| black_box(pool.select_biased(&mut rng).energy))
+    });
+    group.finish();
+}
+
+fn bench_genetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("genetic");
+    let n = 2000;
+    let mut rng = Xorshift64Star::new(6);
+    let a = Solution::random(n, &mut rng);
+    let b_sol = Solution::random(n, &mut rng);
+    group.bench_function("crossover_2000", |b| {
+        b.iter(|| black_box(a.crossover(&b_sol, &mut rng)))
+    });
+    group.bench_function("hamming_2000", |b| {
+        b.iter(|| black_box(a.hamming(&b_sol)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_energy,
+    bench_flip,
+    bench_search_algorithms,
+    bench_batch,
+    bench_pool,
+    bench_genetic
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Minimal `--key value` / `--flag` argument parsing for the bench bins.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args` (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (used by tests).
+    pub fn parse<I: IntoIterator<Item = String>>(items: I) -> Self {
+        let mut out = Args::default();
+        let mut iter = items.into_iter().peekable();
+        while let Some(item) = iter.next() {
+            if let Some(key) = item.strip_prefix("--") {
+                match iter.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        out.values.insert(key.to_string(), iter.next().unwrap());
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else {
+                eprintln!("warning: ignoring positional argument {item:?}");
+            }
+        }
+        out
+    }
+
+    /// Boolean flag (`--full`).
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Typed value with default.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.values.get(name) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{name}: cannot parse {v:?}")),
+            None => default,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = parse("--runs 50 --full --seed 7");
+        assert_eq!(a.get("runs", 0usize), 50);
+        assert_eq!(a.get("seed", 1u64), 7);
+        assert!(a.flag("full"));
+        assert!(!a.flag("quick"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("");
+        assert_eq!(a.get("runs", 10usize), 10);
+        assert_eq!(a.get("scale", 1.5f64), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot parse")]
+    fn bad_value_panics() {
+        parse("--runs abc").get("runs", 0usize);
+    }
+}

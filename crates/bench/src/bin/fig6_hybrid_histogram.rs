@@ -1,0 +1,76 @@
+//! Fig. 6: histogram of hybrid-solver results on the K2000-class MaxCut at
+//! three time limits.
+//!
+//! The paper runs the D-Wave Hybrid solver 100× at T = 50/100/200 s and
+//! shows the best-energy distribution sharpening toward the optimum as the
+//! budget grows. Our stand-in portfolio is run at `--t-ms`, `2×`, `4×`.
+//!
+//! Flags: `--full`, `--runs N` (default 20; paper: 100), `--seed S`,
+//! `--t-ms T` (base deadline).
+
+use dabs_baselines::hybrid::{HybridConfig, HybridSolver};
+use dabs_bench::harness::establish_reference;
+use dabs_bench::instances::maxcut_set;
+use dabs_bench::{Args, Histogram};
+use dabs_core::DabsConfig;
+use dabs_search::SearchParams;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let args = Args::from_env();
+    let full = args.flag("full");
+    let runs = args.get("runs", 20usize);
+    let seed = args.get("seed", 1u64);
+    let t_base = Duration::from_millis(args.get("t-ms", if full { 5_000 } else { 250 }));
+
+    let n_override = args.get("n", 0usize);
+    let bench = if n_override > 0 {
+        dabs_bench::instances::MaxCutBench {
+            label: "K2000(custom n)",
+            problem: dabs_problems::gset::k2000_like(n_override, seed),
+        }
+    } else {
+        maxcut_set(full, seed).remove(0)
+    };
+    println!(
+        "== Fig. 6: hybrid-solver energy histogram, {} (n = {}) ==",
+        bench.label,
+        bench.problem.n()
+    );
+    println!("runs = {runs} per deadline, deadlines = T/2T/4T with T = {t_base:?}\n");
+
+    let model = Arc::new(bench.problem.to_qubo());
+    let mut cfg = DabsConfig::dabs(4, 2);
+    cfg.params = SearchParams::maxcut();
+    let reference = establish_reference(&model, &cfg, t_base * 8);
+    println!("potentially optimal energy: {reference}\n");
+
+    let bin_width: f64 = args.get("bin", 1.0f64);
+    for factor in [1u32, 2, 4] {
+        let deadline = t_base * factor;
+        let mut hist = Histogram::new(0.0, bin_width);
+        let mut hits = 0;
+        for k in 0..runs as u64 {
+            let r = HybridSolver::new(HybridConfig {
+                time_limit: deadline,
+                seed: seed * 3000 + factor as u64 * 100 + k,
+                ..HybridConfig::default()
+            })
+            .solve(&model);
+            // bin by distance from the optimum (0 = found it)
+            hist.add((r.energy - reference) as f64);
+            if r.energy == reference {
+                hits += 1;
+            }
+        }
+        println!(
+            "{}",
+            hist.render(&format!(
+                "T = {deadline:?}: energy − optimum ({hits}/{runs} runs found the optimum)"
+            ))
+        );
+    }
+    println!("paper shape: optimum found 4/100 at T=50s, 16/100 at T=100s, 59/100 at T=200s —");
+    println!("the distribution mass migrates into the optimal bin as T doubles.");
+}

@@ -1,0 +1,119 @@
+//! Table II: MaxCut on K2000 / G22 / G39-class instances.
+//!
+//! Rows: potentially-optimal energy, DABS TTS, ABS TTS + success
+//! probability, branch-and-bound ("Gurobi") gap, hybrid-solver result, and
+//! simulated bifurcation (CIM/dSB-class) gap.
+//!
+//! Flags: `--full` (paper-sized n = 2000), `--runs N` (default 5),
+//! `--seed S`, `--budget-ms B` (per measured run), `--devices D`,
+//! `--blocks B`.
+
+use dabs_baselines::bnb::{BnbConfig, BranchAndBound};
+use dabs_baselines::hybrid::{HybridConfig, HybridSolver};
+use dabs_baselines::sb::{SbConfig, SimulatedBifurcation};
+use dabs_bench::harness::{dabs_run_outcome, establish_reference, fmt_gap, fmt_tts};
+use dabs_bench::instances::maxcut_set;
+use dabs_bench::{repeat_solver, Args, Table};
+use dabs_core::DabsConfig;
+use dabs_search::SearchParams;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let args = Args::from_env();
+    let full = args.flag("full");
+    let runs = args.get("runs", 5usize);
+    let seed = args.get("seed", 1u64);
+    let budget = Duration::from_millis(args.get("budget-ms", if full { 60_000 } else { 3_000 }));
+    let devices = args.get("devices", 4usize);
+    let blocks = args.get("blocks", 2usize);
+
+    println!("== Table II: MaxCut ({}) ==", if full { "paper scale" } else { "CI scale" });
+    println!("runs = {runs}, per-run budget = {budget:?}, devices = {devices}×{blocks} blocks\n");
+
+    let mut table = Table::new(vec![
+        "MaxCut",
+        "PotOpt E",
+        "Cut",
+        "DABS E",
+        "DABS TTS",
+        "ABS E",
+        "ABS TTS",
+        "ABS Prob",
+        "BnB(Gurobi) gap",
+        "Hybrid gap",
+        "dSB gap",
+    ]);
+
+    for bench in maxcut_set(full, seed) {
+        let model = Arc::new(bench.problem.to_qubo());
+
+        // paper parameters for MaxCut: s = 0.1, b = 10
+        let mut dabs_cfg = DabsConfig::dabs(devices, blocks);
+        dabs_cfg.params = SearchParams::maxcut();
+        let mut abs_cfg = DabsConfig::abs_baseline(devices, blocks);
+        abs_cfg.params = SearchParams::maxcut();
+
+        // potentially-optimal reference: long DABS run (3× measured budget)
+        let reference = establish_reference(&model, &dabs_cfg, budget * 3);
+
+        let dabs = repeat_solver(runs, seed * 1000, |s| {
+            dabs_run_outcome(&model, &dabs_cfg, s, reference, budget)
+        });
+        let abs = repeat_solver(runs, seed * 2000, |s| {
+            dabs_run_outcome(&model, &abs_cfg, s, reference, budget)
+        });
+
+        let bnb = BranchAndBound::new(BnbConfig {
+            time_limit: budget,
+            heuristic_restarts: 32,
+            seed,
+        })
+        .solve(&model);
+
+        let hybrid = HybridSolver::new(HybridConfig {
+            time_limit: budget,
+            seed,
+            ..HybridConfig::default()
+        })
+        .solve(&model);
+
+        let (ising, c) = model.to_ising();
+        let sb = SimulatedBifurcation::new(SbConfig {
+            steps: if full { 20_000 } else { 5_000 },
+            seed,
+            ..SbConfig::default()
+        })
+        .solve(&ising);
+        // H = 4E − C  ⇒  E = (H + C)/4
+        let sb_energy = (sb.energy + c) / 4;
+
+        let observed_best = reference.min(dabs.best_energy()).min(abs.best_energy());
+        if observed_best < reference {
+            println!(
+                "note: {} reference {reference} was not converged — a measured run reached {observed_best}; \
+                 rerun with a larger --budget-ms for tighter TTS statistics",
+                bench.label
+            );
+        }
+        table.row(vec![
+            bench.label.to_string(),
+            reference.to_string(),
+            (-reference).to_string(),
+            dabs.best_energy().to_string(),
+            fmt_tts(dabs.mean_tts()),
+            abs.best_energy().to_string(),
+            fmt_tts(abs.mean_tts()),
+            format!("{:.1}%", 100.0 * abs.success_rate()),
+            fmt_gap(bnb.energy, reference),
+            fmt_gap(hybrid.energy, reference),
+            fmt_gap(sb_energy, reference),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!("paper (for shape comparison, published instances):");
+    println!("  K2000: PotOpt −33337, DABS TTS 0.694s, ABS 9.19s @99.2%, Gurobi gap 0.287%, Hybrid TTS 100–200s, CIM gap 0.438%");
+    println!("  G22:   PotOpt −13359, DABS TTS 1.58s,  ABS 19.7s @69.5%, Gurobi gap 1.66%,  Hybrid TTS 10–20s,  CIM gap 0.344%");
+    println!("  G39:   PotOpt −2408,  DABS TTS 7.56s,  ABS 15.1s @78.6%, Gurobi gap 5.48%,  Hybrid TTS 50–100s, CIM gap 1.95%");
+}

@@ -1,0 +1,131 @@
+//! Table III: QAP (tai20a / tho30 / nug30-class instances).
+//!
+//! Reports the QAP cost and QUBO energy of the best solution, the paper's
+//! `E = C − n·p` identity, DABS/ABS TTS + probability, and branch-and-bound
+//! / hybrid gaps.
+//!
+//! Flags: `--full`, `--runs N`, `--seed S`, `--budget-ms B`, `--devices D`,
+//! `--blocks B`.
+
+use dabs_baselines::bnb::{BnbConfig, BranchAndBound};
+use dabs_baselines::hybrid::{HybridConfig, HybridSolver};
+use dabs_bench::harness::{dabs_run_outcome, establish_reference, fmt_gap, fmt_tts};
+use dabs_bench::instances::qap_set;
+use dabs_bench::{repeat_solver, Args, Table};
+use dabs_core::{DabsConfig, DabsSolver, Termination};
+use dabs_search::SearchParams;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let args = Args::from_env();
+    let full = args.flag("full");
+    let runs = args.get("runs", 5usize);
+    let seed = args.get("seed", 1u64);
+    let budget = Duration::from_millis(args.get("budget-ms", if full { 120_000 } else { 4_000 }));
+    let devices = args.get("devices", 4usize);
+    let blocks = args.get("blocks", 2usize);
+
+    println!("== Table III: QAP ({}) ==", if full { "paper scale" } else { "CI scale" });
+    println!("runs = {runs}, per-run budget = {budget:?}\n");
+
+    let mut table = Table::new(vec![
+        "QAP",
+        "n",
+        "penalty",
+        "QAP cost",
+        "QUBO opt",
+        "DABS E",
+        "DABS TTS",
+        "ABS E",
+        "ABS TTS",
+        "ABS Prob",
+        "BnB gap",
+        "Hybrid gap",
+        "feasible",
+    ]);
+
+    for bench in qap_set(full, seed) {
+        let n = bench.instance.n() as i64;
+        let model = Arc::new(bench.instance.to_qubo(bench.penalty));
+
+        // paper parameters for QAP: s = 0.1, b = 1
+        let mut dabs_cfg = DabsConfig::dabs(devices, blocks);
+        dabs_cfg.params = SearchParams::qap_qasp();
+        let mut abs_cfg = DabsConfig::abs_baseline(devices, blocks);
+        abs_cfg.params = SearchParams::qap_qasp();
+
+        let reference = establish_reference(&model, &dabs_cfg, budget * 3);
+
+        // decode the reference solution to verify feasibility & the
+        // E = C − n·p identity
+        let solver = DabsSolver::new(dabs_cfg.clone()).unwrap();
+        let ref_run = solver.run(
+            &model,
+            Termination::target(reference).with_time(budget * 3),
+        );
+        let decoded = bench.instance.decode(&ref_run.best);
+        let (cost_str, feasible) = match &decoded {
+            Some(g) => {
+                let cost = bench.instance.cost(g);
+                assert_eq!(
+                    ref_run.energy,
+                    cost - n * bench.penalty,
+                    "paper identity E = C − n·p violated"
+                );
+                (cost.to_string(), "yes")
+            }
+            None => ("—".to_string(), "NO"),
+        };
+
+        let dabs = repeat_solver(runs, seed * 1000, |s| {
+            dabs_run_outcome(&model, &dabs_cfg, s, reference, budget)
+        });
+        let abs = repeat_solver(runs, seed * 2000, |s| {
+            dabs_run_outcome(&model, &abs_cfg, s, reference, budget)
+        });
+
+        let bnb = BranchAndBound::new(BnbConfig {
+            time_limit: budget,
+            heuristic_restarts: 32,
+            seed,
+        })
+        .solve(&model);
+        let hybrid = HybridSolver::new(HybridConfig {
+            time_limit: budget,
+            seed,
+            ..HybridConfig::default()
+        })
+        .solve(&model);
+
+        let observed_best = reference.min(dabs.best_energy()).min(abs.best_energy());
+        if observed_best < reference {
+            println!(
+                "note: {} reference {reference} was not converged — a measured run reached {observed_best}; \
+                 rerun with a larger --budget-ms for tighter TTS statistics",
+                bench.label
+            );
+        }
+        table.row(vec![
+            bench.label.to_string(),
+            n.to_string(),
+            bench.penalty.to_string(),
+            cost_str,
+            reference.to_string(),
+            dabs.best_energy().to_string(),
+            fmt_tts(dabs.mean_tts()),
+            abs.best_energy().to_string(),
+            fmt_tts(abs.mean_tts()),
+            format!("{:.1}%", 100.0 * abs.success_rate()),
+            fmt_gap(bnb.energy, reference),
+            fmt_gap(hybrid.energy, reference),
+            feasible.to_string(),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!("paper (published QAPLIB instances):");
+    println!("  tai20a: opt 703482 (QUBO −3296518, p=200000), DABS TTS 81.6s, ABS 93.5s @13.4%, Gurobi gap 0.151%, Hybrid gap 1.86%");
+    println!("  tho30:  opt 149936 (QUBO −750064, p=30000),  DABS TTS 9.60s, ABS 38.6s @67.5%, Gurobi gap 0.137%, Hybrid gap 1.59%");
+    println!("  nug30:  opt 6124  (QUBO −23876, p=1000),    DABS TTS 44.2s, ABS 51.7s @14.8%, Gurobi gap 0.235%, Hybrid gap 2.20%");
+}

@@ -1,0 +1,111 @@
+//! Table IV: QASP at resolutions 1 / 16 / 256.
+//!
+//! Rows: potentially-optimal energy, DABS/ABS TTS + probability,
+//! branch-and-bound ("Gurobi") gap, and the analog annealer simulator
+//! ("D-Wave Advantage") gap — which stays above zero at every resolution
+//! while DABS reaches the potentially-optimal value (the paper's headline).
+//!
+//! Flags: `--full`, `--runs N`, `--seed S`, `--budget-ms B`, `--devices D`,
+//! `--blocks B`, `--reads R` (annealer reads).
+
+use dabs_baselines::annealer::{AnalogAnnealer, AnnealerConfig};
+use dabs_baselines::bnb::{BnbConfig, BranchAndBound};
+use dabs_bench::harness::{dabs_run_outcome, establish_reference, fmt_gap, fmt_tts};
+use dabs_bench::instances::qasp_set;
+use dabs_bench::{repeat_solver, Args, Table};
+use dabs_core::DabsConfig;
+use dabs_search::SearchParams;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let args = Args::from_env();
+    let full = args.flag("full");
+    let runs = args.get("runs", 5usize);
+    let seed = args.get("seed", 1u64);
+    let budget = Duration::from_millis(args.get("budget-ms", if full { 60_000 } else { 5_000 }));
+    let devices = args.get("devices", 4usize);
+    let blocks = args.get("blocks", 2usize);
+    let reads = args.get("reads", if full { 1000u32 } else { 200 });
+
+    println!("== Table IV: QASP ({}) ==", if full { "paper scale" } else { "CI scale" });
+    println!("runs = {runs}, per-run budget = {budget:?}, annealer reads = {reads}\n");
+
+    let mut table = Table::new(vec![
+        "QASP",
+        "resolution",
+        "PotOpt E",
+        "DABS E",
+        "DABS TTS",
+        "ABS E",
+        "ABS TTS",
+        "ABS Prob",
+        "BnB gap",
+        "Annealer gap",
+    ]);
+
+    for bench in qasp_set(full, seed) {
+        let model = Arc::new(bench.instance.qubo().clone());
+
+        // paper parameters for QASP: s = 0.1, b = 1
+        let mut dabs_cfg = DabsConfig::dabs(devices, blocks);
+        dabs_cfg.params = SearchParams::qap_qasp();
+        let mut abs_cfg = DabsConfig::abs_baseline(devices, blocks);
+        abs_cfg.params = SearchParams::qap_qasp();
+
+        let reference = establish_reference(&model, &dabs_cfg, budget * 3);
+
+        let dabs = repeat_solver(runs, seed * 1000, |s| {
+            dabs_run_outcome(&model, &dabs_cfg, s, reference, budget)
+        });
+        let abs = repeat_solver(runs, seed * 2000, |s| {
+            dabs_run_outcome(&model, &abs_cfg, s, reference, budget)
+        });
+
+        let bnb = BranchAndBound::new(BnbConfig {
+            time_limit: budget,
+            heuristic_restarts: 32,
+            seed,
+        })
+        .solve(&model);
+
+        // annealer samples the Ising; convert its Hamiltonian back to QUBO
+        // energy through the instance offset: E = H − offset
+        let annealer = AnalogAnnealer::new(AnnealerConfig {
+            num_reads: reads,
+            sweeps_per_read: 10,
+            noise_sigma: 0.02,
+            seed,
+            ..AnnealerConfig::default()
+        })
+        .sample(bench.instance.ising());
+        let annealer_energy = annealer.energy - bench.instance.offset();
+
+        let observed_best = reference.min(dabs.best_energy()).min(abs.best_energy());
+        if observed_best < reference {
+            println!(
+                "note: {} reference {reference} was not converged — a measured run reached {observed_best}; \
+                 rerun with a larger --budget-ms for tighter TTS statistics",
+                bench.label
+            );
+        }
+        table.row(vec![
+            bench.label.clone(),
+            bench.instance.resolution.to_string(),
+            reference.to_string(),
+            dabs.best_energy().to_string(),
+            fmt_tts(dabs.mean_tts()),
+            abs.best_energy().to_string(),
+            fmt_tts(abs.mean_tts()),
+            format!("{:.1}%", 100.0 * abs.success_rate()),
+            fmt_gap(bnb.energy, reference),
+            fmt_gap(annealer_energy, reference),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!("paper (real D-Wave Advantage 4.1 working graph):");
+    println!("  QASP1:   PotOpt −20902,    DABS TTS 4.34s, ABS 6.92s @93.2%, Gurobi gap 1.08%,    D-Wave gap 0.105%");
+    println!("  QASP16:  PotOpt −238594,   DABS TTS 5.67s, ABS 12.16s @18.6%, Gurobi gap 0.00503%, D-Wave gap 0.0687%");
+    println!("  QASP256: PotOpt −3656992,  DABS TTS 5.33s, ABS 4.57s @28.3%,  Gurobi gap 0.0219%,  D-Wave gap 0.0726%");
+}

@@ -1,0 +1,198 @@
+//! The paper's repeated-run measurement protocol (§VI).
+//!
+//! DABS rows report average TTS over many executions; ABS rows report TTS
+//! *and* success probability within a time limit ("the TTS does not count
+//! the execution time of a trial if it fails"). [`repeat_solver`] runs a
+//! solver closure across seeds and aggregates exactly those statistics.
+
+use dabs_core::{DabsConfig, DabsSolver, Termination};
+use dabs_model::QuboModel;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Establish the "potentially optimal" reference value the paper's TTS
+/// measurements are defined against (§I-B): run DABS with a much longer
+/// budget than the measured runs and take its best energy.
+pub fn establish_reference(model: &Arc<QuboModel>, config: &DabsConfig, budget: Duration) -> i64 {
+    let solver = DabsSolver::new(config.clone()).expect("valid config");
+    solver.run(model, Termination::time(budget)).energy
+}
+
+/// One DABS repetition against a known target: returns the paper-style
+/// outcome (reached?, TTS).
+pub fn dabs_run_outcome(
+    model: &Arc<QuboModel>,
+    config: &DabsConfig,
+    seed: u64,
+    target: i64,
+    limit: Duration,
+) -> RunOutcome {
+    let mut cfg = config.clone();
+    cfg.seed = seed;
+    let solver = DabsSolver::new(cfg).expect("valid config");
+    let r = solver.run(model, Termination::target(target).with_time(limit));
+    RunOutcome {
+        energy: r.energy,
+        reached: r.reached_target,
+        tts: r.time_to_best,
+    }
+}
+
+/// One repetition's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOutcome {
+    /// Best energy reached.
+    pub energy: i64,
+    /// Whether the target ("potentially optimal") energy was reached.
+    pub reached: bool,
+    /// Time at which the final best was found.
+    pub tts: Duration,
+}
+
+/// Aggregated repetition statistics.
+#[derive(Debug, Clone)]
+pub struct RepeatStats {
+    /// Per-run outcomes, in seed order.
+    pub outcomes: Vec<RunOutcome>,
+}
+
+impl RepeatStats {
+    /// Number of runs.
+    pub fn runs(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Number of runs that reached the target.
+    pub fn successes(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.reached).count()
+    }
+
+    /// Success probability (the paper's "(Probability)" rows).
+    pub fn success_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.successes() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Mean TTS over *successful* runs only (the paper's TTS convention).
+    pub fn mean_tts(&self) -> Option<Duration> {
+        let succ: Vec<&RunOutcome> = self.outcomes.iter().filter(|o| o.reached).collect();
+        if succ.is_empty() {
+            return None;
+        }
+        let total: Duration = succ.iter().map(|o| o.tts).sum();
+        Some(total / succ.len() as u32)
+    }
+
+    /// Best energy over all runs.
+    pub fn best_energy(&self) -> i64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.energy)
+            .min()
+            .unwrap_or(i64::MAX)
+    }
+
+    /// TTS samples of successful runs, in seconds (histogram input).
+    pub fn tts_seconds(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.reached)
+            .map(|o| o.tts.as_secs_f64())
+            .collect()
+    }
+}
+
+/// Run `f(seed)` for seeds `base_seed, base_seed+1, …` across `runs`
+/// repetitions.
+pub fn repeat_solver<F: FnMut(u64) -> RunOutcome>(
+    runs: usize,
+    base_seed: u64,
+    mut f: F,
+) -> RepeatStats {
+    let outcomes = (0..runs as u64).map(|k| f(base_seed + k)).collect();
+    RepeatStats { outcomes }
+}
+
+/// Format a `Duration` like the paper's TTS columns ("0.694s").
+pub fn fmt_tts(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => format!("{:.3}s", d.as_secs_f64()),
+        None => "—".to_string(),
+    }
+}
+
+/// Format a gap percentage like the paper's "(Gap)" rows.
+pub fn fmt_gap(found: i64, reference: i64) -> String {
+    if found == reference {
+        return "0%".to_string();
+    }
+    let gap = (found - reference).abs() as f64 / reference.abs().max(1) as f64;
+    format!("{:.3}%", 100.0 * gap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(e: i64, reached: bool, ms: u64) -> RunOutcome {
+        RunOutcome {
+            energy: e,
+            reached,
+            tts: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_correctly() {
+        let s = RepeatStats {
+            outcomes: vec![
+                outcome(-10, true, 100),
+                outcome(-9, false, 500),
+                outcome(-10, true, 300),
+            ],
+        };
+        assert_eq!(s.runs(), 3);
+        assert_eq!(s.successes(), 2);
+        assert!((s.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.mean_tts(), Some(Duration::from_millis(200)));
+        assert_eq!(s.best_energy(), -10);
+        assert_eq!(s.tts_seconds().len(), 2);
+    }
+
+    #[test]
+    fn failed_runs_do_not_pollute_tts() {
+        // the paper: failing trials are excluded from TTS
+        let s = RepeatStats {
+            outcomes: vec![outcome(-5, false, 10_000), outcome(-10, true, 100)],
+        };
+        assert_eq!(s.mean_tts(), Some(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn all_failures_yield_no_tts() {
+        let s = RepeatStats {
+            outcomes: vec![outcome(-5, false, 100)],
+        };
+        assert_eq!(s.mean_tts(), None);
+        assert_eq!(fmt_tts(s.mean_tts()), "—");
+    }
+
+    #[test]
+    fn repeat_solver_advances_seeds() {
+        let mut seeds = Vec::new();
+        repeat_solver(4, 100, |s| {
+            seeds.push(s);
+            outcome(0, true, 1)
+        });
+        assert_eq!(seeds, vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn gap_formatting() {
+        assert_eq!(fmt_gap(-33_337, -33_337), "0%");
+        let g = fmt_gap(-33_241, -33_337);
+        assert!(g.starts_with("0.28"), "{g}");
+    }
+}

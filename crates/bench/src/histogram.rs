@@ -1,0 +1,122 @@
+//! ASCII histograms matching the paper's figure binning
+//! ("bins with labels b1, b2, … mean each bi corresponds to [bi, bi+1)").
+
+/// A fixed-width-bin histogram over f64 samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: f64,
+    origin: f64,
+    counts: Vec<u32>,
+    samples: usize,
+}
+
+impl Histogram {
+    /// Bins `[origin + k·w, origin + (k+1)·w)`.
+    pub fn new(origin: f64, bin_width: f64) -> Self {
+        assert!(bin_width > 0.0);
+        Self {
+            bin_width,
+            origin,
+            counts: Vec::new(),
+            samples: 0,
+        }
+    }
+
+    /// Add one sample (values below the origin clamp into bin 0).
+    pub fn add(&mut self, value: f64) {
+        let idx = (((value - self.origin) / self.bin_width).floor()).max(0.0) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.samples += 1;
+    }
+
+    /// Number of samples added.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Count in bin `k`.
+    pub fn count(&self, k: usize) -> u32 {
+        self.counts.get(k).copied().unwrap_or(0)
+    }
+
+    /// Number of (allocated) bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Label of bin `k` (its lower edge).
+    pub fn label(&self, k: usize) -> f64 {
+        self.origin + k as f64 * self.bin_width
+    }
+
+    /// Render as an ASCII bar chart.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = format!("{title}  (n = {})\n", self.samples);
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (k, &c) in self.counts.iter().enumerate() {
+            let bar_len = (c as usize * 50) / max as usize;
+            out.push_str(&format!(
+                "{:>8.2} | {:<50} {}\n",
+                self.label(k),
+                "#".repeat(bar_len),
+                c
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_follow_paper_convention() {
+        // bin k covers [k·w, (k+1)·w)
+        let mut h = Histogram::new(0.0, 0.1);
+        h.add(0.0);
+        h.add(0.05);
+        h.add(0.1); // exactly on the boundary → bin 1
+        h.add(0.19);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.samples(), 4);
+    }
+
+    #[test]
+    fn grows_to_fit() {
+        let mut h = Histogram::new(0.0, 1.0);
+        h.add(9.5);
+        assert_eq!(h.bins(), 10);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.count(3), 0);
+    }
+
+    #[test]
+    fn labels_are_lower_edges() {
+        let h = Histogram::new(2.0, 0.5);
+        assert_eq!(h.label(0), 2.0);
+        assert_eq!(h.label(3), 3.5);
+    }
+
+    #[test]
+    fn negative_values_clamp_to_first_bin() {
+        let mut h = Histogram::new(0.0, 1.0);
+        h.add(-3.0);
+        assert_eq!(h.count(0), 1);
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let mut h = Histogram::new(0.0, 1.0);
+        h.add(0.5);
+        h.add(0.5);
+        h.add(1.5);
+        let s = h.render("test");
+        assert!(s.contains("test"));
+        assert!(s.contains("(n = 3)"));
+    }
+}

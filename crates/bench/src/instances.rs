@@ -1,0 +1,206 @@
+//! The benchmark instance sets at CI scale and paper scale.
+//!
+//! Every table binary accepts `--full` to run the paper-sized instances
+//! (n = 2000 MaxCut, n = 20/30 QAP, 5 627-node QASP); the default is a
+//! scaled-down set with the same structure that finishes in minutes on a
+//! laptop. Seeds default to 1 and are configurable with `--seed`.
+
+use dabs_problems::{gset, qaplib, MaxCutProblem, QapInstance, QaspInstance, Topology};
+
+/// A named MaxCut benchmark.
+pub struct MaxCutBench {
+    pub label: &'static str,
+    pub problem: MaxCutProblem,
+}
+
+/// The Table II trio, scaled. At CI scale: n = 120 complete / sparse graphs
+/// with matched density ratios (G22-like ≈ 1 % density, G39-like ≈ 0.6 %).
+pub fn maxcut_set(full: bool, seed: u64) -> Vec<MaxCutBench> {
+    if full {
+        vec![
+            MaxCutBench {
+                label: "K2000",
+                problem: gset::GsetClass::K2000.generate(seed),
+            },
+            MaxCutBench {
+                label: "G22",
+                problem: gset::GsetClass::G22.generate(seed),
+            },
+            MaxCutBench {
+                label: "G39",
+                problem: gset::GsetClass::G39.generate(seed),
+            },
+        ]
+    } else {
+        let n = 120;
+        // scale edge counts with n²/2000² to keep the density profile
+        vec![
+            MaxCutBench {
+                label: "K2000(scaled n=120)",
+                problem: gset::k2000_like(n, seed),
+            },
+            MaxCutBench {
+                label: "G22(scaled n=120)",
+                problem: gset::g22_like(n, 720, seed),
+            },
+            MaxCutBench {
+                label: "G39(scaled n=120)",
+                problem: gset::g39_like(n, 424, seed),
+            },
+        ]
+    }
+}
+
+/// A named QAP benchmark with its paper penalty.
+pub struct QapBench {
+    pub label: &'static str,
+    pub instance: QapInstance,
+    pub penalty: i64,
+}
+
+/// The Table III trio, scaled. The paper's penalties (200 000 / 30 000 /
+/// 1 000) are reproduced at full scale; scaled instances use the same
+/// order-of-magnitude ratios relative to their cost scale.
+pub fn qap_set(full: bool, seed: u64) -> Vec<QapBench> {
+    if full {
+        vec![
+            QapBench {
+                label: "tai20a",
+                instance: qaplib::tai_like(20, seed),
+                penalty: 200_000,
+            },
+            QapBench {
+                label: "tho30",
+                instance: qaplib::tho_like(5, 6, seed),
+                penalty: 30_000,
+            },
+            QapBench {
+                label: "nug30",
+                instance: qaplib::nug_like(5, 6, seed),
+                penalty: 1_000,
+            },
+        ]
+    } else {
+        vec![
+            QapBench {
+                label: "tai8a(scaled)",
+                instance: qaplib::tai_like(8, seed),
+                penalty: 60_000,
+            },
+            QapBench {
+                label: "tho9(scaled)",
+                instance: qaplib::tho_like(3, 3, seed),
+                penalty: 4_000,
+            },
+            QapBench {
+                label: "nug9(scaled)",
+                instance: qaplib::nug_like(3, 3, seed),
+                penalty: 400,
+            },
+        ]
+    }
+}
+
+/// A named QASP benchmark.
+pub struct QaspBench {
+    pub label: String,
+    pub instance: QaspInstance,
+}
+
+/// The Table IV trio (resolutions 1/16/256), scaled. At CI scale the
+/// topology is a Pegasus-like graph on a 6×6 Chimera base (~1 150 nodes
+/// trimmed to 1 000); `--full` uses the paper's 5 627 / 40 279 working
+/// graph.
+pub fn qasp_set(full: bool, seed: u64) -> Vec<QaspBench> {
+    let topology = if full {
+        Topology::advantage_working_graph(seed)
+    } else {
+        // Chimera(12,12,4) base = 1 152 nodes, trimmed to a 1 000-node twin
+        Topology::pegasus_like(12, 12, 14.0, seed).with_faults(1_000, 7_000, seed)
+    };
+    [1i64, 16, 256]
+        .into_iter()
+        .map(|r| QaspBench {
+            label: format!("QASP{r}"),
+            instance: QaspInstance::generate(&topology, r, seed.wrapping_add(r as u64)),
+        })
+        .collect()
+}
+
+/// All nine Table V/VI instances as ready-to-solve QUBO models with their
+/// paper search parameters.
+pub fn full_problem_suite(
+    full: bool,
+    seed: u64,
+) -> Vec<(String, std::sync::Arc<dabs_model::QuboModel>, dabs_search::SearchParams)> {
+    let mut out = Vec::new();
+    for b in maxcut_set(full, seed) {
+        out.push((
+            b.label.to_string(),
+            std::sync::Arc::new(b.problem.to_qubo()),
+            dabs_search::SearchParams::maxcut(),
+        ));
+    }
+    for b in qap_set(full, seed) {
+        out.push((
+            b.label.to_string(),
+            std::sync::Arc::new(b.instance.to_qubo(b.penalty)),
+            dabs_search::SearchParams::qap_qasp(),
+        ));
+    }
+    for b in qasp_set(full, seed) {
+        out.push((
+            b.label.clone(),
+            std::sync::Arc::new(b.instance.qubo().clone()),
+            dabs_search::SearchParams::qap_qasp(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_maxcut_set_shapes() {
+        let set = maxcut_set(false, 1);
+        assert_eq!(set.len(), 3);
+        assert_eq!(set[0].problem.n(), 120);
+        assert_eq!(set[0].problem.edge_count(), 120 * 119 / 2);
+        assert_eq!(set[1].problem.edge_count(), 720);
+        assert_eq!(set[2].problem.edge_count(), 424);
+    }
+
+    #[test]
+    fn full_maxcut_set_is_paper_sized() {
+        let set = maxcut_set(true, 1);
+        assert!(set.iter().all(|b| b.problem.n() == 2000));
+        assert_eq!(set[1].problem.edge_count(), 19_990);
+    }
+
+    #[test]
+    fn scaled_qap_set_shapes() {
+        let set = qap_set(false, 1);
+        assert_eq!(set.len(), 3);
+        assert!(set.iter().all(|b| b.instance.n() <= 9));
+        assert!(set.iter().all(|b| b.penalty > 0));
+    }
+
+    #[test]
+    fn full_qap_set_matches_paper_sizes_and_penalties() {
+        let set = qap_set(true, 1);
+        assert_eq!(set[0].instance.n(), 20);
+        assert_eq!(set[0].penalty, 200_000);
+        assert_eq!(set[1].instance.n(), 30);
+        assert_eq!(set[2].penalty, 1_000);
+    }
+
+    #[test]
+    fn qasp_set_covers_three_resolutions() {
+        let set = qasp_set(false, 1);
+        let res: Vec<i64> = set.iter().map(|b| b.instance.resolution).collect();
+        assert_eq!(res, vec![1, 16, 256]);
+        assert!(set.iter().all(|b| b.instance.n() == 1_000));
+    }
+}

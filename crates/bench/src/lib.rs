@@ -1,0 +1,18 @@
+//! Benchmark harness shared by the table/figure binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index). The helpers here provide: flag parsing
+//! (`--runs`, `--scale`, `--seed`, `--full`), ASCII histograms matching the
+//! paper's figure binning, aligned table printing, and the repeated-run TTS
+//! protocol of §VI.
+
+pub mod args;
+pub mod harness;
+pub mod histogram;
+pub mod instances;
+pub mod table;
+
+pub use args::Args;
+pub use harness::{repeat_solver, RepeatStats};
+pub use histogram::Histogram;
+pub use table::Table;

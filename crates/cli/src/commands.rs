@@ -1,0 +1,124 @@
+//! The CLI subcommands.
+
+use crate::options::Options;
+use dabs_baselines::bnb::{BnbConfig, BranchAndBound};
+use dabs_baselines::hybrid::{HybridConfig, HybridSolver};
+use dabs_baselines::sa::{SaConfig, SimulatedAnnealing};
+use dabs_baselines::sb::{SbConfig, SimulatedBifurcation};
+use dabs_core::{DabsConfig, DabsSolver, Termination};
+use std::sync::Arc;
+
+/// `dabs solve`: run DABS (or the ABS preset) and print the result.
+pub fn solve(opts: &Options) -> Result<(), String> {
+    let (model, name) = opts.build_model()?;
+    let model = Arc::new(model);
+    println!("instance: {name} — {} bits, {} quadratic terms", model.n(), model.edge_count());
+
+    let mut cfg = if opts.use_abs {
+        DabsConfig::abs_baseline(opts.devices, opts.blocks)
+    } else {
+        DabsConfig::dabs(opts.devices, opts.blocks)
+    };
+    cfg.seed = opts.seed;
+    let solver = DabsSolver::new(cfg)?;
+
+    let mut term = Termination::time(opts.budget);
+    if let Some(t) = opts.target {
+        term = term.with_target(t);
+    }
+    let r = solver.run(&model, term);
+    println!(
+        "solver:   {} ({} devices × {} blocks)",
+        if opts.use_abs { "ABS baseline" } else { "DABS" },
+        opts.devices,
+        opts.blocks
+    );
+    println!("energy:   {}", r.energy);
+    println!("found at: {:.3}s of {:.3}s", r.time_to_best.as_secs_f64(), r.elapsed.as_secs_f64());
+    println!("batches:  {} ({} flips)", r.batches, r.flips);
+    if let Some((algo, op)) = r.first_finder {
+        println!("finder:   {} + {}", algo.name(), op.name());
+    }
+    if opts.target.is_some() {
+        println!("target:   {}", if r.reached_target { "reached" } else { "NOT reached" });
+    }
+    Ok(())
+}
+
+/// `dabs compare`: run every solver in the repo on the same instance.
+pub fn compare(opts: &Options) -> Result<(), String> {
+    let (model, name) = opts.build_model()?;
+    let model = Arc::new(model);
+    println!("instance: {name} — {} bits, {} quadratic terms", model.n(), model.edge_count());
+    println!("budget:   {:?} per solver\n", opts.budget);
+    println!("{:<22} {:>14} {:>10}", "solver", "energy", "time");
+    println!("{}", "-".repeat(48));
+
+    let mut cfg = DabsConfig::dabs(opts.devices, opts.blocks);
+    cfg.seed = opts.seed;
+    let r = DabsSolver::new(cfg)?.run(&model, Termination::time(opts.budget));
+    println!("{:<22} {:>14} {:>9.3}s", "DABS", r.energy, r.elapsed.as_secs_f64());
+
+    let mut abs_cfg = DabsConfig::abs_baseline(opts.devices, opts.blocks);
+    abs_cfg.seed = opts.seed;
+    let r = DabsSolver::new(abs_cfg)?.run(&model, Termination::time(opts.budget));
+    println!("{:<22} {:>14} {:>9.3}s", "ABS (baseline)", r.energy, r.elapsed.as_secs_f64());
+
+    let r = SimulatedAnnealing::new(SaConfig::scaled_to(&model, 2_000, opts.seed)).solve(&model);
+    println!("{:<22} {:>14} {:>9.3}s", "simulated annealing", r.energy, r.elapsed.as_secs_f64());
+
+    let r = HybridSolver::new(HybridConfig {
+        time_limit: opts.budget,
+        seed: opts.seed,
+        ..HybridConfig::default()
+    })
+    .solve(&model);
+    println!("{:<22} {:>14} {:>9.3}s", "hybrid portfolio", r.energy, r.elapsed.as_secs_f64());
+
+    let r = BranchAndBound::new(BnbConfig {
+        time_limit: opts.budget,
+        heuristic_restarts: 16,
+        seed: opts.seed,
+    })
+    .solve(&model);
+    println!(
+        "{:<22} {:>14} {:>9.3}s{}",
+        "branch & bound",
+        r.energy,
+        r.elapsed.as_secs_f64(),
+        if r.proven_optimal { "  (proven optimal)" } else { "" }
+    );
+
+    let (ising, c) = model.to_ising();
+    let r = SimulatedBifurcation::new(SbConfig {
+        steps: 5_000,
+        seed: opts.seed,
+        ..SbConfig::default()
+    })
+    .solve(&ising);
+    println!(
+        "{:<22} {:>14} {:>9.3}s",
+        "discrete SB",
+        (r.energy + c) / 4,
+        r.elapsed.as_secs_f64()
+    );
+    Ok(())
+}
+
+/// `dabs info`: print instance statistics without solving.
+pub fn info(opts: &Options) -> Result<(), String> {
+    let (model, name) = opts.build_model()?;
+    println!("instance:        {name}");
+    println!("bits:            {}", model.n());
+    println!("quadratic terms: {}", model.edge_count());
+    println!("max |weight|:    {}", model.max_abs_weight());
+    println!("trivial bound:   E ≥ {}", model.lower_bound());
+    let degrees: Vec<usize> = (0..model.n()).map(|i| model.adjacency().degree(i)).collect();
+    let avg = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+    println!(
+        "degree:          avg {:.1}, max {}",
+        avg,
+        degrees.iter().max().unwrap_or(&0)
+    );
+    Ok(())
+}

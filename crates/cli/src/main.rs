@@ -1,0 +1,68 @@
+//! `dabs` — command-line front end to the DABS solver and baselines.
+//!
+//! ```text
+//! dabs solve   --problem k2000|g22|g39|tai|nug|tho|qasp --n N --seed S
+//!              [--budget-ms B] [--devices D] [--blocks K] [--abs]
+//! dabs compare --problem … --n N --seed S [--budget-ms B]
+//! dabs info    --problem … --n N --seed S
+//! ```
+
+mod commands;
+mod options;
+
+use options::Options;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    let command = args.remove(0);
+    let opts = match Options::parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    let outcome = match command.as_str() {
+        "solve" => commands::solve(&opts),
+        "compare" => commands::compare(&opts),
+        "info" => commands::info(&opts),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "dabs — Diverse Adaptive Bulk Search QUBO solver
+
+USAGE:
+  dabs solve   --problem <kind> [--n N] [--seed S] [--budget-ms B]
+               [--devices D] [--blocks K] [--abs] [--target E]
+  dabs compare --problem <kind> [--n N] [--seed S] [--budget-ms B]
+  dabs info    --problem <kind> [--n N] [--seed S]
+
+PROBLEM KINDS:
+  k2000 | g22 | g39   MaxCut instance classes (default n = 200)
+  tai | nug | tho     QAP instance classes    (default n = 9)
+  qasp                random Ising on an annealer topology (default n ≈ 500)
+  random              random dense QUBO       (default n = 64)
+
+FLAGS:
+  --abs          use the ABS baseline preset instead of full DABS
+  --target E     stop as soon as energy E is reached
+  --budget-ms B  wall-clock budget per solve (default 2000)
+"
+    );
+}

@@ -1,0 +1,225 @@
+//! Flag parsing and instance construction for the CLI.
+
+use dabs_model::QuboModel;
+use dabs_problems::{gset, qaplib, QaspInstance, Topology};
+use dabs_rng::{Rng64, Xorshift64Star};
+use std::time::Duration;
+
+/// Parsed options common to every subcommand.
+#[derive(Debug, Clone)]
+pub struct Options {
+    pub problem: String,
+    pub n: Option<usize>,
+    pub seed: u64,
+    pub budget: Duration,
+    pub devices: usize,
+    pub blocks: usize,
+    pub use_abs: bool,
+    pub target: Option<i64>,
+    pub file: Option<String>,
+}
+
+impl Options {
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut o = Options {
+            problem: String::new(),
+            n: None,
+            seed: 1,
+            budget: Duration::from_millis(2000),
+            devices: 4,
+            blocks: 2,
+            use_abs: false,
+            target: None,
+            file: None,
+        };
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("--{name} requires a value"))
+            };
+            match a.as_str() {
+                "--problem" => o.problem = value("problem")?,
+                "--n" => o.n = Some(parse(&value("n")?, "n")?),
+                "--seed" => o.seed = parse(&value("seed")?, "seed")?,
+                "--budget-ms" => {
+                    o.budget = Duration::from_millis(parse(&value("budget-ms")?, "budget-ms")?)
+                }
+                "--devices" => o.devices = parse(&value("devices")?, "devices")?,
+                "--blocks" => o.blocks = parse(&value("blocks")?, "blocks")?,
+                "--target" => o.target = Some(parse(&value("target")?, "target")?),
+                "--file" => o.file = Some(value("file")?),
+                "--abs" => o.use_abs = true,
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if o.problem.is_empty() && o.file.is_none() {
+            return Err("--problem or --file is required".into());
+        }
+        Ok(o)
+    }
+
+    /// Build the QUBO model (plus a description) for the selected problem.
+    pub fn build_model(&self) -> Result<(QuboModel, String), String> {
+        if let Some(path) = &self.file {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let model = dabs_model::io::parse_qubo(&text).map_err(|e| e.to_string())?;
+            return Ok((model, format!("file:{path}")));
+        }
+        let seed = self.seed;
+        match self.problem.as_str() {
+            "k2000" => {
+                let n = self.n.unwrap_or(200);
+                let p = gset::k2000_like(n, seed);
+                Ok((p.to_qubo(), p.name))
+            }
+            "g22" => {
+                let n = self.n.unwrap_or(200);
+                let m = (n * n) / 200; // matches G22's 1% density
+                let p = gset::g22_like(n, m, seed);
+                Ok((p.to_qubo(), p.name))
+            }
+            "g39" => {
+                let n = self.n.unwrap_or(200);
+                let m = (n * n * 6) / 2000;
+                let p = gset::g39_like(n, m, seed);
+                Ok((p.to_qubo(), p.name))
+            }
+            "tai" => {
+                let n = self.n.unwrap_or(9);
+                let q = qaplib::tai_like(n, seed);
+                let pen = q.auto_penalty();
+                let name = format!("{} (penalty {pen})", q.name);
+                Ok((q.to_qubo(pen), name))
+            }
+            "nug" => {
+                let n = self.n.unwrap_or(9);
+                let side = (n as f64).sqrt().round() as usize;
+                if side * side != n {
+                    return Err(format!("nug requires a square n, got {n}"));
+                }
+                let q = qaplib::nug_like(side, side, seed);
+                let pen = q.auto_penalty();
+                let name = format!("{} (penalty {pen})", q.name);
+                Ok((q.to_qubo(pen), name))
+            }
+            "tho" => {
+                let n = self.n.unwrap_or(9);
+                let side = (n as f64).sqrt().round() as usize;
+                if side * side != n {
+                    return Err(format!("tho requires a square n, got {n}"));
+                }
+                let q = qaplib::tho_like(side, side, seed);
+                let pen = q.auto_penalty();
+                let name = format!("{} (penalty {pen})", q.name);
+                Ok((q.to_qubo(pen), name))
+            }
+            "qasp" => {
+                let n = self.n.unwrap_or(512);
+                // Chimera cell count that covers n before fault trimming
+                let cells = ((n as f64 / 8.0).sqrt().ceil() as usize).max(2);
+                let topo = Topology::pegasus_like(cells, cells, 14.0, seed);
+                let target_edges = (n * 7).min(topo.edge_count());
+                let topo = topo.with_faults(n.min(topo.n()), target_edges, seed);
+                let inst = QaspInstance::generate(&topo, 16, seed);
+                let name = inst.name.clone();
+                Ok((inst.qubo().clone(), name))
+            }
+            "random" => {
+                let n = self.n.unwrap_or(64);
+                let mut rng = Xorshift64Star::new(seed);
+                let mut b = dabs_model::QuboBuilder::new(n);
+                for i in 0..n {
+                    b.add_linear(i, rng.next_range_i64(-9, 9));
+                    for j in (i + 1)..n {
+                        if rng.next_bool(0.3) {
+                            b.add_quadratic(i, j, rng.next_range_i64(-9, 9));
+                        }
+                    }
+                }
+                Ok((b.build().map_err(|e| e.to_string())?, format!("random(n={n})")))
+            }
+            other => Err(format!("unknown problem kind {other:?}")),
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: &str, name: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("--{name}: cannot parse {v:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(s: &str) -> Result<Options, String> {
+        let args: Vec<String> = s.split_whitespace().map(String::from).collect();
+        Options::parse(&args)
+    }
+
+    #[test]
+    fn parses_complete_flag_set() {
+        let o = opts("--problem g22 --n 150 --seed 9 --budget-ms 500 --devices 2 --blocks 3 --abs --target -42").unwrap();
+        assert_eq!(o.problem, "g22");
+        assert_eq!(o.n, Some(150));
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.budget, Duration::from_millis(500));
+        assert_eq!(o.devices, 2);
+        assert_eq!(o.blocks, 3);
+        assert!(o.use_abs);
+        assert_eq!(o.target, Some(-42));
+    }
+
+    #[test]
+    fn requires_problem_or_file() {
+        assert!(opts("--n 10").is_err());
+        assert!(opts("--file x.qubo").is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let e = opts("--problem g22 --bogus 1").unwrap_err();
+        assert!(e.contains("bogus"));
+    }
+
+    #[test]
+    fn builds_every_generator_kind() {
+        for kind in ["k2000", "g22", "g39", "tai", "nug", "tho", "qasp", "random"] {
+            let o = opts(&format!("--problem {kind}")).unwrap();
+            let (model, name) = o.build_model().unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(model.n() > 0, "{kind}");
+            assert!(!name.is_empty());
+        }
+    }
+
+    #[test]
+    fn nug_requires_square_n() {
+        let o = opts("--problem nug --n 10").unwrap();
+        assert!(o.build_model().is_err());
+    }
+
+    #[test]
+    fn unknown_problem_kind_errors() {
+        let o = opts("--problem nonsense").unwrap();
+        assert!(o.build_model().is_err());
+    }
+
+    #[test]
+    fn file_kind_round_trips_through_io() {
+        let q = {
+            let mut b = dabs_model::QuboBuilder::new(4);
+            b.add_linear(0, -3).add_quadratic(1, 2, 5);
+            b.build().unwrap()
+        };
+        let path = std::env::temp_dir().join("dabs_cli_test.qubo");
+        std::fs::write(&path, dabs_model::io::write_qubo(&q)).unwrap();
+        let o = opts(&format!("--file {}", path.display())).unwrap();
+        let (model, name) = o.build_model().unwrap();
+        assert_eq!(model, q);
+        assert!(name.starts_with("file:"));
+        let _ = std::fs::remove_file(path);
+    }
+}

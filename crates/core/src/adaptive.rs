@@ -1,0 +1,241 @@
+//! Adaptive selection of search algorithms and genetic operations
+//! (paper §IV-A, final paragraphs).
+//!
+//! With probability `explore_prob` (5 %) the host picks uniformly from the
+//! configured portfolio; otherwise it picks a uniformly random pool row and
+//! replays the algorithm/operation recorded there. Because rows are created
+//! by successful batches, pairs that produce good solutions accumulate rows
+//! and therefore get replayed more often — selection pressure emerges from
+//! the pool contents alone.
+
+use crate::genetic::{apply_op, GeneticOp};
+use crate::{DabsConfig, SolutionPool};
+use dabs_model::Solution;
+use dabs_rng::Rng64;
+use dabs_search::MainAlgorithm;
+
+/// Choose the main search algorithm for the next packet.
+pub fn select_algorithm<R: Rng64 + ?Sized>(
+    pool: &SolutionPool,
+    config: &DabsConfig,
+    rng: &mut R,
+) -> MainAlgorithm {
+    if pool.is_empty() || rng.next_bool(config.explore_prob) {
+        config.algorithms[rng.next_index(config.algorithms.len())]
+    } else {
+        let recorded = pool.select_uniform(rng).algorithm;
+        // If the recorded algorithm fell out of the portfolio (possible when
+        // a run restarts with a narrowed config), fall back to exploration.
+        if config.algorithms.contains(&recorded) {
+            recorded
+        } else {
+            config.algorithms[rng.next_index(config.algorithms.len())]
+        }
+    }
+}
+
+/// Choose the genetic operation for the next packet.
+pub fn select_operation<R: Rng64 + ?Sized>(
+    pool: &SolutionPool,
+    config: &DabsConfig,
+    rng: &mut R,
+) -> GeneticOp {
+    if pool.is_empty() || rng.next_bool(config.explore_prob) {
+        config.operations[rng.next_index(config.operations.len())]
+    } else {
+        let recorded = pool.select_uniform(rng).operation;
+        if config.operations.contains(&recorded) {
+            recorded
+        } else {
+            config.operations[rng.next_index(config.operations.len())]
+        }
+    }
+}
+
+/// Generate a target solution with the given operation.
+///
+/// Parent picks use the rank-biased `⌊r³·m⌋` rule. `neighbor` is the next
+/// pool on the island ring, used by Xrossover; when it is unavailable (one
+/// island) Xrossover degrades to intra-pool Crossover, which matches the
+/// island model's single-pool limit.
+pub fn generate_target<R: Rng64 + ?Sized>(
+    op: GeneticOp,
+    pool: &SolutionPool,
+    neighbor: Option<&SolutionPool>,
+    n: usize,
+    config: &DabsConfig,
+    rng: &mut R,
+) -> Solution {
+    let probs = config.probabilities;
+    match op {
+        GeneticOp::Random => apply_op(op, &[], n, probs, rng),
+        GeneticOp::Best => {
+            let best = &pool.best().expect("pool is pre-filled").solution;
+            apply_op(op, &[best], n, probs, rng)
+        }
+        GeneticOp::Mutation | GeneticOp::Zero | GeneticOp::One | GeneticOp::IntervalZero => {
+            let parent = &pool.select_biased(rng).solution;
+            apply_op(op, &[parent], n, probs, rng)
+        }
+        GeneticOp::Crossover | GeneticOp::CrossMutate => {
+            let a = &pool.select_biased(rng).solution;
+            let b = &pool.select_biased(rng).solution;
+            apply_op(op, &[a, b], n, probs, rng)
+        }
+        GeneticOp::Xrossover => {
+            let a = &pool.select_biased(rng).solution;
+            let b = match neighbor {
+                Some(nb) if !nb.is_empty() => &nb.select_biased(rng).solution,
+                _ => &pool.select_biased(rng).solution,
+            };
+            apply_op(GeneticOp::Xrossover, &[a, b], n, probs, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PoolEntry;
+    use dabs_rng::Xorshift64Star;
+
+    fn pool_with(algo: MainAlgorithm, op: GeneticOp, rows: usize) -> SolutionPool {
+        let mut pool = SolutionPool::new(rows.max(1), false);
+        let mut rng = Xorshift64Star::new(99);
+        for i in 0..rows {
+            pool.insert(PoolEntry {
+                solution: Solution::random(32, &mut rng),
+                energy: i as i64,
+                algorithm: algo,
+                operation: op,
+            });
+        }
+        pool
+    }
+
+    #[test]
+    fn replay_dominates_selection() {
+        // A pool filled with PositiveMin rows: with explore = 5 %, selection
+        // must return PositiveMin ≈ 95 % + 1 % (exploring into it) of draws.
+        let pool = pool_with(MainAlgorithm::PositiveMin, GeneticOp::Zero, 50);
+        let config = DabsConfig::default();
+        let mut rng = Xorshift64Star::new(1);
+        let trials = 10_000;
+        let hits = (0..trials)
+            .filter(|_| select_algorithm(&pool, &config, &mut rng) == MainAlgorithm::PositiveMin)
+            .count();
+        let frac = hits as f64 / trials as f64;
+        assert!(frac > 0.93, "replay rate {frac} too low");
+        // same for operations
+        let hits = (0..trials)
+            .filter(|_| select_operation(&pool, &config, &mut rng) == GeneticOp::Zero)
+            .count();
+        let frac = hits as f64 / trials as f64;
+        assert!(frac > 0.93, "op replay rate {frac} too low");
+    }
+
+    #[test]
+    fn exploration_still_reaches_other_choices() {
+        let pool = pool_with(MainAlgorithm::PositiveMin, GeneticOp::Zero, 50);
+        let config = DabsConfig::default();
+        let mut rng = Xorshift64Star::new(2);
+        let mut seen_algos = std::collections::HashSet::new();
+        let mut seen_ops = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            seen_algos.insert(select_algorithm(&pool, &config, &mut rng));
+            seen_ops.insert(select_operation(&pool, &config, &mut rng));
+        }
+        assert_eq!(seen_algos.len(), 5, "5 % exploration must reach all algos");
+        assert_eq!(seen_ops.len(), 8, "5 % exploration must reach all ops");
+    }
+
+    #[test]
+    fn empty_pool_explores_uniformly() {
+        let pool = SolutionPool::new(5, false);
+        let config = DabsConfig::default();
+        let mut rng = Xorshift64Star::new(3);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..5000 {
+            *counts.entry(select_algorithm(&pool, &config, &mut rng)).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 5);
+        for (_, &c) in &counts {
+            assert!(c > 700, "uniform spread expected: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn recorded_choice_outside_portfolio_falls_back() {
+        let pool = pool_with(MainAlgorithm::MaxMin, GeneticOp::One, 10);
+        let mut config = DabsConfig::default();
+        config.algorithms = vec![MainAlgorithm::CyclicMin];
+        config.operations = vec![GeneticOp::CrossMutate];
+        let mut rng = Xorshift64Star::new(4);
+        for _ in 0..200 {
+            assert_eq!(
+                select_algorithm(&pool, &config, &mut rng),
+                MainAlgorithm::CyclicMin
+            );
+            assert_eq!(
+                select_operation(&pool, &config, &mut rng),
+                GeneticOp::CrossMutate
+            );
+        }
+    }
+
+    #[test]
+    fn xrossover_uses_neighbor_pool() {
+        // Local pool is all-zeros, neighbour all-ones: the child of
+        // Xrossover must contain bits from both (≈ half ones).
+        let n = 512;
+        let mut local = SolutionPool::new(2, false);
+        let mut neighbor = SolutionPool::new(2, false);
+        local.insert(PoolEntry {
+            solution: Solution::zeros(n),
+            energy: 0,
+            algorithm: MainAlgorithm::MaxMin,
+            operation: GeneticOp::Best,
+        });
+        neighbor.insert(PoolEntry {
+            solution: Solution::ones(n),
+            energy: 0,
+            algorithm: MainAlgorithm::MaxMin,
+            operation: GeneticOp::Best,
+        });
+        let config = DabsConfig::default();
+        let mut rng = Xorshift64Star::new(5);
+        let child = generate_target(
+            GeneticOp::Xrossover,
+            &local,
+            Some(&neighbor),
+            n,
+            &config,
+            &mut rng,
+        );
+        let ones = child.count_ones();
+        assert!(
+            (150..360).contains(&ones),
+            "Xrossover child should mix pools: {ones} ones"
+        );
+    }
+
+    #[test]
+    fn xrossover_without_neighbor_degrades_to_crossover() {
+        let n = 32; // matches the helper's solution length
+        let pool = pool_with(MainAlgorithm::MaxMin, GeneticOp::Best, 3);
+        let config = DabsConfig::default();
+        let mut rng = Xorshift64Star::new(6);
+        // must not panic, and must produce a valid-length vector
+        let child = generate_target(GeneticOp::Xrossover, &pool, None, n, &config, &mut rng);
+        assert_eq!(child.len(), n);
+    }
+
+    #[test]
+    fn best_operation_reproduces_pool_best() {
+        let pool = pool_with(MainAlgorithm::MaxMin, GeneticOp::Best, 5);
+        let config = DabsConfig::default();
+        let mut rng = Xorshift64Star::new(7);
+        let child = generate_target(GeneticOp::Best, &pool, None, 32, &config, &mut rng);
+        assert_eq!(child, pool.best().unwrap().solution);
+    }
+}

@@ -1,0 +1,127 @@
+//! The island ring (paper §IV-B).
+//!
+//! One solution pool per device, arranged in a cyclic order. DABS performs
+//! no migration between islands; instead the Xrossover operation crosses a
+//! local parent with a parent from the *next* pool on the ring, so search
+//! trajectories traverse the region between islands and successful results
+//! pull the islands together.
+
+use crate::SolutionPool;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A ring of shared solution pools.
+#[derive(Debug, Clone)]
+pub struct IslandRing {
+    pools: Vec<Arc<Mutex<SolutionPool>>>,
+}
+
+impl IslandRing {
+    /// Build a ring of `count` pools with the given capacity/dedup policy.
+    pub fn new(count: usize, capacity: usize, dedup: bool) -> Self {
+        assert!(count >= 1, "need at least one island");
+        Self {
+            pools: (0..count)
+                .map(|_| Arc::new(Mutex::new(SolutionPool::new(capacity, dedup))))
+                .collect(),
+        }
+    }
+
+    /// Number of islands.
+    pub fn len(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Always at least one island.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Shared handle to pool `i`.
+    pub fn pool(&self, i: usize) -> &Arc<Mutex<SolutionPool>> {
+        &self.pools[i]
+    }
+
+    /// Index of the ring neighbour of island `i` (the Xrossover partner).
+    /// With a single island this is `i` itself.
+    pub fn neighbor_index(&self, i: usize) -> usize {
+        (i + 1) % self.pools.len()
+    }
+
+    /// Shared handle to the neighbour pool of island `i`, or `None` when
+    /// there is only one island (Xrossover then degrades to Crossover).
+    pub fn neighbor(&self, i: usize) -> Option<&Arc<Mutex<SolutionPool>>> {
+        (self.pools.len() > 1).then(|| &self.pools[self.neighbor_index(i)])
+    }
+
+    /// Best energy across all islands.
+    pub fn global_best_energy(&self) -> i64 {
+        self.pools
+            .iter()
+            .filter_map(|p| p.lock().best().map(|e| e.energy))
+            .min()
+            .unwrap_or(i64::MAX)
+    }
+
+    /// Mean of per-pool diversity — low values across all islands signal
+    /// the "merged ring" condition where a restart is worthwhile.
+    pub fn mean_diversity(&self) -> f64 {
+        let sum: f64 = self.pools.iter().map(|p| p.lock().diversity()).sum();
+        sum / self.pools.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GeneticOp, PoolEntry};
+    use dabs_model::Solution;
+    use dabs_search::MainAlgorithm;
+
+    fn entry(e: i64, n: usize) -> PoolEntry {
+        PoolEntry {
+            solution: Solution::zeros(n),
+            energy: e,
+            algorithm: MainAlgorithm::MaxMin,
+            operation: GeneticOp::Best,
+        }
+    }
+
+    #[test]
+    fn ring_neighbors_wrap() {
+        let ring = IslandRing::new(4, 10, false);
+        assert_eq!(ring.neighbor_index(0), 1);
+        assert_eq!(ring.neighbor_index(3), 0);
+        assert!(ring.neighbor(2).is_some());
+    }
+
+    #[test]
+    fn single_island_has_no_neighbor() {
+        let ring = IslandRing::new(1, 10, false);
+        assert!(ring.neighbor(0).is_none());
+        assert_eq!(ring.neighbor_index(0), 0);
+    }
+
+    #[test]
+    fn global_best_spans_islands() {
+        let ring = IslandRing::new(3, 5, false);
+        ring.pool(0).lock().insert(entry(5, 8));
+        ring.pool(1).lock().insert(entry(-9, 8));
+        ring.pool(2).lock().insert(entry(2, 8));
+        assert_eq!(ring.global_best_energy(), -9);
+    }
+
+    #[test]
+    fn empty_ring_best_is_infinite() {
+        let ring = IslandRing::new(2, 5, false);
+        assert_eq!(ring.global_best_energy(), i64::MAX);
+    }
+
+    #[test]
+    fn pools_are_independently_lockable() {
+        let ring = IslandRing::new(2, 5, false);
+        let _a = ring.pool(0).lock();
+        // locking another pool while holding the first must not deadlock
+        let _b = ring.pool(1).lock();
+    }
+}

@@ -1,0 +1,714 @@
+//! The DABS solver (paper §V): host threads + virtual devices.
+//!
+//! Architecture per Fig. 2: each device is paired with one solution pool and
+//! one host thread. The host thread generates target packets by adaptive
+//! genetic operations on its pool (occasionally crossing into the ring
+//! neighbour's pool), keeps the device's request queue full, and folds
+//! returned results back into the pool and the global best.
+//!
+//! Two execution modes:
+//!
+//! * [`DabsSolver::run`] — threaded, one virtual device (with
+//!   `blocks_per_device` block workers) + one host thread per pool.
+//! * [`DabsSolver::run_sequential`] — single-threaded round-robin over
+//!   inline devices; bit-for-bit deterministic for a given seed, used by
+//!   tests and ablation studies.
+
+use crate::adaptive::{generate_target, select_algorithm, select_operation};
+use crate::{DabsConfig, FrequencyReport, FrequencyTracker, GeneticOp, IslandRing, PoolEntry, SolutionPool};
+use crossbeam::channel;
+use dabs_gpu_sim::{DeviceConfig, DeviceStats, InlineDevice, Packet, SharedBest, StopFlag, VirtualDevice};
+use dabs_model::{QuboModel, Solution};
+use dabs_rng::{Rng64, SplitMix64, Xorshift64Star};
+use dabs_search::MainAlgorithm;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// When to stop a run. Conditions combine with OR; at least one must be set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Termination {
+    /// Stop as soon as the global best reaches (≤) this energy.
+    pub target_energy: Option<i64>,
+    /// Stop after this wall-clock time.
+    pub time_limit: Option<Duration>,
+    /// Stop after this many batches (summed over all devices).
+    pub max_batches: Option<u64>,
+}
+
+impl Termination {
+    /// Run until `target` is reached (no safety net — combine with a limit
+    /// for non-trivial instances).
+    pub fn target(target: i64) -> Self {
+        Self {
+            target_energy: Some(target),
+            ..Self::default()
+        }
+    }
+
+    /// Run for a fixed wall-clock budget.
+    pub fn time(limit: Duration) -> Self {
+        Self {
+            time_limit: Some(limit),
+            ..Self::default()
+        }
+    }
+
+    /// Run for a fixed number of batches.
+    pub fn batches(max: u64) -> Self {
+        Self {
+            max_batches: Some(max),
+            ..Self::default()
+        }
+    }
+
+    /// Add a target energy.
+    pub fn with_target(mut self, target: i64) -> Self {
+        self.target_energy = Some(target);
+        self
+    }
+
+    /// Add a time limit.
+    pub fn with_time(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Add a batch limit.
+    pub fn with_batches(mut self, max: u64) -> Self {
+        self.max_batches = Some(max);
+        self
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.target_energy.is_none() && self.time_limit.is_none() && self.max_batches.is_none()
+        {
+            return Err("termination must set at least one condition".into());
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolveResult {
+    /// Best solution found.
+    pub best: Solution,
+    /// Its energy.
+    pub energy: i64,
+    /// Wall-clock time at which the final best was first observed — the TTS
+    /// when the target was reached.
+    pub time_to_best: Duration,
+    /// Total wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Batches executed across all devices.
+    pub batches: u64,
+    /// Bit flips executed across all devices.
+    pub flips: u64,
+    /// Whether the target energy (if any) was reached.
+    pub reached_target: bool,
+    /// Table-V-style execution frequencies.
+    pub frequencies: FrequencyReport,
+    /// The (algorithm, operation) pair whose batch first produced the final
+    /// best solution (Table VI).
+    pub first_finder: Option<(MainAlgorithm, GeneticOp)>,
+    /// Pool restarts triggered by the diversity watchdog.
+    pub restarts: u32,
+}
+
+/// Shared record of the best solution across all pools/devices.
+#[derive(Debug)]
+struct GlobalBest {
+    /// Fast-path energy for lock-free checks.
+    energy: AtomicI64,
+    detail: Mutex<BestDetail>,
+}
+
+#[derive(Debug)]
+struct BestDetail {
+    solution: Option<Solution>,
+    energy: i64,
+    found_at: Duration,
+    finder: Option<(MainAlgorithm, GeneticOp)>,
+}
+
+impl GlobalBest {
+    fn new() -> Self {
+        Self {
+            energy: AtomicI64::new(i64::MAX),
+            detail: Mutex::new(BestDetail {
+                solution: None,
+                energy: i64::MAX,
+                found_at: Duration::ZERO,
+                finder: None,
+            }),
+        }
+    }
+
+    /// Record a candidate; cheap when not an improvement.
+    fn offer(
+        &self,
+        solution: &Solution,
+        energy: i64,
+        found_at: Duration,
+        finder: (MainAlgorithm, GeneticOp),
+    ) {
+        if energy >= self.energy.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut d = self.detail.lock();
+        if energy < d.energy {
+            d.energy = energy;
+            d.solution = Some(solution.clone());
+            d.found_at = found_at;
+            d.finder = Some(finder);
+            self.energy.store(energy, Ordering::Relaxed);
+        }
+    }
+
+    fn current(&self) -> i64 {
+        self.energy.load(Ordering::Relaxed)
+    }
+}
+
+/// The multi-pool adaptive solver.
+#[derive(Debug, Clone)]
+pub struct DabsSolver {
+    config: DabsConfig,
+}
+
+impl DabsSolver {
+    /// Build a solver, validating the configuration.
+    pub fn new(config: DabsConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DabsConfig {
+        &self.config
+    }
+
+    /// Threaded run: `devices` virtual devices with `blocks_per_device`
+    /// workers each, plus one host thread per device.
+    pub fn run(&self, model: &Arc<QuboModel>, termination: Termination) -> SolveResult {
+        termination.validate().expect("invalid termination");
+        let n = model.n();
+        let cfg = &self.config;
+        let start = Instant::now();
+
+        let ring = IslandRing::new(cfg.devices, cfg.pool_capacity, cfg.dedup);
+        let mut seeder = SplitMix64::new(cfg.seed);
+        for d in 0..cfg.devices {
+            let mut rng = Xorshift64Star::new(seeder.next_u64());
+            ring.pool(d)
+                .lock()
+                .fill_random(n, &cfg.algorithms, &cfg.operations, &mut rng);
+        }
+
+        let tracker = Arc::new(FrequencyTracker::new());
+        let global = Arc::new(GlobalBest::new());
+        let stop = Arc::new(StopFlag::new());
+        let restarts = Arc::new(AtomicI64::new(0));
+        let mut device_stats = Vec::new();
+        let mut device_handles = Vec::new();
+        let mut host_handles = Vec::new();
+
+        for d in 0..cfg.devices {
+            let (req_tx, req_rx) = channel::bounded::<Packet>(cfg.blocks_per_device * 2);
+            let (res_tx, res_rx) = channel::unbounded::<Packet>();
+            let stats = Arc::new(DeviceStats::new());
+            device_stats.push(Arc::clone(&stats));
+            let dev_seed = seeder.next_u64();
+            device_handles.push(VirtualDevice::spawn(
+                Arc::clone(model),
+                DeviceConfig {
+                    blocks: cfg.blocks_per_device,
+                    params: cfg.params,
+                    seed: dev_seed,
+                },
+                req_rx,
+                res_tx,
+                Arc::new(SharedBest::new()),
+                Arc::clone(&stop),
+                stats,
+            ));
+
+            let host_seed = seeder.next_u64();
+            let pool = Arc::clone(ring.pool(d));
+            let neighbor = ring.neighbor(d).cloned();
+            let tracker = Arc::clone(&tracker);
+            let global = Arc::clone(&global);
+            let stop = Arc::clone(&stop);
+            let restarts = Arc::clone(&restarts);
+            let config = cfg.clone();
+            host_handles.push(std::thread::spawn(move || {
+                host_loop(
+                    n, &config, host_seed, &pool, neighbor.as_ref(), req_tx, res_rx, &tracker,
+                    &global, &stop, &restarts, start,
+                );
+            }));
+        }
+
+        // Supervisor: enforce the termination conditions.
+        loop {
+            if let Some(t) = termination.target_energy {
+                if global.current() <= t {
+                    break;
+                }
+            }
+            if let Some(limit) = termination.time_limit {
+                if start.elapsed() >= limit {
+                    break;
+                }
+            }
+            if let Some(maxb) = termination.max_batches {
+                let total: u64 = device_stats.iter().map(|s| s.batches()).sum();
+                if total >= maxb {
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        stop.stop();
+        for h in host_handles {
+            let _ = h.join();
+        }
+        for h in device_handles {
+            h.join();
+        }
+
+        let elapsed = start.elapsed();
+        let batches: u64 = device_stats.iter().map(|s| s.batches()).sum();
+        let flips: u64 = device_stats.iter().map(|s| s.flips()).sum();
+        let detail = global.detail.lock();
+        let reached = termination
+            .target_energy
+            .map(|t| detail.energy <= t)
+            .unwrap_or(false);
+        SolveResult {
+            best: detail.solution.clone().unwrap_or_else(|| Solution::zeros(n)),
+            energy: if detail.solution.is_some() { detail.energy } else { 0 },
+            time_to_best: detail.found_at,
+            elapsed,
+            batches,
+            flips,
+            reached_target: reached,
+            frequencies: tracker.report(),
+            first_finder: detail.finder,
+            restarts: restarts.load(Ordering::Relaxed) as u32,
+        }
+    }
+
+    /// Deterministic single-threaded run: round-robin over inline devices.
+    /// `max_batches` termination is exact in this mode.
+    pub fn run_sequential(&self, model: &QuboModel, termination: Termination) -> SolveResult {
+        termination.validate().expect("invalid termination");
+        let n = model.n();
+        let cfg = &self.config;
+        let start = Instant::now();
+
+        let mut seeder = SplitMix64::new(cfg.seed);
+        let mut pools: Vec<SolutionPool> = Vec::with_capacity(cfg.devices);
+        let mut host_rngs: Vec<Xorshift64Star> = Vec::with_capacity(cfg.devices);
+        for _ in 0..cfg.devices {
+            let mut pool = SolutionPool::new(cfg.pool_capacity, cfg.dedup);
+            let mut rng = Xorshift64Star::new(seeder.next_u64());
+            pool.fill_random(n, &cfg.algorithms, &cfg.operations, &mut rng);
+            pools.push(pool);
+            host_rngs.push(rng);
+        }
+        let mut devices: Vec<InlineDevice<'_>> = (0..cfg.devices)
+            .map(|_| InlineDevice::new(model, cfg.params, seeder.next_u64()))
+            .collect();
+
+        let tracker = FrequencyTracker::new();
+        let mut best_solution: Option<Solution> = None;
+        let mut best_energy = i64::MAX;
+        let mut found_at = Duration::ZERO;
+        let mut finder: Option<(MainAlgorithm, GeneticOp)> = None;
+        let mut batches = 0u64;
+        let mut restarts = 0u32;
+
+        'outer: loop {
+            for d in 0..cfg.devices {
+                // adaptive choice + target generation on pool d
+                let (packet, algo, op) = {
+                    let pool = &pools[d];
+                    let neighbor_idx = (d + 1) % cfg.devices;
+                    let neighbor = (cfg.devices > 1).then(|| &pools[neighbor_idx]);
+                    let rng = &mut host_rngs[d];
+                    let algo = select_algorithm(pool, cfg, rng);
+                    let op = select_operation(pool, cfg, rng);
+                    let target = generate_target(op, pool, neighbor, n, cfg, rng);
+                    (Packet::request(target, algo, op.index() as u8), algo, op)
+                };
+                tracker.record_dispatch(algo, op);
+                let result = devices[d].process(packet);
+                batches += 1;
+                let energy = result.energy.expect("device results carry energy");
+                if energy < best_energy {
+                    best_energy = energy;
+                    best_solution = Some(result.solution.clone());
+                    found_at = start.elapsed();
+                    finder = Some((algo, op));
+                }
+                pools[d].insert(PoolEntry {
+                    solution: result.solution,
+                    energy,
+                    algorithm: algo,
+                    operation: op,
+                });
+                if let Some(threshold) = cfg.restart_diversity {
+                    let pool = &mut pools[d];
+                    if pool.len() == pool.capacity()
+                        && pool.iter().all(|e| e.energy < i64::MAX)
+                        && pool.diversity() < threshold
+                    {
+                        let rng = &mut host_rngs[d];
+                        pool.fill_random(n, &cfg.algorithms, &cfg.operations, rng);
+                        restarts += 1;
+                    }
+                }
+
+                if let Some(t) = termination.target_energy {
+                    if best_energy <= t {
+                        break 'outer;
+                    }
+                }
+                if let Some(maxb) = termination.max_batches {
+                    if batches >= maxb {
+                        break 'outer;
+                    }
+                }
+                if let Some(limit) = termination.time_limit {
+                    if start.elapsed() >= limit {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        let flips: u64 = devices.iter().map(|dv| dv.stats().flips()).sum();
+        let reached = termination
+            .target_energy
+            .map(|t| best_energy <= t)
+            .unwrap_or(false);
+        SolveResult {
+            best: best_solution.unwrap_or_else(|| Solution::zeros(n)),
+            energy: if best_energy == i64::MAX { 0 } else { best_energy },
+            time_to_best: found_at,
+            elapsed: start.elapsed(),
+            batches,
+            flips,
+            reached_target: reached,
+            frequencies: tracker.report(),
+            first_finder: finder,
+            restarts,
+        }
+    }
+}
+
+/// Host thread body: feed one device from one pool.
+#[allow(clippy::too_many_arguments)]
+fn host_loop(
+    n: usize,
+    config: &DabsConfig,
+    seed: u64,
+    pool: &Arc<Mutex<SolutionPool>>,
+    neighbor: Option<&Arc<Mutex<SolutionPool>>>,
+    req_tx: channel::Sender<Packet>,
+    res_rx: channel::Receiver<Packet>,
+    tracker: &FrequencyTracker,
+    global: &GlobalBest,
+    stop: &StopFlag,
+    restarts: &AtomicI64,
+    start: Instant,
+) {
+    let mut rng = Xorshift64Star::new(seed);
+    loop {
+        if stop.is_stopped() {
+            return;
+        }
+        // Fold back any finished batches.
+        let mut handled = 0;
+        while let Ok(result) = res_rx.try_recv() {
+            handled += 1;
+            let energy = result.energy.expect("device results carry energy");
+            let algo = result.algorithm;
+            let op = GeneticOp::from_index(result.genetic_op).unwrap_or(GeneticOp::Random);
+            global.offer(&result.solution, energy, start.elapsed(), (algo, op));
+            let mut p = pool.lock();
+            p.insert(PoolEntry {
+                solution: result.solution,
+                energy,
+                algorithm: algo,
+                operation: op,
+            });
+            if let Some(threshold) = config.restart_diversity {
+                if p.len() == p.capacity()
+                    && p.iter().all(|e| e.energy < i64::MAX)
+                    && p.diversity() < threshold
+                {
+                    p.fill_random(n, &config.algorithms, &config.operations, &mut rng);
+                    restarts.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        // Keep the device's queue topped up.
+        if !req_tx.is_full() {
+            let (packet, algo, op) = {
+                let p = pool.lock();
+                let algo = select_algorithm(&p, config, &mut rng);
+                let op = select_operation(&p, config, &mut rng);
+                let target = match (op, neighbor) {
+                    (GeneticOp::Xrossover, Some(nb)) => {
+                        let nb = nb.lock();
+                        generate_target(op, &p, Some(&nb), n, config, &mut rng)
+                    }
+                    _ => generate_target(op, &p, None, n, config, &mut rng),
+                };
+                (Packet::request(target, algo, op.index() as u8), algo, op)
+            };
+            if req_tx.send(packet).is_err() {
+                return; // device gone
+            }
+            tracker.record_dispatch(algo, op);
+        } else if handled == 0 {
+            // Queue full and nothing returned: block briefly on a result.
+            match res_rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(result) => {
+                    let energy = result.energy.expect("device results carry energy");
+                    let algo = result.algorithm;
+                    let op =
+                        GeneticOp::from_index(result.genetic_op).unwrap_or(GeneticOp::Random);
+                    global.offer(&result.solution, energy, start.elapsed(), (algo, op));
+                    pool.lock().insert(PoolEntry {
+                        solution: result.solution,
+                        energy,
+                        algorithm: algo,
+                        operation: op,
+                    });
+                }
+                Err(channel::RecvTimeoutError::Timeout) => {}
+                Err(channel::RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dabs_model::QuboBuilder;
+
+    fn random_model(n: usize, density: f64, seed: u64) -> QuboModel {
+        let mut rng = Xorshift64Star::new(seed);
+        let mut b = QuboBuilder::new(n);
+        for i in 0..n {
+            b.add_linear(i, rng.next_range_i64(-9, 9));
+            for j in (i + 1)..n {
+                if rng.next_bool(density) {
+                    b.add_quadratic(i, j, rng.next_range_i64(-9, 9));
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn brute_force(q: &QuboModel) -> i64 {
+        let n = q.n();
+        let mut best = i64::MAX;
+        for v in 0..(1u64 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
+            best = best.min(q.energy(&Solution::from_bits(&bits)));
+        }
+        best
+    }
+
+    #[test]
+    fn sequential_finds_small_optimum() {
+        let q = random_model(16, 0.4, 201);
+        let opt = brute_force(&q);
+        let solver = DabsSolver::new(DabsConfig {
+            devices: 2,
+            blocks_per_device: 1,
+            pool_capacity: 10,
+            seed: 1,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        let r = solver.run_sequential(&q, Termination::target(opt).with_batches(5_000));
+        assert!(r.reached_target, "missed optimum {opt}, got {}", r.energy);
+        assert_eq!(q.energy(&r.best), r.energy);
+        assert_eq!(r.energy, opt);
+    }
+
+    #[test]
+    fn sequential_is_deterministic() {
+        let q = random_model(24, 0.3, 202);
+        let mk = || {
+            DabsSolver::new(DabsConfig {
+                devices: 3,
+                blocks_per_device: 1,
+                pool_capacity: 8,
+                seed: 77,
+                ..DabsConfig::default()
+            })
+            .unwrap()
+        };
+        let a = mk().run_sequential(&q, Termination::batches(60));
+        let b = mk().run_sequential(&q, Termination::batches(60));
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.frequencies, b.frequencies);
+        assert_eq!(a.first_finder, b.first_finder);
+    }
+
+    #[test]
+    fn sequential_batch_limit_is_exact() {
+        let q = random_model(20, 0.3, 203);
+        let solver = DabsSolver::new(DabsConfig {
+            devices: 2,
+            blocks_per_device: 1,
+            pool_capacity: 5,
+            seed: 3,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        let r = solver.run_sequential(&q, Termination::batches(17));
+        assert_eq!(r.batches, 17);
+        assert!(!r.reached_target);
+        assert!(r.flips > 0);
+    }
+
+    #[test]
+    fn frequencies_cover_portfolio() {
+        let q = random_model(20, 0.3, 204);
+        let solver = DabsSolver::new(DabsConfig {
+            devices: 2,
+            blocks_per_device: 1,
+            pool_capacity: 10,
+            seed: 5,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        let r = solver.run_sequential(&q, Termination::batches(300));
+        assert_eq!(r.frequencies.total(), 300);
+        // with 5% exploration over 300 draws, every algorithm should appear
+        let nonzero = r.frequencies.algo_executed.iter().filter(|&&c| c > 0).count();
+        assert_eq!(nonzero, 5, "{:?}", r.frequencies.algo_executed);
+    }
+
+    #[test]
+    fn abs_preset_uses_only_cyclicmin_and_crossmutate() {
+        let q = random_model(20, 0.3, 205);
+        let solver = DabsSolver::new(DabsConfig {
+            seed: 6,
+            ..DabsConfig::abs_baseline(2, 1)
+        })
+        .unwrap();
+        let r = solver.run_sequential(&q, Termination::batches(100));
+        for a in MainAlgorithm::ALL {
+            let count = r.frequencies.algo_executed[a.index()];
+            if a == MainAlgorithm::CyclicMin {
+                assert_eq!(count, 100);
+            } else {
+                assert_eq!(count, 0, "{} executed under ABS preset", a.name());
+            }
+        }
+        assert_eq!(r.frequencies.op_executed[GeneticOp::CrossMutate.index()], 100);
+    }
+
+    #[test]
+    fn first_finder_is_recorded() {
+        let q = random_model(16, 0.4, 206);
+        let opt = brute_force(&q);
+        let solver = DabsSolver::new(DabsConfig {
+            devices: 2,
+            blocks_per_device: 1,
+            pool_capacity: 10,
+            seed: 7,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        let r = solver.run_sequential(&q, Termination::target(opt).with_batches(5_000));
+        assert!(r.first_finder.is_some());
+        let (algo, op) = r.first_finder.unwrap();
+        assert!(MainAlgorithm::ALL.contains(&algo));
+        assert!(GeneticOp::DABS.contains(&op));
+    }
+
+    #[test]
+    fn threaded_run_reaches_small_optimum() {
+        let q = Arc::new(random_model(18, 0.4, 207));
+        let opt = brute_force(&q);
+        let solver = DabsSolver::new(DabsConfig {
+            devices: 2,
+            blocks_per_device: 2,
+            pool_capacity: 10,
+            seed: 8,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        let r = solver.run(
+            &q,
+            Termination::target(opt).with_time(Duration::from_secs(30)),
+        );
+        assert!(r.reached_target, "threaded run missed optimum: {}", r.energy);
+        assert_eq!(q.energy(&r.best), opt);
+        assert!(r.time_to_best <= r.elapsed);
+        assert!(r.batches > 0);
+    }
+
+    #[test]
+    fn threaded_time_limit_respected() {
+        let q = Arc::new(random_model(40, 0.3, 208));
+        let solver = DabsSolver::new(DabsConfig {
+            devices: 2,
+            blocks_per_device: 1,
+            pool_capacity: 10,
+            seed: 9,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        let r = solver.run(&q, Termination::time(Duration::from_millis(300)));
+        assert!(
+            r.elapsed < Duration::from_secs(10),
+            "run should stop promptly"
+        );
+        assert!(r.batches > 0, "some work must have happened");
+    }
+
+    #[test]
+    fn restart_watchdog_fires_on_degenerate_pools() {
+        // A trivially-optimizable model makes every batch return the same
+        // optimum, collapsing diversity; with a generous threshold the
+        // watchdog must fire.
+        let q = random_model(12, 0.6, 209);
+        let solver = DabsSolver::new(DabsConfig {
+            devices: 1,
+            blocks_per_device: 1,
+            pool_capacity: 3,
+            dedup: false,
+            restart_diversity: Some(6.0),
+            seed: 10,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        let r = solver.run_sequential(&q, Termination::batches(400));
+        assert!(r.restarts > 0, "expected at least one pool restart");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one condition")]
+    fn empty_termination_rejected() {
+        let q = random_model(10, 0.5, 210);
+        let solver = DabsSolver::new(DabsConfig::default()).unwrap();
+        solver.run_sequential(&q, Termination::default());
+    }
+}

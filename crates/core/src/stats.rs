@@ -1,0 +1,184 @@
+//! Frequency and first-finder instrumentation (paper §VI-D, Tables V–VI).
+//!
+//! Table V counts how often each main algorithm / genetic operation was
+//! *executed*; Table VI counts which pair *first found* the final best
+//! solution of a run. The paper's observation that the two distributions
+//! differ — what finds good solutions is not what finishes them — is the
+//! core evidence for adaptive diversity, so both counters are first-class
+//! here.
+
+use crate::GeneticOp;
+use dabs_search::MainAlgorithm;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of algorithm slots (5 main algorithms).
+pub const N_ALGOS: usize = 5;
+/// Number of operation slots (8 DABS ops + CrossMutate).
+pub const N_OPS: usize = 9;
+
+/// Thread-safe execution counters, shared by all host threads of one run.
+#[derive(Debug, Default)]
+pub struct FrequencyTracker {
+    algo_executed: [AtomicU64; N_ALGOS],
+    op_executed: [AtomicU64; N_OPS],
+}
+
+impl FrequencyTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that a packet with this pair was dispatched.
+    pub fn record_dispatch(&self, algo: MainAlgorithm, op: GeneticOp) {
+        self.algo_executed[algo.index()].fetch_add(1, Ordering::Relaxed);
+        self.op_executed[op.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot into a serialisable report.
+    pub fn report(&self) -> FrequencyReport {
+        FrequencyReport {
+            algo_executed: self
+                .algo_executed
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            op_executed: self
+                .op_executed
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Snapshot of execution frequencies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrequencyReport {
+    /// Dispatch counts indexed by [`MainAlgorithm::index`].
+    pub algo_executed: Vec<u64>,
+    /// Dispatch counts indexed by [`GeneticOp::index`].
+    pub op_executed: Vec<u64>,
+}
+
+impl FrequencyReport {
+    /// Total packets dispatched.
+    pub fn total(&self) -> u64 {
+        self.algo_executed.iter().sum()
+    }
+
+    /// Percentage share of an algorithm (Table V row format).
+    pub fn algo_percent(&self, algo: MainAlgorithm) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.algo_executed[algo.index()] as f64 / total as f64
+    }
+
+    /// Percentage share of an operation.
+    pub fn op_percent(&self, op: GeneticOp) -> f64 {
+        let total: u64 = self.op_executed.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.op_executed[op.index()] as f64 / total as f64
+    }
+
+    /// The most-executed algorithm (Table V boldface).
+    pub fn top_algorithm(&self) -> MainAlgorithm {
+        *MainAlgorithm::ALL
+            .iter()
+            .max_by_key(|a| self.algo_executed[a.index()])
+            .expect("non-empty")
+    }
+
+    /// The most-executed operation among the DABS eight.
+    pub fn top_operation(&self) -> GeneticOp {
+        *GeneticOp::DABS
+            .iter()
+            .max_by_key(|o| self.op_executed[o.index()])
+            .expect("non-empty")
+    }
+
+    /// Merge counts from another report (used to aggregate repeated runs).
+    pub fn merge(&mut self, other: &FrequencyReport) {
+        for (a, b) in self.algo_executed.iter_mut().zip(&other.algo_executed) {
+            *a += b;
+        }
+        for (a, b) in self.op_executed.iter_mut().zip(&other.op_executed) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_counts_accumulate() {
+        let t = FrequencyTracker::new();
+        t.record_dispatch(MainAlgorithm::MaxMin, GeneticOp::Zero);
+        t.record_dispatch(MainAlgorithm::MaxMin, GeneticOp::One);
+        t.record_dispatch(MainAlgorithm::CyclicMin, GeneticOp::Zero);
+        let r = t.report();
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.algo_executed[MainAlgorithm::MaxMin.index()], 2);
+        assert_eq!(r.op_executed[GeneticOp::Zero.index()], 2);
+        assert_eq!(r.top_algorithm(), MainAlgorithm::MaxMin);
+        assert_eq!(r.top_operation(), GeneticOp::Zero);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let t = FrequencyTracker::new();
+        for (i, a) in MainAlgorithm::ALL.into_iter().enumerate() {
+            for _ in 0..=i {
+                t.record_dispatch(a, GeneticOp::Random);
+            }
+        }
+        let r = t.report();
+        let sum: f64 = MainAlgorithm::ALL.iter().map(|&a| r.algo_percent(a)).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_percentages_are_zero() {
+        let r = FrequencyTracker::new().report();
+        assert_eq!(r.algo_percent(MainAlgorithm::MaxMin), 0.0);
+        assert_eq!(r.op_percent(GeneticOp::Best), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let t1 = FrequencyTracker::new();
+        t1.record_dispatch(MainAlgorithm::RandomMin, GeneticOp::Crossover);
+        let t2 = FrequencyTracker::new();
+        t2.record_dispatch(MainAlgorithm::RandomMin, GeneticOp::Crossover);
+        t2.record_dispatch(MainAlgorithm::MaxMin, GeneticOp::Best);
+        let mut r = t1.report();
+        r.merge(&t2.report());
+        assert_eq!(r.total(), 3);
+        assert_eq!(r.algo_executed[MainAlgorithm::RandomMin.index()], 2);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let t = std::sync::Arc::new(FrequencyTracker::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let t = std::sync::Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        t.record_dispatch(MainAlgorithm::PositiveMin, GeneticOp::Mutation);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.report().total(), 4000);
+    }
+}

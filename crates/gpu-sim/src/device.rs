@@ -1,0 +1,308 @@
+//! Virtual devices and their block workers.
+
+use crate::{DeviceStats, Packet, SharedBest, StopFlag};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use dabs_model::{IncrementalState, QuboModel, Solution};
+use dabs_rng::{Rng64, SplitMix64, Xorshift64Star};
+use dabs_search::{BatchSearch, SearchParams};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of one virtual device.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Number of block workers (the paper dispatches 216 CUDA blocks per
+    /// A100; on CPU a handful of threads per device is the equivalent).
+    pub blocks: usize,
+    /// Batch-search flip budgets.
+    pub params: SearchParams,
+    /// Seed from which every block derives its private RNG stream.
+    pub seed: u64,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self {
+            blocks: 2,
+            params: SearchParams::default(),
+            seed: 0xDAB5,
+        }
+    }
+}
+
+/// Handle to a running [`VirtualDevice`]: join it to shut down cleanly.
+#[derive(Debug)]
+pub struct DeviceHandle {
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DeviceHandle {
+    /// Wait for every block worker to exit. Workers exit when the stop flag
+    /// is raised or the request channel disconnects.
+    pub fn join(self) {
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One simulated GPU.
+pub struct VirtualDevice;
+
+impl VirtualDevice {
+    /// Spawn the device's block workers.
+    ///
+    /// Each block loops: receive a request packet, run a batch search on its
+    /// resident state, send back the result packet. `shared` is the
+    /// device-wide `atomicMin` best; `stop` ends the loop between batches.
+    pub fn spawn(
+        model: Arc<QuboModel>,
+        config: DeviceConfig,
+        requests: Receiver<Packet>,
+        results: Sender<Packet>,
+        shared: Arc<SharedBest>,
+        stop: Arc<StopFlag>,
+        stats: Arc<DeviceStats>,
+    ) -> DeviceHandle {
+        let mut seeder = SplitMix64::new(config.seed);
+        let workers = (0..config.blocks.max(1))
+            .map(|_| {
+                let model = Arc::clone(&model);
+                let rx = requests.clone();
+                let tx = results.clone();
+                let shared = Arc::clone(&shared);
+                let stop = Arc::clone(&stop);
+                let stats = Arc::clone(&stats);
+                let params = config.params;
+                let seed = seeder.next_u64();
+                std::thread::spawn(move || {
+                    block_loop(&model, params, seed, rx, tx, &shared, &stop, &stats);
+                })
+            })
+            .collect();
+        DeviceHandle { workers }
+    }
+}
+
+/// The per-block work loop (one CUDA block in the paper's Fig. 4(2)).
+#[allow(clippy::too_many_arguments)]
+fn block_loop(
+    model: &QuboModel,
+    params: SearchParams,
+    seed: u64,
+    requests: Receiver<Packet>,
+    results: Sender<Packet>,
+    shared: &SharedBest,
+    stop: &StopFlag,
+    stats: &DeviceStats,
+) {
+    let mut rng = Xorshift64Star::new(seed);
+    let mut state = IncrementalState::new(model);
+    let mut batch = BatchSearch::new(model.n(), params);
+    loop {
+        if stop.is_stopped() {
+            return;
+        }
+        let packet = match requests.recv_timeout(Duration::from_millis(5)) {
+            Ok(p) => p,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let out = batch.run(&mut state, &packet.solution, packet.algorithm, &mut rng);
+        let improved = shared.update(out.energy);
+        stats.record_batch(out.flips, improved);
+        if results
+            .send(packet.into_result(out.best, out.energy))
+            .is_err()
+        {
+            return; // host went away
+        }
+    }
+}
+
+/// A single-threaded, deterministic device used in tests and in the
+/// solver's sequential mode: processes one packet per call on a resident
+/// block state, with no channels or threads involved.
+pub struct InlineDevice<'m> {
+    state: IncrementalState<'m>,
+    batch: BatchSearch,
+    rng: Xorshift64Star,
+    shared: SharedBest,
+    stats: DeviceStats,
+}
+
+impl<'m> InlineDevice<'m> {
+    /// Build an inline device with one resident block.
+    pub fn new(model: &'m QuboModel, params: SearchParams, seed: u64) -> Self {
+        Self {
+            state: IncrementalState::new(model),
+            batch: BatchSearch::new(model.n(), params),
+            rng: Xorshift64Star::new(seed),
+            shared: SharedBest::new(),
+            stats: DeviceStats::new(),
+        }
+    }
+
+    /// Process one request packet synchronously, returning the result.
+    pub fn process(&mut self, packet: Packet) -> Packet {
+        let out = self
+            .batch
+            .run(&mut self.state, &packet.solution, packet.algorithm, &mut self.rng);
+        let improved = self.shared.update(out.energy);
+        self.stats.record_batch(out.flips, improved);
+        packet.into_result(out.best, out.energy)
+    }
+
+    /// Device-wide best energy so far.
+    pub fn best_energy(&self) -> i64 {
+        self.shared.get()
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// The resident block's current vector (for tests).
+    pub fn resident(&self) -> &Solution {
+        self.state.solution()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel;
+    use dabs_model::QuboBuilder;
+    use dabs_search::MainAlgorithm;
+
+    fn random_model(n: usize, seed: u64) -> QuboModel {
+        let mut rng = Xorshift64Star::new(seed);
+        let mut b = QuboBuilder::new(n);
+        for i in 0..n {
+            b.add_linear(i, rng.next_range_i64(-9, 9));
+            for j in (i + 1)..n {
+                if rng.next_bool(0.3) {
+                    b.add_quadratic(i, j, rng.next_range_i64(-9, 9));
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn inline_device_round_trips_packets() {
+        let q = random_model(30, 111);
+        let mut dev = InlineDevice::new(&q, SearchParams::default(), 1);
+        let mut rng = Xorshift64Star::new(2);
+        let req = Packet::request(Solution::random(30, &mut rng), MainAlgorithm::MaxMin, 7);
+        let res = dev.process(req);
+        assert!(res.is_result());
+        assert_eq!(res.genetic_op, 7);
+        assert_eq!(res.algorithm, MainAlgorithm::MaxMin);
+        assert_eq!(q.energy(&res.solution), res.energy.unwrap());
+        assert_eq!(dev.best_energy(), res.energy.unwrap());
+        assert_eq!(dev.stats().batches(), 1);
+        assert!(dev.stats().flips() > 0);
+    }
+
+    #[test]
+    fn inline_device_is_deterministic() {
+        let q = random_model(25, 112);
+        let run = || {
+            let mut dev = InlineDevice::new(&q, SearchParams::default(), 9);
+            let mut rng = Xorshift64Star::new(10);
+            let mut energies = Vec::new();
+            for _ in 0..5 {
+                let req =
+                    Packet::request(Solution::random(25, &mut rng), MainAlgorithm::CyclicMin, 0);
+                energies.push(dev.process(req).energy.unwrap());
+            }
+            energies
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn threaded_device_processes_all_requests() {
+        let q = Arc::new(random_model(40, 113));
+        let (req_tx, req_rx) = channel::bounded::<Packet>(16);
+        let (res_tx, res_rx) = channel::unbounded::<Packet>();
+        let shared = Arc::new(SharedBest::new());
+        let stop = Arc::new(StopFlag::new());
+        let stats = Arc::new(DeviceStats::new());
+        let handle = VirtualDevice::spawn(
+            Arc::clone(&q),
+            DeviceConfig {
+                blocks: 3,
+                params: SearchParams::default(),
+                seed: 42,
+            },
+            req_rx,
+            res_tx,
+            Arc::clone(&shared),
+            Arc::clone(&stop),
+            Arc::clone(&stats),
+        );
+        let mut rng = Xorshift64Star::new(5);
+        let total = 20;
+        for i in 0..total {
+            let algo = MainAlgorithm::ALL[i % 5];
+            req_tx
+                .send(Packet::request(Solution::random(40, &mut rng), algo, i as u8))
+                .unwrap();
+        }
+        let mut results = Vec::new();
+        for _ in 0..total {
+            let r = res_rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert!(r.is_result());
+            assert_eq!(q.energy(&r.solution), r.energy.unwrap());
+            results.push(r);
+        }
+        stop.stop();
+        handle.join();
+        assert_eq!(results.len(), total);
+        assert_eq!(stats.batches(), total as u64);
+        // the shared best equals the minimum over all results
+        let min = results.iter().map(|r| r.energy.unwrap()).min().unwrap();
+        assert_eq!(shared.get(), min);
+    }
+
+    #[test]
+    fn device_exits_on_channel_disconnect() {
+        let q = Arc::new(random_model(10, 114));
+        let (req_tx, req_rx) = channel::bounded::<Packet>(4);
+        let (res_tx, _res_rx) = channel::unbounded::<Packet>();
+        let handle = VirtualDevice::spawn(
+            q,
+            DeviceConfig::default(),
+            req_rx,
+            res_tx,
+            Arc::new(SharedBest::new()),
+            Arc::new(StopFlag::new()),
+            Arc::new(DeviceStats::new()),
+        );
+        drop(req_tx); // disconnect
+        handle.join(); // must not hang
+    }
+
+    #[test]
+    fn device_exits_on_stop_flag() {
+        let q = Arc::new(random_model(10, 115));
+        let (_req_tx, req_rx) = channel::bounded::<Packet>(4);
+        let (res_tx, _res_rx) = channel::unbounded::<Packet>();
+        let stop = Arc::new(StopFlag::new());
+        let handle = VirtualDevice::spawn(
+            q,
+            DeviceConfig::default(),
+            req_rx,
+            res_tx,
+            Arc::new(SharedBest::new()),
+            Arc::clone(&stop),
+            Arc::new(DeviceStats::new()),
+        );
+        stop.stop();
+        handle.join(); // must not hang
+    }
+}

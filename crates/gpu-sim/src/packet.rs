@@ -1,0 +1,76 @@
+//! The host↔device packet (paper §III-C, Table I).
+
+use dabs_model::Solution;
+use dabs_search::MainAlgorithm;
+use serde::{Deserialize, Serialize};
+
+/// A work/result packet.
+///
+/// Host → device: `solution` is the *target* vector, `energy` is `None`
+/// ("void" — the host never computes energies), `algorithm` selects the main
+/// search algorithm, and `genetic_op` records which operation generated the
+/// target.
+///
+/// Device → host: `solution` is overwritten with the batch's best vector and
+/// `energy` with its value; the algorithm and operation fields are *not*
+/// modified, so the host learns which pair produced the solution — the
+/// signal driving adaptive selection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Target (inbound) or best-found (outbound) solution vector.
+    pub solution: Solution,
+    /// `None` inbound; `Some(E)` outbound.
+    pub energy: Option<i64>,
+    /// Main search algorithm the block must run / did run.
+    pub algorithm: MainAlgorithm,
+    /// Opaque tag identifying the genetic operation that generated the
+    /// target (interpreted only by the host layer in `dabs-core`).
+    pub genetic_op: u8,
+}
+
+impl Packet {
+    /// A host→device request packet.
+    pub fn request(target: Solution, algorithm: MainAlgorithm, genetic_op: u8) -> Self {
+        Self {
+            solution: target,
+            energy: None,
+            algorithm,
+            genetic_op,
+        }
+    }
+
+    /// Turn this request into a result, preserving the bookkeeping fields.
+    pub fn into_result(mut self, best: Solution, energy: i64) -> Self {
+        self.solution = best;
+        self.energy = Some(energy);
+        self
+    }
+
+    /// Outbound packets carry an energy; inbound ones do not.
+    pub fn is_result(&self) -> bool {
+        self.energy.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_has_void_energy() {
+        let p = Packet::request(Solution::zeros(8), MainAlgorithm::MaxMin, 3);
+        assert!(!p.is_result());
+        assert_eq!(p.genetic_op, 3);
+    }
+
+    #[test]
+    fn result_preserves_bookkeeping_fields() {
+        let p = Packet::request(Solution::zeros(8), MainAlgorithm::CyclicMin, 5);
+        let r = p.into_result(Solution::ones(8), -42);
+        assert!(r.is_result());
+        assert_eq!(r.energy, Some(-42));
+        assert_eq!(r.algorithm, MainAlgorithm::CyclicMin);
+        assert_eq!(r.genetic_op, 5);
+        assert_eq!(r.solution, Solution::ones(8));
+    }
+}

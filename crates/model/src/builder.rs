@@ -1,0 +1,166 @@
+//! Incremental QUBO construction.
+//!
+//! Problem reductions (MaxCut, QAP one-hot penalties, …) produce a stream of
+//! quadratic and linear terms, often hitting the same variable pair many
+//! times. [`QuboBuilder`] accumulates terms and assembles the final
+//! [`QuboModel`] in one pass.
+
+use crate::{ModelError, QuboModel};
+
+/// Accumulates linear and quadratic terms into a QUBO model.
+#[derive(Debug, Clone)]
+pub struct QuboBuilder {
+    n: usize,
+    diag: Vec<i64>,
+    edges: Vec<(usize, usize, i64)>,
+}
+
+impl QuboBuilder {
+    /// A builder for `n` binary variables, all weights zero.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            diag: vec![0; n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Add `w · x_i` (accumulates onto `W_ii`).
+    pub fn add_linear(&mut self, i: usize, w: i64) -> &mut Self {
+        assert!(i < self.n, "variable {i} out of range (n = {})", self.n);
+        self.diag[i] += w;
+        self
+    }
+
+    /// Add `w · x_i · x_j`. `i == j` folds onto the diagonal (since
+    /// `x_i² = x_i` for binaries). Duplicate pairs accumulate.
+    pub fn add_quadratic(&mut self, i: usize, j: usize, w: i64) -> &mut Self {
+        assert!(i < self.n && j < self.n, "pair ({i},{j}) out of range");
+        if i == j {
+            self.diag[i] += w;
+        } else {
+            self.edges.push((i.min(j), i.max(j), w));
+        }
+        self
+    }
+
+    /// Add the MaxCut gadget for an edge `{i, j}` of weight `w`:
+    /// `w·(2 x_i x_j − x_i − x_j)`, which contributes `−w` exactly when the
+    /// edge is cut (paper §II-A).
+    pub fn add_maxcut_edge(&mut self, i: usize, j: usize, w: i64) -> &mut Self {
+        self.add_quadratic(i, j, 2 * w);
+        self.add_linear(i, -w);
+        self.add_linear(j, -w);
+        self
+    }
+
+    /// Add a one-hot penalty over the variable set `group`: contributes `0`
+    /// when exactly one variable is 1 and `≥ p` otherwise (for p > 0).
+    ///
+    /// Uses the standard expansion `p·(Σ x − 1)² = p·(Σ_i x_i − 2 Σ_{i<j} … )`
+    /// minus the constant `p` (constants are dropped; callers track offsets).
+    /// Concretely: `−p` on each diagonal and `+2p` on each pair, matching the
+    /// paper's QAP penalty rows/columns (`−p` if `i=i', j=j'`; `+p` per
+    /// conflicting pair counted once each direction = `2p` per unordered
+    /// pair).
+    pub fn add_one_hot_penalty(&mut self, group: &[usize], p: i64) -> &mut Self {
+        for (a, &i) in group.iter().enumerate() {
+            self.add_linear(i, -p);
+            for &j in &group[a + 1..] {
+                self.add_quadratic(i, j, 2 * p);
+            }
+        }
+        self
+    }
+
+    /// Number of quadratic terms added so far (before merging duplicates).
+    pub fn pending_terms(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Assemble the final model, merging duplicate pairs.
+    pub fn build(self) -> Result<QuboModel, ModelError> {
+        QuboModel::new(self.n, &self.edges, self.diag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Solution;
+
+    #[test]
+    fn linear_and_quadratic_accumulate() {
+        let mut b = QuboBuilder::new(3);
+        b.add_linear(0, 2).add_linear(0, 3).add_quadratic(0, 1, 1);
+        b.add_quadratic(1, 0, 4); // reversed orientation merges
+        let q = b.build().unwrap();
+        assert_eq!(q.diag(0), 5);
+        assert_eq!(q.weight(0, 1), 5);
+    }
+
+    #[test]
+    fn diagonal_quadratic_folds() {
+        let mut b = QuboBuilder::new(2);
+        b.add_quadratic(1, 1, 7);
+        let q = b.build().unwrap();
+        assert_eq!(q.diag(1), 7);
+        assert_eq!(q.edge_count(), 0);
+    }
+
+    #[test]
+    fn maxcut_gadget_counts_cut_edges() {
+        // Triangle with unit weights: cut of any 1-vs-2 split is 2.
+        let mut b = QuboBuilder::new(3);
+        b.add_maxcut_edge(0, 1, 1);
+        b.add_maxcut_edge(1, 2, 1);
+        b.add_maxcut_edge(0, 2, 1);
+        let q = b.build().unwrap();
+        assert_eq!(q.energy(&Solution::from_bitstring("000")), 0);
+        assert_eq!(q.energy(&Solution::from_bitstring("100")), -2);
+        assert_eq!(q.energy(&Solution::from_bitstring("110")), -2);
+        assert_eq!(q.energy(&Solution::from_bitstring("111")), 0);
+    }
+
+    #[test]
+    fn one_hot_penalty_is_zero_only_when_one_hot() {
+        let mut b = QuboBuilder::new(4);
+        b.add_one_hot_penalty(&[0, 1, 2, 3], 10);
+        let q = b.build().unwrap();
+        // Energy = p((Σx)² − 2Σx) = p(Σx − 1)² − p; with constant −p dropped,
+        // one-hot assignments give −p and everything else gives more.
+        let one_hot = q.energy(&Solution::from_bitstring("0100"));
+        assert_eq!(one_hot, -10);
+        assert_eq!(q.energy(&Solution::from_bitstring("0000")), 0);
+        assert_eq!(q.energy(&Solution::from_bitstring("1100")), 0);
+        assert_eq!(q.energy(&Solution::from_bitstring("1110")), 30);
+        // one-hot strictly best
+        for v in 0..16u32 {
+            let bits: Vec<bool> = (0..4).map(|i| (v >> i) & 1 == 1).collect();
+            let e = q.energy(&Solution::from_bits(&bits));
+            if bits.iter().filter(|&&b| b).count() == 1 {
+                assert_eq!(e, -10);
+            } else {
+                assert!(e > -10);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_linear() {
+        QuboBuilder::new(2).add_linear(5, 1);
+    }
+
+    #[test]
+    fn pending_terms_counts() {
+        let mut b = QuboBuilder::new(3);
+        b.add_quadratic(0, 1, 1).add_quadratic(0, 2, 1);
+        assert_eq!(b.pending_terms(), 2);
+    }
+}

@@ -1,0 +1,433 @@
+//! Incremental one-flip search state (the paper's §III-A).
+//!
+//! [`IncrementalState`] maintains, for a current vector `X`:
+//!
+//! * the energy `E(X)`,
+//! * every one-flip gain `Δ_k(X) = E(f_k(X)) − E(X)`.
+//!
+//! After flipping bit `i`, the update rules are (paper Eqs. 4–5):
+//!
+//! ```text
+//! Δ_k ← Δ_k + W_ik · σ(x_i) · σ(x_k)   for k ≠ i   (σ of the pre-flip x_i)
+//! Δ_i ← −Δ_i
+//! E   ← E + Δ_i(old)
+//! ```
+//!
+//! so a flip costs `O(deg(i))` instead of the `O(n²)` direct evaluation.
+//! Every search algorithm in `dabs-search` and every annealing baseline runs
+//! on this state.
+
+use crate::{QuboModel, Solution};
+
+/// Current solution, its energy, and all one-flip gains.
+#[derive(Debug, Clone)]
+pub struct IncrementalState<'m> {
+    model: &'m QuboModel,
+    x: Solution,
+    energy: i64,
+    delta: Vec<i64>,
+    flips: u64,
+}
+
+impl<'m> IncrementalState<'m> {
+    /// Start from the all-zeros vector: `E = 0`, `Δ_k = W_kk`.
+    pub fn new(model: &'m QuboModel) -> Self {
+        Self {
+            x: Solution::zeros(model.n()),
+            energy: 0,
+            delta: model.diag_slice().to_vec(),
+            model,
+            flips: 0,
+        }
+    }
+
+    /// Start from an arbitrary vector (`O(n + m)` initialisation).
+    pub fn from_solution(model: &'m QuboModel, x: Solution) -> Self {
+        assert_eq!(x.len(), model.n(), "solution length mismatch");
+        let energy = model.energy(&x);
+        let delta = (0..model.n()).map(|i| model.delta(&x, i)).collect();
+        Self {
+            model,
+            x,
+            energy,
+            delta,
+            flips: 0,
+        }
+    }
+
+    /// The model this state evaluates.
+    #[inline]
+    pub fn model(&self) -> &'m QuboModel {
+        self.model
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Current energy `E(X)`.
+    #[inline]
+    pub fn energy(&self) -> i64 {
+        self.energy
+    }
+
+    /// Current vector.
+    #[inline]
+    pub fn solution(&self) -> &Solution {
+        &self.x
+    }
+
+    /// Gain of flipping bit `k`.
+    #[inline]
+    pub fn delta(&self, k: usize) -> i64 {
+        self.delta[k]
+    }
+
+    /// All gains (hot-path accessor for the scan-style algorithms).
+    #[inline]
+    pub fn deltas(&self) -> &[i64] {
+        &self.delta
+    }
+
+    /// Value of bit `i`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        self.x.get(i)
+    }
+
+    /// Total flips applied to this state since creation (the paper counts
+    /// search effort in flips; batch termination is `≥ b·n` flips).
+    #[inline]
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Flip bit `i`, updating the energy and all gains.
+    /// Returns the new energy. `O(deg(i))`.
+    pub fn flip(&mut self, i: usize) -> i64 {
+        let d_i = self.delta[i];
+        self.energy += d_i;
+        let sig_i_pre = self.x.spin(i);
+        let (cols, vals) = self.model.adjacency().row(i);
+        for (idx, &jc) in cols.iter().enumerate() {
+            let j = jc as usize;
+            // Δ_j += W_ij σ(x_i_pre) σ(x_j)
+            let sig_j = self.x.spin(j);
+            self.delta[j] += vals[idx] * sig_i_pre * sig_j;
+        }
+        self.delta[i] = -d_i;
+        self.x.flip(i);
+        self.flips += 1;
+        self.energy
+    }
+
+    /// Index of a minimum-gain bit and its gain (`argmin_k Δ_k`). Ties break
+    /// to the lowest index, matching a sequential scan.
+    pub fn min_delta(&self) -> (usize, i64) {
+        let mut best = (0usize, self.delta[0]);
+        for (k, &d) in self.delta.iter().enumerate().skip(1) {
+            if d < best.1 {
+                best = (k, d);
+            }
+        }
+        best
+    }
+
+    /// `(min Δ, max Δ)` over all bits — used by MaxMin's threshold schedule.
+    pub fn min_max_delta(&self) -> (i64, i64) {
+        let mut lo = self.delta[0];
+        let mut hi = self.delta[0];
+        for &d in &self.delta[1..] {
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        (lo, hi)
+    }
+
+    /// The best energy among all one-bit neighbours: `E(X) + min_k Δ_k`
+    /// (Step 1 of the paper's incremental search algorithm). Returns
+    /// `(bit, neighbour_energy)`.
+    pub fn best_neighbor(&self) -> (usize, i64) {
+        let (k, d) = self.min_delta();
+        (k, self.energy + d)
+    }
+
+    /// Replace the current vector wholesale (`O(n + m)` re-init). Keeps the
+    /// flip counter.
+    pub fn reset_to(&mut self, x: Solution) {
+        assert_eq!(x.len(), self.model.n());
+        self.energy = self.model.energy(&x);
+        for i in 0..self.model.n() {
+            self.delta[i] = self.model.delta(&x, i);
+        }
+        self.x = x;
+    }
+
+    /// Debug-build consistency check: recompute energy and all gains from
+    /// scratch and compare. Test helper; panics on divergence.
+    pub fn assert_consistent(&self) {
+        let e = self.model.energy(&self.x);
+        assert_eq!(e, self.energy, "incremental energy diverged");
+        for i in 0..self.n() {
+            assert_eq!(
+                self.model.delta(&self.x, i),
+                self.delta[i],
+                "Δ_{i} diverged"
+            );
+        }
+    }
+}
+
+/// Tracks the best (lowest-energy) solution observed during a search,
+/// including one-bit neighbours (the paper's `BEST` / `E(BEST)` registers
+/// kept in shared memory, updated via `atomicMin`).
+#[derive(Debug, Clone)]
+pub struct BestTracker {
+    best: Solution,
+    best_energy: i64,
+}
+
+impl BestTracker {
+    /// Start from an explicit solution/energy pair.
+    pub fn new(solution: Solution, energy: i64) -> Self {
+        Self {
+            best: solution,
+            best_energy: energy,
+        }
+    }
+
+    /// Start "empty": any observation will replace it.
+    pub fn unbounded(n: usize) -> Self {
+        Self {
+            best: Solution::zeros(n),
+            best_energy: i64::MAX,
+        }
+    }
+
+    /// Record the state's current vector if it improves the best.
+    #[inline]
+    pub fn observe(&mut self, state: &IncrementalState<'_>) {
+        if state.energy() < self.best_energy {
+            self.best_energy = state.energy();
+            self.best = state.solution().clone();
+        }
+    }
+
+    /// Record the state's best one-bit neighbour if it improves the best
+    /// (Step 1 of the incremental search algorithm). Costs `O(n)` for the
+    /// scan plus `O(n)` for the clone only when an improvement is found —
+    /// the same "atomicMin rarely fires" argument as the paper's §V.
+    pub fn observe_neighborhood(&mut self, state: &IncrementalState<'_>) {
+        let (k, e) = state.best_neighbor();
+        if e < self.best_energy {
+            let mut sol = state.solution().clone();
+            sol.flip(k);
+            self.best_energy = e;
+            self.best = sol;
+        }
+        // the current point itself also counts
+        self.observe(state);
+    }
+
+    /// Record the one-bit neighbour `f_k(X)` if it improves the best.
+    /// Used by algorithms that already know their argmin bit, so the `O(n)`
+    /// rescan of [`Self::observe_neighborhood`] is skipped.
+    #[inline]
+    pub fn observe_neighbor(&mut self, state: &IncrementalState<'_>, k: usize) {
+        let e = state.energy() + state.delta(k);
+        if e < self.best_energy {
+            let mut sol = state.solution().clone();
+            sol.flip(k);
+            self.best_energy = e;
+            self.best = sol;
+        }
+    }
+
+    /// Record an explicit solution/energy pair (e.g. from another worker).
+    #[inline]
+    pub fn observe_value(&mut self, solution: &Solution, energy: i64) {
+        if energy < self.best_energy {
+            self.best_energy = energy;
+            self.best = solution.clone();
+        }
+    }
+
+    /// Best energy so far.
+    #[inline]
+    pub fn energy(&self) -> i64 {
+        self.best_energy
+    }
+
+    /// Best solution so far.
+    #[inline]
+    pub fn solution(&self) -> &Solution {
+        &self.best
+    }
+
+    /// Consume into `(solution, energy)`.
+    pub fn into_parts(self) -> (Solution, i64) {
+        (self.best, self.best_energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QuboBuilder;
+    use dabs_rng::{Rng64, Xorshift64Star};
+
+    fn random_model(n: usize, density: f64, seed: u64) -> QuboModel {
+        let mut rng = Xorshift64Star::new(seed);
+        let mut b = QuboBuilder::new(n);
+        for i in 0..n {
+            b.add_linear(i, rng.next_range_i64(-9, 9));
+            for j in (i + 1)..n {
+                if rng.next_bool(density) {
+                    b.add_quadratic(i, j, rng.next_range_i64(-9, 9));
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn initial_state_matches_paper() {
+        let q = random_model(20, 0.3, 1);
+        let st = IncrementalState::new(&q);
+        assert_eq!(st.energy(), 0);
+        for i in 0..20 {
+            assert_eq!(st.delta(i), q.diag(i));
+        }
+        st.assert_consistent();
+    }
+
+    #[test]
+    fn flips_stay_consistent() {
+        let q = random_model(30, 0.25, 2);
+        let mut st = IncrementalState::new(&q);
+        let mut rng = Xorshift64Star::new(3);
+        for _ in 0..200 {
+            st.flip(rng.next_index(30));
+        }
+        st.assert_consistent();
+        assert_eq!(st.flips(), 200);
+    }
+
+    #[test]
+    fn double_flip_is_identity() {
+        let q = random_model(15, 0.4, 4);
+        let mut st = IncrementalState::new(&q);
+        let before_e = st.energy();
+        let before_d: Vec<i64> = st.deltas().to_vec();
+        st.flip(7);
+        st.flip(7);
+        assert_eq!(st.energy(), before_e);
+        assert_eq!(st.deltas(), &before_d[..]);
+    }
+
+    #[test]
+    fn flip_returns_new_energy() {
+        let q = random_model(10, 0.5, 5);
+        let mut st = IncrementalState::new(&q);
+        let expect = st.energy() + st.delta(3);
+        assert_eq!(st.flip(3), expect);
+    }
+
+    #[test]
+    fn from_solution_matches_fresh_flips() {
+        let q = random_model(25, 0.3, 6);
+        let mut rng = Xorshift64Star::new(7);
+        let x = Solution::random(25, &mut rng);
+        let st = IncrementalState::from_solution(&q, x.clone());
+        st.assert_consistent();
+        assert_eq!(st.energy(), q.energy(&x));
+    }
+
+    #[test]
+    fn min_delta_and_minmax() {
+        let q = random_model(40, 0.2, 8);
+        let mut rng = Xorshift64Star::new(9);
+        let st = IncrementalState::from_solution(&q, Solution::random(40, &mut rng));
+        let (k, d) = st.min_delta();
+        assert_eq!(d, *st.deltas().iter().min().unwrap());
+        assert_eq!(st.delta(k), d);
+        let (lo, hi) = st.min_max_delta();
+        assert_eq!(lo, d);
+        assert_eq!(hi, *st.deltas().iter().max().unwrap());
+    }
+
+    #[test]
+    fn best_neighbor_energy() {
+        let q = random_model(12, 0.5, 10);
+        let mut rng = Xorshift64Star::new(11);
+        let st = IncrementalState::from_solution(&q, Solution::random(12, &mut rng));
+        let (k, e) = st.best_neighbor();
+        let mut y = st.solution().clone();
+        y.flip(k);
+        assert_eq!(q.energy(&y), e);
+        // no neighbour beats it
+        for i in 0..12 {
+            let mut z = st.solution().clone();
+            z.flip(i);
+            assert!(q.energy(&z) >= e);
+        }
+    }
+
+    #[test]
+    fn reset_to_reinitialises() {
+        let q = random_model(16, 0.4, 12);
+        let mut rng = Xorshift64Star::new(13);
+        let mut st = IncrementalState::new(&q);
+        st.flip(0);
+        st.flip(5);
+        let y = Solution::random(16, &mut rng);
+        st.reset_to(y.clone());
+        assert_eq!(st.energy(), q.energy(&y));
+        st.assert_consistent();
+    }
+
+    #[test]
+    fn best_tracker_observes_improvements() {
+        let q = random_model(10, 0.5, 14);
+        let mut st = IncrementalState::new(&q);
+        let mut best = BestTracker::unbounded(10);
+        best.observe(&st);
+        assert_eq!(best.energy(), 0);
+        let mut rng = Xorshift64Star::new(15);
+        let mut lowest = 0i64;
+        for _ in 0..100 {
+            st.flip(rng.next_index(10));
+            best.observe(&st);
+            lowest = lowest.min(st.energy());
+        }
+        assert_eq!(best.energy(), lowest);
+        assert_eq!(q.energy(best.solution()), best.energy());
+    }
+
+    #[test]
+    fn best_tracker_sees_one_bit_neighbours() {
+        let q = random_model(10, 0.5, 16);
+        let st = IncrementalState::new(&q);
+        let mut best = BestTracker::unbounded(10);
+        best.observe_neighborhood(&st);
+        let (_, e) = st.best_neighbor();
+        assert_eq!(best.energy(), e.min(st.energy()));
+        assert_eq!(q.energy(best.solution()), best.energy());
+    }
+
+    #[test]
+    fn dense_model_consistency_walk() {
+        let q = random_model(50, 1.0, 17);
+        let mut st = IncrementalState::new(&q);
+        let mut rng = Xorshift64Star::new(18);
+        for step in 0..500 {
+            st.flip(rng.next_index(50));
+            if step % 97 == 0 {
+                st.assert_consistent();
+            }
+        }
+        st.assert_consistent();
+    }
+}

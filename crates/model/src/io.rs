@@ -1,0 +1,272 @@
+//! Plain-text instance I/O.
+//!
+//! A minimal interchange format compatible in spirit with the de-facto
+//! `.qubo` conventions (qbsolv): comment lines start with `c`, a problem
+//! line `p qubo 0 <n> <diag_count> <elem_count>` announces sizes, then one
+//! line per non-zero term `i j w` (diagonal terms have `i == j`). Ising
+//! models use `p ising <n> <bias_count> <coupling_count>` with the same
+//! term syntax.
+//!
+//! ```
+//! use dabs_model::{QuboBuilder, io};
+//!
+//! let mut b = QuboBuilder::new(3);
+//! b.add_linear(0, -2).add_quadratic(0, 1, 5);
+//! let q = b.build().unwrap();
+//! let text = io::write_qubo(&q);
+//! let back = io::parse_qubo(&text).unwrap();
+//! assert_eq!(q, back);
+//! ```
+
+use crate::{IsingModel, QuboModel};
+use std::fmt::Write as _;
+
+/// Parse failure description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialise a QUBO model.
+pub fn write_qubo(model: &QuboModel) -> String {
+    let n = model.n();
+    let diag_count = model.diag_slice().iter().filter(|&&d| d != 0).count();
+    let mut out = String::new();
+    let _ = writeln!(out, "c dabs-rs QUBO instance");
+    let _ = writeln!(out, "p qubo 0 {n} {diag_count} {}", model.edge_count());
+    for (i, &d) in model.diag_slice().iter().enumerate() {
+        if d != 0 {
+            let _ = writeln!(out, "{i} {i} {d}");
+        }
+    }
+    for (i, j, w) in model.adjacency().iter_edges() {
+        let _ = writeln!(out, "{i} {j} {w}");
+    }
+    out
+}
+
+/// Parse a QUBO model written by [`write_qubo`] (or hand-authored in the
+/// same format).
+pub fn parse_qubo(text: &str) -> Result<QuboModel, ParseError> {
+    let (n, terms) = parse_body(text, "qubo")?;
+    let mut diag = vec![0i64; n];
+    let mut edges = Vec::new();
+    for (line, (i, j, w)) in terms {
+        if i >= n || j >= n {
+            return Err(ParseError {
+                line,
+                message: format!("index out of range: {i} {j} (n = {n})"),
+            });
+        }
+        if i == j {
+            diag[i] += w;
+        } else {
+            edges.push((i, j, w));
+        }
+    }
+    QuboModel::new(n, &edges, diag).map_err(|e| ParseError {
+        line: 0,
+        message: e.to_string(),
+    })
+}
+
+/// Serialise an Ising model.
+pub fn write_ising(model: &IsingModel) -> String {
+    let n = model.n();
+    let bias_count = (0..n).filter(|&i| model.bias(i) != 0).count();
+    let mut out = String::new();
+    let _ = writeln!(out, "c dabs-rs Ising instance");
+    let _ = writeln!(out, "p ising {n} {bias_count} {}", model.edge_count());
+    for i in 0..n {
+        let h = model.bias(i);
+        if h != 0 {
+            let _ = writeln!(out, "{i} {i} {h}");
+        }
+    }
+    for (i, j, jij) in model.couplings().iter_edges() {
+        let _ = writeln!(out, "{i} {j} {jij}");
+    }
+    out
+}
+
+/// Parse an Ising model written by [`write_ising`].
+pub fn parse_ising(text: &str) -> Result<IsingModel, ParseError> {
+    let (n, terms) = parse_body(text, "ising")?;
+    let mut biases = vec![0i64; n];
+    let mut edges = Vec::new();
+    for (line, (i, j, w)) in terms {
+        if i >= n || j >= n {
+            return Err(ParseError {
+                line,
+                message: format!("index out of range: {i} {j} (n = {n})"),
+            });
+        }
+        if i == j {
+            biases[i] += w;
+        } else {
+            edges.push((i, j, w));
+        }
+    }
+    IsingModel::new(n, &edges, biases).map_err(|e| ParseError {
+        line: 0,
+        message: e.to_string(),
+    })
+}
+
+/// Shared scanner: returns `n` and the `(line_no, (i, j, w))` term list.
+#[allow(clippy::type_complexity)]
+fn parse_body(
+    text: &str,
+    kind: &str,
+) -> Result<(usize, Vec<(usize, (usize, usize, i64))>), ParseError> {
+    let mut n: Option<usize> = None;
+    let mut terms = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.is_empty() || fields[0] != kind {
+                return Err(ParseError {
+                    line: line_no,
+                    message: format!("expected 'p {kind} …' problem line, got {line:?}"),
+                });
+            }
+            // qubo: p qubo 0 n dc ec ; ising: p ising n bc cc
+            let n_pos = if kind == "qubo" { 2 } else { 1 };
+            let parsed = fields
+                .get(n_pos)
+                .and_then(|f| f.parse::<usize>().ok())
+                .ok_or_else(|| ParseError {
+                    line: line_no,
+                    message: "problem line missing variable count".into(),
+                })?;
+            n = Some(parsed);
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 3 {
+            return Err(ParseError {
+                line: line_no,
+                message: format!("expected 'i j w', got {line:?}"),
+            });
+        }
+        let parse_field = |f: &str, what: &str| -> Result<i64, ParseError> {
+            f.parse().map_err(|_| ParseError {
+                line: line_no,
+                message: format!("cannot parse {what} {f:?}"),
+            })
+        };
+        let i = parse_field(fields[0], "index")? as usize;
+        let j = parse_field(fields[1], "index")? as usize;
+        let w = parse_field(fields[2], "weight")?;
+        terms.push((line_no, (i, j, w)));
+    }
+    let n = n.ok_or(ParseError {
+        line: 0,
+        message: "missing problem line".into(),
+    })?;
+    Ok((n, terms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QuboBuilder, Solution};
+    use dabs_rng::{Rng64, Xorshift64Star};
+
+    fn random_model(n: usize, seed: u64) -> QuboModel {
+        let mut rng = Xorshift64Star::new(seed);
+        let mut b = QuboBuilder::new(n);
+        for i in 0..n {
+            b.add_linear(i, rng.next_range_i64(-9, 9));
+            for j in (i + 1)..n {
+                if rng.next_bool(0.3) {
+                    b.add_quadratic(i, j, rng.next_range_i64(-9, 9));
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn qubo_roundtrip_exact() {
+        let q = random_model(25, 401);
+        let text = write_qubo(&q);
+        let back = parse_qubo(&text).unwrap();
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn qubo_roundtrip_preserves_energies() {
+        let q = random_model(30, 402);
+        let back = parse_qubo(&write_qubo(&q)).unwrap();
+        let mut rng = Xorshift64Star::new(403);
+        for _ in 0..10 {
+            let x = Solution::random(30, &mut rng);
+            assert_eq!(q.energy(&x), back.energy(&x));
+        }
+    }
+
+    #[test]
+    fn ising_roundtrip_exact() {
+        let q = random_model(20, 404);
+        let (ising, _) = q.to_ising();
+        let back = parse_ising(&write_ising(&ising)).unwrap();
+        assert_eq!(ising, back);
+    }
+
+    #[test]
+    fn parses_hand_authored_text() {
+        let text = "c a comment\n\np qubo 0 3 1 2\n0 0 -5\n0 1 2\n1 2 -3\n";
+        let q = parse_qubo(text).unwrap();
+        assert_eq!(q.n(), 3);
+        assert_eq!(q.diag(0), -5);
+        assert_eq!(q.weight(0, 1), 2);
+        assert_eq!(q.weight(1, 2), -3);
+    }
+
+    #[test]
+    fn duplicate_terms_accumulate() {
+        let text = "p qubo 0 2 0 1\n0 1 2\n1 0 3\n0 0 1\n0 0 4\n";
+        let q = parse_qubo(text).unwrap();
+        assert_eq!(q.weight(0, 1), 5);
+        assert_eq!(q.diag(0), 5);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_qubo("p qubo 0 2 0 1\n0 oops 3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+
+        let e = parse_qubo("p qubo 0 2 0 1\n0 5 3\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+
+        let e = parse_qubo("0 1 2\n").unwrap_err();
+        assert!(e.message.contains("missing problem line"));
+
+        let e = parse_qubo("p ising 3 0 0\n").unwrap_err();
+        assert!(e.message.contains("expected 'p qubo"));
+    }
+
+    #[test]
+    fn rejects_malformed_term_lines() {
+        let e = parse_qubo("p qubo 0 2 0 1\n0 1\n").unwrap_err();
+        assert!(e.message.contains("expected 'i j w'"));
+    }
+}

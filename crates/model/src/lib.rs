@@ -1,0 +1,61 @@
+//! Binary Quadratic Models (BQMs): QUBO and Ising representations.
+//!
+//! A **QUBO** (Quadratic Unconstrained Binary Optimization) problem asks for
+//! the binary vector `X = x_0 x_1 … x_{n-1}` (each `x_i ∈ {0,1}`) minimising
+//!
+//! ```text
+//! E(X) = Σ_{(i,j) ∈ E} W_ij · x_i · x_j  +  Σ_i W_ii · x_i
+//! ```
+//!
+//! An **Ising** model is the ±1-spin equivalent; the two are interconvertible
+//! with a constant energy offset (see [`IsingModel::to_qubo`]).
+//!
+//! This crate provides:
+//!
+//! * [`Solution`] — a packed bit vector with O(1) flips and fast Hamming ops,
+//! * [`QuboModel`] / [`IsingModel`] — CSR-backed sparse symmetric models,
+//! * [`QuboBuilder`] — incremental construction with term accumulation,
+//! * [`IncrementalState`] — current vector + energy + all one-flip gains
+//!   `Δ_k(X) = E(f_k(X)) − E(X)`, maintained in `O(deg(k))` per flip (the
+//!   paper's Eqs. 3–5). Every DABS search algorithm runs on this state.
+//!
+//! Weights and energies are `i64` throughout: every benchmark in the paper is
+//! integral, and integer energies make optimality assertions exact.
+
+mod builder;
+mod csr;
+mod error;
+mod incremental;
+pub mod io;
+mod ising;
+mod qubo;
+mod solution;
+
+pub use builder::QuboBuilder;
+pub use csr::SymmetricCsr;
+pub use error::ModelError;
+pub use incremental::{BestTracker, IncrementalState};
+pub use ising::IsingModel;
+pub use qubo::QuboModel;
+pub use solution::Solution;
+
+/// The spin map `σ(x) = 2x − 1`, i.e. `σ(0) = −1`, `σ(1) = +1`.
+#[inline(always)]
+pub fn sigma(bit: bool) -> i64 {
+    if bit {
+        1
+    } else {
+        -1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_maps_bits_to_spins() {
+        assert_eq!(sigma(false), -1);
+        assert_eq!(sigma(true), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Gset-class MaxCut instance generators (paper §VI-A).
+//!
+//! The paper benchmarks on three published 2000-node graphs:
+//!
+//! * **K2000** — random complete graph with ±1 weights,
+//! * **G22** (Gset) — sparse random graph, ~19 990 edges, all-+1 weights,
+//! * **G39** (Gset) — sparse random graph, ~11 778 edges, ±1 weights.
+//!
+//! The published files are external data; these seeded generators produce
+//! instances with matching node count, edge count and weight alphabet (the
+//! hardness-relevant structure). Optimal values are instance-specific —
+//! EXPERIMENTS.md compares TTS/gap *shapes*, not the paper's absolute
+//! energies.
+
+use crate::maxcut::MaxCutProblem;
+use dabs_rng::{Rng64, SplitMix64, Xorshift64Star};
+
+/// Which published instance a generated twin mimics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GsetClass {
+    /// Complete graph, ±1 weights (K2000).
+    K2000,
+    /// Sparse, unit weights (G22: 2000 nodes, 19 990 edges).
+    G22,
+    /// Sparse, ±1 weights (G39: 2000 nodes, 11 778 edges).
+    G39,
+}
+
+impl GsetClass {
+    /// Published node count.
+    pub fn nodes(self) -> usize {
+        2000
+    }
+
+    /// Published edge count.
+    pub fn edges(self) -> usize {
+        match self {
+            GsetClass::K2000 => 2000 * 1999 / 2,
+            GsetClass::G22 => 19_990,
+            GsetClass::G39 => 11_778,
+        }
+    }
+
+    /// Generate a seeded twin at the published size.
+    pub fn generate(self, seed: u64) -> MaxCutProblem {
+        match self {
+            GsetClass::K2000 => k2000_like(self.nodes(), seed),
+            GsetClass::G22 => g22_like(self.nodes(), self.edges(), seed),
+            GsetClass::G39 => g39_like(self.nodes(), self.edges(), seed),
+        }
+    }
+}
+
+/// Random complete graph with weights drawn uniformly from `{−1, +1}`
+/// (the K2000 construction of Tamate et al., at arbitrary `n`).
+pub fn k2000_like(n: usize, seed: u64) -> MaxCutProblem {
+    let mut rng = Xorshift64Star::new(SplitMix64::new(seed).next_u64());
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            edges.push((i, j, if rng.next_bool(0.5) { 1 } else { -1 }));
+        }
+    }
+    MaxCutProblem::new(n, edges, format!("K{n}-like(seed={seed})")).unwrap()
+}
+
+/// Sparse random graph with `m` distinct edges, all weight +1 (G22 class).
+pub fn g22_like(n: usize, m: usize, seed: u64) -> MaxCutProblem {
+    let edges = random_edge_set(n, m, seed).into_iter().map(|(i, j)| (i, j, 1)).collect();
+    MaxCutProblem::new(n, edges, format!("G22-like(n={n},m={m},seed={seed})")).unwrap()
+}
+
+/// Sparse random graph with `m` distinct edges, weights ±1 (G39 class).
+pub fn g39_like(n: usize, m: usize, seed: u64) -> MaxCutProblem {
+    let mut rng = Xorshift64Star::new(SplitMix64::new(seed ^ 0x9E37).next_u64());
+    let edges = random_edge_set(n, m, seed)
+        .into_iter()
+        .map(|(i, j)| (i, j, if rng.next_bool(0.5) { 1 } else { -1 }))
+        .collect();
+    MaxCutProblem::new(n, edges, format!("G39-like(n={n},m={m},seed={seed})")).unwrap()
+}
+
+/// `m` distinct random edges over `n` nodes (rejection sampling on a hash
+/// set keyed by the packed pair).
+fn random_edge_set(n: usize, m: usize, seed: u64) -> Vec<(usize, usize)> {
+    assert!(n >= 2, "need at least two nodes");
+    let max_edges = n * (n - 1) / 2;
+    assert!(m <= max_edges, "requested {m} edges > maximum {max_edges}");
+    let mut rng = Xorshift64Star::new(SplitMix64::new(seed).next_u64());
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let i = rng.next_index(n);
+        let j = rng.next_index(n);
+        if i == j {
+            continue;
+        }
+        let (a, b) = (i.min(j), i.max(j));
+        if seen.insert(((a as u64) << 32) | b as u64) {
+            edges.push((a, b));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k2000_like_is_complete_with_pm1_weights() {
+        let p = k2000_like(50, 1);
+        assert_eq!(p.edge_count(), 50 * 49 / 2);
+        assert!(p.edges().iter().all(|&(_, _, w)| w == 1 || w == -1));
+        // roughly balanced signs
+        let pos = p.edges().iter().filter(|&&(_, _, w)| w == 1).count();
+        assert!((400..=825).contains(&pos), "sign balance off: {pos}");
+    }
+
+    #[test]
+    fn g22_like_has_exact_edge_count_and_unit_weights() {
+        let p = g22_like(200, 1999, 2);
+        assert_eq!(p.edge_count(), 1999);
+        assert!(p.edges().iter().all(|&(_, _, w)| w == 1));
+        // no duplicate edges
+        let mut set = std::collections::HashSet::new();
+        for &(i, j, _) in p.edges() {
+            assert!(set.insert((i, j)), "duplicate edge ({i},{j})");
+            assert!(i < j);
+        }
+    }
+
+    #[test]
+    fn g39_like_mixes_signs() {
+        let p = g39_like(200, 1177, 3);
+        assert_eq!(p.edge_count(), 1177);
+        let pos = p.edges().iter().filter(|&&(_, _, w)| w == 1).count();
+        let neg = p.edge_count() - pos;
+        assert!(pos > 100 && neg > 100, "weights should mix: +{pos}/−{neg}");
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(k2000_like(40, 9).edges(), k2000_like(40, 9).edges());
+        assert_ne!(k2000_like(40, 9).edges(), k2000_like(40, 10).edges());
+        assert_eq!(g22_like(100, 500, 4).edges(), g22_like(100, 500, 4).edges());
+    }
+
+    #[test]
+    fn class_published_sizes() {
+        assert_eq!(GsetClass::K2000.edges(), 1_999_000);
+        assert_eq!(GsetClass::G22.edges(), 19_990);
+        assert_eq!(GsetClass::G39.edges(), 11_778);
+        for c in [GsetClass::K2000, GsetClass::G22, GsetClass::G39] {
+            assert_eq!(c.nodes(), 2000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "edges > maximum")]
+    fn rejects_impossible_edge_count() {
+        g22_like(10, 100, 5);
+    }
+}

@@ -1,0 +1,148 @@
+//! Number partitioning → QUBO.
+//!
+//! The paper's introduction motivates DABS with "many NP-hard problems can
+//! be reduced to QUBO"; number partitioning is the classic smallest
+//! example (Lucas 2014, §2.1). Split a multiset of positive integers into
+//! two sides with minimal difference of sums. With spins `s_i = σ(x_i)`
+//! the difference is `D = Σ a_i s_i`, and minimising `D²` expands to the
+//! QUBO below; the optimum energy is `(diff² − (Σa)²) / …` — we keep the
+//! exact integer bookkeeping in [`PartitionProblem::difference`].
+
+use dabs_model::{QuboBuilder, QuboModel, Solution};
+use serde::{Deserialize, Serialize};
+
+/// A number-partitioning instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionProblem {
+    numbers: Vec<i64>,
+    pub name: String,
+}
+
+impl PartitionProblem {
+    /// Build from positive integers.
+    pub fn new(numbers: Vec<i64>, name: impl Into<String>) -> Self {
+        assert!(!numbers.is_empty(), "need at least one number");
+        assert!(
+            numbers.iter().all(|&a| a > 0),
+            "numbers must be positive"
+        );
+        Self {
+            numbers,
+            name: name.into(),
+        }
+    }
+
+    /// The numbers.
+    pub fn numbers(&self) -> &[i64] {
+        &self.numbers
+    }
+
+    /// Count of numbers (= QUBO bits).
+    pub fn n(&self) -> usize {
+        self.numbers.len()
+    }
+
+    /// Total sum `Σ a_i`.
+    pub fn total(&self) -> i64 {
+        self.numbers.iter().sum()
+    }
+
+    /// Signed difference `Σ_{x_i=1} a_i − Σ_{x_i=0} a_i` of a partition.
+    pub fn difference(&self, x: &Solution) -> i64 {
+        assert_eq!(x.len(), self.n(), "partition length mismatch");
+        let ones: i64 = x.iter_ones().map(|i| self.numbers[i]).sum();
+        2 * ones - self.total()
+    }
+
+    /// Reduce to a QUBO with `E(X) = difference(X)² − (Σa)²`.
+    ///
+    /// Expansion: `D = 2·Σ a_i x_i − T`, so
+    /// `D² − T² = 4·Σ_i a_i(a_i − T)·x_i + 8·Σ_{i<j} a_i a_j x_i x_j`
+    /// (using `x² = x`). The constant `−T²` is folded in so a perfect
+    /// partition has energy `−T²` and every imbalance costs `D² ≥ 0` more.
+    pub fn to_qubo(&self) -> QuboModel {
+        let n = self.n();
+        let t = self.total();
+        let mut b = QuboBuilder::new(n);
+        for i in 0..n {
+            b.add_linear(i, 4 * self.numbers[i] * (self.numbers[i] - t));
+            for j in (i + 1)..n {
+                b.add_quadratic(i, j, 8 * self.numbers[i] * self.numbers[j]);
+            }
+        }
+        b.build().expect("valid by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dabs_rng::{Rng64, Xorshift64Star};
+
+    #[test]
+    fn energy_equals_squared_difference_minus_total_squared() {
+        let p = PartitionProblem::new(vec![3, 1, 1, 2, 2, 1], "toy");
+        let q = p.to_qubo();
+        let t = p.total();
+        for v in 0..(1u32 << 6) {
+            let bits: Vec<bool> = (0..6).map(|i| (v >> i) & 1 == 1).collect();
+            let x = Solution::from_bits(&bits);
+            let d = p.difference(&x);
+            assert_eq!(q.energy(&x), d * d - t * t, "X = {bits:?}");
+        }
+    }
+
+    #[test]
+    fn perfect_partition_is_the_optimum() {
+        // {3,1,1,2,2,1}: total 10 → perfect split 5/5 exists (3+2, 1+1+2+1)
+        let p = PartitionProblem::new(vec![3, 1, 1, 2, 2, 1], "toy");
+        let q = p.to_qubo();
+        let mut best = i64::MAX;
+        let mut best_x = Solution::zeros(6);
+        for v in 0..(1u32 << 6) {
+            let bits: Vec<bool> = (0..6).map(|i| (v >> i) & 1 == 1).collect();
+            let x = Solution::from_bits(&bits);
+            if q.energy(&x) < best {
+                best = q.energy(&x);
+                best_x = x;
+            }
+        }
+        assert_eq!(best, -100, "perfect partition energy is −T²");
+        assert_eq!(p.difference(&best_x), 0);
+    }
+
+    #[test]
+    fn odd_total_cannot_balance() {
+        let p = PartitionProblem::new(vec![2, 2, 3], "odd");
+        let q = p.to_qubo();
+        let t = p.total();
+        let mut best = i64::MAX;
+        for v in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|i| (v >> i) & 1 == 1).collect();
+            best = best.min(q.energy(&Solution::from_bits(&bits)));
+        }
+        // best |D| is 1 → E = 1 − T²
+        assert_eq!(best, 1 - t * t);
+    }
+
+    #[test]
+    fn difference_is_antisymmetric_under_complement() {
+        let mut rng = Xorshift64Star::new(501);
+        let numbers: Vec<i64> = (0..12).map(|_| rng.next_range_i64(1, 50)).collect();
+        let p = PartitionProblem::new(numbers, "rand");
+        for _ in 0..10 {
+            let x = Solution::random(12, &mut rng);
+            let mut y = x.clone();
+            for i in 0..12 {
+                y.flip(i);
+            }
+            assert_eq!(p.difference(&x), -p.difference(&y));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_numbers() {
+        PartitionProblem::new(vec![1, 0, 2], "bad");
+    }
+}

@@ -1,0 +1,190 @@
+//! QAPLIB-class synthetic instance generators (paper §VI-B).
+//!
+//! The paper evaluates on QAPLIB's tai20a, tho30 and nug30. Those data files
+//! are external; per DESIGN.md we generate structural twins:
+//!
+//! * [`tai_like`] — Taillard's `taiXXa` family: flows and distances drawn
+//!   uniformly at random (symmetric, zero diagonal).
+//! * [`nug_like`] — Nugent family: locations on a rectangular grid with
+//!   Manhattan distances, small random flows.
+//! * [`tho_like`] — Thonemann/Bölte family: grid distances with a heavier-
+//!   tailed flow distribution (squared uniform), giving the mixed magnitude
+//!   structure of tho30.
+//!
+//! All generators are deterministic per seed and produce symmetric
+//! instances, matching the published families' structure.
+
+use crate::qap::QapInstance;
+use dabs_rng::{Rng64, SplitMix64, Xorshift64Star};
+
+/// Uniform-random symmetric QAP (tai*a class): flows and distances uniform
+/// on `[1, 99]`, zero diagonal.
+pub fn tai_like(n: usize, seed: u64) -> QapInstance {
+    let mut rng = Xorshift64Star::new(SplitMix64::new(seed).next_u64());
+    let flow = symmetric_random(n, &mut rng, |r| r.next_range_i64(1, 99));
+    let dist = symmetric_random(n, &mut rng, |r| r.next_range_i64(1, 99));
+    QapInstance::new(n, flow, dist, format!("tai{n}a-like(seed={seed})"))
+}
+
+/// Grid QAP (nug class): locations on a `rows×cols` grid with Manhattan
+/// distances; flows uniform on `[0, 10]` with ~35 % zeros.
+pub fn nug_like(rows: usize, cols: usize, seed: u64) -> QapInstance {
+    let n = rows * cols;
+    let mut rng = Xorshift64Star::new(SplitMix64::new(seed ^ 0x4E55).next_u64());
+    let dist = grid_manhattan(rows, cols);
+    let flow = symmetric_random(n, &mut rng, |r| {
+        if r.next_bool(0.35) {
+            0
+        } else {
+            r.next_range_i64(1, 10)
+        }
+    });
+    QapInstance::new(
+        n,
+        flow,
+        dist,
+        format!("nug{n}-like({rows}x{cols},seed={seed})"),
+    )
+}
+
+/// Grid QAP with heavy-tailed flows (tho class): flows are squared uniforms
+/// on `[0, 9]²`, so a few large flows dominate.
+pub fn tho_like(rows: usize, cols: usize, seed: u64) -> QapInstance {
+    let n = rows * cols;
+    let mut rng = Xorshift64Star::new(SplitMix64::new(seed ^ 0x7404).next_u64());
+    let dist = grid_manhattan(rows, cols);
+    let flow = symmetric_random(n, &mut rng, |r| {
+        let v = r.next_range_i64(0, 9);
+        v * v
+    });
+    QapInstance::new(
+        n,
+        flow,
+        dist,
+        format!("tho{n}-like({rows}x{cols},seed={seed})"),
+    )
+}
+
+/// Symmetric matrix with zero diagonal, entries from `gen`.
+fn symmetric_random<R: Rng64, F: FnMut(&mut R) -> i64>(
+    n: usize,
+    rng: &mut R,
+    mut gen: F,
+) -> Vec<i64> {
+    let mut m = vec![0i64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = gen(rng);
+            m[i * n + j] = v;
+            m[j * n + i] = v;
+        }
+    }
+    m
+}
+
+/// Manhattan distances between cells of a `rows×cols` grid, row-major.
+fn grid_manhattan(rows: usize, cols: usize) -> Vec<i64> {
+    let n = rows * cols;
+    let mut d = vec![0i64; n * n];
+    for a in 0..n {
+        let (ra, ca) = (a / cols, a % cols);
+        for b in 0..n {
+            let (rb, cb) = (b / cols, b % cols);
+            d[a * n + b] = (ra as i64 - rb as i64).abs() + (ca as i64 - cb as i64).abs();
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_symmetric_zero_diag(q: &QapInstance) {
+        let n = q.n();
+        for i in 0..n {
+            assert_eq!(q.flow(i, i), 0);
+            assert_eq!(q.dist(i, i), 0);
+            for j in 0..n {
+                assert_eq!(q.flow(i, j), q.flow(j, i));
+                assert_eq!(q.dist(i, j), q.dist(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn tai_like_structure() {
+        let q = tai_like(12, 7);
+        assert_eq!(q.n(), 12);
+        assert_symmetric_zero_diag(&q);
+        // entries within [1, 99]
+        for i in 0..12 {
+            for j in 0..12 {
+                if i != j {
+                    assert!((1..=99).contains(&q.flow(i, j)));
+                    assert!((1..=99).contains(&q.dist(i, j)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nug_like_distances_are_manhattan() {
+        let q = nug_like(3, 4, 8);
+        assert_eq!(q.n(), 12);
+        assert_symmetric_zero_diag(&q);
+        // cell 0 = (0,0), cell 5 = (1,1): distance 2
+        assert_eq!(q.dist(0, 5), 2);
+        // cell 0 to cell 11 = (2,3): 2 + 3 = 5
+        assert_eq!(q.dist(0, 11), 5);
+        // triangle inequality on the grid metric
+        for a in 0..12 {
+            for b in 0..12 {
+                for c in 0..12 {
+                    assert!(q.dist(a, c) <= q.dist(a, b) + q.dist(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tho_like_has_heavy_tail() {
+        let q = tho_like(4, 4, 9);
+        assert_symmetric_zero_diag(&q);
+        let mut flows: Vec<i64> = Vec::new();
+        for i in 0..16 {
+            for j in (i + 1)..16 {
+                flows.push(q.flow(i, j));
+            }
+        }
+        let max = *flows.iter().max().unwrap();
+        let mean = flows.iter().sum::<i64>() as f64 / flows.len() as f64;
+        assert!(max as f64 > 2.0 * mean, "squared flows should be skewed");
+        assert!(max <= 81);
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        let a = tai_like(10, 3);
+        let b = tai_like(10, 3);
+        for i in 0..10 {
+            for j in 0..10 {
+                assert_eq!(a.flow(i, j), b.flow(i, j));
+                assert_eq!(a.dist(i, j), b.dist(i, j));
+            }
+        }
+        let c = tai_like(10, 4);
+        let differs = (0..10)
+            .flat_map(|i| (0..10).map(move |j| (i, j)))
+            .any(|(i, j)| a.flow(i, j) != c.flow(i, j));
+        assert!(differs);
+    }
+
+    #[test]
+    fn paper_sizes_construct() {
+        // tai20a (n=20), tho30/nug30 (n=30) — the paper's three instances.
+        assert_eq!(tai_like(20, 1).n(), 20);
+        assert_eq!(tho_like(5, 6, 1).n(), 30);
+        assert_eq!(nug_like(5, 6, 1).n(), 30);
+    }
+}

@@ -1,0 +1,179 @@
+//! TSP → QAP reduction (paper §II-B remark).
+//!
+//! "The QAP is harder than the Traveling Salesperson Problem because the TSP
+//! can be solved by a QAP algorithm by setting a circular logistic flow of
+//! the facilities." A tour visiting all cities once is an assignment of
+//! *tour positions* (facilities) to *cities* (locations) where the flow
+//! matrix is the directed cycle `0 → 1 → … → n−1 → 0` and distances are the
+//! city distances; the QAP cost is then exactly the tour length.
+
+use crate::qap::QapInstance;
+use dabs_rng::{Rng64, SplitMix64, Xorshift64Star};
+use serde::{Deserialize, Serialize};
+
+/// A TSP instance: a symmetric distance matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TspInstance {
+    n: usize,
+    /// Row-major distances.
+    dist: Vec<i64>,
+    pub name: String,
+}
+
+impl TspInstance {
+    /// Build from a row-major distance matrix (diagonal zeroed).
+    pub fn new(n: usize, mut dist: Vec<i64>, name: impl Into<String>) -> Self {
+        assert!(n >= 3, "TSP needs at least three cities");
+        assert_eq!(dist.len(), n * n);
+        for i in 0..n {
+            dist[i * n + i] = 0;
+        }
+        Self {
+            n,
+            dist,
+            name: name.into(),
+        }
+    }
+
+    /// Random Euclidean-ish instance: cities on an `L×L` integer grid with
+    /// rounded Euclidean distances.
+    pub fn random_euclidean(n: usize, grid: i64, seed: u64) -> Self {
+        let mut rng = Xorshift64Star::new(SplitMix64::new(seed ^ 0x757).next_u64());
+        let pts: Vec<(i64, i64)> = (0..n)
+            .map(|_| (rng.next_range_i64(0, grid), rng.next_range_i64(0, grid)))
+            .collect();
+        let mut dist = vec![0i64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let dx = (pts[i].0 - pts[j].0) as f64;
+                let dy = (pts[i].1 - pts[j].1) as f64;
+                dist[i * n + j] = (dx * dx + dy * dy).sqrt().round() as i64;
+            }
+        }
+        Self::new(n, dist, format!("tsp{n}-euclid(seed={seed})"))
+    }
+
+    /// Number of cities.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between cities `a` and `b`.
+    pub fn dist(&self, a: usize, b: usize) -> i64 {
+        self.dist[a * self.n + b]
+    }
+
+    /// Length of a tour given as a city sequence (cyclic).
+    pub fn tour_length(&self, tour: &[usize]) -> i64 {
+        assert_eq!(tour.len(), self.n, "tour must visit every city once");
+        let mut len = 0i64;
+        for k in 0..self.n {
+            len += self.dist(tour[k], tour[(k + 1) % self.n]);
+        }
+        len
+    }
+
+    /// Reduce to a QAP: facility `k` = tour position `k`, flow is the
+    /// directed cycle, locations are cities. `QapInstance::cost(g)` of an
+    /// assignment `g` (position → city) equals `tour_length` of the tour
+    /// `g` read in position order.
+    pub fn to_qap(&self) -> QapInstance {
+        let n = self.n;
+        let mut flow = vec![0i64; n * n];
+        for k in 0..n {
+            flow[k * n + (k + 1) % n] = 1;
+        }
+        QapInstance::new(n, flow, self.dist.clone(), format!("{}→QAP", self.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dabs_rng::random_permutation;
+
+    fn square() -> TspInstance {
+        // 4 cities on a unit square (scaled by 10): optimal tour = perimeter 40.
+        let d = |a: (i64, i64), b: (i64, i64)| {
+            let dx = (a.0 - b.0) as f64;
+            let dy = (a.1 - b.1) as f64;
+            (dx * dx + dy * dy).sqrt().round() as i64
+        };
+        let pts = [(0, 0), (10, 0), (10, 10), (0, 10)];
+        let mut dist = vec![0i64; 16];
+        for i in 0..4 {
+            for j in 0..4 {
+                dist[i * 4 + j] = d(pts[i], pts[j]);
+            }
+        }
+        TspInstance::new(4, dist, "square")
+    }
+
+    #[test]
+    fn tour_length_by_hand() {
+        let t = square();
+        assert_eq!(t.tour_length(&[0, 1, 2, 3]), 40);
+        // crossing tour is longer: 0→2→1→3 = 14+14+14+14 = 56... compute:
+        // d(0,2)=14, d(2,1)=10, d(1,3)=14, d(3,0)=10 → 48
+        assert_eq!(t.tour_length(&[0, 2, 1, 3]), 48);
+    }
+
+    #[test]
+    fn qap_cost_equals_tour_length() {
+        let t = TspInstance::random_euclidean(7, 100, 3);
+        let qap = t.to_qap();
+        let mut rng = Xorshift64Star::new(4);
+        for _ in 0..20 {
+            let tour = random_permutation(7, &mut rng);
+            assert_eq!(qap.cost(&tour), t.tour_length(&tour));
+        }
+    }
+
+    #[test]
+    fn qap_reduction_finds_optimal_square_tour() {
+        // Brute-force the 4! assignments of the reduced QAP; optimum = 40.
+        let t = square();
+        let qap = t.to_qap();
+        let mut best = i64::MAX;
+        let perms = permutations(4);
+        for g in &perms {
+            best = best.min(qap.cost(g));
+        }
+        assert_eq!(best, 40);
+    }
+
+    #[test]
+    fn euclidean_instances_are_symmetric_metric() {
+        let t = TspInstance::random_euclidean(10, 50, 5);
+        for a in 0..10 {
+            assert_eq!(t.dist(a, a), 0);
+            for b in 0..10 {
+                assert_eq!(t.dist(a, b), t.dist(b, a));
+            }
+        }
+    }
+
+    fn permutations(n: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut cur: Vec<usize> = (0..n).collect();
+        heap_permute(&mut cur, n, &mut out);
+        out
+    }
+
+    fn heap_permute(arr: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+        if k == 1 {
+            out.push(arr.clone());
+            return;
+        }
+        for i in 0..k {
+            heap_permute(arr, k - 1, out);
+            if k % 2 == 0 {
+                arr.swap(i, k - 1);
+            } else {
+                arr.swap(0, k - 1);
+            }
+        }
+    }
+
+    use dabs_rng::Xorshift64Star;
+}

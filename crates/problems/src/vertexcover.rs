@@ -1,0 +1,164 @@
+//! Minimum vertex cover → QUBO (Lucas 2014, §4.3).
+//!
+//! Choose the fewest vertices such that every edge has a chosen endpoint:
+//! `E(X) = Σ_i x_i + p·Σ_{(u,v)∈E} (1 − x_u)(1 − x_v)`. With penalty
+//! `p > 1` an uncovered edge always costs more than covering it, so the
+//! QUBO optimum is a minimum cover of size `E`.
+
+use dabs_model::{QuboBuilder, QuboModel, Solution};
+use serde::{Deserialize, Serialize};
+
+/// A minimum-vertex-cover instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexCoverProblem {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    pub name: String,
+}
+
+impl VertexCoverProblem {
+    /// Build from an undirected edge list.
+    pub fn new(n: usize, edges: Vec<(usize, usize)>, name: impl Into<String>) -> Self {
+        assert!(n >= 1);
+        for &(u, v) in &edges {
+            assert!(u < n && v < n && u != v, "invalid edge ({u},{v})");
+        }
+        Self {
+            n,
+            edges,
+            name: name.into(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Is `x` a vertex cover?
+    pub fn is_cover(&self, x: &Solution) -> bool {
+        assert_eq!(x.len(), self.n);
+        self.edges.iter().all(|&(u, v)| x.get(u) || x.get(v))
+    }
+
+    /// Number of uncovered edges.
+    pub fn uncovered(&self, x: &Solution) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(u, v)| !x.get(u) && !x.get(v))
+            .count()
+    }
+
+    /// Reduce to a QUBO with penalty `p ≥ 2`:
+    /// `E(X) = |X| + p·#uncovered(X) − p·|E| + …` — concretely, expanding
+    /// `(1 − x_u)(1 − x_v) = 1 − x_u − x_v + x_u x_v` and dropping the
+    /// constant `p·|E|`, so `E(X) = Σ x_i − p·Σ(x_u + x_v − x_u x_v)`.
+    /// For covers, `E(X) = |X| − p·|E|`.
+    pub fn to_qubo(&self, p: i64) -> QuboModel {
+        assert!(p >= 2, "penalty must be ≥ 2 to dominate the size term");
+        let mut b = QuboBuilder::new(self.n);
+        for i in 0..self.n {
+            b.add_linear(i, 1);
+        }
+        for &(u, v) in &self.edges {
+            b.add_linear(u, -p);
+            b.add_linear(v, -p);
+            b.add_quadratic(u, v, p);
+        }
+        b.build().expect("valid by construction")
+    }
+
+    /// The constant dropped by [`Self::to_qubo`]: for a cover `X`,
+    /// `E(X) = |X| − p·|E|`, i.e. cover size = `E(X) + p·|E|`.
+    pub fn cover_size_of_energy(&self, energy: i64, p: i64) -> i64 {
+        energy + p * self.edges.len() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star() -> VertexCoverProblem {
+        // star K_{1,4}: centre 0; minimum cover = {0}, size 1
+        VertexCoverProblem::new(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)], "star")
+    }
+
+    #[test]
+    fn cover_detection() {
+        let p = star();
+        let centre = Solution::from_bitstring("10000");
+        assert!(p.is_cover(&centre));
+        assert_eq!(p.uncovered(&centre), 0);
+        let leaves = Solution::from_bitstring("01111");
+        assert!(p.is_cover(&leaves));
+        let nothing = Solution::zeros(5);
+        assert!(!p.is_cover(&nothing));
+        assert_eq!(p.uncovered(&nothing), 4);
+    }
+
+    #[test]
+    fn qubo_energy_formula_for_covers() {
+        let p = star();
+        let q = p.to_qubo(3);
+        // cover {0}: E = 1 − 3·4 = −11
+        assert_eq!(q.energy(&Solution::from_bitstring("10000")), -11);
+        // cover {1,2,3,4}: E = 4 − 12 = −8
+        assert_eq!(q.energy(&Solution::from_bitstring("01111")), -8);
+    }
+
+    #[test]
+    fn optimum_is_the_minimum_cover() {
+        let p = star();
+        let penalty = 3;
+        let q = p.to_qubo(penalty);
+        let mut best = i64::MAX;
+        let mut best_x = Solution::zeros(5);
+        for v in 0..32u32 {
+            let bits: Vec<bool> = (0..5).map(|i| (v >> i) & 1 == 1).collect();
+            let x = Solution::from_bits(&bits);
+            if q.energy(&x) < best {
+                best = q.energy(&x);
+                best_x = x;
+            }
+        }
+        assert!(p.is_cover(&best_x), "optimum must cover");
+        assert_eq!(best_x.count_ones(), 1, "minimum cover is the centre");
+        assert_eq!(p.cover_size_of_energy(best, penalty), 1);
+    }
+
+    #[test]
+    fn triangle_needs_two() {
+        let p = VertexCoverProblem::new(3, vec![(0, 1), (1, 2), (0, 2)], "K3");
+        let q = p.to_qubo(2);
+        let mut best = i64::MAX;
+        let mut best_x = Solution::zeros(3);
+        for v in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|i| (v >> i) & 1 == 1).collect();
+            let x = Solution::from_bits(&bits);
+            if q.energy(&x) < best {
+                best = q.energy(&x);
+                best_x = x;
+            }
+        }
+        assert!(p.is_cover(&best_x));
+        assert_eq!(best_x.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "penalty must be ≥ 2")]
+    fn rejects_weak_penalty() {
+        star().to_qubo(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid edge")]
+    fn rejects_bad_edges() {
+        VertexCoverProblem::new(2, vec![(0, 2)], "bad");
+    }
+}

@@ -1,0 +1,165 @@
+//! MT19937-64: the 64-bit Mersenne twister of Matsumoto and Nishimura.
+//!
+//! The DABS paper uses the Mersenne twister on the host to generate the
+//! per-thread seeds shipped to the GPU. This is a direct implementation of
+//! the reference algorithm (mt19937-64.c, 2004/9/29 version), validated
+//! against the published test vectors in the unit tests below.
+
+use crate::Rng64;
+
+const NN: usize = 312;
+const MM: usize = 156;
+const MATRIX_A: u64 = 0xB502_6F5A_A966_19E9;
+const UPPER_MASK: u64 = 0xFFFF_FFFF_8000_0000; // most significant 33 bits
+const LOWER_MASK: u64 = 0x0000_0000_7FFF_FFFF; // least significant 31 bits
+
+/// 64-bit Mersenne twister with period 2^19937 - 1.
+#[derive(Clone)]
+pub struct Mt19937_64 {
+    state: [u64; NN],
+    index: usize,
+}
+
+impl std::fmt::Debug for Mt19937_64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mt19937_64")
+            .field("index", &self.index)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Mt19937_64 {
+    /// Initialise from a single 64-bit seed (reference `init_genrand64`).
+    pub fn new(seed: u64) -> Self {
+        let mut state = [0u64; NN];
+        state[0] = seed;
+        for i in 1..NN {
+            state[i] = 6364136223846793005u64
+                .wrapping_mul(state[i - 1] ^ (state[i - 1] >> 62))
+                .wrapping_add(i as u64);
+        }
+        Self { state, index: NN }
+    }
+
+    /// Initialise from a key array (reference `init_by_array64`).
+    pub fn from_key(key: &[u64]) -> Self {
+        let mut mt = Self::new(19650218);
+        let mut i = 1usize;
+        let mut j = 0usize;
+        let mut k = NN.max(key.len());
+        while k > 0 {
+            mt.state[i] = (mt.state[i]
+                ^ (mt.state[i - 1] ^ (mt.state[i - 1] >> 62)).wrapping_mul(3935559000370003845))
+            .wrapping_add(key[j])
+            .wrapping_add(j as u64);
+            i += 1;
+            j += 1;
+            if i >= NN {
+                mt.state[0] = mt.state[NN - 1];
+                i = 1;
+            }
+            if j >= key.len() {
+                j = 0;
+            }
+            k -= 1;
+        }
+        k = NN - 1;
+        while k > 0 {
+            mt.state[i] = (mt.state[i]
+                ^ (mt.state[i - 1] ^ (mt.state[i - 1] >> 62)).wrapping_mul(2862933555777941757))
+            .wrapping_sub(i as u64);
+            i += 1;
+            if i >= NN {
+                mt.state[0] = mt.state[NN - 1];
+                i = 1;
+            }
+            k -= 1;
+        }
+        mt.state[0] = 1u64 << 63; // assure non-zero initial state
+        mt.index = NN;
+        mt
+    }
+
+    fn refill(&mut self) {
+        for i in 0..NN {
+            let x = (self.state[i] & UPPER_MASK) | (self.state[(i + 1) % NN] & LOWER_MASK);
+            let mut next = self.state[(i + MM) % NN] ^ (x >> 1);
+            if x & 1 == 1 {
+                next ^= MATRIX_A;
+            }
+            self.state[i] = next;
+        }
+        self.index = 0;
+    }
+}
+
+impl Rng64 for Mt19937_64 {
+    fn next_u64(&mut self) -> u64 {
+        if self.index >= NN {
+            self.refill();
+        }
+        let mut x = self.state[self.index];
+        self.index += 1;
+        x ^= (x >> 29) & 0x5555_5555_5555_5555;
+        x ^= (x << 17) & 0x71D6_7FFF_EDA6_0000;
+        x ^= (x << 37) & 0xFFF7_EEE0_0000_0000;
+        x ^= x >> 43;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// First ten outputs of `init_by_array64({0x12345, 0x23456, 0x34567, 0x45678})`
+    /// from the reference implementation's mt19937-64.out.
+    #[test]
+    fn matches_reference_vectors() {
+        let mut mt = Mt19937_64::from_key(&[0x12345, 0x23456, 0x34567, 0x45678]);
+        let expected: [u64; 10] = [
+            7266447313870364031,
+            4946485549665804864,
+            16945909448695747420,
+            16394063075524226720,
+            4873882236456199058,
+            14877448043947020171,
+            6740343660852211943,
+            13857871200353263164,
+            5249110015610582907,
+            10205081126064480383,
+        ];
+        for &e in &expected {
+            assert_eq!(mt.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn single_seed_is_deterministic() {
+        let mut a = Mt19937_64::new(5489);
+        let mut b = Mt19937_64::new(5489);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Mt19937_64::new(1);
+        let mut b = Mt19937_64::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 5, "streams should differ: {same} collisions");
+    }
+
+    #[test]
+    fn refill_boundary_is_seamless() {
+        // Crossing the NN-word buffer boundary must not repeat or skip.
+        let mut a = Mt19937_64::new(7);
+        let first: Vec<u64> = (0..NN * 2 + 5).map(|_| a.next_u64()).collect();
+        let mut b = Mt19937_64::new(7);
+        let second: Vec<u64> = (0..NN * 2 + 5).map(|_| b.next_u64()).collect();
+        assert_eq!(first, second);
+        // and outputs around the boundary are not trivially equal
+        assert_ne!(first[NN - 1], first[NN]);
+    }
+}

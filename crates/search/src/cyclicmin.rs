@@ -1,0 +1,135 @@
+//! CyclicMin search (paper §III-A-4, and the core of the authors' earlier
+//! ABS solver \[16\]).
+//!
+//! The n bits are arranged on a circle and a window of width
+//! `w(t) = max(⌈(t/T)³·n⌉, c)` (with `c = min(32, n)`) slides around it.
+//! Each iteration flips the minimum-gain non-tabu bit inside the window and
+//! advances the window by its width. Early small windows force diverse
+//! uphill moves; late windows approach the whole circle, making the
+//! behaviour converge to greedy — annealing without random numbers.
+//!
+//! Note on best-tracking: the paper's GPU kernel only reads `Δ` inside the
+//! window (that locality is what makes CyclicMin fast on a GPU), so our
+//! Step-1 observation is window-limited too; the post-flip energy check is
+//! global. DESIGN.md records this fidelity note.
+
+use crate::{cubic, TabuList};
+use dabs_model::{BestTracker, IncrementalState};
+
+/// The paper's small window-floor constant.
+pub const WINDOW_FLOOR: usize = 32;
+
+/// Run CyclicMin for `total_flips` flips. Returns the flips performed.
+pub fn cyclic_min(
+    state: &mut IncrementalState<'_>,
+    best: &mut BestTracker,
+    tabu: &mut TabuList,
+    total_flips: u64,
+) -> u64 {
+    let n = state.n();
+    let floor = WINDOW_FLOOR.min(n);
+    let t_max = total_flips;
+    let mut pos = 0usize;
+    for t in 1..=t_max {
+        let frac = cubic(t as f64 / t_max as f64);
+        let width = ((frac * n as f64).ceil() as usize).clamp(floor, n);
+
+        // argmin Δ over the cyclic window [pos, pos + width)
+        let mut arg = usize::MAX;
+        let mut min_d = i64::MAX;
+        let mut arg_any = usize::MAX; // ignoring tabu, as fallback
+        let mut min_any = i64::MAX;
+        for off in 0..width {
+            let k = (pos + off) % n;
+            let d = state.delta(k);
+            if d < min_any {
+                min_any = d;
+                arg_any = k;
+            }
+            if d < min_d && !tabu.is_tabu(k) {
+                min_d = d;
+                arg = k;
+            }
+        }
+        let bit = if arg == usize::MAX { arg_any } else { arg };
+        best.observe_neighbor(state, arg_any);
+        state.flip(bit);
+        tabu.record(bit);
+        best.observe(state);
+        pos = (pos + width) % n;
+    }
+    t_max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{brute_force_optimum, random_model};
+
+    #[test]
+    fn deterministic_without_rng() {
+        // CyclicMin uses no random numbers: two runs from identical states
+        // must produce identical trajectories.
+        let q = random_model(50, 0.3, 51);
+        let mut a = IncrementalState::new(&q);
+        let mut b = IncrementalState::new(&q);
+        let mut best_a = BestTracker::unbounded(50);
+        let mut best_b = BestTracker::unbounded(50);
+        let mut tabu_a = TabuList::new(50, 8);
+        let mut tabu_b = TabuList::new(50, 8);
+        cyclic_min(&mut a, &mut best_a, &mut tabu_a, 400);
+        cyclic_min(&mut b, &mut best_b, &mut tabu_b, 400);
+        assert_eq!(a.solution(), b.solution());
+        assert_eq!(best_a.energy(), best_b.energy());
+    }
+
+    #[test]
+    fn performs_requested_flips() {
+        let q = random_model(30, 0.4, 52);
+        let mut st = IncrementalState::new(&q);
+        let mut best = BestTracker::unbounded(30);
+        let mut tabu = TabuList::new(30, 8);
+        assert_eq!(cyclic_min(&mut st, &mut best, &mut tabu, 123), 123);
+        assert_eq!(st.flips(), 123);
+        st.assert_consistent();
+    }
+
+    #[test]
+    fn finds_optimum_of_small_model() {
+        let q = random_model(12, 0.6, 53);
+        let opt = brute_force_optimum(&q);
+        let mut st = IncrementalState::new(&q);
+        let mut best = BestTracker::unbounded(12);
+        let mut tabu = TabuList::new(12, 4);
+        cyclic_min(&mut st, &mut best, &mut tabu, 4_000);
+        assert_eq!(best.energy(), opt);
+    }
+
+    #[test]
+    fn window_growth_is_monotone() {
+        // w(t) formula check: cubically increasing, clamped to [floor, n]
+        let n = 1000usize;
+        let t_max = 100u64;
+        let floor = WINDOW_FLOOR.min(n);
+        let mut prev = 0usize;
+        for t in 1..=t_max {
+            let frac = crate::cubic(t as f64 / t_max as f64);
+            let w = ((frac * n as f64).ceil() as usize).clamp(floor, n);
+            assert!(w >= prev, "window must not shrink");
+            assert!(w >= floor && w <= n);
+            prev = w;
+        }
+        assert_eq!(prev, n, "final window covers the whole circle");
+    }
+
+    #[test]
+    fn small_models_clamp_window() {
+        // n < WINDOW_FLOOR must not panic or overrun.
+        let q = random_model(5, 0.8, 54);
+        let mut st = IncrementalState::new(&q);
+        let mut best = BestTracker::unbounded(5);
+        let mut tabu = TabuList::new(5, 2);
+        cyclic_min(&mut st, &mut best, &mut tabu, 100);
+        st.assert_consistent();
+    }
+}

@@ -1,0 +1,161 @@
+//! RandomMin search (paper §III-A-5).
+//!
+//! At iteration `t` of `T`, every bit becomes a *candidate* independently
+//! with probability `p(t) = max((t/T)³, c)` where `c = 32/n`; the candidate
+//! with minimum gain is flipped. Early iterations sample few bits (diverse,
+//! frequently uphill flips); late iterations sample nearly all bits
+//! (converging to greedy) — the same annealing shape as MaxMin/CyclicMin
+//! with a different randomisation.
+//!
+//! Candidates are drawn with geometric gap-skipping, so an iteration costs
+//! `O(n·p(t))` expected rather than `O(n)` Bernoulli draws.
+
+use crate::{cubic, TabuList};
+use dabs_model::{BestTracker, IncrementalState};
+use dabs_rng::Rng64;
+
+/// Run RandomMin for `total_flips` flips. Returns the flips performed.
+pub fn random_min<R: Rng64 + ?Sized>(
+    state: &mut IncrementalState<'_>,
+    best: &mut BestTracker,
+    tabu: &mut TabuList,
+    rng: &mut R,
+    total_flips: u64,
+) -> u64 {
+    let n = state.n();
+    let floor_p = (32.0 / n as f64).min(1.0);
+    let t_max = total_flips;
+    for t in 1..=t_max {
+        let p = cubic(t as f64 / t_max as f64).max(floor_p).min(1.0);
+
+        // Geometric skipping over 0..n: next candidate index jumps by
+        // 1 + floor(log(U)/log(1-p)).
+        let mut arg = usize::MAX;
+        let mut min_d = i64::MAX;
+        let mut i = skip(rng, p);
+        while i < n {
+            let d = state.delta(i);
+            if d < min_d && !tabu.is_tabu(i) {
+                min_d = d;
+                arg = i;
+            }
+            i += 1 + skip(rng, p);
+        }
+        // No usable candidate (empty sample or all tabu): retry with a
+        // single uniformly random non-tabu bit so the flip count stays
+        // exact.
+        let bit = if arg == usize::MAX {
+            fallback_bit(state, tabu, rng)
+        } else {
+            arg
+        };
+        if arg != usize::MAX {
+            best.observe_neighbor(state, arg);
+        }
+        state.flip(bit);
+        tabu.record(bit);
+        best.observe(state);
+    }
+    t_max
+}
+
+/// Geometric(1-p) gap: number of indices skipped before the next candidate.
+#[inline]
+fn skip<R: Rng64 + ?Sized>(rng: &mut R, p: f64) -> usize {
+    if p >= 1.0 {
+        return 0;
+    }
+    let u = rng.next_f64().max(f64::MIN_POSITIVE);
+    let g = (u.ln() / (1.0 - p).ln()).floor();
+    if g >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        g as usize
+    }
+}
+
+/// Uniformly random bit, preferring non-tabu ones.
+fn fallback_bit<R: Rng64 + ?Sized>(
+    state: &IncrementalState<'_>,
+    tabu: &TabuList,
+    rng: &mut R,
+) -> usize {
+    let n = state.n();
+    for _ in 0..8 {
+        let k = rng.next_index(n);
+        if !tabu.is_tabu(k) {
+            return k;
+        }
+    }
+    rng.next_index(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{brute_force_optimum, random_model};
+    use dabs_rng::Xorshift64Star;
+
+    #[test]
+    fn performs_requested_flips_and_stays_consistent() {
+        let q = random_model(64, 0.2, 61);
+        let mut st = IncrementalState::new(&q);
+        let mut best = BestTracker::unbounded(64);
+        let mut tabu = TabuList::new(64, 8);
+        let mut rng = Xorshift64Star::new(62);
+        let used = random_min(&mut st, &mut best, &mut tabu, &mut rng, 777);
+        assert_eq!(used, 777);
+        assert_eq!(st.flips(), 777);
+        st.assert_consistent();
+    }
+
+    #[test]
+    fn finds_optimum_of_small_model() {
+        let q = random_model(13, 0.6, 63);
+        let opt = brute_force_optimum(&q);
+        let mut st = IncrementalState::new(&q);
+        let mut best = BestTracker::unbounded(13);
+        let mut tabu = TabuList::new(13, 4);
+        let mut rng = Xorshift64Star::new(64);
+        random_min(&mut st, &mut best, &mut tabu, &mut rng, 6_000);
+        assert_eq!(best.energy(), opt);
+    }
+
+    #[test]
+    fn geometric_skip_mean_matches_probability() {
+        // E[gap] = (1-p)/p; sample mean over many draws should be close.
+        let mut rng = Xorshift64Star::new(65);
+        let p = 0.2;
+        let trials = 50_000;
+        let total: usize = (0..trials).map(|_| skip(&mut rng, p)).sum();
+        let mean = total as f64 / trials as f64;
+        let expect = (1.0 - p) / p;
+        assert!(
+            (mean - expect).abs() < 0.15,
+            "mean gap {mean}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn skip_handles_p_one() {
+        let mut rng = Xorshift64Star::new(66);
+        assert_eq!(skip(&mut rng, 1.0), 0);
+    }
+
+    #[test]
+    fn late_iterations_approach_greedy() {
+        // At t = T, p = 1, so the flip must be the global (non-tabu) argmin.
+        let q = random_model(30, 0.4, 67);
+        let mut st = IncrementalState::new(&q);
+        let mut tabu = TabuList::new(30, 0);
+        let mut rng = Xorshift64Star::new(68);
+        // run T-1 of T flips manually via the public fn on a clone, then
+        // check: single-iteration call with t_max = 1 gives p = 1 → argmin.
+        let (argmin, _) = st.min_delta();
+        let mut best = BestTracker::unbounded(30);
+        random_min(&mut st, &mut best, &mut tabu, &mut rng, 1);
+        assert_eq!(st.flips(), 1);
+        // starting from the zero vector, the flipped bit must now be 1
+        assert!(st.bit(argmin), "p=1 iteration must flip the global argmin");
+    }
+}

@@ -1,0 +1,132 @@
+//! Straight search (paper §III-A-2).
+//!
+//! Given a target vector `D`, repeatedly flip the minimum-gain bit among the
+//! bits where `X` and `D` differ. Every flip reduces the Hamming distance by
+//! exactly one, so the walk reaches `D` in `hamming(X, D)` flips, taking the
+//! cheapest path bit-by-bit and recording any good solutions passed on the
+//! way. A batch search starts with this walk to move the block's resident
+//! state to the host-supplied target.
+
+use crate::TabuList;
+use dabs_model::{BestTracker, IncrementalState, Solution};
+
+/// Walk `state` to `target`. Returns the number of flips performed
+/// (the initial Hamming distance).
+pub fn straight(
+    state: &mut IncrementalState<'_>,
+    best: &mut BestTracker,
+    tabu: &mut TabuList,
+    target: &Solution,
+) -> u64 {
+    assert_eq!(state.n(), target.len(), "target length mismatch");
+    let mut pending: Vec<u32> = state
+        .solution()
+        .diff_indices(target)
+        .map(|i| i as u32)
+        .collect();
+    let total = pending.len() as u64;
+    best.observe(state);
+    while !pending.is_empty() {
+        // argmin Δ over the remaining differing bits
+        let mut arg = 0usize;
+        let mut min_d = state.delta(pending[0] as usize);
+        for (slot, &i) in pending.iter().enumerate().skip(1) {
+            let d = state.delta(i as usize);
+            if d < min_d {
+                min_d = d;
+                arg = slot;
+            }
+        }
+        let bit = pending.swap_remove(arg) as usize;
+        state.flip(bit);
+        tabu.record(bit);
+        best.observe(state);
+    }
+    debug_assert_eq!(state.solution(), target);
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_model;
+    use dabs_rng::Xorshift64Star;
+
+    #[test]
+    fn reaches_target_in_hamming_flips() {
+        let q = random_model(50, 0.2, 31);
+        let mut rng = Xorshift64Star::new(32);
+        let mut st = IncrementalState::new(&q);
+        let target = Solution::random(50, &mut rng);
+        let expected = st.solution().hamming(&target) as u64;
+        let mut best = BestTracker::unbounded(50);
+        let mut tabu = TabuList::new(50, 8);
+        let used = straight(&mut st, &mut best, &mut tabu, &target);
+        assert_eq!(used, expected);
+        assert_eq!(st.solution(), &target);
+        st.assert_consistent();
+    }
+
+    #[test]
+    fn already_at_target_is_noop() {
+        let q = random_model(10, 0.5, 33);
+        let mut st = IncrementalState::new(&q);
+        let target = Solution::zeros(10);
+        let mut best = BestTracker::unbounded(10);
+        let mut tabu = TabuList::new(10, 8);
+        assert_eq!(straight(&mut st, &mut best, &mut tabu, &target), 0);
+    }
+
+    #[test]
+    fn observes_intermediate_solutions() {
+        // The walk must track the best point it passes, which can be better
+        // than both endpoints.
+        let q = random_model(30, 0.4, 34);
+        let mut rng = Xorshift64Star::new(35);
+        let mut st = IncrementalState::new(&q);
+        let target = Solution::random(30, &mut rng);
+        let mut best = BestTracker::unbounded(30);
+        let mut tabu = TabuList::new(30, 8);
+        straight(&mut st, &mut best, &mut tabu, &target);
+        assert!(best.energy() <= st.energy());
+        assert!(best.energy() <= 0, "start (E = 0) was observed");
+        assert_eq!(q.energy(best.solution()), best.energy());
+    }
+
+    #[test]
+    fn hamming_decreases_monotonically() {
+        let q = random_model(20, 0.3, 36);
+        let mut rng = Xorshift64Star::new(37);
+        let mut st = IncrementalState::new(&q);
+        let target = Solution::random(20, &mut rng);
+        // manual replication of the loop, asserting per-step distance
+        let best = BestTracker::unbounded(20);
+        let tabu = TabuList::new(20, 8);
+        let mut dist = st.solution().hamming(&target);
+        while st.solution() != &target {
+            let before = dist;
+            // one step of straight = full call on a 1-step budget is not
+            // exposed; emulate by calling straight on a copy for the final
+            // answer, and checking per-flip here:
+            let next = st
+                .solution()
+                .diff_indices(&target)
+                .min_by_key(|&i| st.delta(i))
+                .unwrap();
+            st.flip(next);
+            dist = st.solution().hamming(&target);
+            assert_eq!(dist, before - 1);
+        }
+        let _ = (best, tabu);
+    }
+
+    #[test]
+    #[should_panic(expected = "target length mismatch")]
+    fn rejects_wrong_length_target() {
+        let q = random_model(5, 0.5, 38);
+        let mut st = IncrementalState::new(&q);
+        let mut best = BestTracker::unbounded(5);
+        let mut tabu = TabuList::new(5, 8);
+        straight(&mut st, &mut best, &mut tabu, &Solution::zeros(6));
+    }
+}

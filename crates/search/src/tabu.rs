@@ -1,0 +1,111 @@
+//! Tabu bookkeeping (paper §III-A-8).
+//!
+//! "A tabu period t is specified … If a bit is flipped, we do not flip it
+//! again in the next t iterations." The list is shared across all algorithm
+//! legs of one batch so a Greedy→MaxMin hand-off cannot immediately undo the
+//! previous leg's moves.
+
+/// Per-bit recency list with O(1) `is_tabu` / `record`.
+#[derive(Debug, Clone)]
+pub struct TabuList {
+    /// Logical clock; one tick per recorded flip.
+    clock: u64,
+    /// Clock value at which each bit was last flipped; 0 = never
+    /// (the clock starts at `tenure + 1` so "never" is never tabu).
+    last_flip: Vec<u64>,
+    tenure: u64,
+}
+
+impl TabuList {
+    /// A list over `n` bits with the given tenure. Tenure 0 disables the
+    /// mechanism entirely (`is_tabu` is always false).
+    pub fn new(n: usize, tenure: u64) -> Self {
+        Self {
+            clock: tenure + 1,
+            last_flip: vec![0; n],
+            tenure,
+        }
+    }
+
+    /// Tenure this list was created with.
+    #[inline]
+    pub fn tenure(&self) -> u64 {
+        self.tenure
+    }
+
+    /// True when bit `i` may not be flipped yet: fewer than `tenure` flips
+    /// have been recorded since `i` itself was recorded.
+    #[inline]
+    pub fn is_tabu(&self, i: usize) -> bool {
+        self.tenure > 0 && self.clock - self.last_flip[i] < self.tenure
+    }
+
+    /// Record that bit `i` was just flipped.
+    #[inline]
+    pub fn record(&mut self, i: usize) {
+        self.clock += 1;
+        self.last_flip[i] = self.clock;
+    }
+
+    /// Forget all history (used between batches).
+    pub fn clear(&mut self) {
+        self.clock = self.tenure + 1;
+        self.last_flip.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_list_has_no_tabu_bits() {
+        let t = TabuList::new(10, 8);
+        for i in 0..10 {
+            assert!(!t.is_tabu(i));
+        }
+    }
+
+    #[test]
+    fn recorded_bit_is_tabu_for_tenure_flips() {
+        let mut t = TabuList::new(4, 3);
+        t.record(2);
+        assert!(t.is_tabu(2));
+        t.record(0); // 1 other flip
+        assert!(t.is_tabu(2));
+        t.record(1); // 2 other flips
+        assert!(t.is_tabu(2));
+        t.record(3); // 3 other flips: tenure exhausted
+        assert!(!t.is_tabu(2), "bit frees after tenure flips");
+    }
+
+    #[test]
+    fn zero_tenure_disables() {
+        let mut t = TabuList::new(4, 0);
+        t.record(1);
+        assert!(!t.is_tabu(1));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut t = TabuList::new(4, 5);
+        t.record(0);
+        t.record(1);
+        assert!(t.is_tabu(0));
+        t.clear();
+        for i in 0..4 {
+            assert!(!t.is_tabu(i));
+        }
+    }
+
+    #[test]
+    fn re_recording_refreshes() {
+        let mut t = TabuList::new(3, 2);
+        t.record(0);
+        t.record(1);
+        t.record(0); // refresh bit 0
+        t.record(2);
+        assert!(t.is_tabu(0), "refreshed bit still tabu");
+        assert!(!t.is_tabu(1), "stale bit expired");
+    }
+}

@@ -1,0 +1,111 @@
+//! TwoNeighbor search (paper §III-A-7).
+//!
+//! Deterministically visits every 1-bit neighbour of the starting vector
+//! `X₀` in `2n − 1` flips using the sequence `0, 1, 0, 2, 1, 3, 2, …` —
+//! i.e. flip bit 0, then for `k = 1 … n−1` flip `k` then `k−1`. Because the
+//! incremental algorithm's Step 1 scans all 1-bit neighbours of the current
+//! point, the sweep effectively searches the whole 2-bit neighbourhood of
+//! `X₀` (and some 3-bit neighbours passed in between).
+//!
+//! Running it twice from the same point is pointless, so a batch executes
+//! it exactly once (enforced by [`crate::BatchSearch`]).
+
+use dabs_model::{BestTracker, IncrementalState};
+
+/// Run the TwoNeighbor sweep. Always performs exactly `2n − 1` flips and
+/// returns that count.
+pub fn two_neighbor(state: &mut IncrementalState<'_>, best: &mut BestTracker) -> u64 {
+    let n = state.n();
+    best.observe_neighborhood(state);
+    state.flip(0);
+    best.observe_neighborhood(state);
+    for k in 1..n {
+        state.flip(k);
+        best.observe_neighborhood(state);
+        state.flip(k - 1);
+        best.observe_neighborhood(state);
+    }
+    (2 * n - 1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_model;
+    use dabs_model::Solution;
+    use dabs_rng::Xorshift64Star;
+
+    #[test]
+    fn performs_exactly_2n_minus_1_flips() {
+        let q = random_model(20, 0.3, 81);
+        let mut st = IncrementalState::new(&q);
+        let mut best = BestTracker::unbounded(20);
+        assert_eq!(two_neighbor(&mut st, &mut best), 39);
+        assert_eq!(st.flips(), 39);
+        st.assert_consistent();
+    }
+
+    #[test]
+    fn ends_at_last_unit_vector() {
+        // Paper's n=6 example ends at 000001: only the last bit set.
+        let q = random_model(6, 0.5, 82);
+        let mut st = IncrementalState::new(&q);
+        let mut best = BestTracker::unbounded(6);
+        two_neighbor(&mut st, &mut best);
+        assert_eq!(st.solution(), &Solution::from_bitstring("000001"));
+    }
+
+    #[test]
+    fn traverses_every_one_bit_neighbor() {
+        // Replay the sweep and record each visited vector; from the zero
+        // start every unit vector must appear.
+        let q = random_model(8, 0.5, 83);
+        let mut st = IncrementalState::new(&q);
+        let mut visited = vec![st.solution().clone()];
+        st.flip(0);
+        visited.push(st.solution().clone());
+        for k in 1..8 {
+            st.flip(k);
+            visited.push(st.solution().clone());
+            st.flip(k - 1);
+            visited.push(st.solution().clone());
+        }
+        for unit in 0..8 {
+            let mut u = Solution::zeros(8);
+            u.set(unit, true);
+            assert!(
+                visited.contains(&u),
+                "unit vector e_{unit} was not traversed"
+            );
+        }
+    }
+
+    #[test]
+    fn covers_full_two_bit_neighborhood() {
+        // BEST after the sweep must be at least as good as every solution
+        // within Hamming distance 2 of the start.
+        let q = random_model(10, 0.5, 84);
+        let mut rng = Xorshift64Star::new(85);
+        let start = Solution::random(10, &mut rng);
+        let mut st = IncrementalState::from_solution(&q, start.clone());
+        let mut best = BestTracker::unbounded(10);
+        two_neighbor(&mut st, &mut best);
+        // enumerate d ≤ 2 neighbourhood
+        let mut lowest = q.energy(&start);
+        for i in 0..10 {
+            let mut a = start.clone();
+            a.flip(i);
+            lowest = lowest.min(q.energy(&a));
+            for j in (i + 1)..10 {
+                let mut b = a.clone();
+                b.flip(j);
+                lowest = lowest.min(q.energy(&b));
+            }
+        }
+        assert!(
+            best.energy() <= lowest,
+            "TwoNeighbor best {} missed 2-neighbourhood optimum {lowest}",
+            best.energy()
+        );
+    }
+}

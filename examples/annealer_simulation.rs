@@ -1,0 +1,75 @@
+//! QASP: simulating a quantum annealer's benchmark workload (paper §II-C /
+//! §VI-C).
+//!
+//! Builds a Pegasus-like working graph, generates random Ising models at
+//! three resolutions, and compares DABS against the analog-annealer
+//! simulator on each — reproducing the Table IV trend that the annealer's
+//! gap grows with resolution while DABS is unaffected.
+//!
+//! ```sh
+//! cargo run --release --example annealer_simulation [-- seed budget_ms]
+//! ```
+
+use dabs::baselines::annealer::{AnalogAnnealer, AnnealerConfig};
+use dabs::core::{DabsConfig, DabsSolver, Termination};
+use dabs::problems::{QaspInstance, Topology};
+use dabs::search::SearchParams;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let budget: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2_000);
+
+    let topology = Topology::pegasus_like(8, 8, 14.0, seed).with_faults(500, 3_500, seed);
+    println!(
+        "topology {} — {} qubits, {} couplers",
+        topology.name,
+        topology.n(),
+        topology.edge_count()
+    );
+
+    println!(
+        "\n{:<8} {:>12} {:>12} {:>12} {:>10}",
+        "QASP", "DABS E", "annealer E", "gap", "gap %"
+    );
+    println!("{}", "-".repeat(60));
+
+    for resolution in [1i64, 16, 256] {
+        let instance = QaspInstance::generate(&topology, resolution, seed + resolution as u64);
+        let model = Arc::new(instance.qubo().clone());
+
+        let mut config = DabsConfig::dabs(4, 2);
+        config.params = SearchParams::qap_qasp();
+        config.seed = seed;
+        let solver = DabsSolver::new(config).expect("valid config");
+        let dabs = solver.run(&model, Termination::time(Duration::from_millis(budget)));
+
+        let annealer = AnalogAnnealer::new(AnnealerConfig {
+            num_reads: 200,
+            sweeps_per_read: 10,
+            noise_sigma: 0.02,
+            seed,
+            ..AnnealerConfig::default()
+        })
+        .sample(instance.ising());
+        // annealer reports the Hamiltonian; convert to QUBO energy
+        let annealer_energy = annealer.energy - instance.offset();
+
+        let gap = annealer_energy - dabs.energy;
+        let gap_pct = 100.0 * gap as f64 / dabs.energy.abs().max(1) as f64;
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>9.3}%",
+            format!("r={resolution}"),
+            dabs.energy,
+            annealer_energy,
+            gap,
+            gap_pct
+        );
+    }
+    println!("\nexpected shape (paper Table IV): the annealer misses the potentially");
+    println!("optimal solution at every resolution (gap > 0) while DABS reaches it;");
+    println!("its fixed analog noise floor corrupts fine-grained couplings more as");
+    println!("resolution grows (see the relative-corruption test in dabs-baselines).");
+}

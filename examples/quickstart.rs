@@ -1,0 +1,48 @@
+//! Quickstart: build a QUBO, solve it with DABS, read the answer.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dabs::core::{DabsConfig, DabsSolver, Termination};
+use dabs::model::QuboBuilder;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // A tiny portfolio-style QUBO: pick items to minimise
+    //   E(X) = Σ cost_i x_i + Σ clash_ij x_i x_j
+    // negative "costs" are rewards; positive pair weights are conflicts.
+    let costs = [-5i64, -4, -3, -6, -2, -4, -3, -5];
+    let clashes = [(0usize, 1usize, 7i64), (2, 3, 6), (4, 5, 5), (6, 7, 6), (0, 3, 4)];
+
+    let mut builder = QuboBuilder::new(costs.len());
+    for (i, &c) in costs.iter().enumerate() {
+        builder.add_linear(i, c);
+    }
+    for &(i, j, w) in &clashes {
+        builder.add_quadratic(i, j, w);
+    }
+    let model = Arc::new(builder.build().expect("valid model"));
+
+    // Solve with the default DABS configuration (4 virtual devices).
+    let solver = DabsSolver::new(DabsConfig::default()).expect("valid config");
+    let result = solver.run(
+        &model,
+        Termination::time(Duration::from_millis(200)).with_target(-19),
+    );
+
+    println!("energy : {}", result.energy);
+    println!("vector : {:?}", result.best);
+    println!(
+        "picked : {:?}",
+        result.best.iter_ones().collect::<Vec<_>>()
+    );
+    println!("batches: {}, flips: {}", result.batches, result.flips);
+    if let Some((algo, op)) = result.first_finder {
+        println!("found by {} after a {} target", algo.name(), op.name());
+    }
+
+    // The energy of the returned vector always matches the model.
+    assert_eq!(model.energy(&result.best), result.energy);
+}

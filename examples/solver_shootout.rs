@@ -1,0 +1,81 @@
+//! Shootout: every solver in the repository on one instance.
+//!
+//! Runs DABS, the ABS baseline, simulated annealing, the hybrid portfolio,
+//! branch-and-bound and discrete simulated bifurcation on a G39-class
+//! sparse MaxCut instance with equal wall-clock budgets.
+//!
+//! ```sh
+//! cargo run --release --example solver_shootout [-- n seed budget_ms]
+//! ```
+
+use dabs::baselines::bnb::{BnbConfig, BranchAndBound};
+use dabs::baselines::hybrid::{HybridConfig, HybridSolver};
+use dabs::baselines::sa::{SaConfig, SimulatedAnnealing};
+use dabs::baselines::sb::{SbConfig, SimulatedBifurcation};
+use dabs::core::{DabsConfig, DabsSolver, Termination};
+use dabs::problems::gset;
+use dabs::search::SearchParams;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(250);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+    let budget_ms: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1_500);
+    let budget = Duration::from_millis(budget_ms);
+
+    let problem = gset::g39_like(n, n * 3, seed);
+    let model = Arc::new(problem.to_qubo());
+    println!(
+        "instance {} — {} nodes, {} edges, budget {budget:?}\n",
+        problem.name,
+        problem.n(),
+        problem.edge_count()
+    );
+    println!("{:<22} {:>10} {:>10}", "solver", "energy", "cut");
+    println!("{}", "-".repeat(44));
+    let report = |name: &str, energy: i64| {
+        println!("{name:<22} {energy:>10} {:>10}", -energy);
+    };
+
+    let mut cfg = DabsConfig::dabs(4, 2);
+    cfg.params = SearchParams::maxcut();
+    cfg.seed = seed;
+    let r = DabsSolver::new(cfg).unwrap().run(&model, Termination::time(budget));
+    report("DABS", r.energy);
+
+    let mut abs = DabsConfig::abs_baseline(4, 2);
+    abs.params = SearchParams::maxcut();
+    abs.seed = seed;
+    let r = DabsSolver::new(abs).unwrap().run(&model, Termination::time(budget));
+    report("ABS (baseline)", r.energy);
+
+    let r = SimulatedAnnealing::new(SaConfig::scaled_to(&model, 3_000, seed)).solve(&model);
+    report("simulated annealing", r.energy);
+
+    let r = HybridSolver::new(HybridConfig {
+        time_limit: budget,
+        seed,
+        ..HybridConfig::default()
+    })
+    .solve(&model);
+    report("hybrid portfolio", r.energy);
+
+    let r = BranchAndBound::new(BnbConfig {
+        time_limit: budget,
+        heuristic_restarts: 16,
+        seed,
+    })
+    .solve(&model);
+    report("branch & bound", r.energy);
+
+    let (ising, c) = model.to_ising();
+    let r = SimulatedBifurcation::new(SbConfig {
+        steps: 8_000,
+        seed,
+        ..SbConfig::default()
+    })
+    .solve(&ising);
+    report("discrete SB", (r.energy + c) / 4);
+}

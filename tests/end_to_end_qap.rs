@@ -1,0 +1,70 @@
+//! End-to-end: QAP → one-hot QUBO → DABS → decoded assignment.
+
+use dabs::baselines::exact::exhaustive;
+use dabs::core::{DabsConfig, DabsSolver, Termination};
+use dabs::problems::qaplib;
+use dabs::search::SearchParams;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn dabs_finds_feasible_optimal_assignment_of_tiny_qap() {
+    // n = 4 → 16 bits: exhaustively provable.
+    let qap = qaplib::tai_like(4, 21);
+    let penalty = qap.auto_penalty();
+    let model = Arc::new(qap.to_qubo(penalty));
+    let truth = exhaustive(&model);
+
+    let mut cfg = DabsConfig::dabs(2, 2);
+    cfg.params = SearchParams::qap_qasp();
+    cfg.seed = 22;
+    let solver = DabsSolver::new(cfg).unwrap();
+    let r = solver.run(
+        &model,
+        Termination::target(truth.energy).with_time(Duration::from_secs(30)),
+    );
+    assert!(r.reached_target, "missed QUBO optimum {}", truth.energy);
+
+    // the optimum must decode to a feasible permutation
+    let g = qap.decode(&r.best).expect("optimum must be one-hot feasible");
+    let cost = qap.cost(&g);
+    assert_eq!(r.energy, cost - 4 * penalty, "E = C − n·p identity");
+
+    // and that permutation must be the true QAP optimum
+    let mut best_cost = i64::MAX;
+    permute(&mut (0..4).collect::<Vec<_>>(), 4, &mut |perm| {
+        best_cost = best_cost.min(qap.cost(perm));
+    });
+    assert_eq!(cost, best_cost);
+}
+
+#[test]
+fn grid_qap_decodes_feasibly_under_time_budget() {
+    let qap = qaplib::nug_like(2, 3, 23); // n = 6 → 36 bits
+    let penalty = qap.auto_penalty();
+    let model = Arc::new(qap.to_qubo(penalty));
+
+    let mut cfg = DabsConfig::dabs(2, 2);
+    cfg.params = SearchParams::qap_qasp();
+    cfg.seed = 24;
+    let solver = DabsSolver::new(cfg).unwrap();
+    let r = solver.run(&model, Termination::time(Duration::from_secs(3)));
+    let g = qap.decode(&r.best).expect("best should be feasible");
+    assert_eq!(r.energy, qap.cost(&g) - 6 * penalty);
+}
+
+/// Heap's algorithm.
+fn permute<F: FnMut(&[usize])>(arr: &mut Vec<usize>, k: usize, f: &mut F) {
+    if k == 1 {
+        f(arr);
+        return;
+    }
+    for i in 0..k {
+        permute(arr, k - 1, f);
+        if k % 2 == 0 {
+            arr.swap(i, k - 1);
+        } else {
+            arr.swap(0, k - 1);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Integration tests of the host↔device packet protocol under concurrency:
+//! many blocks, many packets, failure injection (dropped channels, stop
+//! mid-stream), and bookkeeping fidelity.
+
+use crossbeam::channel;
+use dabs::gpu_sim::{DeviceConfig, DeviceStats, Packet, SharedBest, StopFlag, VirtualDevice};
+use dabs::model::{QuboBuilder, QuboModel, Solution};
+use dabs::rng::{Rng64, Xorshift64Star};
+use dabs::search::{MainAlgorithm, SearchParams};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn random_model(n: usize, seed: u64) -> QuboModel {
+    let mut rng = Xorshift64Star::new(seed);
+    let mut b = QuboBuilder::new(n);
+    for i in 0..n {
+        b.add_linear(i, rng.next_range_i64(-9, 9));
+        for j in (i + 1)..n {
+            if rng.next_bool(0.25) {
+                b.add_quadratic(i, j, rng.next_range_i64(-9, 9));
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn heavy_pipeline_round_trips_every_packet_with_fidelity() {
+    let n = 48;
+    let model = Arc::new(random_model(n, 61));
+    let (req_tx, req_rx) = channel::bounded::<Packet>(8);
+    let (res_tx, res_rx) = channel::unbounded::<Packet>();
+    let shared = Arc::new(SharedBest::new());
+    let stop = Arc::new(StopFlag::new());
+    let stats = Arc::new(DeviceStats::new());
+    let handle = VirtualDevice::spawn(
+        Arc::clone(&model),
+        DeviceConfig {
+            blocks: 4,
+            params: SearchParams::default(),
+            seed: 62,
+        },
+        req_rx,
+        res_tx,
+        Arc::clone(&shared),
+        Arc::clone(&stop),
+        Arc::clone(&stats),
+    );
+
+    let total = 60usize;
+    let feeder = {
+        let req_tx = req_tx.clone();
+        std::thread::spawn(move || {
+            let mut rng = Xorshift64Star::new(63);
+            for k in 0..total {
+                let algo = MainAlgorithm::ALL[k % 5];
+                let tag = (k % 9) as u8;
+                req_tx
+                    .send(Packet::request(Solution::random(n, &mut rng), algo, tag))
+                    .unwrap();
+            }
+        })
+    };
+
+    let mut tags = vec![0u32; 9];
+    let mut algos = vec![0u32; 5];
+    for _ in 0..total {
+        let r = res_rx.recv_timeout(Duration::from_secs(60)).unwrap();
+        assert!(r.is_result());
+        // energy is faithful
+        assert_eq!(model.energy(&r.solution), r.energy.unwrap());
+        // bookkeeping fields round-trip
+        tags[r.genetic_op as usize] += 1;
+        algos[r.algorithm.index()] += 1;
+    }
+    feeder.join().unwrap();
+    stop.stop();
+    handle.join();
+
+    // every tag and algorithm class came back in the right multiplicity
+    for (t, &count) in tags.iter().enumerate() {
+        let expect = (total / 9) as u32 + u32::from(t < total % 9);
+        assert_eq!(count, expect, "tag {t}");
+    }
+    assert_eq!(algos.iter().sum::<u32>(), total as u32);
+    assert_eq!(stats.batches(), total as u64);
+    assert!(stats.flips() >= total as u64 * SearchParams::default().batch_flips(n) / 2);
+}
+
+#[test]
+fn shared_best_matches_minimum_of_all_results() {
+    let n = 32;
+    let model = Arc::new(random_model(n, 64));
+    let (req_tx, req_rx) = channel::bounded::<Packet>(4);
+    let (res_tx, res_rx) = channel::unbounded::<Packet>();
+    let shared = Arc::new(SharedBest::new());
+    let stop = Arc::new(StopFlag::new());
+    let handle = VirtualDevice::spawn(
+        Arc::clone(&model),
+        DeviceConfig {
+            blocks: 3,
+            params: SearchParams::default(),
+            seed: 65,
+        },
+        req_rx,
+        res_tx,
+        Arc::clone(&shared),
+        Arc::clone(&stop),
+        Arc::new(DeviceStats::new()),
+    );
+    let mut rng = Xorshift64Star::new(66);
+    let mut min_seen = i64::MAX;
+    for k in 0..30 {
+        req_tx
+            .send(Packet::request(
+                Solution::random(n, &mut rng),
+                MainAlgorithm::ALL[k % 5],
+                0,
+            ))
+            .unwrap();
+    }
+    for _ in 0..30 {
+        let r = res_rx.recv_timeout(Duration::from_secs(60)).unwrap();
+        min_seen = min_seen.min(r.energy.unwrap());
+    }
+    stop.stop();
+    handle.join();
+    assert_eq!(shared.get(), min_seen);
+}
+
+#[test]
+fn stopping_mid_stream_terminates_cleanly() {
+    let n = 64;
+    let model = Arc::new(random_model(n, 67));
+    let (req_tx, req_rx) = channel::bounded::<Packet>(64);
+    let (res_tx, res_rx) = channel::unbounded::<Packet>();
+    let stop = Arc::new(StopFlag::new());
+    let handle = VirtualDevice::spawn(
+        model,
+        DeviceConfig {
+            blocks: 2,
+            params: SearchParams {
+                batch_flip_factor: 20.0, // long batches
+                ..SearchParams::default()
+            },
+            seed: 68,
+        },
+        req_rx,
+        res_tx,
+        Arc::new(SharedBest::new()),
+        Arc::clone(&stop),
+        Arc::new(DeviceStats::new()),
+    );
+    let mut rng = Xorshift64Star::new(69);
+    for _ in 0..20 {
+        req_tx
+            .send(Packet::request(
+                Solution::random(n, &mut rng),
+                MainAlgorithm::MaxMin,
+                0,
+            ))
+            .unwrap();
+    }
+    // wait for the first result so work is definitely in flight, then stop
+    let _ = res_rx.recv_timeout(Duration::from_secs(60)).unwrap();
+    stop.stop();
+    handle.join(); // must return promptly even with queued requests
+}
+
+#[test]
+fn multiple_devices_share_nothing_but_the_model() {
+    let n = 40;
+    let model = Arc::new(random_model(n, 70));
+    let mut handles = Vec::new();
+    let mut receivers = Vec::new();
+    let stop = Arc::new(StopFlag::new());
+    for d in 0..3u64 {
+        let (req_tx, req_rx) = channel::bounded::<Packet>(4);
+        let (res_tx, res_rx) = channel::unbounded::<Packet>();
+        handles.push(VirtualDevice::spawn(
+            Arc::clone(&model),
+            DeviceConfig {
+                blocks: 2,
+                params: SearchParams::default(),
+                seed: 71 + d,
+            },
+            req_rx,
+            res_tx,
+            Arc::new(SharedBest::new()),
+            Arc::clone(&stop),
+            Arc::new(DeviceStats::new()),
+        ));
+        let mut rng = Xorshift64Star::new(80 + d);
+        for k in 0..10 {
+            req_tx
+                .send(Packet::request(
+                    Solution::random(n, &mut rng),
+                    MainAlgorithm::ALL[k % 5],
+                    d as u8,
+                ))
+                .unwrap();
+        }
+        receivers.push((req_tx, res_rx, d));
+    }
+    for (_req_tx, res_rx, d) in &receivers {
+        for _ in 0..10 {
+            let r = res_rx.recv_timeout(Duration::from_secs(60)).unwrap();
+            assert_eq!(r.genetic_op, *d as u8, "packets must not cross devices");
+        }
+    }
+    stop.stop();
+    for h in handles {
+        h.join();
+    }
+}

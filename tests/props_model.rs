@@ -1,0 +1,139 @@
+//! Property-based tests on the model layer: energies, deltas, conversions,
+//! and solution-vector algebra.
+
+use dabs::model::{IsingModel, QuboBuilder, QuboModel, Solution};
+use proptest::prelude::*;
+
+/// Strategy: a random QUBO with up to `n` variables and bounded weights.
+fn arb_qubo(max_n: usize) -> impl Strategy<Value = QuboModel> {
+    (2..=max_n).prop_flat_map(|n| {
+        let diag = proptest::collection::vec(-20i64..=20, n);
+        let edges = proptest::collection::vec(
+            ((0..n), (0..n), -20i64..=20).prop_filter("no self-loops", |(i, j, _)| i != j),
+            0..(n * 2),
+        );
+        (Just(n), diag, edges).prop_map(|(n, diag, edges)| {
+            let mut b = QuboBuilder::new(n);
+            for (i, d) in diag.into_iter().enumerate() {
+                b.add_linear(i, d);
+            }
+            for (i, j, w) in edges {
+                b.add_quadratic(i, j, w);
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+/// Strategy: a bit vector of length n as bools.
+fn arb_bits(n: usize) -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delta_equals_energy_difference(q in arb_qubo(24), seed in any::<u64>()) {
+        let n = q.n();
+        let mut rng = dabs::rng::Xorshift64Star::new(seed);
+        let x = Solution::random(n, &mut rng);
+        let e = q.energy(&x);
+        for i in 0..n {
+            let mut y = x.clone();
+            y.flip(i);
+            prop_assert_eq!(q.delta(&x, i), q.energy(&y) - e);
+        }
+    }
+
+    #[test]
+    fn energy_of_zero_vector_is_zero(q in arb_qubo(24)) {
+        prop_assert_eq!(q.energy(&Solution::zeros(q.n())), 0);
+    }
+
+    #[test]
+    fn ising_qubo_roundtrip_preserves_energy(q in arb_qubo(20), seed in any::<u64>()) {
+        let (ising, c) = q.to_ising();
+        let mut rng = dabs::rng::Xorshift64Star::new(seed);
+        for _ in 0..8 {
+            let x = Solution::random(q.n(), &mut rng);
+            // H(S) = 4·E(X) − C
+            prop_assert_eq!(ising.hamiltonian(&x), 4 * q.energy(&x) - c);
+        }
+    }
+
+    #[test]
+    fn ising_to_qubo_offset_identity(
+        n in 3usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = dabs::rng::Xorshift64Star::new(seed);
+        use dabs::rng::Rng64;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.next_bool(0.4) {
+                    edges.push((i, j, rng.next_range_i64(-5, 5)));
+                }
+            }
+        }
+        let biases: Vec<i64> = (0..n).map(|_| rng.next_range_i64(-5, 5)).collect();
+        let ising = IsingModel::new(n, &edges, biases).unwrap();
+        let (qubo, offset) = ising.to_qubo();
+        for _ in 0..8 {
+            let x = Solution::random(n, &mut rng);
+            prop_assert_eq!(ising.hamiltonian(&x), qubo.energy(&x) + offset);
+        }
+    }
+
+    #[test]
+    fn hamming_is_a_metric(a in arb_bits(64), b in arb_bits(64), c in arb_bits(64)) {
+        let (sa, sb, sc) = (
+            Solution::from_bits(&a),
+            Solution::from_bits(&b),
+            Solution::from_bits(&c),
+        );
+        prop_assert_eq!(sa.hamming(&sa), 0);
+        prop_assert_eq!(sa.hamming(&sb), sb.hamming(&sa));
+        prop_assert!(sa.hamming(&sc) <= sa.hamming(&sb) + sb.hamming(&sc));
+    }
+
+    #[test]
+    fn flip_is_involutive(bits in arb_bits(100), idx in 0usize..100) {
+        let mut s = Solution::from_bits(&bits);
+        let orig = s.clone();
+        s.flip(idx);
+        prop_assert_ne!(&s, &orig);
+        s.flip(idx);
+        prop_assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn crossover_child_within_parent_hull(a in arb_bits(80), b in arb_bits(80), seed in any::<u64>()) {
+        let (sa, sb) = (Solution::from_bits(&a), Solution::from_bits(&b));
+        let mut rng = dabs::rng::Xorshift64Star::new(seed);
+        let child = sa.crossover(&sb, &mut rng);
+        for i in 0..80 {
+            prop_assert!(child.get(i) == sa.get(i) || child.get(i) == sb.get(i));
+        }
+        // child is at most as far from each parent as the parents are apart
+        prop_assert!(child.hamming(&sa) + child.hamming(&sb) == sa.hamming(&sb));
+    }
+
+    #[test]
+    fn count_ones_matches_iter(bits in arb_bits(130)) {
+        let s = Solution::from_bits(&bits);
+        prop_assert_eq!(s.count_ones(), s.iter_ones().count());
+        prop_assert_eq!(s.count_ones(), bits.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn lower_bound_is_sound(q in arb_qubo(16), seed in any::<u64>()) {
+        let lb = q.lower_bound();
+        let mut rng = dabs::rng::Xorshift64Star::new(seed);
+        for _ in 0..16 {
+            let x = Solution::random(q.n(), &mut rng);
+            prop_assert!(q.energy(&x) >= lb);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Cross-solver parity: every solver in the repo agrees on small proven
+//! optima (they differ only in how fast they get there).
+
+use dabs::baselines::bnb::{BnbConfig, BranchAndBound};
+use dabs::baselines::exact::exhaustive;
+use dabs::baselines::hybrid::{HybridConfig, HybridSolver};
+use dabs::baselines::sa::{SaConfig, SimulatedAnnealing};
+use dabs::baselines::sb::{SbConfig, SimulatedBifurcation};
+use dabs::core::{DabsConfig, DabsSolver, Termination};
+use dabs::model::{QuboBuilder, QuboModel};
+use dabs::rng::{Rng64, Xorshift64Star};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn random_model(n: usize, density: f64, seed: u64) -> QuboModel {
+    let mut rng = Xorshift64Star::new(seed);
+    let mut b = QuboBuilder::new(n);
+    for i in 0..n {
+        b.add_linear(i, rng.next_range_i64(-9, 9));
+        for j in (i + 1)..n {
+            if rng.next_bool(density) {
+                b.add_quadratic(i, j, rng.next_range_i64(-9, 9));
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn all_solvers_agree_on_a_16_bit_instance() {
+    let q = random_model(16, 0.4, 41);
+    let truth = exhaustive(&q).energy;
+    let model = Arc::new(q.clone());
+
+    // DABS
+    let mut cfg = DabsConfig::dabs(2, 2);
+    cfg.seed = 42;
+    let dabs = DabsSolver::new(cfg)
+        .unwrap()
+        .run(&model, Termination::target(truth).with_time(Duration::from_secs(30)));
+    assert_eq!(dabs.energy, truth, "DABS");
+
+    // branch & bound proves it
+    let bnb = BranchAndBound::new(BnbConfig::default()).solve(&q);
+    assert!(bnb.proven_optimal);
+    assert_eq!(bnb.energy, truth, "BnB");
+
+    // SA reaches it
+    let sa = SimulatedAnnealing::new(SaConfig::scaled_to(&q, 500, 43)).solve(&q);
+    assert_eq!(sa.energy, truth, "SA");
+
+    // hybrid reaches it
+    let hy = HybridSolver::new(HybridConfig {
+        time_limit: Duration::from_millis(500),
+        seed: 44,
+        ..HybridConfig::default()
+    })
+    .solve(&q);
+    assert_eq!(hy.energy, truth, "hybrid");
+
+    // dSB gets within a small gap (analog dynamics, no guarantee)
+    let (ising, c) = q.to_ising();
+    let sb = SimulatedBifurcation::new(SbConfig {
+        steps: 4000,
+        seed: 45,
+        ..SbConfig::default()
+    })
+    .solve(&ising);
+    let sb_energy = (sb.energy + c) / 4;
+    let gap = (sb_energy - truth).abs() as f64 / truth.abs().max(1) as f64;
+    assert!(gap <= 0.15, "dSB energy {sb_energy} vs optimum {truth}");
+}
+
+#[test]
+fn energies_are_internally_consistent_across_solvers() {
+    // whatever each solver returns, its reported energy must match the
+    // model evaluation of its reported solution
+    let q = random_model(24, 0.3, 46);
+    let model = Arc::new(q.clone());
+
+    let mut cfg = DabsConfig::dabs(2, 1);
+    cfg.seed = 47;
+    let dabs = DabsSolver::new(cfg)
+        .unwrap()
+        .run(&model, Termination::time(Duration::from_millis(400)));
+    assert_eq!(q.energy(&dabs.best), dabs.energy);
+
+    let sa = SimulatedAnnealing::new(SaConfig::scaled_to(&q, 50, 48)).solve(&q);
+    assert_eq!(q.energy(&sa.best), sa.energy);
+
+    let bnb = BranchAndBound::new(BnbConfig {
+        time_limit: Duration::from_millis(200),
+        heuristic_restarts: 4,
+        seed: 49,
+    })
+    .solve(&q);
+    assert_eq!(q.energy(&bnb.best), bnb.energy);
+
+    let hy = HybridSolver::new(HybridConfig {
+        time_limit: Duration::from_millis(150),
+        seed: 50,
+        ..HybridConfig::default()
+    })
+    .solve(&q);
+    assert_eq!(q.energy(&hy.best), hy.energy);
+}
