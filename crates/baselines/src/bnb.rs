@@ -157,7 +157,11 @@ impl<'m> TreeSearch<'m> {
 
         // branch: try x_depth = 1 first when its immediate gain is negative
         let gain_one = self.model.diag(depth) + self.link[depth];
-        let order = if gain_one < 0 { [true, false] } else { [false, true] };
+        let order = if gain_one < 0 {
+            [true, false]
+        } else {
+            [false, true]
+        };
         let mut complete = true;
         for value in order {
             self.assignment[depth] = value;

@@ -42,7 +42,7 @@ impl SaConfig {
         Self {
             sweeps,
             t_hot: 2.0 * w,
-            t_cold: 0.05 * w.max(1.0).min(20.0),
+            t_cold: 0.05 * w.clamp(1.0, 20.0),
             seed,
         }
     }

@@ -135,9 +135,7 @@ fn bench_genetic(c: &mut Criterion) {
     group.bench_function("crossover_2000", |b| {
         b.iter(|| black_box(a.crossover(&b_sol, &mut rng)))
     });
-    group.bench_function("hamming_2000", |b| {
-        b.iter(|| black_box(a.hamming(&b_sol)))
-    });
+    group.bench_function("hamming_2000", |b| b.iter(|| black_box(a.hamming(&b_sol))));
     group.finish();
 }
 

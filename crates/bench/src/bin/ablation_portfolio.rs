@@ -23,8 +23,16 @@ fn main() {
     println!("cells: success probability reaching the portfolio's reference energy");
     println!("runs = {runs}, per-run budget = {budget:?}\n");
 
-    let mut headers = vec!["Problem".to_string(), "PotOpt E".to_string(), "portfolio".to_string()];
-    headers.extend(MainAlgorithm::ALL.iter().map(|a| format!("only-{}", a.name())));
+    let mut headers = vec![
+        "Problem".to_string(),
+        "PotOpt E".to_string(),
+        "portfolio".to_string(),
+    ];
+    headers.extend(
+        MainAlgorithm::ALL
+            .iter()
+            .map(|a| format!("only-{}", a.name())),
+    );
     let mut table = Table::new(headers);
 
     for (label, model, params) in full_problem_suite(false, seed) {

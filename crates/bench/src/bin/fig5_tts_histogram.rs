@@ -34,14 +34,21 @@ fn main() {
     } else {
         maxcut_set(full, seed).remove(0) // the K2000-class instance
     };
-    println!("== Fig. 5: TTS histogram, {} (n = {}) ==", bench.label, bench.problem.n());
+    println!(
+        "== Fig. 5: TTS histogram, {} (n = {}) ==",
+        bench.label,
+        bench.problem.n()
+    );
     println!("runs = {runs}, bin width = {bin}s\n");
 
     let model = Arc::new(bench.problem.to_qubo());
     let mut cfg = DabsConfig::dabs(devices, blocks);
     cfg.params = SearchParams::maxcut();
     let reference = establish_reference(&model, &cfg, budget * 3);
-    println!("potentially optimal energy: {reference} (cut {})", -reference);
+    println!(
+        "potentially optimal energy: {reference} (cut {})",
+        -reference
+    );
 
     let stats = repeat_solver(runs, seed * 1000, |s| {
         dabs_run_outcome(&model, &cfg, s, reference, budget)

@@ -28,7 +28,10 @@ fn main() {
     let devices = args.get("devices", 4usize);
     let blocks = args.get("blocks", 2usize);
 
-    println!("== Table II: MaxCut ({}) ==", if full { "paper scale" } else { "CI scale" });
+    println!(
+        "== Table II: MaxCut ({}) ==",
+        if full { "paper scale" } else { "CI scale" }
+    );
     println!("runs = {runs}, per-run budget = {budget:?}, devices = {devices}×{blocks} blocks\n");
 
     let mut table = Table::new(vec![

@@ -26,7 +26,10 @@ fn main() {
     let devices = args.get("devices", 4usize);
     let blocks = args.get("blocks", 2usize);
 
-    println!("== Table III: QAP ({}) ==", if full { "paper scale" } else { "CI scale" });
+    println!(
+        "== Table III: QAP ({}) ==",
+        if full { "paper scale" } else { "CI scale" }
+    );
     println!("runs = {runs}, per-run budget = {budget:?}\n");
 
     let mut table = Table::new(vec![
@@ -60,10 +63,7 @@ fn main() {
         // decode the reference solution to verify feasibility & the
         // E = C − n·p identity
         let solver = DabsSolver::new(dabs_cfg.clone()).unwrap();
-        let ref_run = solver.run(
-            &model,
-            Termination::target(reference).with_time(budget * 3),
-        );
+        let ref_run = solver.run(&model, Termination::target(reference).with_time(budget * 3));
         let decoded = bench.instance.decode(&ref_run.best);
         let (cost_str, feasible) = match &decoded {
             Some(g) => {

@@ -28,7 +28,10 @@ fn main() {
     let blocks = args.get("blocks", 2usize);
     let reads = args.get("reads", if full { 1000u32 } else { 200 });
 
-    println!("== Table IV: QASP ({}) ==", if full { "paper scale" } else { "CI scale" });
+    println!(
+        "== Table IV: QASP ({}) ==",
+        if full { "paper scale" } else { "CI scale" }
+    );
     println!("runs = {runs}, per-run budget = {budget:?}, annealer reads = {reads}\n");
 
     let mut table = Table::new(vec![

@@ -26,8 +26,14 @@ fn main() {
     println!("== Table V: executed-frequency of algorithms and operations ==");
     println!("runs = {runs}, per-run budget = {budget:?}\n");
 
-    let algo_headers: Vec<String> = MainAlgorithm::ALL.iter().map(|a| a.name().to_string()).collect();
-    let op_headers: Vec<String> = GeneticOp::DABS.iter().map(|o| o.name().to_string()).collect();
+    let algo_headers: Vec<String> = MainAlgorithm::ALL
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
+    let op_headers: Vec<String> = GeneticOp::DABS
+        .iter()
+        .map(|o| o.name().to_string())
+        .collect();
     let mut headers = vec!["Problem".to_string()];
     headers.extend(algo_headers);
     headers.extend(op_headers);
@@ -48,8 +54,14 @@ fn main() {
         }
         let report = agg.expect("at least one run");
 
-        let algo_pcts: Vec<f64> = MainAlgorithm::ALL.iter().map(|&a| report.algo_percent(a)).collect();
-        let op_pcts: Vec<f64> = GeneticOp::DABS.iter().map(|&o| report.op_percent(o)).collect();
+        let algo_pcts: Vec<f64> = MainAlgorithm::ALL
+            .iter()
+            .map(|&a| report.algo_percent(a))
+            .collect();
+        let op_pcts: Vec<f64> = GeneticOp::DABS
+            .iter()
+            .map(|&o| report.op_percent(o))
+            .collect();
         let algo_max = algo_pcts.iter().cloned().fold(0.0f64, f64::max);
         let op_max = op_pcts.iter().cloned().fold(0.0f64, f64::max);
 

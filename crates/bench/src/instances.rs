@@ -132,7 +132,11 @@ pub fn qasp_set(full: bool, seed: u64) -> Vec<QaspBench> {
 pub fn full_problem_suite(
     full: bool,
     seed: u64,
-) -> Vec<(String, std::sync::Arc<dabs_model::QuboModel>, dabs_search::SearchParams)> {
+) -> Vec<(
+    String,
+    std::sync::Arc<dabs_model::QuboModel>,
+    dabs_search::SearchParams,
+)> {
     let mut out = Vec::new();
     for b in maxcut_set(full, seed) {
         out.push((

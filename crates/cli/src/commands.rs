@@ -12,7 +12,11 @@ use std::sync::Arc;
 pub fn solve(opts: &Options) -> Result<(), String> {
     let (model, name) = opts.build_model()?;
     let model = Arc::new(model);
-    println!("instance: {name} — {} bits, {} quadratic terms", model.n(), model.edge_count());
+    println!(
+        "instance: {name} — {} bits, {} quadratic terms",
+        model.n(),
+        model.edge_count()
+    );
 
     let mut cfg = if opts.use_abs {
         DabsConfig::abs_baseline(opts.devices, opts.blocks)
@@ -34,13 +38,24 @@ pub fn solve(opts: &Options) -> Result<(), String> {
         opts.blocks
     );
     println!("energy:   {}", r.energy);
-    println!("found at: {:.3}s of {:.3}s", r.time_to_best.as_secs_f64(), r.elapsed.as_secs_f64());
+    println!(
+        "found at: {:.3}s of {:.3}s",
+        r.time_to_best.as_secs_f64(),
+        r.elapsed.as_secs_f64()
+    );
     println!("batches:  {} ({} flips)", r.batches, r.flips);
     if let Some((algo, op)) = r.first_finder {
         println!("finder:   {} + {}", algo.name(), op.name());
     }
     if opts.target.is_some() {
-        println!("target:   {}", if r.reached_target { "reached" } else { "NOT reached" });
+        println!(
+            "target:   {}",
+            if r.reached_target {
+                "reached"
+            } else {
+                "NOT reached"
+            }
+        );
     }
     Ok(())
 }
@@ -49,7 +64,11 @@ pub fn solve(opts: &Options) -> Result<(), String> {
 pub fn compare(opts: &Options) -> Result<(), String> {
     let (model, name) = opts.build_model()?;
     let model = Arc::new(model);
-    println!("instance: {name} — {} bits, {} quadratic terms", model.n(), model.edge_count());
+    println!(
+        "instance: {name} — {} bits, {} quadratic terms",
+        model.n(),
+        model.edge_count()
+    );
     println!("budget:   {:?} per solver\n", opts.budget);
     println!("{:<22} {:>14} {:>10}", "solver", "energy", "time");
     println!("{}", "-".repeat(48));
@@ -57,15 +76,30 @@ pub fn compare(opts: &Options) -> Result<(), String> {
     let mut cfg = DabsConfig::dabs(opts.devices, opts.blocks);
     cfg.seed = opts.seed;
     let r = DabsSolver::new(cfg)?.run(&model, Termination::time(opts.budget));
-    println!("{:<22} {:>14} {:>9.3}s", "DABS", r.energy, r.elapsed.as_secs_f64());
+    println!(
+        "{:<22} {:>14} {:>9.3}s",
+        "DABS",
+        r.energy,
+        r.elapsed.as_secs_f64()
+    );
 
     let mut abs_cfg = DabsConfig::abs_baseline(opts.devices, opts.blocks);
     abs_cfg.seed = opts.seed;
     let r = DabsSolver::new(abs_cfg)?.run(&model, Termination::time(opts.budget));
-    println!("{:<22} {:>14} {:>9.3}s", "ABS (baseline)", r.energy, r.elapsed.as_secs_f64());
+    println!(
+        "{:<22} {:>14} {:>9.3}s",
+        "ABS (baseline)",
+        r.energy,
+        r.elapsed.as_secs_f64()
+    );
 
     let r = SimulatedAnnealing::new(SaConfig::scaled_to(&model, 2_000, opts.seed)).solve(&model);
-    println!("{:<22} {:>14} {:>9.3}s", "simulated annealing", r.energy, r.elapsed.as_secs_f64());
+    println!(
+        "{:<22} {:>14} {:>9.3}s",
+        "simulated annealing",
+        r.energy,
+        r.elapsed.as_secs_f64()
+    );
 
     let r = HybridSolver::new(HybridConfig {
         time_limit: opts.budget,
@@ -73,7 +107,12 @@ pub fn compare(opts: &Options) -> Result<(), String> {
         ..HybridConfig::default()
     })
     .solve(&model);
-    println!("{:<22} {:>14} {:>9.3}s", "hybrid portfolio", r.energy, r.elapsed.as_secs_f64());
+    println!(
+        "{:<22} {:>14} {:>9.3}s",
+        "hybrid portfolio",
+        r.energy,
+        r.elapsed.as_secs_f64()
+    );
 
     let r = BranchAndBound::new(BnbConfig {
         time_limit: opts.budget,
@@ -86,7 +125,11 @@ pub fn compare(opts: &Options) -> Result<(), String> {
         "branch & bound",
         r.energy,
         r.elapsed.as_secs_f64(),
-        if r.proven_optimal { "  (proven optimal)" } else { "" }
+        if r.proven_optimal {
+            "  (proven optimal)"
+        } else {
+            ""
+        }
     );
 
     let (ising, c) = model.to_ising();
@@ -113,7 +156,9 @@ pub fn info(opts: &Options) -> Result<(), String> {
     println!("quadratic terms: {}", model.edge_count());
     println!("max |weight|:    {}", model.max_abs_weight());
     println!("trivial bound:   E ≥ {}", model.lower_bound());
-    let degrees: Vec<usize> = (0..model.n()).map(|i| model.adjacency().degree(i)).collect();
+    let degrees: Vec<usize> = (0..model.n())
+        .map(|i| model.adjacency().degree(i))
+        .collect();
     let avg = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
     println!(
         "degree:          avg {:.1}, max {}",

@@ -63,8 +63,8 @@ impl Options {
     /// Build the QUBO model (plus a description) for the selected problem.
     pub fn build_model(&self) -> Result<(QuboModel, String), String> {
         if let Some(path) = &self.file {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let model = dabs_model::io::parse_qubo(&text).map_err(|e| e.to_string())?;
             return Ok((model, format!("file:{path}")));
         }
@@ -139,7 +139,10 @@ impl Options {
                         }
                     }
                 }
-                Ok((b.build().map_err(|e| e.to_string())?, format!("random(n={n})")))
+                Ok((
+                    b.build().map_err(|e| e.to_string())?,
+                    format!("random(n={n})"),
+                ))
             }
             other => Err(format!("unknown problem kind {other:?}")),
         }

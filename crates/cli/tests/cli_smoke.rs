@@ -1,0 +1,102 @@
+//! End-to-end smoke tests for the `dabs` binary: the library crates are
+//! covered by the workspace test suite, but the binary path — argument
+//! parsing, instance construction, solver wiring, report printing, exit
+//! codes — only gets exercised here.
+
+use std::process::{Command, Output};
+
+fn dabs(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dabs"))
+        .args(args)
+        .output()
+        .expect("failed to spawn the dabs binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn solve_runs_end_to_end_on_a_tiny_builtin_instance() {
+    let out = dabs(&[
+        "solve",
+        "--problem",
+        "random",
+        "--n",
+        "24",
+        "--seed",
+        "1",
+        "--budget-ms",
+        "200",
+        "--devices",
+        "2",
+        "--blocks",
+        "1",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for needle in ["instance:", "solver:", "energy:", "batches:", "finder:"] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn solve_stops_early_when_target_is_reached() {
+    // Energy 0 is always reachable (the all-zeros vector), so --target 0
+    // must terminate well before the generous budget.
+    let out = dabs(&[
+        "solve",
+        "--problem",
+        "random",
+        "--n",
+        "16",
+        "--seed",
+        "3",
+        "--target",
+        "0",
+        "--budget-ms",
+        "30000",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("reached") && !text.contains("NOT reached"),
+        "expected early target stop in:\n{text}"
+    );
+}
+
+#[test]
+fn info_reports_instance_shape_without_solving() {
+    let out = dabs(&["info", "--problem", "k2000", "--n", "32", "--seed", "1"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for needle in ["bits:", "quadratic terms:", "degree:"] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    assert!(text.contains("32"), "instance size missing in:\n{text}");
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exits_2() {
+    let out = dabs(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = dabs(&["solve", "--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("error"));
+}
+
+#[test]
+fn unknown_command_fails_with_exit_1() {
+    let out = dabs(&["frobnicate", "--problem", "random"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unknown command"));
+}

@@ -156,10 +156,12 @@ mod tests {
         let mut rng = Xorshift64Star::new(3);
         let mut counts = std::collections::HashMap::new();
         for _ in 0..5000 {
-            *counts.entry(select_algorithm(&pool, &config, &mut rng)).or_insert(0) += 1;
+            *counts
+                .entry(select_algorithm(&pool, &config, &mut rng))
+                .or_insert(0) += 1;
         }
         assert_eq!(counts.len(), 5);
-        for (_, &c) in &counts {
+        for &c in counts.values() {
             assert!(c > 700, "uniform spread expected: {counts:?}");
         }
     }
@@ -167,9 +169,11 @@ mod tests {
     #[test]
     fn recorded_choice_outside_portfolio_falls_back() {
         let pool = pool_with(MainAlgorithm::MaxMin, GeneticOp::One, 10);
-        let mut config = DabsConfig::default();
-        config.algorithms = vec![MainAlgorithm::CyclicMin];
-        config.operations = vec![GeneticOp::CrossMutate];
+        let config = DabsConfig {
+            algorithms: vec![MainAlgorithm::CyclicMin],
+            operations: vec![GeneticOp::CrossMutate],
+            ..DabsConfig::default()
+        };
         let mut rng = Xorshift64Star::new(4);
         for _ in 0..200 {
             assert_eq!(

@@ -140,12 +140,16 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_configs() {
-        let mut c = DabsConfig::default();
-        c.devices = 0;
+        let c = DabsConfig {
+            devices: 0,
+            ..DabsConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = DabsConfig::default();
-        c.explore_prob = 1.5;
+        let c = DabsConfig {
+            explore_prob: 1.5,
+            ..DabsConfig::default()
+        };
         assert!(c.validate().is_err());
 
         let mut c = DabsConfig::default();

@@ -93,7 +93,10 @@ impl GeneticOp {
     pub fn arity(self) -> usize {
         match self {
             GeneticOp::Random => 0,
-            GeneticOp::Best | GeneticOp::Mutation | GeneticOp::Zero | GeneticOp::One
+            GeneticOp::Best
+            | GeneticOp::Mutation
+            | GeneticOp::Zero
+            | GeneticOp::One
             | GeneticOp::IntervalZero => 1,
             GeneticOp::Crossover | GeneticOp::Xrossover | GeneticOp::CrossMutate => 2,
         }

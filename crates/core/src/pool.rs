@@ -133,9 +133,7 @@ impl SolutionPool {
                 }
             }
         }
-        let pos = self
-            .entries
-            .partition_point(|e| e.energy <= entry.energy);
+        let pos = self.entries.partition_point(|e| e.energy <= entry.energy);
         self.entries.insert(pos, entry);
         self.inserted += 1;
         true
@@ -254,12 +252,7 @@ mod tests {
     fn fill_random_populates_capacity_with_infinite_energy() {
         let mut pool = SolutionPool::new(10, true);
         let mut rng = Xorshift64Star::new(5);
-        pool.fill_random(
-            64,
-            &MainAlgorithm::ALL,
-            &GeneticOp::DABS,
-            &mut rng,
-        );
+        pool.fill_random(64, &MainAlgorithm::ALL, &GeneticOp::DABS, &mut rng);
         assert_eq!(pool.len(), 10);
         assert!(pool.iter().all(|e| e.energy == i64::MAX));
         // any real result now displaces a random row
@@ -303,7 +296,10 @@ mod tests {
             counts[pool.select_uniform(&mut rng).energy as usize] += 1;
         }
         for &c in &counts {
-            assert!((800..1200).contains(&c), "uniform counts skewed: {counts:?}");
+            assert!(
+                (800..1200).contains(&c),
+                "uniform counts skewed: {counts:?}"
+            );
         }
     }
 

@@ -15,9 +15,13 @@
 //!   tests and ablation studies.
 
 use crate::adaptive::{generate_target, select_algorithm, select_operation};
-use crate::{DabsConfig, FrequencyReport, FrequencyTracker, GeneticOp, IslandRing, PoolEntry, SolutionPool};
+use crate::{
+    DabsConfig, FrequencyReport, FrequencyTracker, GeneticOp, IslandRing, PoolEntry, SolutionPool,
+};
 use crossbeam::channel;
-use dabs_gpu_sim::{DeviceConfig, DeviceStats, InlineDevice, Packet, SharedBest, StopFlag, VirtualDevice};
+use dabs_gpu_sim::{
+    DeviceConfig, DeviceStats, InlineDevice, Packet, SharedBest, StopFlag, VirtualDevice,
+};
 use dabs_model::{QuboModel, Solution};
 use dabs_rng::{Rng64, SplitMix64, Xorshift64Star};
 use dabs_search::MainAlgorithm;
@@ -83,8 +87,7 @@ impl Termination {
     }
 
     fn validate(&self) -> Result<(), String> {
-        if self.target_energy.is_none() && self.time_limit.is_none() && self.max_batches.is_none()
-        {
+        if self.target_energy.is_none() && self.time_limit.is_none() && self.max_batches.is_none() {
             return Err("termination must set at least one condition".into());
         }
         Ok(())
@@ -246,8 +249,18 @@ impl DabsSolver {
             let config = cfg.clone();
             host_handles.push(std::thread::spawn(move || {
                 host_loop(
-                    n, &config, host_seed, &pool, neighbor.as_ref(), req_tx, res_rx, &tracker,
-                    &global, &stop, &restarts, start,
+                    n,
+                    &config,
+                    host_seed,
+                    &pool,
+                    neighbor.as_ref(),
+                    req_tx,
+                    res_rx,
+                    &tracker,
+                    &global,
+                    &stop,
+                    &restarts,
+                    start,
                 );
             }));
         }
@@ -289,8 +302,15 @@ impl DabsSolver {
             .map(|t| detail.energy <= t)
             .unwrap_or(false);
         SolveResult {
-            best: detail.solution.clone().unwrap_or_else(|| Solution::zeros(n)),
-            energy: if detail.solution.is_some() { detail.energy } else { 0 },
+            best: detail
+                .solution
+                .clone()
+                .unwrap_or_else(|| Solution::zeros(n)),
+            energy: if detail.solution.is_some() {
+                detail.energy
+            } else {
+                0
+            },
             time_to_best: detail.found_at,
             elapsed,
             batches,
@@ -398,7 +418,11 @@ impl DabsSolver {
             .unwrap_or(false);
         SolveResult {
             best: best_solution.unwrap_or_else(|| Solution::zeros(n)),
-            energy: if best_energy == i64::MAX { 0 } else { best_energy },
+            energy: if best_energy == i64::MAX {
+                0
+            } else {
+                best_energy
+            },
             time_to_best: found_at,
             elapsed: start.elapsed(),
             batches,
@@ -465,10 +489,15 @@ fn host_loop(
                 let algo = select_algorithm(&p, config, &mut rng);
                 let op = select_operation(&p, config, &mut rng);
                 let target = match (op, neighbor) {
-                    (GeneticOp::Xrossover, Some(nb)) => {
-                        let nb = nb.lock();
-                        generate_target(op, &p, Some(&nb), n, config, &mut rng)
-                    }
+                    // try_lock, not lock: each host already holds its own
+                    // pool here, so two ring neighbours that pick Xrossover
+                    // at the same time would block on each other's pool —
+                    // an AB-BA deadlock. On contention degrade to the
+                    // intra-pool form, same as the single-island case.
+                    (GeneticOp::Xrossover, Some(nb)) => match nb.try_lock() {
+                        Some(nbp) => generate_target(op, &p, Some(&nbp), n, config, &mut rng),
+                        None => generate_target(op, &p, None, n, config, &mut rng),
+                    },
                     _ => generate_target(op, &p, None, n, config, &mut rng),
                 };
                 (Packet::request(target, algo, op.index() as u8), algo, op)
@@ -483,8 +512,7 @@ fn host_loop(
                 Ok(result) => {
                     let energy = result.energy.expect("device results carry energy");
                     let algo = result.algorithm;
-                    let op =
-                        GeneticOp::from_index(result.genetic_op).unwrap_or(GeneticOp::Random);
+                    let op = GeneticOp::from_index(result.genetic_op).unwrap_or(GeneticOp::Random);
                     global.offer(&result.solution, energy, start.elapsed(), (algo, op));
                     pool.lock().insert(PoolEntry {
                         solution: result.solution,
@@ -600,7 +628,12 @@ mod tests {
         let r = solver.run_sequential(&q, Termination::batches(300));
         assert_eq!(r.frequencies.total(), 300);
         // with 5% exploration over 300 draws, every algorithm should appear
-        let nonzero = r.frequencies.algo_executed.iter().filter(|&&c| c > 0).count();
+        let nonzero = r
+            .frequencies
+            .algo_executed
+            .iter()
+            .filter(|&&c| c > 0)
+            .count();
         assert_eq!(nonzero, 5, "{:?}", r.frequencies.algo_executed);
     }
 
@@ -621,7 +654,10 @@ mod tests {
                 assert_eq!(count, 0, "{} executed under ABS preset", a.name());
             }
         }
-        assert_eq!(r.frequencies.op_executed[GeneticOp::CrossMutate.index()], 100);
+        assert_eq!(
+            r.frequencies.op_executed[GeneticOp::CrossMutate.index()],
+            100
+        );
     }
 
     #[test]
@@ -659,7 +695,11 @@ mod tests {
             &q,
             Termination::target(opt).with_time(Duration::from_secs(30)),
         );
-        assert!(r.reached_target, "threaded run missed optimum: {}", r.energy);
+        assert!(
+            r.reached_target,
+            "threaded run missed optimum: {}",
+            r.energy
+        );
         assert_eq!(q.energy(&r.best), opt);
         assert!(r.time_to_best <= r.elapsed);
         assert!(r.batches > 0);

@@ -146,9 +146,12 @@ impl<'m> InlineDevice<'m> {
 
     /// Process one request packet synchronously, returning the result.
     pub fn process(&mut self, packet: Packet) -> Packet {
-        let out = self
-            .batch
-            .run(&mut self.state, &packet.solution, packet.algorithm, &mut self.rng);
+        let out = self.batch.run(
+            &mut self.state,
+            &packet.solution,
+            packet.algorithm,
+            &mut self.rng,
+        );
         let improved = self.shared.update(out.energy);
         self.stats.record_batch(out.flips, improved);
         packet.into_result(out.best, out.energy)
@@ -250,7 +253,11 @@ mod tests {
         for i in 0..total {
             let algo = MainAlgorithm::ALL[i % 5];
             req_tx
-                .send(Packet::request(Solution::random(40, &mut rng), algo, i as u8))
+                .send(Packet::request(
+                    Solution::random(40, &mut rng),
+                    algo,
+                    i as u8,
+                ))
                 .unwrap();
         }
         let mut results = Vec::new();

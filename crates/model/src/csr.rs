@@ -85,7 +85,12 @@ impl SymmetricCsr {
         for i in 0..self.n {
             let (s, e) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
             row.clear();
-            row.extend(self.cols[s..e].iter().copied().zip(self.vals[s..e].iter().copied()));
+            row.extend(
+                self.cols[s..e]
+                    .iter()
+                    .copied()
+                    .zip(self.vals[s..e].iter().copied()),
+            );
             row.sort_unstable_by_key(|&(c, _)| c);
             let mut k = 0;
             while k < row.len() {

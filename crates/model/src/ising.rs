@@ -88,10 +88,10 @@ impl IsingModel {
         let n = self.n();
         let mut diag = vec![0i64; n];
         let mut edges = Vec::with_capacity(self.edge_count());
-        for i in 0..n {
-            diag[i] = 2 * self.biases[i];
+        for (i, d) in diag.iter_mut().enumerate() {
+            *d = 2 * self.biases[i];
             for (j, jij) in self.couplings.neighbors(i) {
-                diag[i] -= 2 * jij;
+                *d -= 2 * jij;
                 if i < j {
                     edges.push((i, j, 4 * jij));
                 }

@@ -122,10 +122,10 @@ impl QuboModel {
         let n = self.n();
         let mut h = vec![0i64; n];
         let mut edges = Vec::with_capacity(self.edge_count());
-        for i in 0..n {
-            h[i] = 2 * self.diag[i];
+        for (i, hi) in h.iter_mut().enumerate() {
+            *hi = 2 * self.diag[i];
             for (j, w) in self.neighbors(i) {
-                h[i] += w;
+                *hi += w;
                 if i < j {
                     edges.push((i, j, w));
                 }
@@ -133,8 +133,8 @@ impl QuboModel {
         }
         // 4·E(X) = Σ_{i<j} W_ij (s_i s_j + s_i + s_j + 1) + Σ_i 2 W_ii (s_i + 1)
         //        = H(S) + C,  C = Σ_{i<j} W_ij + 2 Σ_i W_ii
-        let c: i64 = edges.iter().map(|&(_, _, w)| w).sum::<i64>()
-            + 2 * self.diag.iter().sum::<i64>();
+        let c: i64 =
+            edges.iter().map(|&(_, _, w)| w).sum::<i64>() + 2 * self.diag.iter().sum::<i64>();
         let ising = IsingModel::new(n, &edges, h).expect("valid by construction");
         (ising, c)
     }
@@ -151,11 +151,7 @@ impl QuboModel {
     /// `E(X) ≥ lower_bound()` for all `X`; used by branch-and-bound and as a
     /// sanity check in tests.
     pub fn lower_bound(&self) -> i64 {
-        let neg_edges: i64 = self
-            .adj
-            .iter_edges()
-            .map(|(_, _, w)| w.min(0))
-            .sum();
+        let neg_edges: i64 = self.adj.iter_edges().map(|(_, _, w)| w.min(0)).sum();
         let neg_diag: i64 = self.diag.iter().map(|&v| v.min(0)).sum();
         neg_edges + neg_diag
     }
@@ -205,11 +201,7 @@ mod tests {
             for i in 0..3 {
                 let mut y = x.clone();
                 y.flip(i);
-                assert_eq!(
-                    q.delta(&x, i),
-                    q.energy(&y) - q.energy(&x),
-                    "Δ_{i}({bits})"
-                );
+                assert_eq!(q.delta(&x, i), q.energy(&y) - q.energy(&x), "Δ_{i}({bits})");
             }
         }
     }

@@ -66,7 +66,10 @@ pub fn k2000_like(n: usize, seed: u64) -> MaxCutProblem {
 
 /// Sparse random graph with `m` distinct edges, all weight +1 (G22 class).
 pub fn g22_like(n: usize, m: usize, seed: u64) -> MaxCutProblem {
-    let edges = random_edge_set(n, m, seed).into_iter().map(|(i, j)| (i, j, 1)).collect();
+    let edges = random_edge_set(n, m, seed)
+        .into_iter()
+        .map(|(i, j)| (i, j, 1))
+        .collect();
     MaxCutProblem::new(n, edges, format!("G22-like(n={n},m={m},seed={seed})")).unwrap()
 }
 

@@ -22,10 +22,7 @@ impl PartitionProblem {
     /// Build from positive integers.
     pub fn new(numbers: Vec<i64>, name: impl Into<String>) -> Self {
         assert!(!numbers.is_empty(), "need at least one number");
-        assert!(
-            numbers.iter().all(|&a| a > 0),
-            "numbers must be positive"
-        );
+        assert!(numbers.iter().all(|&a| a > 0), "numbers must be positive");
         Self {
             numbers,
             name: name.into(),

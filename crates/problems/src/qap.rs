@@ -152,17 +152,17 @@ impl QapInstance {
         let n = self.n;
         let mut g = vec![usize::MAX; n];
         let mut col_used = vec![false; n];
-        for i in 0..n {
-            for j in 0..n {
+        for (i, gi) in g.iter_mut().enumerate() {
+            for (j, used) in col_used.iter_mut().enumerate() {
                 if x.get(self.bit(i, j)) {
-                    if g[i] != usize::MAX || col_used[j] {
+                    if *gi != usize::MAX || *used {
                         return None; // doubled row or column
                     }
-                    g[i] = j;
-                    col_used[j] = true;
+                    *gi = j;
+                    *used = true;
                 }
             }
-            if g[i] == usize::MAX {
+            if *gi == usize::MAX {
                 return None; // empty row
             }
         }

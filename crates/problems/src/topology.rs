@@ -125,7 +125,11 @@ impl Topology {
             attempts += 1;
             let a = rng.next_index(nn);
             let off = 1 + rng.next_index(window.min(nn - 1));
-            let b = if a + off < nn { a + off } else { a - off.min(a) };
+            let b = if a + off < nn {
+                a + off
+            } else {
+                a - off.min(a)
+            };
             if a == b {
                 continue;
             }

@@ -67,7 +67,12 @@ impl BatchSearch {
         let mut main_legs = 0u32;
 
         if algorithm == MainAlgorithm::TwoNeighbor {
-            flips += greedy(state, &mut best, &mut self.tabu, budget.saturating_sub(flips));
+            flips += greedy(
+                state,
+                &mut best,
+                &mut self.tabu,
+                budget.saturating_sub(flips),
+            );
             flips += algorithm.run(state, &mut best, &mut self.tabu, rng, leg);
             main_legs += 1;
             flips += greedy(state, &mut best, &mut self.tabu, u64::MAX);

@@ -70,7 +70,8 @@ mod tests {
             energies.push(st.energy());
         }
         // re-run via the public fn and compare the endpoint
-        let mut st2 = IncrementalState::from_solution(&q, Solution::random(25, &mut Xorshift64Star::new(23)));
+        let mut st2 =
+            IncrementalState::from_solution(&q, Solution::random(25, &mut Xorshift64Star::new(23)));
         let mut best2 = BestTracker::unbounded(25);
         let mut tabu2 = TabuList::new(25, 8);
         greedy(&mut st2, &mut best2, &mut tabu2, u64::MAX);

@@ -100,11 +100,7 @@ mod tests {
         let local_min = st.solution().clone();
         let mut rng = Xorshift64Star::new(76);
         positive_min(&mut st, &mut best, &mut tabu, &mut rng, 5);
-        assert_ne!(
-            st.solution(),
-            &local_min,
-            "must move off the local minimum"
-        );
+        assert_ne!(st.solution(), &local_min, "must move off the local minimum");
         st.assert_consistent();
     }
 
@@ -117,7 +113,12 @@ mod tests {
         let q = random_model(16, 0.5, 77);
         let base = IncrementalState::new(&q);
         let deltas: Vec<i64> = base.deltas().to_vec();
-        let posmin = deltas.iter().copied().filter(|&d| d > 0).min().unwrap_or(i64::MAX);
+        let posmin = deltas
+            .iter()
+            .copied()
+            .filter(|&d| d > 0)
+            .min()
+            .unwrap_or(i64::MAX);
         let allowed: Vec<usize> = (0..16).filter(|&i| deltas[i] <= posmin).collect();
         let mut seen = std::collections::HashSet::new();
         for seed in 0..200u64 {

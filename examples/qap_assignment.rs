@@ -27,7 +27,11 @@ fn main() {
     println!("instance {} — n = {n}, penalty = {penalty}", qap.name);
 
     let model = Arc::new(qap.to_qubo(penalty));
-    println!("QUBO: {} bits, {} quadratic terms", model.n(), model.edge_count());
+    println!(
+        "QUBO: {} bits, {} quadratic terms",
+        model.n(),
+        model.edge_count()
+    );
 
     let mut config = DabsConfig::dabs(4, 2);
     config.params = SearchParams::qap_qasp(); // paper: s = 0.1, b = 1

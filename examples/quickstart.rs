@@ -14,7 +14,13 @@ fn main() {
     //   E(X) = Σ cost_i x_i + Σ clash_ij x_i x_j
     // negative "costs" are rewards; positive pair weights are conflicts.
     let costs = [-5i64, -4, -3, -6, -2, -4, -3, -5];
-    let clashes = [(0usize, 1usize, 7i64), (2, 3, 6), (4, 5, 5), (6, 7, 6), (0, 3, 4)];
+    let clashes = [
+        (0usize, 1usize, 7i64),
+        (2, 3, 6),
+        (4, 5, 5),
+        (6, 7, 6),
+        (0, 3, 4),
+    ];
 
     let mut builder = QuboBuilder::new(costs.len());
     for (i, &c) in costs.iter().enumerate() {
@@ -34,10 +40,7 @@ fn main() {
 
     println!("energy : {}", result.energy);
     println!("vector : {:?}", result.best);
-    println!(
-        "picked : {:?}",
-        result.best.iter_ones().collect::<Vec<_>>()
-    );
+    println!("picked : {:?}", result.best.iter_ones().collect::<Vec<_>>());
     println!("batches: {}, flips: {}", result.batches, result.flips);
     if let Some((algo, op)) = result.first_finder {
         println!("found by {} after a {} target", algo.name(), op.name());

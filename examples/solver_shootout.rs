@@ -42,13 +42,17 @@ fn main() {
     let mut cfg = DabsConfig::dabs(4, 2);
     cfg.params = SearchParams::maxcut();
     cfg.seed = seed;
-    let r = DabsSolver::new(cfg).unwrap().run(&model, Termination::time(budget));
+    let r = DabsSolver::new(cfg)
+        .unwrap()
+        .run(&model, Termination::time(budget));
     report("DABS", r.energy);
 
     let mut abs = DabsConfig::abs_baseline(4, 2);
     abs.params = SearchParams::maxcut();
     abs.seed = seed;
-    let r = DabsSolver::new(abs).unwrap().run(&model, Termination::time(budget));
+    let r = DabsSolver::new(abs)
+        .unwrap()
+        .run(&model, Termination::time(budget));
     report("ABS (baseline)", r.energy);
 
     let r = SimulatedAnnealing::new(SaConfig::scaled_to(&model, 3_000, seed)).solve(&model);

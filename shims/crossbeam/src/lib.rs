@@ -1,0 +1,306 @@
+//! Offline stand-in for the subset of [`crossbeam`] the workspace uses:
+//! `crossbeam::channel` MPMC channels (bounded + unbounded).
+//!
+//! Implemented as a `Mutex<VecDeque>` + two `Condvar`s. This trades the
+//! lock-free fast path of real crossbeam for zero dependencies; the channel
+//! semantics (cloneable senders *and* receivers, disconnect on last drop,
+//! blocking bounded send, `recv_timeout`) match what the solver and the
+//! virtual-device workers rely on.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        /// `None` = unbounded.
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half. Cloneable; the channel disconnects when the last
+    /// sender is dropped.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// Receiving half. Cloneable (MPMC); the channel disconnects for
+    /// senders when the last receiver is dropped.
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// The message could not be delivered because all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error from [`Receiver::recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    /// Error from [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// Error from [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    /// An unbounded channel: `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// A bounded channel: `send` blocks while `cap` messages are queued.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+
+    fn lock<T>(chan: &Chan<T>) -> std::sync::MutexGuard<'_, Inner<T>> {
+        chan.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    impl<T> Sender<T> {
+        /// Deliver `msg`, blocking while a bounded channel is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = lock(&self.0);
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                let full = inner.cap.is_some_and(|c| inner.queue.len() >= c);
+                if !full {
+                    inner.queue.push_back(msg);
+                    drop(inner);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = self
+                    .0
+                    .not_full
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Whether a bounded channel is at capacity (always `false` for
+        /// unbounded channels).
+        pub fn is_full(&self) -> bool {
+            let inner = lock(&self.0);
+            inner.cap.is_some_and(|c| inner.queue.len() >= c)
+        }
+
+        /// Queued message count.
+        pub fn len(&self) -> usize {
+            lock(&self.0).queue.len()
+        }
+
+        /// Whether no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.0).senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = lock(&self.0);
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                // Wake receivers blocked in recv/recv_timeout so they can
+                // observe the disconnect.
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Take a message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = lock(&self.0);
+            match inner.queue.pop_front() {
+                Some(v) => {
+                    drop(inner);
+                    self.0.not_full.notify_one();
+                    Ok(v)
+                }
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Block until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = lock(&self.0);
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .0
+                    .not_empty
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Block until a message arrives, all senders disconnect, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = lock(&self.0);
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .0
+                    .not_empty
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                inner = guard;
+            }
+        }
+
+        /// Queued message count.
+        pub fn len(&self) -> usize {
+            lock(&self.0).queue.len()
+        }
+
+        /// Whether no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lock(&self.0).receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = lock(&self.0);
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                // Wake senders blocked on a full bounded channel so they can
+                // observe the disconnect.
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn unbounded_round_trip() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_recv() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            assert!(tx.is_full());
+            let t = thread::spawn(move || tx.send(2).unwrap());
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(2));
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn disconnect_semantics() {
+            let (tx, rx) = unbounded::<i32>();
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            assert_eq!(rx.recv(), Err(RecvError));
+            let (tx, rx) = unbounded::<i32>();
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn mpmc_cloned_receivers_share_the_stream() {
+            let (tx, rx1) = unbounded();
+            let rx2 = rx1.clone();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            while let Ok(v) = rx1.try_recv() {
+                got.push(v);
+                if let Ok(v) = rx2.try_recv() {
+                    got.push(v);
+                }
+            }
+            got.sort_unstable();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = unbounded::<i32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+    }
+}

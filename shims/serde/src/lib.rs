@@ -1,0 +1,17 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no registry access, and the workspace only ever
+//! *derives* `Serialize`/`Deserialize` — nothing serializes yet. This shim
+//! supplies the two trait names plus no-op derive macros so the annotated
+//! types compile unchanged. When a real serialization backend (serde_json,
+//! bincode, …) lands, point the `serde` workspace dependency back at
+//! crates.io and everything keeps working.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

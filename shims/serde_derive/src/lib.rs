@@ -1,0 +1,16 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` backing the
+//! offline serde shim. Emitting an empty token stream is sound here because
+//! nothing in the workspace bounds on the serde traits yet; the derive only
+//! needs to be *resolvable* for the annotated types to compile.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

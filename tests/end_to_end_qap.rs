@@ -26,7 +26,9 @@ fn dabs_finds_feasible_optimal_assignment_of_tiny_qap() {
     assert!(r.reached_target, "missed QUBO optimum {}", truth.energy);
 
     // the optimum must decode to a feasible permutation
-    let g = qap.decode(&r.best).expect("optimum must be one-hot feasible");
+    let g = qap
+        .decode(&r.best)
+        .expect("optimum must be one-hot feasible");
     let cost = qap.cost(&g);
     assert_eq!(r.energy, cost - 4 * penalty, "E = C − n·p identity");
 

@@ -25,10 +25,7 @@ fn dabs_solves_small_qasp_and_hamiltonian_identity_holds() {
     );
     assert!(r.reached_target);
     // Ising Hamiltonian of the answer matches through the offset
-    assert_eq!(
-        qasp.ising().hamiltonian(&r.best),
-        r.energy + qasp.offset()
-    );
+    assert_eq!(qasp.ising().hamiltonian(&r.best), r.energy + qasp.offset());
 }
 
 #[test]

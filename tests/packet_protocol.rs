@@ -62,8 +62,8 @@ fn heavy_pipeline_round_trips_every_packet_with_fidelity() {
         })
     };
 
-    let mut tags = vec![0u32; 9];
-    let mut algos = vec![0u32; 5];
+    let mut tags = [0u32; 9];
+    let mut algos = [0u32; 5];
     for _ in 0..total {
         let r = res_rx.recv_timeout(Duration::from_secs(60)).unwrap();
         assert!(r.is_result());

@@ -55,9 +55,11 @@ proptest! {
             .map(|(_, o)| o)
             .collect();
         prop_assume!(!algorithms.is_empty() && !operations.is_empty());
-        let mut config = DabsConfig::default();
-        config.algorithms = algorithms.clone();
-        config.operations = operations.clone();
+        let config = DabsConfig {
+            algorithms: algorithms.clone(),
+            operations: operations.clone(),
+            ..DabsConfig::default()
+        };
         // pool rows recorded with arbitrary (possibly out-of-portfolio) pairs
         let pool = filled_pool(32, 8, seed);
         let mut rng = Xorshift64Star::new(seed ^ 3);

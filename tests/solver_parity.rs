@@ -35,9 +35,10 @@ fn all_solvers_agree_on_a_16_bit_instance() {
     // DABS
     let mut cfg = DabsConfig::dabs(2, 2);
     cfg.seed = 42;
-    let dabs = DabsSolver::new(cfg)
-        .unwrap()
-        .run(&model, Termination::target(truth).with_time(Duration::from_secs(30)));
+    let dabs = DabsSolver::new(cfg).unwrap().run(
+        &model,
+        Termination::target(truth).with_time(Duration::from_secs(30)),
+    );
     assert_eq!(dabs.energy, truth, "DABS");
 
     // branch & bound proves it
