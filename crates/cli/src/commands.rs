@@ -1,22 +1,28 @@
 //! The CLI subcommands.
 
-use crate::options::Options;
+use crate::options::{LoadgenOptions, Options, ServeOptions};
 use dabs_baselines::bnb::{BnbConfig, BranchAndBound};
 use dabs_baselines::hybrid::{HybridConfig, HybridSolver};
 use dabs_baselines::sa::{SaConfig, SimulatedAnnealing};
 use dabs_baselines::sb::{SbConfig, SimulatedBifurcation};
-use dabs_core::{DabsConfig, DabsSolver, Termination};
+use dabs_core::{DabsConfig, DabsSolver, Incumbent, IncumbentObserver, Termination};
+use dabs_server::{
+    drive_fleet, ExecMode, JobSpec, LatencySummary, ProblemSpec, Server, ServerConfig,
+};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// `dabs solve`: run DABS (or the ABS preset) and print the result.
 pub fn solve(opts: &Options) -> Result<(), String> {
     let (model, name) = opts.build_model()?;
     let model = Arc::new(model);
-    println!(
-        "instance: {name} — {} bits, {} quadratic terms",
-        model.n(),
-        model.edge_count()
-    );
+    if !opts.json {
+        println!(
+            "instance: {name} — {} bits, {} quadratic terms",
+            model.n(),
+            model.edge_count()
+        );
+    }
 
     let mut cfg = if opts.use_abs {
         DabsConfig::abs_baseline(opts.devices, opts.blocks)
@@ -30,7 +36,24 @@ pub fn solve(opts: &Options) -> Result<(), String> {
     if let Some(t) = opts.target {
         term = term.with_target(t);
     }
-    let r = solver.run(&model, term);
+    let r = if opts.progress {
+        // Live incumbents on stderr so stdout stays parseable under --json.
+        let observer: IncumbentObserver = Arc::new(|inc: &Incumbent| {
+            eprintln!(
+                "incumbent: E = {} at {:.3}s",
+                inc.energy,
+                inc.found_at.as_secs_f64()
+            );
+        });
+        solver.run_with_observer(&model, term, observer)
+    } else {
+        solver.run(&model, term)
+    };
+    if opts.json {
+        // The same serialization the server protocol uses (core::wire).
+        println!("{}", r.to_json());
+        return Ok(());
+    }
     println!(
         "solver:   {} ({} devices × {} blocks)",
         if opts.use_abs { "ABS baseline" } else { "DABS" },
@@ -57,6 +80,85 @@ pub fn solve(opts: &Options) -> Result<(), String> {
             }
         );
     }
+    Ok(())
+}
+
+/// `dabs serve`: run the solve-job server until killed.
+pub fn serve_from_args(args: &[String]) -> Result<(), String> {
+    let opts = ServeOptions::parse(args)?;
+    let server = Server::bind(
+        opts.addr.as_str(),
+        ServerConfig {
+            workers: opts.workers,
+            queue_capacity: opts.queue_capacity,
+        },
+    )
+    .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+    println!(
+        "dabs-server listening on {} — {} workers, queue capacity {}",
+        server.local_addr(),
+        opts.workers,
+        opts.queue_capacity
+    );
+    println!("protocol: newline-delimited JSON (see docs/PROTOCOL.md)");
+    server.run_forever();
+    Ok(())
+}
+
+/// `dabs loadgen`: drive a server with concurrent clients and report
+/// throughput and latency percentiles.
+pub fn loadgen_from_args(args: &[String]) -> Result<(), String> {
+    let opts = LoadgenOptions::parse(args)?;
+    // Without --addr, bring up an in-process server on an ephemeral port.
+    let local = match &opts.addr {
+        Some(_) => None,
+        None => Some(
+            Server::bind(
+                "127.0.0.1:0",
+                ServerConfig {
+                    workers: opts.workers,
+                    queue_capacity: (opts.jobs * 2).max(64),
+                },
+            )
+            .map_err(|e| format!("cannot start in-process server: {e}"))?,
+        ),
+    };
+    let addr = match (&opts.addr, &local) {
+        (Some(a), _) => a.clone(),
+        (None, Some(s)) => s.local_addr().to_string(),
+        _ => unreachable!(),
+    };
+    println!(
+        "loadgen: {} clients × {} jobs → {} (n = {}, {} batches/job)",
+        opts.clients,
+        opts.jobs,
+        if opts.addr.is_some() {
+            addr.clone()
+        } else {
+            format!("{addr} (in-process)")
+        },
+        opts.n,
+        opts.batches
+    );
+
+    let t0 = Instant::now();
+    let (n, batches, seed_base) = (opts.n, opts.batches, opts.seed);
+    let all = drive_fleet(&addr, opts.clients, opts.jobs, move |c, j| {
+        let seed = seed_base + (c * 10_007 + j) as u64;
+        JobSpec {
+            problem: ProblemSpec::random(n, seed),
+            seed,
+            mode: ExecMode::Sequential,
+            max_batches: Some(batches),
+            ..JobSpec::default()
+        }
+    })?;
+    let wall = t0.elapsed();
+    if let Some(s) = local {
+        s.shutdown();
+    }
+    let summary = LatencySummary::from_samples(all, wall).ok_or("no jobs completed")?;
+    println!("{}", summary.report());
     Ok(())
 }
 

@@ -1,11 +1,10 @@
 //! Flag parsing and instance construction for the CLI.
 
 use dabs_model::QuboModel;
-use dabs_problems::{gset, qaplib, QaspInstance, Topology};
-use dabs_rng::{Rng64, Xorshift64Star};
+use dabs_server::ProblemSpec;
 use std::time::Duration;
 
-/// Parsed options common to every subcommand.
+/// Parsed options common to `solve` / `compare` / `info`.
 #[derive(Debug, Clone)]
 pub struct Options {
     pub problem: String,
@@ -17,6 +16,10 @@ pub struct Options {
     pub use_abs: bool,
     pub target: Option<i64>,
     pub file: Option<String>,
+    /// Emit the solve result as one machine-readable JSON line.
+    pub json: bool,
+    /// Stream incumbents to stderr while solving.
+    pub progress: bool,
 }
 
 impl Options {
@@ -31,6 +34,8 @@ impl Options {
             use_abs: false,
             target: None,
             file: None,
+            json: false,
+            progress: false,
         };
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
@@ -51,6 +56,8 @@ impl Options {
                 "--target" => o.target = Some(parse(&value("target")?, "target")?),
                 "--file" => o.file = Some(value("file")?),
                 "--abs" => o.use_abs = true,
+                "--json" => o.json = true,
+                "--progress" => o.progress = true,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -60,92 +67,117 @@ impl Options {
         Ok(o)
     }
 
-    /// Build the QUBO model (plus a description) for the selected problem.
-    pub fn build_model(&self) -> Result<(QuboModel, String), String> {
+    /// Convert the flags into the shared [`ProblemSpec`] — the same
+    /// construction path the server's job runtime uses, so `dabs solve` and
+    /// a submitted job with identical parameters build identical models.
+    pub fn problem_spec(&self) -> Result<(ProblemSpec, Option<String>), String> {
         if let Some(path) = &self.file {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let model = dabs_model::io::parse_qubo(&text).map_err(|e| e.to_string())?;
-            return Ok((model, format!("file:{path}")));
+            return Ok((ProblemSpec::inline_text(text), Some(format!("file:{path}"))));
         }
-        let seed = self.seed;
-        match self.problem.as_str() {
-            "k2000" => {
-                let n = self.n.unwrap_or(200);
-                let p = gset::k2000_like(n, seed);
-                Ok((p.to_qubo(), p.name))
+        Ok((
+            ProblemSpec {
+                kind: self.problem.clone(),
+                n: self.n,
+                seed: self.seed,
+                inline: None,
+            },
+            None,
+        ))
+    }
+
+    /// Build the QUBO model (plus a description) for the selected problem.
+    pub fn build_model(&self) -> Result<(QuboModel, String), String> {
+        let (spec, name_override) = self.problem_spec()?;
+        let (model, name) = spec.build()?;
+        Ok((model, name_override.unwrap_or(name)))
+    }
+}
+
+/// Options for `dabs serve`.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    pub addr: String,
+    pub workers: usize,
+    pub queue_capacity: usize,
+}
+
+impl ServeOptions {
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut o = ServeOptions {
+            addr: "127.0.0.1:7878".into(),
+            workers: 2,
+            queue_capacity: 256,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("--{name} requires a value"))
+            };
+            match a.as_str() {
+                "--addr" => o.addr = value("addr")?,
+                "--workers" => o.workers = parse(&value("workers")?, "workers")?,
+                "--queue" => o.queue_capacity = parse(&value("queue")?, "queue")?,
+                other => return Err(format!("unknown flag {other:?}")),
             }
-            "g22" => {
-                let n = self.n.unwrap_or(200);
-                let m = (n * n) / 200; // matches G22's 1% density
-                let p = gset::g22_like(n, m, seed);
-                Ok((p.to_qubo(), p.name))
-            }
-            "g39" => {
-                let n = self.n.unwrap_or(200);
-                let m = (n * n * 6) / 2000;
-                let p = gset::g39_like(n, m, seed);
-                Ok((p.to_qubo(), p.name))
-            }
-            "tai" => {
-                let n = self.n.unwrap_or(9);
-                let q = qaplib::tai_like(n, seed);
-                let pen = q.auto_penalty();
-                let name = format!("{} (penalty {pen})", q.name);
-                Ok((q.to_qubo(pen), name))
-            }
-            "nug" => {
-                let n = self.n.unwrap_or(9);
-                let side = (n as f64).sqrt().round() as usize;
-                if side * side != n {
-                    return Err(format!("nug requires a square n, got {n}"));
-                }
-                let q = qaplib::nug_like(side, side, seed);
-                let pen = q.auto_penalty();
-                let name = format!("{} (penalty {pen})", q.name);
-                Ok((q.to_qubo(pen), name))
-            }
-            "tho" => {
-                let n = self.n.unwrap_or(9);
-                let side = (n as f64).sqrt().round() as usize;
-                if side * side != n {
-                    return Err(format!("tho requires a square n, got {n}"));
-                }
-                let q = qaplib::tho_like(side, side, seed);
-                let pen = q.auto_penalty();
-                let name = format!("{} (penalty {pen})", q.name);
-                Ok((q.to_qubo(pen), name))
-            }
-            "qasp" => {
-                let n = self.n.unwrap_or(512);
-                // Chimera cell count that covers n before fault trimming
-                let cells = ((n as f64 / 8.0).sqrt().ceil() as usize).max(2);
-                let topo = Topology::pegasus_like(cells, cells, 14.0, seed);
-                let target_edges = (n * 7).min(topo.edge_count());
-                let topo = topo.with_faults(n.min(topo.n()), target_edges, seed);
-                let inst = QaspInstance::generate(&topo, 16, seed);
-                let name = inst.name.clone();
-                Ok((inst.qubo().clone(), name))
-            }
-            "random" => {
-                let n = self.n.unwrap_or(64);
-                let mut rng = Xorshift64Star::new(seed);
-                let mut b = dabs_model::QuboBuilder::new(n);
-                for i in 0..n {
-                    b.add_linear(i, rng.next_range_i64(-9, 9));
-                    for j in (i + 1)..n {
-                        if rng.next_bool(0.3) {
-                            b.add_quadratic(i, j, rng.next_range_i64(-9, 9));
-                        }
-                    }
-                }
-                Ok((
-                    b.build().map_err(|e| e.to_string())?,
-                    format!("random(n={n})"),
-                ))
-            }
-            other => Err(format!("unknown problem kind {other:?}")),
         }
+        if o.workers == 0 {
+            return Err("--workers must be ≥ 1".into());
+        }
+        Ok(o)
+    }
+}
+
+/// Options for `dabs loadgen`.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Target server; `None` spins up an in-process one.
+    pub addr: Option<String>,
+    pub clients: usize,
+    pub jobs: usize,
+    pub n: usize,
+    pub batches: u64,
+    /// Workers for the in-process server (ignored with `--addr`).
+    pub workers: usize,
+    pub seed: u64,
+}
+
+impl LoadgenOptions {
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut o = LoadgenOptions {
+            addr: None,
+            clients: 4,
+            jobs: 20,
+            n: 32,
+            batches: 300,
+            workers: 2,
+            seed: 1,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("--{name} requires a value"))
+            };
+            match a.as_str() {
+                "--addr" => o.addr = Some(value("addr")?),
+                "--clients" => o.clients = parse(&value("clients")?, "clients")?,
+                "--jobs" => o.jobs = parse(&value("jobs")?, "jobs")?,
+                "--n" => o.n = parse(&value("n")?, "n")?,
+                "--batches" => o.batches = parse(&value("batches")?, "batches")?,
+                "--workers" => o.workers = parse(&value("workers")?, "workers")?,
+                "--seed" => o.seed = parse(&value("seed")?, "seed")?,
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if o.clients == 0 || o.jobs == 0 {
+            return Err("--clients and --jobs must be ≥ 1".into());
+        }
+        Ok(o)
     }
 }
 
@@ -165,7 +197,7 @@ mod tests {
 
     #[test]
     fn parses_complete_flag_set() {
-        let o = opts("--problem g22 --n 150 --seed 9 --budget-ms 500 --devices 2 --blocks 3 --abs --target -42").unwrap();
+        let o = opts("--problem g22 --n 150 --seed 9 --budget-ms 500 --devices 2 --blocks 3 --abs --target -42 --json --progress").unwrap();
         assert_eq!(o.problem, "g22");
         assert_eq!(o.n, Some(150));
         assert_eq!(o.seed, 9);
@@ -174,6 +206,15 @@ mod tests {
         assert_eq!(o.blocks, 3);
         assert!(o.use_abs);
         assert_eq!(o.target, Some(-42));
+        assert!(o.json);
+        assert!(o.progress);
+    }
+
+    #[test]
+    fn json_and_progress_default_off() {
+        let o = opts("--problem g22").unwrap();
+        assert!(!o.json);
+        assert!(!o.progress);
     }
 
     #[test]
@@ -224,5 +265,46 @@ mod tests {
         assert_eq!(model, q);
         assert!(name.starts_with("file:"));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn cli_flags_build_the_same_model_as_a_server_job_spec() {
+        let o = opts("--problem random --n 24 --seed 8").unwrap();
+        let (cli_model, _) = o.build_model().unwrap();
+        let (spec, _) = o.problem_spec().unwrap();
+        let (job_model, _) = spec.build().unwrap();
+        assert_eq!(cli_model, job_model);
+    }
+
+    #[test]
+    fn serve_options_defaults_and_flags() {
+        let o = ServeOptions::parse(&[]).unwrap();
+        assert_eq!(o.addr, "127.0.0.1:7878");
+        assert_eq!(o.workers, 2);
+        let args: Vec<String> = "--addr 0.0.0.0:9000 --workers 6 --queue 32"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let o = ServeOptions::parse(&args).unwrap();
+        assert_eq!(
+            (o.addr.as_str(), o.workers, o.queue_capacity),
+            ("0.0.0.0:9000", 6, 32)
+        );
+        assert!(ServeOptions::parse(&["--workers".into(), "0".into()]).is_err());
+    }
+
+    #[test]
+    fn loadgen_options_defaults_and_flags() {
+        let o = LoadgenOptions::parse(&[]).unwrap();
+        assert_eq!((o.clients, o.jobs), (4, 20));
+        assert!(o.addr.is_none());
+        let args: Vec<String> = "--addr 127.0.0.1:7878 --clients 8 --jobs 64 --n 16 --batches 50"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let o = LoadgenOptions::parse(&args).unwrap();
+        assert_eq!(o.addr.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!((o.clients, o.jobs, o.n, o.batches), (8, 64, 16, 50));
+        assert!(LoadgenOptions::parse(&["--jobs".into(), "0".into()]).is_err());
     }
 }

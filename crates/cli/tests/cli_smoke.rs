@@ -88,6 +88,69 @@ fn no_arguments_prints_usage_and_exits_2() {
 }
 
 #[test]
+fn explicit_help_prints_usage_to_stdout_and_exits_0() {
+    for flag in ["help", "--help", "-h"] {
+        let out = dabs(&[flag]);
+        assert_eq!(out.status.code(), Some(0), "{flag} must succeed");
+        assert!(stdout(&out).contains("USAGE"), "{flag}: usage on stdout");
+        assert!(
+            stderr(&out).is_empty(),
+            "{flag}: nothing on stderr, got {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn solve_json_emits_one_machine_readable_line() {
+    let out = dabs(&[
+        "solve",
+        "--problem",
+        "random",
+        "--n",
+        "16",
+        "--seed",
+        "2",
+        "--budget-ms",
+        "100",
+        "--json",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 1, "exactly one line, got:\n{text}");
+    let line = lines[0];
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    for field in [
+        "\"energy\":",
+        "\"best\":",
+        "\"batches\":",
+        "\"frequencies\":",
+    ] {
+        assert!(line.contains(field), "missing {field} in {line}");
+    }
+}
+
+#[test]
+fn loadgen_runs_an_in_process_server_end_to_end() {
+    let out = dabs(&[
+        "loadgen",
+        "--clients",
+        "2",
+        "--jobs",
+        "4",
+        "--n",
+        "16",
+        "--batches",
+        "40",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("jobs/s"), "throughput line missing:\n{text}");
+    assert!(text.contains("p99"), "latency line missing:\n{text}");
+}
+
+#[test]
 fn unknown_flag_is_a_usage_error() {
     let out = dabs(&["solve", "--no-such-flag"]);
     assert_eq!(out.status.code(), Some(2));

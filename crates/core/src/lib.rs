@@ -50,11 +50,15 @@ mod island;
 mod pool;
 mod solver;
 mod stats;
+pub mod wire;
 
 pub use adaptive::{generate_target, select_algorithm, select_operation};
 pub use config::DabsConfig;
+// Re-exported so external-cancellation callers (the server job runtime, the
+// CLI) need only `dabs-core`.
+pub use dabs_gpu_sim::StopFlag;
 pub use genetic::GeneticOp;
 pub use island::IslandRing;
 pub use pool::{PoolEntry, SolutionPool};
-pub use solver::{DabsSolver, SolveResult, Termination};
+pub use solver::{DabsSolver, Incumbent, IncumbentObserver, SolveResult, Termination};
 pub use stats::{FrequencyReport, FrequencyTracker};

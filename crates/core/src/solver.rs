@@ -32,7 +32,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// When to stop a run. Conditions combine with OR; at least one must be set.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Termination {
     /// Stop as soon as the global best reaches (≤) this energy.
     pub target_energy: Option<i64>,
@@ -40,6 +40,12 @@ pub struct Termination {
     pub time_limit: Option<Duration>,
     /// Stop after this many batches (summed over all devices).
     pub max_batches: Option<u64>,
+    /// External cancellation hook: stop as soon as this flag trips. The flag
+    /// is owned by the caller (a job runtime, a signal handler, …) and may
+    /// already be tripped when the run starts — the run then returns without
+    /// executing a batch. Checked between batches, so cancellation latency
+    /// is one batch, not one run.
+    pub stop: Option<Arc<StopFlag>>,
 }
 
 impl Termination {
@@ -68,6 +74,15 @@ impl Termination {
         }
     }
 
+    /// Run until the external flag trips (no other condition — the caller is
+    /// fully responsible for stopping the run).
+    pub fn external(stop: Arc<StopFlag>) -> Self {
+        Self {
+            stop: Some(stop),
+            ..Self::default()
+        }
+    }
+
     /// Add a target energy.
     pub fn with_target(mut self, target: i64) -> Self {
         self.target_energy = Some(target);
@@ -86,16 +101,53 @@ impl Termination {
         self
     }
 
+    /// Add an external cancellation flag.
+    pub fn with_stop(mut self, stop: Arc<StopFlag>) -> Self {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// Has the external flag (if any) tripped?
+    #[inline]
+    pub fn stop_requested(&self) -> bool {
+        self.stop.as_ref().is_some_and(|s| s.is_stopped())
+    }
+
     fn validate(&self) -> Result<(), String> {
-        if self.target_energy.is_none() && self.time_limit.is_none() && self.max_batches.is_none() {
+        if self.target_energy.is_none()
+            && self.time_limit.is_none()
+            && self.max_batches.is_none()
+            && self.stop.is_none()
+        {
             return Err("termination must set at least one condition".into());
         }
         Ok(())
     }
 }
 
+/// A new global-best solution, as delivered to an incumbent observer.
+#[derive(Debug, Clone)]
+pub struct Incumbent {
+    /// The improving solution.
+    pub solution: Solution,
+    /// Its energy — strictly lower than every previously observed incumbent
+    /// of the same run.
+    pub energy: i64,
+    /// Wall-clock offset from the start of the run.
+    pub found_at: Duration,
+}
+
+/// Callback invoked on every new best-energy incumbent of a run.
+///
+/// Invocations are serialized and strictly improving (each call carries a
+/// lower energy than the previous one), in both execution modes. The
+/// callback runs on a solver thread while an internal lock is held: keep it
+/// fast (push to a channel, update an atomic) and never call back into the
+/// solver from inside it.
+pub type IncumbentObserver = Arc<dyn Fn(&Incumbent) + Send + Sync>;
+
 /// Outcome of a run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SolveResult {
     /// Best solution found.
     pub best: Solution,
@@ -122,11 +174,13 @@ pub struct SolveResult {
 }
 
 /// Shared record of the best solution across all pools/devices.
-#[derive(Debug)]
 struct GlobalBest {
     /// Fast-path energy for lock-free checks.
     energy: AtomicI64,
     detail: Mutex<BestDetail>,
+    /// Incumbent callback; invoked under the `detail` lock so deliveries are
+    /// serialized and strictly improving even with many host threads racing.
+    observer: Option<IncumbentObserver>,
 }
 
 #[derive(Debug)]
@@ -138,7 +192,7 @@ struct BestDetail {
 }
 
 impl GlobalBest {
-    fn new() -> Self {
+    fn new(observer: Option<IncumbentObserver>) -> Self {
         Self {
             energy: AtomicI64::new(i64::MAX),
             detail: Mutex::new(BestDetail {
@@ -147,6 +201,7 @@ impl GlobalBest {
                 found_at: Duration::ZERO,
                 finder: None,
             }),
+            observer,
         }
     }
 
@@ -168,6 +223,13 @@ impl GlobalBest {
             d.found_at = found_at;
             d.finder = Some(finder);
             self.energy.store(energy, Ordering::Relaxed);
+            if let Some(obs) = &self.observer {
+                obs(&Incumbent {
+                    solution: solution.clone(),
+                    energy,
+                    found_at,
+                });
+            }
         }
     }
 
@@ -197,6 +259,28 @@ impl DabsSolver {
     /// Threaded run: `devices` virtual devices with `blocks_per_device`
     /// workers each, plus one host thread per device.
     pub fn run(&self, model: &Arc<QuboModel>, termination: Termination) -> SolveResult {
+        self.run_observed(model, termination, None)
+    }
+
+    /// Threaded run that additionally invokes `observer` on every new
+    /// global-best incumbent (see [`IncumbentObserver`] for the delivery
+    /// contract). Used by the server runtime to stream incumbents to
+    /// subscribed clients and by the CLI for live progress.
+    pub fn run_with_observer(
+        &self,
+        model: &Arc<QuboModel>,
+        termination: Termination,
+        observer: IncumbentObserver,
+    ) -> SolveResult {
+        self.run_observed(model, termination, Some(observer))
+    }
+
+    fn run_observed(
+        &self,
+        model: &Arc<QuboModel>,
+        termination: Termination,
+        observer: Option<IncumbentObserver>,
+    ) -> SolveResult {
         termination.validate().expect("invalid termination");
         let n = model.n();
         let cfg = &self.config;
@@ -212,7 +296,7 @@ impl DabsSolver {
         }
 
         let tracker = Arc::new(FrequencyTracker::new());
-        let global = Arc::new(GlobalBest::new());
+        let global = Arc::new(GlobalBest::new(observer));
         let stop = Arc::new(StopFlag::new());
         let restarts = Arc::new(AtomicI64::new(0));
         let mut device_stats = Vec::new();
@@ -267,6 +351,9 @@ impl DabsSolver {
 
         // Supervisor: enforce the termination conditions.
         loop {
+            if termination.stop_requested() {
+                break;
+            }
             if let Some(t) = termination.target_energy {
                 if global.current() <= t {
                     break;
@@ -325,6 +412,27 @@ impl DabsSolver {
     /// Deterministic single-threaded run: round-robin over inline devices.
     /// `max_batches` termination is exact in this mode.
     pub fn run_sequential(&self, model: &QuboModel, termination: Termination) -> SolveResult {
+        self.run_sequential_observed(model, termination, None)
+    }
+
+    /// Sequential run with an incumbent observer. The observer does not
+    /// perturb the search: results are bit-for-bit identical to
+    /// [`DabsSolver::run_sequential`] with the same seed.
+    pub fn run_sequential_with_observer(
+        &self,
+        model: &QuboModel,
+        termination: Termination,
+        observer: IncumbentObserver,
+    ) -> SolveResult {
+        self.run_sequential_observed(model, termination, Some(observer))
+    }
+
+    fn run_sequential_observed(
+        &self,
+        model: &QuboModel,
+        termination: Termination,
+        observer: Option<IncumbentObserver>,
+    ) -> SolveResult {
         termination.validate().expect("invalid termination");
         let n = model.n();
         let cfg = &self.config;
@@ -354,6 +462,11 @@ impl DabsSolver {
 
         'outer: loop {
             for d in 0..cfg.devices {
+                // Check the external flag before (not after) the batch so an
+                // already-tripped flag returns without touching a device.
+                if termination.stop_requested() {
+                    break 'outer;
+                }
                 // adaptive choice + target generation on pool d
                 let (packet, algo, op) = {
                     let pool = &pools[d];
@@ -374,6 +487,13 @@ impl DabsSolver {
                     best_solution = Some(result.solution.clone());
                     found_at = start.elapsed();
                     finder = Some((algo, op));
+                    if let Some(obs) = &observer {
+                        obs(&Incumbent {
+                            solution: result.solution.clone(),
+                            energy,
+                            found_at,
+                        });
+                    }
                 }
                 pools[d].insert(PoolEntry {
                     solution: result.solution,
@@ -750,5 +870,161 @@ mod tests {
         let q = random_model(10, 0.5, 210);
         let solver = DabsSolver::new(DabsConfig::default()).unwrap();
         solver.run_sequential(&q, Termination::default());
+    }
+
+    #[test]
+    fn tripped_stop_flag_returns_promptly_from_sequential() {
+        let q = random_model(24, 0.3, 211);
+        let solver = DabsSolver::new(DabsConfig {
+            devices: 2,
+            blocks_per_device: 1,
+            pool_capacity: 8,
+            seed: 21,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        let stop = Arc::new(StopFlag::new());
+        stop.stop();
+        // A generous time limit that must NOT be consumed.
+        let term = Termination::time(Duration::from_secs(60)).with_stop(Arc::clone(&stop));
+        let t0 = Instant::now();
+        let r = solver.run_sequential(&q, term);
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "must return promptly"
+        );
+        assert_eq!(r.batches, 0, "no batch may run under a tripped flag");
+        assert_eq!(r.energy, 0);
+        assert_eq!(r.best, Solution::zeros(24));
+
+        // Pool state is rebuilt per run: the same solver must still work.
+        let r2 = solver.run_sequential(&q, Termination::batches(50));
+        assert_eq!(r2.batches, 50);
+        assert!(r2.flips > 0);
+    }
+
+    #[test]
+    fn tripped_stop_flag_returns_promptly_from_threaded() {
+        let q = Arc::new(random_model(40, 0.3, 212));
+        let solver = DabsSolver::new(DabsConfig {
+            devices: 2,
+            blocks_per_device: 1,
+            pool_capacity: 8,
+            seed: 22,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        let stop = Arc::new(StopFlag::new());
+        stop.stop();
+        let term = Termination::time(Duration::from_secs(60)).with_stop(Arc::clone(&stop));
+        let t0 = Instant::now();
+        let r = solver.run(&q, term);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "must return promptly, took {:?}",
+            t0.elapsed()
+        );
+        // Re-running with a fresh termination must still make progress.
+        let r2 = solver.run(&q, Termination::time(Duration::from_millis(100)));
+        assert!(r2.batches > 0);
+        let _ = r;
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_both_modes() {
+        let q = Arc::new(random_model(48, 0.3, 213));
+        let solver = DabsSolver::new(DabsConfig {
+            devices: 2,
+            blocks_per_device: 1,
+            pool_capacity: 8,
+            seed: 23,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        for threaded in [false, true] {
+            let stop = Arc::new(StopFlag::new());
+            let canceller = {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(50));
+                    stop.stop();
+                })
+            };
+            let term = Termination::external(Arc::clone(&stop));
+            let t0 = Instant::now();
+            let r = if threaded {
+                solver.run(&q, term)
+            } else {
+                solver.run_sequential(&q, term)
+            };
+            canceller.join().unwrap();
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "threaded={threaded}: cancel not honored, took {:?}",
+                t0.elapsed()
+            );
+            assert!(r.batches > 0, "threaded={threaded}: ran before cancel");
+            assert!(!r.reached_target);
+        }
+    }
+
+    #[test]
+    fn sequential_observer_streams_strictly_improving_incumbents() {
+        let q = random_model(32, 0.3, 214);
+        let solver = DabsSolver::new(DabsConfig {
+            devices: 2,
+            blocks_per_device: 1,
+            pool_capacity: 8,
+            seed: 24,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        let seen: Arc<Mutex<Vec<(i64, Duration)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let r = solver.run_sequential_with_observer(
+            &q,
+            Termination::batches(400),
+            Arc::new(move |inc: &Incumbent| {
+                sink.lock().push((inc.energy, inc.found_at));
+            }),
+        );
+        let seen = seen.lock();
+        assert!(!seen.is_empty(), "at least the first best must be observed");
+        for w in seen.windows(2) {
+            assert!(w[1].0 < w[0].0, "energies must strictly improve: {seen:?}");
+        }
+        assert_eq!(seen.last().unwrap().0, r.energy);
+        // Observer must not perturb determinism.
+        let r2 = solver.run_sequential(&q, Termination::batches(400));
+        assert_eq!(r2.energy, r.energy);
+        assert_eq!(r2.best, r.best);
+    }
+
+    #[test]
+    fn threaded_observer_streams_strictly_improving_incumbents() {
+        let q = Arc::new(random_model(40, 0.3, 215));
+        let solver = DabsSolver::new(DabsConfig {
+            devices: 2,
+            blocks_per_device: 2,
+            pool_capacity: 8,
+            seed: 25,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        let seen: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let r = solver.run_with_observer(
+            &q,
+            Termination::time(Duration::from_millis(300)),
+            Arc::new(move |inc: &Incumbent| {
+                sink.lock().push(inc.energy);
+            }),
+        );
+        let seen = seen.lock();
+        assert!(!seen.is_empty());
+        for w in seen.windows(2) {
+            assert!(w[1] < w[0], "energies must strictly improve: {seen:?}");
+        }
+        assert_eq!(*seen.last().unwrap(), r.energy);
     }
 }

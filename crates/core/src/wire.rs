@@ -1,0 +1,197 @@
+//! JSON wire representation of solver results.
+//!
+//! One serialization path shared by every process boundary in the tree: the
+//! `dabs solve --json` CLI output and the `dabs-server` line protocol both
+//! emit exactly [`SolveResult::to_json`], so a client written against one
+//! parses the other unchanged. Durations travel as integer microseconds and
+//! solutions as `'0'/'1'` bitstrings, keeping every field exact (no floats
+//! on the wire).
+
+use crate::{FrequencyReport, GeneticOp, SolveResult};
+use dabs_model::Solution;
+use dabs_search::MainAlgorithm;
+use serde::json::Json;
+use std::time::Duration;
+
+/// Look up a main algorithm by its table name (inverse of
+/// [`MainAlgorithm::name`]).
+pub fn algorithm_by_name(name: &str) -> Option<MainAlgorithm> {
+    MainAlgorithm::ALL.into_iter().find(|a| a.name() == name)
+}
+
+/// Look up a genetic operation by its table name (inverse of
+/// [`GeneticOp::name`]).
+pub fn operation_by_name(name: &str) -> Option<GeneticOp> {
+    GeneticOp::DABS
+        .into_iter()
+        .chain([GeneticOp::CrossMutate])
+        .find(|o| o.name() == name)
+}
+
+fn counts(v: &[u64]) -> Json {
+    Json::Arr(v.iter().map(|&c| Json::from(c)).collect())
+}
+
+fn parse_counts(j: &Json, field: &str) -> Result<Vec<u64>, String> {
+    j.get(field)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array field {field:?}"))?
+        .iter()
+        .map(|v| v.as_u64().ok_or_else(|| format!("bad count in {field:?}")))
+        .collect()
+}
+
+impl SolveResult {
+    /// Serialize for the wire. Field names are part of the protocol — see
+    /// `docs/PROTOCOL.md`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("energy", Json::from(self.energy)),
+            ("best", Json::str(self.best.to_bitstring())),
+            (
+                "time_to_best_us",
+                Json::from(self.time_to_best.as_micros() as u64),
+            ),
+            ("elapsed_us", Json::from(self.elapsed.as_micros() as u64)),
+            ("batches", Json::from(self.batches)),
+            ("flips", Json::from(self.flips)),
+            ("reached_target", Json::from(self.reached_target)),
+            ("restarts", Json::from(u64::from(self.restarts))),
+            (
+                "first_finder",
+                match self.first_finder {
+                    Some((algo, op)) => Json::obj([
+                        ("algorithm", Json::str(algo.name())),
+                        ("operation", Json::str(op.name())),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "frequencies",
+                Json::obj([
+                    ("algo_executed", counts(&self.frequencies.algo_executed)),
+                    ("op_executed", counts(&self.frequencies.op_executed)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Reconstruct from the wire form. Strict about required fields so a
+    /// protocol drift fails loudly instead of producing a half-empty result.
+    pub fn from_json(j: &Json) -> Result<SolveResult, String> {
+        let energy = j
+            .get_i64("energy")
+            .ok_or_else(|| "missing field \"energy\"".to_string())?;
+        let bits = j
+            .get_str("best")
+            .ok_or_else(|| "missing field \"best\"".to_string())?;
+        if bits.chars().any(|c| c != '0' && c != '1') {
+            return Err("field \"best\" is not a bitstring".into());
+        }
+        let us = |field: &str| -> Result<Duration, String> {
+            j.get_u64(field)
+                .map(Duration::from_micros)
+                .ok_or_else(|| format!("missing field {field:?}"))
+        };
+        let first_finder = match j.get("first_finder") {
+            None | Some(Json::Null) => None,
+            Some(f) => {
+                let algo = f
+                    .get_str("algorithm")
+                    .and_then(algorithm_by_name)
+                    .ok_or_else(|| "bad first_finder.algorithm".to_string())?;
+                let op = f
+                    .get_str("operation")
+                    .and_then(operation_by_name)
+                    .ok_or_else(|| "bad first_finder.operation".to_string())?;
+                Some((algo, op))
+            }
+        };
+        let freqs = j
+            .get("frequencies")
+            .ok_or_else(|| "missing field \"frequencies\"".to_string())?;
+        Ok(SolveResult {
+            best: Solution::from_bitstring(bits),
+            energy,
+            time_to_best: us("time_to_best_us")?,
+            elapsed: us("elapsed_us")?,
+            batches: j
+                .get_u64("batches")
+                .ok_or_else(|| "missing field \"batches\"".to_string())?,
+            flips: j
+                .get_u64("flips")
+                .ok_or_else(|| "missing field \"flips\"".to_string())?,
+            reached_target: j.get_bool("reached_target").unwrap_or(false),
+            frequencies: FrequencyReport {
+                algo_executed: parse_counts(freqs, "algo_executed")?,
+                op_executed: parse_counts(freqs, "op_executed")?,
+            },
+            first_finder,
+            restarts: j.get_u64("restarts").unwrap_or(0) as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DabsConfig, DabsSolver, Termination};
+    use dabs_model::QuboBuilder;
+
+    fn sample_result() -> SolveResult {
+        let mut b = QuboBuilder::new(6);
+        b.add_linear(0, -2).add_linear(3, -1).add_quadratic(0, 1, 3);
+        let q = b.build().unwrap();
+        let solver = DabsSolver::new(DabsConfig {
+            devices: 2,
+            blocks_per_device: 1,
+            pool_capacity: 4,
+            seed: 11,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        solver.run_sequential(&q, Termination::batches(40))
+    }
+
+    #[test]
+    fn solve_result_round_trips() {
+        let r = sample_result();
+        let line = r.to_json().to_string();
+        assert!(!line.contains('\n'), "wire form must be one line");
+        let parsed = Json::parse(&line).unwrap();
+        let back = SolveResult::from_json(&parsed).unwrap();
+        assert_eq!(back.energy, r.energy);
+        assert_eq!(back.best, r.best);
+        assert_eq!(back.batches, r.batches);
+        assert_eq!(back.flips, r.flips);
+        // Wire precision is whole microseconds.
+        assert_eq!(
+            back.time_to_best,
+            Duration::from_micros(r.time_to_best.as_micros() as u64)
+        );
+        assert_eq!(back.frequencies, r.frequencies);
+        assert_eq!(back.first_finder, r.first_finder);
+        assert_eq!(back.restarts, r.restarts);
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        assert!(SolveResult::from_json(&Json::parse("{}").unwrap()).is_err());
+        let j = Json::parse("{\"energy\":3}").unwrap();
+        let e = SolveResult::from_json(&j).unwrap_err();
+        assert!(e.contains("best"), "{e}");
+    }
+
+    #[test]
+    fn name_lookups_invert_names() {
+        for a in MainAlgorithm::ALL {
+            assert_eq!(algorithm_by_name(a.name()), Some(a));
+        }
+        for o in GeneticOp::DABS.into_iter().chain([GeneticOp::CrossMutate]) {
+            assert_eq!(operation_by_name(o.name()), Some(o));
+        }
+        assert_eq!(algorithm_by_name("Nope"), None);
+        assert_eq!(operation_by_name(""), None);
+    }
+}

@@ -73,6 +73,15 @@ impl Solution {
         )
     }
 
+    /// Render as a `'0'`/`'1'` string, `x_0` first — the inverse of
+    /// [`Solution::from_bitstring`] and the wire representation used by the
+    /// JSON protocol.
+    pub fn to_bitstring(&self) -> String {
+        (0..self.n)
+            .map(|i| if self.get(i) { '1' } else { '0' })
+            .collect()
+    }
+
     /// Number of bits.
     #[inline]
     pub fn len(&self) -> usize {

@@ -1,0 +1,192 @@
+//! A small blocking client for the line protocol.
+//!
+//! One `Client` wraps one TCP connection. The protocol allows interleaved
+//! streams on a single connection, but this client keeps a discipline that
+//! makes blocking reads deterministic: request/response methods consume
+//! exactly the lines their request produces, and `wait_result`/`subscribe`
+//! loops skip unrelated traffic by job id. The CLI's `loadgen`, the
+//! throughput benchmark, and the integration tests all drive the server
+//! through this type — it is the reference client implementation.
+
+use crate::protocol::{JobId, Request, Response};
+use crate::spec::JobSpec;
+use dabs_core::SolveResult;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Blocking protocol client over one connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A job's terminal outcome as seen by a client.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    pub job: JobId,
+    /// `done`, `cancelled`, `expired`, or `failed`.
+    pub phase: String,
+    pub result: Option<SolveResult>,
+    pub error: Option<String>,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Optional read timeout for every subsequent receive.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Send one request line.
+    pub fn send(&mut self, request: &Request) -> Result<(), String> {
+        let line = request.to_json().to_string();
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))
+    }
+
+    /// Receive one response line.
+    pub fn recv(&mut self) -> Result<Response, String> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| format!("recv failed: {e}"))?;
+            if n == 0 {
+                return Err("server closed the connection".into());
+            }
+            let trimmed = line.trim();
+            if !trimmed.is_empty() {
+                return Response::parse_line(trimmed);
+            }
+        }
+    }
+
+    /// Send + receive one response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, String> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Submit a job; returns its id.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<JobId, String> {
+        match self.request(&Request::Submit(Box::new(spec.clone())))? {
+            Response::Submitted { job } => Ok(job),
+            Response::Rejected { reason } => Err(format!("rejected: {reason}")),
+            Response::Error { reason, .. } => Err(reason),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Snapshot a job's phase and best energy.
+    pub fn status(&mut self, job: JobId) -> Result<(String, Option<i64>), String> {
+        match self.request(&Request::Status(job))? {
+            Response::Status { phase, best, .. } => Ok((phase, best)),
+            Response::Error { reason, .. } => Err(reason),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Cancel a job; returns its phase after the cancel registered.
+    pub fn cancel(&mut self, job: JobId) -> Result<String, String> {
+        match self.request(&Request::Cancel(job))? {
+            Response::CancelAck { phase, .. } => Ok(phase),
+            Response::Error { reason, .. } => Err(reason),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Block until the job is terminal and return its outcome. Skips
+    /// interleaved lines that belong to other jobs on this connection.
+    pub fn wait_result(&mut self, job: JobId) -> Result<JobOutcome, String> {
+        self.send(&Request::Result(job))?;
+        loop {
+            match self.recv()? {
+                Response::Done {
+                    job: id,
+                    phase,
+                    result,
+                    error,
+                } if id == job => {
+                    return Ok(JobOutcome {
+                        job,
+                        phase,
+                        result: result.map(|b| *b),
+                        error,
+                    })
+                }
+                Response::Error {
+                    job: Some(id),
+                    reason,
+                } if id == job => return Err(reason),
+                Response::Error { job: None, reason } => return Err(reason),
+                _ => continue, // other jobs' traffic on a shared connection
+            }
+        }
+    }
+
+    /// Subscribe to a job's incumbent stream. Returns the `(energy, at_ms)`
+    /// sequence observed and the terminal outcome.
+    pub fn subscribe(&mut self, job: JobId) -> Result<(Vec<(i64, u64)>, JobOutcome), String> {
+        self.send(&Request::Subscribe(job))?;
+        let mut incumbents = Vec::new();
+        loop {
+            match self.recv()? {
+                Response::Incumbent {
+                    job: id,
+                    energy,
+                    at_ms,
+                } if id == job => incumbents.push((energy, at_ms)),
+                Response::Done {
+                    job: id,
+                    phase,
+                    result,
+                    error,
+                } if id == job => {
+                    return Ok((
+                        incumbents,
+                        JobOutcome {
+                            job,
+                            phase,
+                            result: result.map(|b| *b),
+                            error,
+                        },
+                    ))
+                }
+                Response::Error {
+                    job: Some(id),
+                    reason,
+                } if id == job => return Err(reason),
+                _ => continue,
+            }
+        }
+    }
+
+    /// Runtime counters.
+    pub fn stats(&mut self) -> Result<Response, String> {
+        self.request(&Request::Stats)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), String> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+}

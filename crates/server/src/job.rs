@@ -1,0 +1,511 @@
+//! Job lifecycle: records, phases, watchers, and the registry.
+//!
+//! A [`JobRecord`] is the runtime's view of one admitted job. It owns the
+//! job's [`StopFlag`] (the cancellation hook threaded into the solver's
+//! `Termination`), its phase machine, and its *watchers* — per-connection
+//! line sinks that receive incumbent updates (`subscribe`) and the terminal
+//! `done` notification (`result` and `subscribe` both). Watchers hold the
+//! encoded line channel of a connection's writer thread, so publishing is a
+//! non-blocking channel send; a watcher whose connection died is pruned on
+//! the next send.
+
+use crate::protocol::{JobId, Response};
+use crate::spec::JobSpec;
+use dabs_core::{SolveResult, StopFlag};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Completed normally.
+    Done,
+    /// Stopped by a client `cancel` (possibly with a partial result).
+    Cancelled,
+    /// Deadline passed while the job was still queued.
+    Expired,
+    /// The spec failed to build or the solver rejected it.
+    Failed,
+}
+
+impl JobPhase {
+    pub fn name(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Cancelled => "cancelled",
+            JobPhase::Expired => "expired",
+            JobPhase::Failed => "failed",
+        }
+    }
+
+    /// Terminal phases never transition again.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobPhase::Queued | JobPhase::Running)
+    }
+}
+
+/// Mutable job state guarded by the record's lock.
+#[derive(Debug)]
+struct JobState {
+    phase: JobPhase,
+    result: Option<SolveResult>,
+    error: Option<String>,
+}
+
+/// What a watcher wants to hear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchKind {
+    /// Only the terminal `done` line (`result` requests).
+    ResultOnly,
+    /// Every incumbent plus the terminal line (`subscribe` requests).
+    Subscribe,
+}
+
+struct Watcher {
+    sink: Sender<String>,
+    kind: WatchKind,
+}
+
+/// One admitted job.
+pub struct JobRecord {
+    pub id: JobId,
+    pub spec: JobSpec,
+    /// The external-cancellation hook passed into the solver.
+    pub stop: Arc<StopFlag>,
+    submitted_at: Instant,
+    cancel_requested: AtomicBool,
+    /// Best energy seen so far (`i64::MAX` = none yet); updated by the
+    /// worker's incumbent observer.
+    best: AtomicI64,
+    state: Mutex<JobState>,
+    terminal_cv: Condvar,
+    watchers: Mutex<Vec<Watcher>>,
+}
+
+impl JobRecord {
+    fn new(id: JobId, spec: JobSpec) -> Self {
+        Self {
+            id,
+            spec,
+            stop: Arc::new(StopFlag::new()),
+            submitted_at: Instant::now(),
+            cancel_requested: AtomicBool::new(false),
+            best: AtomicI64::new(i64::MAX),
+            state: Mutex::new(JobState {
+                phase: JobPhase::Queued,
+                result: None,
+                error: None,
+            }),
+            terminal_cv: Condvar::new(),
+            watchers: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn phase(&self) -> JobPhase {
+        self.state.lock().expect("job state lock").phase
+    }
+
+    pub fn best_energy(&self) -> Option<i64> {
+        let e = self.best.load(Ordering::Relaxed);
+        (e != i64::MAX).then_some(e)
+    }
+
+    pub fn age(&self) -> Duration {
+        self.submitted_at.elapsed()
+    }
+
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel_requested.load(Ordering::Relaxed)
+    }
+
+    /// Client cancellation: trip the stop flag; a still-queued job goes
+    /// terminal immediately (the worker will skip it), a running one stops
+    /// at its next batch boundary. Returns the phase after the call.
+    pub fn request_cancel(self: &Arc<Self>) -> JobPhase {
+        self.cancel_requested.store(true, Ordering::Relaxed);
+        self.stop.stop();
+        {
+            let st = self.state.lock().expect("job state lock");
+            if st.phase != JobPhase::Queued {
+                return st.phase;
+            }
+        }
+        self.finish(JobPhase::Cancelled, None, None);
+        JobPhase::Cancelled
+    }
+
+    /// Worker claim: `Queued → Running`. Fails when the job went terminal
+    /// while waiting (cancelled in queue).
+    pub fn mark_running(&self) -> bool {
+        let mut st = self.state.lock().expect("job state lock");
+        if st.phase == JobPhase::Queued {
+            st.phase = JobPhase::Running;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Worker-side incumbent delivery: records the energy and fans the line
+    /// out to subscribers. Monotonicity comes from the solver's observer
+    /// contract (serialized, strictly improving); the watcher lock keeps the
+    /// fan-out in that order.
+    pub fn publish_incumbent(&self, energy: i64, found_at: Duration) {
+        self.best.fetch_min(energy, Ordering::Relaxed);
+        let line = Response::Incumbent {
+            job: self.id,
+            energy,
+            at_ms: found_at.as_millis() as u64,
+        }
+        .encode();
+        let mut ws = self.watchers.lock().expect("watchers lock");
+        ws.retain(|w| w.kind != WatchKind::Subscribe || w.sink.send(line.clone()).is_ok());
+    }
+
+    /// Transition to a terminal phase, wake synchronous waiters, and notify
+    /// every watcher with the terminal `done` line. Idempotent: only the
+    /// first terminal transition wins (a cancel racing a natural completion
+    /// keeps the completion's result).
+    pub fn finish(
+        self: &Arc<Self>,
+        phase: JobPhase,
+        result: Option<SolveResult>,
+        error: Option<String>,
+    ) {
+        debug_assert!(phase.is_terminal());
+        {
+            let mut st = self.state.lock().expect("job state lock");
+            if st.phase.is_terminal() {
+                return;
+            }
+            st.phase = phase;
+            if let Some(r) = &result {
+                self.best.fetch_min(r.energy, Ordering::Relaxed);
+            }
+            st.result = result;
+            st.error = error;
+        }
+        self.terminal_cv.notify_all();
+        let line = self.terminal_line().expect("just finished").encode();
+        let mut ws = self.watchers.lock().expect("watchers lock");
+        for w in ws.drain(..) {
+            let _ = w.sink.send(line.clone());
+        }
+    }
+
+    /// The terminal `done` response, or `None` while the job is live.
+    pub fn terminal_line(&self) -> Option<Response> {
+        let st = self.state.lock().expect("job state lock");
+        st.phase.is_terminal().then(|| Response::Done {
+            job: self.id,
+            phase: st.phase.name().to_string(),
+            result: st.result.clone().map(Box::new),
+            error: st.error.clone(),
+        })
+    }
+
+    /// Attach a line sink. If the job is already terminal the sink gets the
+    /// `done` line immediately and is not registered. A fresh subscriber to
+    /// a live job first receives the current best (if any) so its stream
+    /// starts from the job's present state.
+    pub fn add_watcher(&self, sink: Sender<String>, kind: WatchKind) {
+        // Hold the watcher lock across the terminal check so a concurrent
+        // finish() cannot slip between the check and the registration.
+        let mut ws = self.watchers.lock().expect("watchers lock");
+        if let Some(line) = self.terminal_line() {
+            let _ = sink.send(line.encode());
+            return;
+        }
+        if kind == WatchKind::Subscribe {
+            if let Some(best) = self.best_energy() {
+                let snapshot = Response::Incumbent {
+                    job: self.id,
+                    energy: best,
+                    at_ms: self.age().as_millis() as u64,
+                }
+                .encode();
+                let _ = sink.send(snapshot);
+            }
+        }
+        ws.push(Watcher { sink, kind });
+    }
+
+    /// Block until the job is terminal (in-process convenience for tests
+    /// and embedded servers). Returns `false` on timeout.
+    pub fn wait_terminal(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().expect("job state lock");
+        while !st.phase.is_terminal() {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .terminal_cv
+                .wait_timeout(st, deadline - now)
+                .expect("job state lock");
+            st = guard;
+        }
+        true
+    }
+
+    /// Snapshot `(phase, result, error)` for the status/result paths.
+    pub fn snapshot(&self) -> (JobPhase, Option<SolveResult>, Option<String>) {
+        let st = self.state.lock().expect("job state lock");
+        (st.phase, st.result.clone(), st.error.clone())
+    }
+}
+
+impl std::fmt::Debug for JobRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobRecord")
+            .field("id", &self.id)
+            .field("phase", &self.phase())
+            .field("best", &self.best_energy())
+            .finish()
+    }
+}
+
+/// How many *terminal* jobs the registry keeps around by default so late
+/// `status`/`result` requests still find them. Live (queued/running) jobs
+/// are never evicted.
+const DEFAULT_TERMINAL_RETENTION: usize = 1024;
+
+/// All jobs the server has admitted, by id.
+///
+/// Bounded: terminal records beyond the retention window are evicted
+/// (oldest id first) on admission, so a long-lived server's memory tracks
+/// its *live* load, not its lifetime job count. Evicted jobs still count in
+/// [`JobRegistry::phase_counts`]' finished total.
+#[derive(Debug)]
+pub struct JobRegistry {
+    next_id: AtomicU64,
+    jobs: Mutex<HashMap<JobId, Arc<JobRecord>>>,
+    terminal_retention: usize,
+    evicted_terminal: AtomicU64,
+}
+
+impl Default for JobRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JobRegistry {
+    pub fn new() -> Self {
+        Self::with_retention(DEFAULT_TERMINAL_RETENTION)
+    }
+
+    /// Registry keeping at most `terminal_retention` finished jobs.
+    pub fn with_retention(terminal_retention: usize) -> Self {
+        Self {
+            next_id: AtomicU64::new(1),
+            jobs: Mutex::new(HashMap::new()),
+            terminal_retention: terminal_retention.max(1),
+            evicted_terminal: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocate an id and register a fresh record.
+    pub fn register(&self, spec: JobSpec) -> Arc<JobRecord> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let record = Arc::new(JobRecord::new(id, spec));
+        let mut jobs = self.jobs.lock().expect("registry lock");
+        jobs.insert(id, Arc::clone(&record));
+        // Amortized prune: only scan once the map could plausibly hold more
+        // terminal records than the retention window.
+        if jobs.len() > self.terminal_retention * 2 {
+            let mut terminal: Vec<JobId> = jobs
+                .values()
+                .filter(|r| r.phase().is_terminal())
+                .map(|r| r.id)
+                .collect();
+            if terminal.len() > self.terminal_retention {
+                terminal.sort_unstable();
+                let excess = terminal.len() - self.terminal_retention;
+                for old in terminal.into_iter().take(excess) {
+                    jobs.remove(&old);
+                }
+                self.evicted_terminal
+                    .fetch_add(excess as u64, Ordering::Relaxed);
+            }
+        }
+        record
+    }
+
+    /// Drop a record that failed admission after registration.
+    pub fn evict(&self, id: JobId) {
+        self.jobs.lock().expect("registry lock").remove(&id);
+    }
+
+    pub fn get(&self, id: JobId) -> Option<Arc<JobRecord>> {
+        self.jobs.lock().expect("registry lock").get(&id).cloned()
+    }
+
+    /// `(queued, running, terminal)` counts. The terminal count includes
+    /// jobs already evicted from the retention window.
+    pub fn phase_counts(&self) -> (u64, u64, u64) {
+        let jobs = self.jobs.lock().expect("registry lock");
+        let mut counts = (0, 0, self.evicted_terminal.load(Ordering::Relaxed));
+        for record in jobs.values() {
+            match record.phase() {
+                JobPhase::Queued => counts.0 += 1,
+                JobPhase::Running => counts.1 += 1,
+                _ => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Trip every live job's stop flag (server shutdown).
+    pub fn stop_all(&self) {
+        let jobs = self.jobs.lock().expect("registry lock");
+        for record in jobs.values() {
+            record.stop.stop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn record() -> Arc<JobRecord> {
+        JobRegistry::new().register(JobSpec {
+            max_batches: Some(10),
+            ..JobSpec::default()
+        })
+    }
+
+    #[test]
+    fn cancel_while_queued_is_immediately_terminal() {
+        let r = record();
+        assert_eq!(r.phase(), JobPhase::Queued);
+        assert_eq!(r.request_cancel(), JobPhase::Cancelled);
+        assert!(r.stop.is_stopped());
+        assert!(!r.mark_running(), "worker must skip a cancelled job");
+        assert!(r.wait_terminal(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn finish_is_idempotent_first_wins() {
+        let r = record();
+        assert!(r.mark_running());
+        r.finish(JobPhase::Done, None, None);
+        r.finish(JobPhase::Failed, None, Some("late".into()));
+        let (phase, _, error) = r.snapshot();
+        assert_eq!(phase, JobPhase::Done);
+        assert!(error.is_none());
+    }
+
+    #[test]
+    fn watcher_on_terminal_job_gets_done_line_immediately() {
+        let r = record();
+        r.mark_running();
+        r.finish(JobPhase::Done, None, None);
+        let (tx, rx) = channel();
+        r.add_watcher(tx, WatchKind::ResultOnly);
+        let line = rx.try_recv().expect("immediate done line");
+        assert!(line.contains("\"done\""), "{line}");
+    }
+
+    #[test]
+    fn subscriber_gets_snapshot_then_incumbents_then_done() {
+        let r = record();
+        r.mark_running();
+        r.publish_incumbent(-5, Duration::from_millis(1));
+        let (tx, rx) = channel();
+        r.add_watcher(tx, WatchKind::Subscribe);
+        // snapshot of the pre-subscription best
+        let snap = Response::parse_line(&rx.try_recv().unwrap()).unwrap();
+        assert!(matches!(snap, Response::Incumbent { energy: -5, .. }));
+        r.publish_incumbent(-9, Duration::from_millis(2));
+        let inc = Response::parse_line(&rx.try_recv().unwrap()).unwrap();
+        assert!(matches!(inc, Response::Incumbent { energy: -9, .. }));
+        r.finish(JobPhase::Done, None, None);
+        let done = Response::parse_line(&rx.try_recv().unwrap()).unwrap();
+        assert!(matches!(done, Response::Done { .. }));
+    }
+
+    #[test]
+    fn result_only_watcher_skips_incumbents() {
+        let r = record();
+        r.mark_running();
+        let (tx, rx) = channel();
+        r.add_watcher(tx, WatchKind::ResultOnly);
+        r.publish_incumbent(-3, Duration::from_millis(1));
+        assert!(rx.try_recv().is_err(), "no incumbent for result watchers");
+        r.finish(JobPhase::Cancelled, None, None);
+        let line = rx.try_recv().unwrap();
+        assert!(line.contains("cancelled"), "{line}");
+    }
+
+    #[test]
+    fn terminal_jobs_are_evicted_beyond_retention() {
+        let reg = JobRegistry::with_retention(4);
+        let mut ids = Vec::new();
+        for _ in 0..30 {
+            let r = reg.register(JobSpec {
+                max_batches: Some(1),
+                ..JobSpec::default()
+            });
+            r.mark_running();
+            r.finish(JobPhase::Done, None, None);
+            ids.push(r.id);
+        }
+        // Live map stays bounded; the finished total does not lose jobs.
+        let live: Vec<bool> = ids.iter().map(|&id| reg.get(id).is_some()).collect();
+        assert!(live.iter().filter(|&&l| l).count() <= 9, "{live:?}");
+        let (_, _, finished) = reg.phase_counts();
+        assert_eq!(finished, 30);
+        // The newest terminal job is always still resolvable.
+        assert!(reg.get(*ids.last().unwrap()).is_some());
+    }
+
+    #[test]
+    fn live_jobs_are_never_evicted() {
+        let reg = JobRegistry::with_retention(2);
+        let keep: Vec<_> = (0..20)
+            .map(|_| {
+                reg.register(JobSpec {
+                    max_batches: Some(1),
+                    ..JobSpec::default()
+                })
+            })
+            .collect();
+        for r in &keep {
+            assert!(reg.get(r.id).is_some(), "queued job {} evicted", r.id);
+        }
+    }
+
+    #[test]
+    fn registry_counts_and_eviction() {
+        let reg = JobRegistry::new();
+        let a = reg.register(JobSpec {
+            max_batches: Some(1),
+            ..JobSpec::default()
+        });
+        let b = reg.register(JobSpec {
+            max_batches: Some(1),
+            ..JobSpec::default()
+        });
+        assert_ne!(a.id, b.id);
+        assert_eq!(reg.phase_counts(), (2, 0, 0));
+        b.mark_running();
+        b.finish(JobPhase::Done, None, None);
+        assert_eq!(reg.phase_counts(), (1, 0, 1));
+        reg.evict(a.id);
+        assert!(reg.get(a.id).is_none());
+        assert_eq!(reg.phase_counts(), (0, 0, 1));
+    }
+}

@@ -1,0 +1,55 @@
+//! `dabs-server` — a multi-tenant solve-job runtime for the DABS engine.
+//!
+//! The paper's architecture is a long-lived search engine: pools, islands,
+//! adaptive operator selection. This crate adds the layer that turns it from
+//! a one-shot CLI process into a service:
+//!
+//! * **Admission queue** ([`JobQueue`]) — bounded, per-job priority, jobs
+//!   with already-passed deadlines refused at the door.
+//! * **Worker pool** ([`WorkerPool`]) — `W` long-lived solver workers
+//!   multiplexing every admitted job, so a thousand clients never spawn a
+//!   thousand solver thread-trees.
+//! * **Job lifecycle** ([`JobRecord`]) — per-job [`StopFlag`] cancellation
+//!   (honored between batches), streamed incumbents to subscribers, and
+//!   terminal notifications for waiting clients.
+//! * **Line protocol** ([`Request`]/[`Response`]) — newline-delimited JSON
+//!   over plain TCP: `submit`, `status`, `cancel`, `result`, `subscribe`,
+//!   `stats`, `ping`. See `docs/PROTOCOL.md` for the wire reference.
+//! * **Reference client** ([`Client`]) — the blocking client used by
+//!   `dabs loadgen`, the throughput benchmark, and the integration tests.
+//!
+//! ```no_run
+//! use dabs_server::{Client, JobSpec, ProblemSpec, Server, ServerConfig};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let job = client
+//!     .submit(&JobSpec {
+//!         problem: ProblemSpec::random(64, 7),
+//!         max_batches: Some(1_000),
+//!         ..JobSpec::default()
+//!     })
+//!     .unwrap();
+//! let outcome = client.wait_result(job).unwrap();
+//! println!("energy {}", outcome.result.unwrap().energy);
+//! server.shutdown();
+//! ```
+
+mod client;
+mod job;
+mod metrics;
+mod protocol;
+mod queue;
+mod server;
+mod spec;
+mod worker;
+
+pub use client::{Client, JobOutcome};
+pub use dabs_core::StopFlag;
+pub use job::{JobPhase, JobRecord, JobRegistry, WatchKind};
+pub use metrics::{drive_fleet, percentile, LatencySummary};
+pub use protocol::{JobId, Request, Response};
+pub use queue::{AdmissionError, JobQueue};
+pub use server::{Server, ServerConfig, ServerState};
+pub use spec::{now_unix_ms, ExecMode, JobSpec, ProblemSpec};
+pub use worker::{execute, WorkerPool};

@@ -1,0 +1,411 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every line is one JSON object. Client→server lines are [`Request`]s
+//! dispatched on their `"op"` field; server→client lines are [`Response`]s
+//! dispatched on `"type"`. One connection may carry interleaved traffic —
+//! a `subscribe` stream keeps emitting `incumbent` lines while other
+//! request/response pairs proceed — so every response names the job it
+//! belongs to. `docs/PROTOCOL.md` documents each message with examples; the
+//! round-trip tests below keep that document honest.
+
+use crate::spec::JobSpec;
+use dabs_core::SolveResult;
+use serde::json::Json;
+
+/// A job's identity, allocated at admission, unique per server lifetime.
+pub type JobId = u64;
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Admit a new job.
+    Submit(Box<JobSpec>),
+    /// Snapshot a job's phase and best-so-far energy.
+    Status(JobId),
+    /// Trip the job's stop flag (honored between batches).
+    Cancel(JobId),
+    /// Reply with the job's final result once it is terminal (responds
+    /// immediately if it already is).
+    Result(JobId),
+    /// Stream `incumbent` lines for the job until it is terminal, then a
+    /// final `done` line.
+    Subscribe(JobId),
+    /// Runtime counters (queue depth, worker count, jobs by phase).
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+impl Request {
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Submit(spec) => {
+                Json::obj([("op", Json::str("submit")), ("job", spec.to_json())])
+            }
+            Request::Status(id) => Json::obj([("op", Json::str("status")), ("job", (*id).into())]),
+            Request::Cancel(id) => Json::obj([("op", Json::str("cancel")), ("job", (*id).into())]),
+            Request::Result(id) => Json::obj([("op", Json::str("result")), ("job", (*id).into())]),
+            Request::Subscribe(id) => {
+                Json::obj([("op", Json::str("subscribe")), ("job", (*id).into())])
+            }
+            Request::Stats => Json::obj([("op", Json::str("stats"))]),
+            Request::Ping => Json::obj([("op", Json::str("ping"))]),
+        }
+    }
+
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let op = j.get_str("op").ok_or("request needs an \"op\" field")?;
+        let job = || {
+            j.get_u64("job")
+                .ok_or_else(|| format!("{op:?} needs a \"job\" id"))
+        };
+        match op {
+            "submit" => {
+                let spec = JobSpec::from_json(j.get("job").ok_or("submit needs a \"job\" spec")?)?;
+                Ok(Request::Submit(Box::new(spec)))
+            }
+            "status" => Ok(Request::Status(job()?)),
+            "cancel" => Ok(Request::Cancel(job()?)),
+            "result" => Ok(Request::Result(job()?)),
+            "subscribe" => Ok(Request::Subscribe(job()?)),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    /// Parse one protocol line.
+    pub fn parse_line(line: &str) -> Result<Self, String> {
+        let j = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+        Self::from_json(&j)
+    }
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Job admitted and queued.
+    Submitted {
+        job: JobId,
+    },
+    /// Job refused at admission (queue full, past deadline, invalid spec).
+    Rejected {
+        reason: String,
+    },
+    /// Request-level failure (unknown job, malformed line, …).
+    Error {
+        job: Option<JobId>,
+        reason: String,
+    },
+    /// Point-in-time job snapshot.
+    Status {
+        job: JobId,
+        phase: String,
+        best: Option<i64>,
+        /// Milliseconds since the job was submitted.
+        age_ms: u64,
+    },
+    /// Cancellation acknowledged; `phase` is the job's phase *after* the
+    /// cancel took effect on the registry (a queued job is already
+    /// `cancelled`; a running one still `running` until its next batch
+    /// boundary).
+    CancelAck {
+        job: JobId,
+        phase: String,
+    },
+    /// A new global-best incumbent of a subscribed job.
+    Incumbent {
+        job: JobId,
+        energy: i64,
+        /// Milliseconds from job start to this incumbent.
+        at_ms: u64,
+    },
+    /// Terminal notification: the job finished, was cancelled, expired, or
+    /// failed. `result` is present for finished and cancelled-while-running
+    /// jobs (best found so far).
+    Done {
+        job: JobId,
+        phase: String,
+        result: Option<Box<SolveResult>>,
+        error: Option<String>,
+    },
+    /// Runtime counters.
+    Stats {
+        queued: u64,
+        running: u64,
+        finished: u64,
+        workers: u64,
+        queue_capacity: u64,
+    },
+    Pong,
+}
+
+impl Response {
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Submitted { job } => Json::obj([
+                ("type", Json::str("submitted")),
+                ("ok", Json::Bool(true)),
+                ("job", (*job).into()),
+            ]),
+            Response::Rejected { reason } => Json::obj([
+                ("type", Json::str("rejected")),
+                ("ok", Json::Bool(false)),
+                ("reason", Json::str(reason.clone())),
+            ]),
+            Response::Error { job, reason } => Json::obj([
+                ("type", Json::str("error")),
+                ("ok", Json::Bool(false)),
+                ("job", (*job).into()),
+                ("reason", Json::str(reason.clone())),
+            ]),
+            Response::Status {
+                job,
+                phase,
+                best,
+                age_ms,
+            } => Json::obj([
+                ("type", Json::str("status")),
+                ("ok", Json::Bool(true)),
+                ("job", (*job).into()),
+                ("phase", Json::str(phase.clone())),
+                ("best", (*best).into()),
+                ("age_ms", (*age_ms).into()),
+            ]),
+            Response::CancelAck { job, phase } => Json::obj([
+                ("type", Json::str("cancelled")),
+                ("ok", Json::Bool(true)),
+                ("job", (*job).into()),
+                ("phase", Json::str(phase.clone())),
+            ]),
+            Response::Incumbent { job, energy, at_ms } => Json::obj([
+                ("type", Json::str("incumbent")),
+                ("ok", Json::Bool(true)),
+                ("job", (*job).into()),
+                ("energy", (*energy).into()),
+                ("at_ms", (*at_ms).into()),
+            ]),
+            Response::Done {
+                job,
+                phase,
+                result,
+                error,
+            } => Json::obj([
+                ("type", Json::str("done")),
+                ("ok", Json::Bool(true)),
+                ("job", (*job).into()),
+                ("phase", Json::str(phase.clone())),
+                (
+                    "result",
+                    result.as_ref().map(|r| r.to_json()).unwrap_or(Json::Null),
+                ),
+                ("error", error.as_ref().map(|e| Json::str(e.clone())).into()),
+            ]),
+            Response::Stats {
+                queued,
+                running,
+                finished,
+                workers,
+                queue_capacity,
+            } => Json::obj([
+                ("type", Json::str("stats")),
+                ("ok", Json::Bool(true)),
+                ("queued", (*queued).into()),
+                ("running", (*running).into()),
+                ("finished", (*finished).into()),
+                ("workers", (*workers).into()),
+                ("queue_capacity", (*queue_capacity).into()),
+            ]),
+            Response::Pong => Json::obj([("type", Json::str("pong")), ("ok", Json::Bool(true))]),
+        }
+    }
+
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let ty = j.get_str("type").ok_or("response needs a \"type\" field")?;
+        let job = || {
+            j.get_u64("job")
+                .ok_or_else(|| format!("{ty:?} needs a \"job\" id"))
+        };
+        let phase = || {
+            j.get_str("phase")
+                .map(String::from)
+                .ok_or_else(|| format!("{ty:?} needs a \"phase\""))
+        };
+        match ty {
+            "submitted" => Ok(Response::Submitted { job: job()? }),
+            "rejected" => Ok(Response::Rejected {
+                reason: j.get_str("reason").unwrap_or_default().to_string(),
+            }),
+            "error" => Ok(Response::Error {
+                job: j.get_u64("job"),
+                reason: j.get_str("reason").unwrap_or_default().to_string(),
+            }),
+            "status" => Ok(Response::Status {
+                job: job()?,
+                phase: phase()?,
+                best: j.get_i64("best"),
+                age_ms: j.get_u64("age_ms").unwrap_or(0),
+            }),
+            "cancelled" => Ok(Response::CancelAck {
+                job: job()?,
+                phase: phase()?,
+            }),
+            "incumbent" => Ok(Response::Incumbent {
+                job: job()?,
+                energy: j.get_i64("energy").ok_or("incumbent needs an \"energy\"")?,
+                at_ms: j.get_u64("at_ms").unwrap_or(0),
+            }),
+            "done" => {
+                let result = match j.get("result") {
+                    None | Some(Json::Null) => None,
+                    Some(r) => Some(Box::new(SolveResult::from_json(r)?)),
+                };
+                Ok(Response::Done {
+                    job: job()?,
+                    phase: phase()?,
+                    result,
+                    error: j.get_str("error").map(String::from),
+                })
+            }
+            "stats" => Ok(Response::Stats {
+                queued: j.get_u64("queued").unwrap_or(0),
+                running: j.get_u64("running").unwrap_or(0),
+                finished: j.get_u64("finished").unwrap_or(0),
+                workers: j.get_u64("workers").unwrap_or(0),
+                queue_capacity: j.get_u64("queue_capacity").unwrap_or(0),
+            }),
+            "pong" => Ok(Response::Pong),
+            other => Err(format!("unknown response type {other:?}")),
+        }
+    }
+
+    /// Parse one protocol line.
+    pub fn parse_line(line: &str) -> Result<Self, String> {
+        let j = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+        Self::from_json(&j)
+    }
+
+    /// Encode as one protocol line (no trailing newline).
+    pub fn encode(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProblemSpec;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Submit(Box::new(JobSpec {
+                problem: ProblemSpec::random(16, 2),
+                max_batches: Some(100),
+                priority: -3,
+                ..JobSpec::default()
+            })),
+            Request::Status(7),
+            Request::Cancel(8),
+            Request::Result(9),
+            Request::Subscribe(10),
+            Request::Stats,
+            Request::Ping,
+        ];
+        for r in reqs {
+            let line = r.to_json().to_string();
+            assert!(!line.contains('\n'));
+            assert_eq!(Request::parse_line(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Submitted { job: 1 },
+            Response::Rejected {
+                reason: "queue full".into(),
+            },
+            Response::Error {
+                job: Some(4),
+                reason: "no such job".into(),
+            },
+            Response::Error {
+                job: None,
+                reason: "bad JSON".into(),
+            },
+            Response::Status {
+                job: 2,
+                phase: "running".into(),
+                best: Some(-31),
+                age_ms: 12,
+            },
+            Response::CancelAck {
+                job: 2,
+                phase: "cancelled".into(),
+            },
+            Response::Incumbent {
+                job: 2,
+                energy: -40,
+                at_ms: 3,
+            },
+            Response::Stats {
+                queued: 1,
+                running: 2,
+                finished: 3,
+                workers: 4,
+                queue_capacity: 64,
+            },
+            Response::Pong,
+        ];
+        for r in resps {
+            let line = r.encode();
+            assert_eq!(Response::parse_line(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn done_with_result_round_trips() {
+        let spec = JobSpec {
+            problem: ProblemSpec::random(12, 5),
+            max_batches: Some(30),
+            ..JobSpec::default()
+        };
+        let (model, _) = spec.problem.build().unwrap();
+        let result = spec
+            .build_solver()
+            .unwrap()
+            .run_sequential(&model, spec.termination());
+        let r = Response::Done {
+            job: 11,
+            phase: "done".into(),
+            result: Some(Box::new(result.clone())),
+            error: None,
+        };
+        match Response::parse_line(&r.encode()).unwrap() {
+            Response::Done {
+                job,
+                phase,
+                result: Some(back),
+                error: None,
+            } => {
+                assert_eq!(job, 11);
+                assert_eq!(phase, "done");
+                assert_eq!(back.energy, result.energy);
+                assert_eq!(back.best, result.best);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Request::parse_line("not json").is_err());
+        assert!(Request::parse_line("{}").is_err());
+        assert!(
+            Request::parse_line("{\"op\":\"status\"}").is_err(),
+            "no job id"
+        );
+        assert!(Response::parse_line("{\"type\":\"warp\"}").is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! The bounded admission queue: per-job priority, FIFO within a priority,
+//! deadline screening at the door.
+//!
+//! Admission is where multi-tenancy is enforced: the queue is bounded (a
+//! burst of 10 000 submits cannot balloon server memory — clients get a
+//! `rejected` line and back off), higher-priority jobs overtake lower ones,
+//! and a job whose absolute deadline has already passed is refused outright
+//! instead of wasting a worker slot.
+
+use crate::protocol::JobId;
+use crate::spec::now_unix_ms;
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// Why `push` refused a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The queue is at capacity.
+    Full { capacity: usize },
+    /// `deadline_unix_ms` is not in the future.
+    PastDeadline { late_by_ms: u64 },
+    /// The queue was closed (server shutting down).
+    Closed,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Full { capacity } => {
+                write!(f, "queue full ({capacity} jobs waiting)")
+            }
+            AdmissionError::PastDeadline { late_by_ms } => {
+                write!(f, "deadline already passed {late_by_ms} ms ago")
+            }
+            AdmissionError::Closed => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct QueuedJob {
+    priority: i32,
+    /// Admission order; lower = earlier.
+    seq: u64,
+    id: JobId,
+}
+
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then earlier admission.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct QueueInner {
+    heap: BinaryHeap<QueuedJob>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// Blocking bounded priority queue of job ids.
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admit a job, or refuse with the reason a client can act on.
+    pub fn push(
+        &self,
+        id: JobId,
+        priority: i32,
+        deadline_unix_ms: Option<u64>,
+    ) -> Result<(), AdmissionError> {
+        if let Some(deadline) = deadline_unix_ms {
+            let now = now_unix_ms();
+            if now >= deadline {
+                return Err(AdmissionError::PastDeadline {
+                    late_by_ms: now - deadline,
+                });
+            }
+        }
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(AdmissionError::Closed);
+        }
+        if inner.heap.len() >= self.capacity {
+            return Err(AdmissionError::Full {
+                capacity: self.capacity,
+            });
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.heap.push(QueuedJob { priority, seq, id });
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Take the highest-priority job, blocking while the queue is open and
+    /// empty. `None` means the queue is closed and drained — worker exit.
+    pub fn pop(&self) -> Option<JobId> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(job) = inner.heap.pop() {
+                return Some(job.id);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Close the queue: no further admissions, workers drain what is left
+    /// and exit.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn priority_then_fifo_order() {
+        let q = JobQueue::new(16);
+        q.push(1, 0, None).unwrap();
+        q.push(2, 5, None).unwrap();
+        q.push(3, 0, None).unwrap();
+        q.push(4, 5, None).unwrap();
+        q.push(5, -1, None).unwrap();
+        let order: Vec<JobId> = (0..5).map(|_| q.pop().unwrap()).collect();
+        assert_eq!(order, vec![2, 4, 1, 3, 5]);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let q = JobQueue::new(2);
+        q.push(1, 0, None).unwrap();
+        q.push(2, 0, None).unwrap();
+        match q.push(3, 9, None) {
+            Err(AdmissionError::Full { capacity: 2 }) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        q.pop().unwrap();
+        q.push(3, 9, None).unwrap();
+    }
+
+    #[test]
+    fn past_deadline_is_refused() {
+        let q = JobQueue::new(4);
+        let err = q.push(1, 0, Some(now_unix_ms().saturating_sub(5_000)));
+        assert!(
+            matches!(err, Err(AdmissionError::PastDeadline { late_by_ms }) if late_by_ms >= 4_000),
+            "{err:?}"
+        );
+        // A future deadline is fine.
+        q.push(2, 0, Some(now_unix_ms() + 60_000)).unwrap();
+    }
+
+    #[test]
+    fn close_unblocks_waiting_workers() {
+        let q = Arc::new(JobQueue::new(4));
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(worker.join().unwrap(), None);
+        assert!(matches!(q.push(1, 0, None), Err(AdmissionError::Closed)));
+    }
+
+    #[test]
+    fn close_drains_remaining_jobs() {
+        let q = JobQueue::new(4);
+        q.push(7, 0, None).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+}

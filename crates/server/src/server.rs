@@ -1,0 +1,360 @@
+//! The TCP front end: accept loop, per-connection reader/writer threads,
+//! request dispatch.
+//!
+//! Connection model: each accepted socket gets a *reader* thread (parses
+//! request lines, dispatches against the shared [`ServerState`]) and a
+//! *writer* thread (drains an mpsc channel of encoded response lines onto
+//! the socket). Everything that wants to talk to a connection — the request
+//! dispatcher, a job's incumbent fan-out, a terminal notification — just
+//! clones the channel sender, so slow solvers never block on slow sockets
+//! and a dead connection is discovered by the writer and pruned lazily.
+
+use crate::job::{JobRegistry, WatchKind};
+use crate::protocol::{JobId, Request, Response};
+use crate::queue::JobQueue;
+use crate::spec::JobSpec;
+use crate::worker::WorkerPool;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Runtime knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Solver worker threads (`W`): the concurrent-solve ceiling.
+    pub workers: usize,
+    /// Admission queue bound.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// State shared by every connection and worker.
+#[derive(Debug)]
+pub struct ServerState {
+    pub registry: Arc<JobRegistry>,
+    pub queue: Arc<JobQueue>,
+    pub config: ServerConfig,
+    shutting_down: AtomicBool,
+}
+
+impl ServerState {
+    /// Admission: validate the spec, register, and enqueue. On refusal the
+    /// record is evicted so rejected jobs leave no trace.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, String> {
+        if self.shutting_down.load(Ordering::Relaxed) {
+            return Err("server is shutting down".into());
+        }
+        spec.validate()?;
+        let priority = spec.priority;
+        let deadline = spec.deadline_unix_ms;
+        let record = self.registry.register(spec);
+        match self.queue.push(record.id, priority, deadline) {
+            Ok(()) => Ok(record.id),
+            Err(e) => {
+                self.registry.evict(record.id);
+                Err(e.to_string())
+            }
+        }
+    }
+
+    fn stats(&self) -> Response {
+        let (queued, running, finished) = self.registry.phase_counts();
+        Response::Stats {
+            queued,
+            running,
+            finished,
+            workers: self.config.workers as u64,
+            queue_capacity: self.queue.capacity() as u64,
+        }
+    }
+
+    /// Handle one request, pushing any responses onto the connection's
+    /// writer channel. `sink` may also be registered for future lines
+    /// (result waits, subscriptions).
+    pub fn dispatch(&self, request: Request, sink: &Sender<String>) {
+        let send = |r: Response| {
+            let _ = sink.send(r.encode());
+        };
+        match request {
+            Request::Submit(spec) => match self.submit(*spec) {
+                Ok(job) => send(Response::Submitted { job }),
+                Err(reason) => send(Response::Rejected { reason }),
+            },
+            Request::Status(job) => match self.registry.get(job) {
+                Some(record) => send(Response::Status {
+                    job,
+                    phase: record.phase().name().to_string(),
+                    best: record.best_energy(),
+                    age_ms: record.age().as_millis() as u64,
+                }),
+                None => send(Response::Error {
+                    job: Some(job),
+                    reason: "no such job".into(),
+                }),
+            },
+            Request::Cancel(job) => match self.registry.get(job) {
+                Some(record) => {
+                    let phase = record.request_cancel();
+                    send(Response::CancelAck {
+                        job,
+                        phase: phase.name().to_string(),
+                    });
+                }
+                None => send(Response::Error {
+                    job: Some(job),
+                    reason: "no such job".into(),
+                }),
+            },
+            Request::Result(job) => match self.registry.get(job) {
+                // Responds now if terminal, otherwise when the job ends.
+                Some(record) => record.add_watcher(sink.clone(), WatchKind::ResultOnly),
+                None => send(Response::Error {
+                    job: Some(job),
+                    reason: "no such job".into(),
+                }),
+            },
+            Request::Subscribe(job) => match self.registry.get(job) {
+                Some(record) => record.add_watcher(sink.clone(), WatchKind::Subscribe),
+                None => send(Response::Error {
+                    job: Some(job),
+                    reason: "no such job".into(),
+                }),
+            },
+            Request::Stats => send(self.stats()),
+            Request::Ping => send(Response::Pong),
+        }
+    }
+}
+
+/// A running server: accept thread + worker pool over shared state.
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    accept_handle: Option<JoinHandle<()>>,
+    pool: Option<WorkerPool>,
+}
+
+impl Server {
+    /// Bind and start serving. `addr` may use port 0 for an ephemeral port
+    /// (see [`Server::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let registry = Arc::new(JobRegistry::new());
+        let queue = Arc::new(JobQueue::new(config.queue_capacity));
+        let pool = WorkerPool::spawn(config.workers, Arc::clone(&queue), Arc::clone(&registry));
+        let state = Arc::new(ServerState {
+            registry,
+            queue,
+            config,
+            shutting_down: AtomicBool::new(false),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_handle = std::thread::Builder::new()
+            .name("dabs-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_state.shutting_down.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            let state = Arc::clone(&accept_state);
+                            let _ = std::thread::Builder::new()
+                                .name("dabs-conn".into())
+                                .spawn(move || handle_connection(stream, &state));
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            })?;
+        Ok(Server {
+            state,
+            addr,
+            accept_handle: Some(accept_handle),
+            pool: Some(pool),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state, for in-process embedding (benchmarks, tests).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Block forever serving connections (`dabs serve`).
+    pub fn run_forever(mut self) {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful stop: refuse new work, cancel live jobs, drain the workers,
+    /// and join every runtime thread.
+    pub fn shutdown(mut self) {
+        self.state.shutting_down.store(true, Ordering::Relaxed);
+        self.state.queue.close();
+        self.state.registry.stop_all();
+        // Wake the blocking accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+/// Reader side of one connection; spawns the paired writer thread.
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name("dabs-conn-writer".into())
+        .spawn(move || {
+            let mut out = write_half;
+            while let Ok(line) = rx.recv() {
+                if out
+                    .write_all(line.as_bytes())
+                    .and_then(|()| out.write_all(b"\n"))
+                    .and_then(|()| out.flush())
+                    .is_err()
+                {
+                    break; // peer gone; senders see the drop via send errors
+                }
+            }
+        });
+
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match Request::parse_line(line) {
+            Ok(request) => state.dispatch(request, &tx),
+            Err(reason) => {
+                let _ = tx.send(Response::Error { job: None, reason }.encode());
+            }
+        }
+    }
+    // Reader done (peer closed): dropping `tx` ends the writer once every
+    // watcher-held clone is gone too.
+    drop(tx);
+    if let Ok(w) = writer {
+        let _ = w.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProblemSpec;
+    use std::time::Duration;
+
+    fn server() -> Server {
+        Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 8,
+            },
+        )
+        .expect("bind ephemeral")
+    }
+
+    fn job(seed: u64, batches: u64) -> JobSpec {
+        JobSpec {
+            problem: ProblemSpec::random(18, seed),
+            seed,
+            max_batches: Some(batches),
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn in_process_submit_executes_to_done() {
+        let srv = server();
+        let id = srv.state().submit(job(1, 100)).unwrap();
+        let record = srv.state().registry.get(id).unwrap();
+        assert!(record.wait_terminal(Duration::from_secs(30)));
+        let (phase, result, _) = record.snapshot();
+        assert_eq!(phase.name(), "done");
+        assert!(result.unwrap().batches >= 100);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn submit_validates_and_rejects() {
+        let srv = server();
+        let unbounded = JobSpec {
+            max_batches: None,
+            ..job(1, 0)
+        };
+        assert!(srv.state().submit(unbounded).is_err());
+        let past_deadline = JobSpec {
+            deadline_unix_ms: Some(1),
+            ..job(1, 10)
+        };
+        let err = srv.state().submit(past_deadline).unwrap_err();
+        assert!(err.contains("deadline"), "{err}");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn rejected_jobs_leave_no_registry_trace() {
+        let srv = server();
+        let err = srv
+            .state()
+            .submit(JobSpec {
+                deadline_unix_ms: Some(1),
+                ..job(2, 10)
+            })
+            .unwrap_err();
+        assert!(err.contains("deadline"));
+        let (queued, running, terminal) = srv.state().registry.phase_counts();
+        assert_eq!((queued, running, terminal), (0, 0, 0));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_prompt_even_with_queued_work() {
+        let srv = server();
+        // More work than the two workers finish instantly, then shut down.
+        for seed in 0..6 {
+            let _ = srv.state().submit(job(seed, 50));
+        }
+        let t0 = std::time::Instant::now();
+        srv.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "shutdown hung: {:?}",
+            t0.elapsed()
+        );
+    }
+}

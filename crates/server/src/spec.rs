@@ -1,0 +1,429 @@
+//! Job specifications: what a client asks the runtime to solve, and how.
+//!
+//! A [`JobSpec`] is the unit of admission — problem, solver shape,
+//! termination, execution mode, priority, and deadline, all expressible as
+//! one JSON object on the wire. [`ProblemSpec::build`] is the single place
+//! instances are materialized from a spec, shared by the server workers, the
+//! CLI (which converts its flags into a `ProblemSpec`), and the offline
+//! reference runs in the integration tests — so "the job the server ran" and
+//! "the job the test reproduces" are the same model by construction.
+
+use dabs_core::{DabsConfig, DabsSolver, Termination};
+use dabs_model::QuboModel;
+use dabs_problems::{gset, qaplib, QaspInstance, Topology};
+use dabs_rng::{Rng64, Xorshift64Star};
+use serde::json::Json;
+use std::time::Duration;
+
+/// Which instance to solve. `kind` selects a generator family (the same set
+/// the CLI exposes) or `"inline"`, in which case `inline` carries the model
+/// in the repo's `.qubo` text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProblemSpec {
+    pub kind: String,
+    /// Instance size; each generator has its own default.
+    pub n: Option<usize>,
+    /// Generator seed (ignored for `inline`).
+    pub seed: u64,
+    /// `.qubo` text for `kind == "inline"`.
+    pub inline: Option<String>,
+}
+
+impl ProblemSpec {
+    /// A random dense QUBO — the workhorse for load generation and tests.
+    pub fn random(n: usize, seed: u64) -> Self {
+        Self {
+            kind: "random".into(),
+            n: Some(n),
+            seed,
+            inline: None,
+        }
+    }
+
+    /// Wrap a `.qubo` document.
+    pub fn inline_text(text: impl Into<String>) -> Self {
+        Self {
+            kind: "inline".into(),
+            n: None,
+            seed: 0,
+            inline: Some(text.into()),
+        }
+    }
+
+    /// Materialize the model plus a human-readable instance name.
+    pub fn build(&self) -> Result<(QuboModel, String), String> {
+        let seed = self.seed;
+        match self.kind.as_str() {
+            "inline" => {
+                let text = self
+                    .inline
+                    .as_deref()
+                    .ok_or("inline problem requires the \"inline\" field")?;
+                let model = dabs_model::io::parse_qubo(text).map_err(|e| e.to_string())?;
+                let name = format!("inline(n={})", model.n());
+                Ok((model, name))
+            }
+            "k2000" => {
+                let n = self.n.unwrap_or(200);
+                let p = gset::k2000_like(n, seed);
+                Ok((p.to_qubo(), p.name))
+            }
+            "g22" => {
+                let n = self.n.unwrap_or(200);
+                let m = (n * n) / 200; // matches G22's 1% density
+                let p = gset::g22_like(n, m, seed);
+                Ok((p.to_qubo(), p.name))
+            }
+            "g39" => {
+                let n = self.n.unwrap_or(200);
+                let m = (n * n * 6) / 2000;
+                let p = gset::g39_like(n, m, seed);
+                Ok((p.to_qubo(), p.name))
+            }
+            "tai" => {
+                let n = self.n.unwrap_or(9);
+                let q = qaplib::tai_like(n, seed);
+                let pen = q.auto_penalty();
+                let name = format!("{} (penalty {pen})", q.name);
+                Ok((q.to_qubo(pen), name))
+            }
+            "nug" => {
+                let n = self.n.unwrap_or(9);
+                let side = (n as f64).sqrt().round() as usize;
+                if side * side != n {
+                    return Err(format!("nug requires a square n, got {n}"));
+                }
+                let q = qaplib::nug_like(side, side, seed);
+                let pen = q.auto_penalty();
+                let name = format!("{} (penalty {pen})", q.name);
+                Ok((q.to_qubo(pen), name))
+            }
+            "tho" => {
+                let n = self.n.unwrap_or(9);
+                let side = (n as f64).sqrt().round() as usize;
+                if side * side != n {
+                    return Err(format!("tho requires a square n, got {n}"));
+                }
+                let q = qaplib::tho_like(side, side, seed);
+                let pen = q.auto_penalty();
+                let name = format!("{} (penalty {pen})", q.name);
+                Ok((q.to_qubo(pen), name))
+            }
+            "qasp" => {
+                let n = self.n.unwrap_or(512);
+                // Chimera cell count that covers n before fault trimming
+                let cells = ((n as f64 / 8.0).sqrt().ceil() as usize).max(2);
+                let topo = Topology::pegasus_like(cells, cells, 14.0, seed);
+                let target_edges = (n * 7).min(topo.edge_count());
+                let topo = topo.with_faults(n.min(topo.n()), target_edges, seed);
+                let inst = QaspInstance::generate(&topo, 16, seed);
+                let name = inst.name.clone();
+                Ok((inst.qubo().clone(), name))
+            }
+            "random" => {
+                let n = self.n.unwrap_or(64);
+                let mut rng = Xorshift64Star::new(seed);
+                let mut b = dabs_model::QuboBuilder::new(n);
+                for i in 0..n {
+                    b.add_linear(i, rng.next_range_i64(-9, 9));
+                    for j in (i + 1)..n {
+                        if rng.next_bool(0.3) {
+                            b.add_quadratic(i, j, rng.next_range_i64(-9, 9));
+                        }
+                    }
+                }
+                Ok((
+                    b.build().map_err(|e| e.to_string())?,
+                    format!("random(n={n})"),
+                ))
+            }
+            other => Err(format!("unknown problem kind {other:?}")),
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::str(self.kind.clone())),
+            ("n", self.n.map(|n| n as u64).into()),
+            ("seed", Json::from(self.seed)),
+            (
+                "inline",
+                self.inline.as_ref().map(|t| Json::str(t.clone())).into(),
+            ),
+        ])
+    }
+
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        Ok(Self {
+            kind: j
+                .get_str("kind")
+                .ok_or("problem needs a \"kind\"")?
+                .to_string(),
+            n: j.get_u64("n").map(|n| n as usize),
+            seed: j.get_u64("seed").unwrap_or(1),
+            inline: j.get_str("inline").map(String::from),
+        })
+    }
+}
+
+/// How the job runs on its worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Single-threaded deterministic run — same (problem, seed, batches)
+    /// always yields the same energies; the right mode for reproducible
+    /// tenants and for tests.
+    #[default]
+    Sequential,
+    /// Full threaded solve (devices × blocks thread-tree) on the worker.
+    Threaded,
+}
+
+impl ExecMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Sequential => "sequential",
+            ExecMode::Threaded => "threaded",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Result<Self, String> {
+        match s {
+            "sequential" => Ok(ExecMode::Sequential),
+            "threaded" => Ok(ExecMode::Threaded),
+            other => Err(format!("unknown mode {other:?}")),
+        }
+    }
+}
+
+/// Everything the runtime needs to admit, schedule, and execute one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    pub problem: ProblemSpec,
+    /// Solver pools/devices (paper's island count).
+    pub devices: usize,
+    /// Block workers per device (threaded mode only).
+    pub blocks: usize,
+    /// Solver seed.
+    pub seed: u64,
+    /// Use the fixed-strategy ABS baseline preset instead of full DABS.
+    pub abs: bool,
+    pub mode: ExecMode,
+    /// Stop at (≤) this energy.
+    pub target: Option<i64>,
+    /// Wall-clock budget, milliseconds.
+    pub time_ms: Option<u64>,
+    /// Batch budget (exact in sequential mode).
+    pub max_batches: Option<u64>,
+    /// Higher runs first; ties are FIFO.
+    pub priority: i32,
+    /// Absolute deadline, milliseconds since the unix epoch. A job whose
+    /// deadline has passed is rejected at admission; one that expires while
+    /// queued is dropped by the worker; a running job has its time budget
+    /// clamped to the remaining window.
+    pub deadline_unix_ms: Option<u64>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        Self {
+            problem: ProblemSpec::random(32, 1),
+            devices: 2,
+            blocks: 1,
+            seed: 1,
+            abs: false,
+            mode: ExecMode::Sequential,
+            target: None,
+            time_ms: None,
+            max_batches: None,
+            priority: 0,
+            deadline_unix_ms: None,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Admission-time validation: a job must be well-formed *and* bounded
+    /// (external cancellation alone is not a termination a tenant can rely
+    /// on — a forgotten client would park a worker forever).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.devices == 0 || self.blocks == 0 {
+            return Err("devices and blocks must be ≥ 1".into());
+        }
+        if self.target.is_none() && self.time_ms.is_none() && self.max_batches.is_none() {
+            return Err("job needs a termination: target, time_ms, or max_batches".into());
+        }
+        if self.target.is_some() && self.time_ms.is_none() && self.max_batches.is_none() {
+            return Err("a target-only job is unbounded; add time_ms or max_batches".into());
+        }
+        Ok(())
+    }
+
+    /// Build the solver exactly as the CLI would for the same flags.
+    pub fn build_solver(&self) -> Result<DabsSolver, String> {
+        let mut cfg = if self.abs {
+            DabsConfig::abs_baseline(self.devices, self.blocks)
+        } else {
+            DabsConfig::dabs(self.devices, self.blocks)
+        };
+        cfg.seed = self.seed;
+        DabsSolver::new(cfg)
+    }
+
+    /// The job's own termination conditions (the runtime adds its stop flag
+    /// and deadline clamp on top).
+    pub fn termination(&self) -> Termination {
+        let mut t = Termination::default();
+        if let Some(e) = self.target {
+            t = t.with_target(e);
+        }
+        if let Some(ms) = self.time_ms {
+            t = t.with_time(Duration::from_millis(ms));
+        }
+        if let Some(b) = self.max_batches {
+            t = t.with_batches(b);
+        }
+        t
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("problem", self.problem.to_json()),
+            ("devices", Json::from(self.devices)),
+            ("blocks", Json::from(self.blocks)),
+            ("seed", Json::from(self.seed)),
+            ("abs", Json::from(self.abs)),
+            ("mode", Json::str(self.mode.name())),
+            ("target", self.target.into()),
+            ("time_ms", self.time_ms.into()),
+            ("max_batches", self.max_batches.into()),
+            ("priority", Json::from(i64::from(self.priority))),
+            ("deadline_unix_ms", self.deadline_unix_ms.into()),
+        ])
+    }
+
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let problem = ProblemSpec::from_json(j.get("problem").ok_or("job needs a \"problem\"")?)?;
+        let d = JobSpec::default();
+        Ok(Self {
+            problem,
+            devices: j.get_u64("devices").map_or(d.devices, |v| v as usize),
+            blocks: j.get_u64("blocks").map_or(d.blocks, |v| v as usize),
+            seed: j.get_u64("seed").unwrap_or(d.seed),
+            abs: j.get_bool("abs").unwrap_or(false),
+            mode: match j.get_str("mode") {
+                Some(m) => ExecMode::from_name(m)?,
+                None => ExecMode::Sequential,
+            },
+            target: j.get_i64("target"),
+            time_ms: j.get_u64("time_ms"),
+            max_batches: j.get_u64("max_batches"),
+            priority: j.get_i64("priority").unwrap_or(0) as i32,
+            deadline_unix_ms: j.get_u64("deadline_unix_ms"),
+        })
+    }
+}
+
+/// Milliseconds since the unix epoch — the protocol's deadline clock.
+pub fn now_unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_spec_round_trips_through_json() {
+        let spec = JobSpec {
+            problem: ProblemSpec::random(24, 9),
+            devices: 3,
+            blocks: 2,
+            seed: 42,
+            abs: true,
+            mode: ExecMode::Threaded,
+            target: Some(-17),
+            time_ms: Some(250),
+            max_batches: Some(1000),
+            priority: 5,
+            deadline_unix_ms: Some(1_700_000_000_000),
+        };
+        let line = spec.to_json().to_string();
+        let back = JobSpec::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn defaults_fill_missing_fields() {
+        let j =
+            Json::parse("{\"problem\":{\"kind\":\"random\",\"n\":16},\"max_batches\":10}").unwrap();
+        let spec = JobSpec::from_json(&j).unwrap();
+        assert_eq!(spec.devices, 2);
+        assert_eq!(spec.mode, ExecMode::Sequential);
+        assert_eq!(spec.problem.seed, 1);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_demands_a_bound() {
+        let mut spec = JobSpec::default();
+        assert!(spec.validate().is_err(), "no termination at all");
+        spec.target = Some(0);
+        assert!(spec.validate().is_err(), "target alone is unbounded");
+        spec.max_batches = Some(10);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn inline_problem_builds_and_round_trips() {
+        let mut b = dabs_model::QuboBuilder::new(4);
+        b.add_linear(0, -3).add_quadratic(1, 2, 5);
+        let q = b.build().unwrap();
+        let spec = ProblemSpec::inline_text(dabs_model::io::write_qubo(&q));
+        let wire =
+            ProblemSpec::from_json(&Json::parse(&spec.to_json().to_string()).unwrap()).unwrap();
+        let (model, name) = wire.build().unwrap();
+        assert_eq!(model, q);
+        assert_eq!(name, "inline(n=4)");
+    }
+
+    #[test]
+    fn generator_kinds_build() {
+        for kind in ["k2000", "g22", "random"] {
+            let spec = ProblemSpec {
+                kind: kind.into(),
+                n: Some(32),
+                seed: 3,
+                inline: None,
+            };
+            let (model, _) = spec.build().unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(model.n() > 0);
+        }
+        assert!(ProblemSpec {
+            kind: "nope".into(),
+            n: None,
+            seed: 1,
+            inline: None
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn spec_solver_matches_cli_construction() {
+        let spec = JobSpec {
+            devices: 2,
+            blocks: 1,
+            seed: 77,
+            max_batches: Some(60),
+            ..JobSpec::default()
+        };
+        let solver = spec.build_solver().unwrap();
+        let mut cfg = DabsConfig::dabs(2, 1);
+        cfg.seed = 77;
+        assert_eq!(solver.config().seed, cfg.seed);
+        assert_eq!(solver.config().devices, cfg.devices);
+    }
+}

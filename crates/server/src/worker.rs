@@ -1,0 +1,295 @@
+//! The solver worker pool: `W` long-lived threads executing queued jobs.
+//!
+//! This is the multiplexing layer the paper's architecture needs to serve
+//! many tenants: a thousand clients submit a thousand jobs, but only `W`
+//! solver executions exist at any instant — queued work waits in the
+//! admission queue instead of spawning a thousand solver thread-trees. A
+//! worker claims the highest-priority job, materializes its model, threads
+//! the job's stop flag and deadline clamp into the solver's `Termination`,
+//! and streams incumbents to subscribers through the job record.
+
+use crate::job::{JobPhase, JobRecord, JobRegistry};
+use crate::queue::JobQueue;
+use crate::spec::{now_unix_ms, ExecMode};
+use dabs_core::{Incumbent, IncumbentObserver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle over the worker threads.
+#[derive(Debug)]
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` solver threads draining `queue`.
+    pub fn spawn(workers: usize, queue: Arc<JobQueue>, registry: Arc<JobRegistry>) -> Self {
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("dabs-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(id) = queue.pop() {
+                            if let Some(record) = registry.get(id) {
+                                execute(&record);
+                            }
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { handles }
+    }
+
+    /// Number of worker threads.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Wait for every worker to exit (close the queue first).
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Execute one claimed job to a terminal phase. Public so embedded callers
+/// (tests, single-shot tools) can run a record without a pool.
+pub fn execute(record: &Arc<JobRecord>) {
+    // Deadline may have passed while the job sat in the queue.
+    if let Some(deadline) = record.spec.deadline_unix_ms {
+        if now_unix_ms() >= deadline {
+            record.finish(
+                JobPhase::Expired,
+                None,
+                Some("deadline passed while queued".into()),
+            );
+            return;
+        }
+    }
+    if !record.mark_running() {
+        return; // cancelled while queued; already terminal
+    }
+    let model = match record.spec.problem.build() {
+        Ok((model, _name)) => model,
+        Err(e) => {
+            record.finish(JobPhase::Failed, None, Some(e));
+            return;
+        }
+    };
+    let solver = match record.spec.build_solver() {
+        Ok(s) => s,
+        Err(e) => {
+            record.finish(JobPhase::Failed, None, Some(e));
+            return;
+        }
+    };
+
+    let mut termination = record
+        .spec
+        .termination()
+        .with_stop(Arc::clone(&record.stop));
+    if let Some(deadline) = record.spec.deadline_unix_ms {
+        // Clamp the run to the remaining deadline window so a slow job
+        // cannot blow past its own deadline on the worker.
+        let remaining = Duration::from_millis(deadline.saturating_sub(now_unix_ms()));
+        termination.time_limit = Some(match termination.time_limit {
+            Some(t) => t.min(remaining),
+            None => remaining,
+        });
+    }
+
+    let observer: IncumbentObserver = {
+        let record = Arc::clone(record);
+        Arc::new(move |inc: &Incumbent| {
+            record.publish_incumbent(inc.energy, inc.found_at);
+        })
+    };
+
+    let result = match record.spec.mode {
+        ExecMode::Sequential => solver.run_sequential_with_observer(&model, termination, observer),
+        ExecMode::Threaded => solver.run_with_observer(&Arc::new(model), termination, observer),
+    };
+
+    // A tripped stop flag means the run was cut short externally — by a
+    // client cancel or a server shutdown (`stop_all`). Either way the job
+    // did not run to its own termination, so reporting `done` would hand
+    // the client a fabricated result (a shutdown-drained job never executes
+    // a batch and would claim energy 0).
+    let phase = if record.cancel_requested() || record.stop.is_stopped() {
+        JobPhase::Cancelled
+    } else {
+        JobPhase::Done
+    };
+    record.finish(phase, Some(result), None);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{JobSpec, ProblemSpec};
+    use dabs_core::Termination;
+
+    fn registry() -> Arc<JobRegistry> {
+        Arc::new(JobRegistry::new())
+    }
+
+    fn small_job(seed: u64, batches: u64) -> JobSpec {
+        JobSpec {
+            problem: ProblemSpec::random(20, seed),
+            devices: 2,
+            blocks: 1,
+            seed,
+            max_batches: Some(batches),
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn pool_drains_queue_and_results_match_offline_reference() {
+        let registry = registry();
+        let queue = Arc::new(JobQueue::new(64));
+        let pool = WorkerPool::spawn(3, Arc::clone(&queue), Arc::clone(&registry));
+        let mut records = Vec::new();
+        for seed in 1..=12u64 {
+            let record = registry.register(small_job(seed, 150));
+            queue
+                .push(record.id, 0, record.spec.deadline_unix_ms)
+                .unwrap();
+            records.push(record);
+        }
+        for record in &records {
+            assert!(
+                record.wait_terminal(Duration::from_secs(60)),
+                "job {} stuck",
+                record.id
+            );
+            let (phase, result, error) = record.snapshot();
+            assert_eq!(phase, JobPhase::Done, "{error:?}");
+            let result = result.expect("done jobs carry a result");
+            // Sequential mode must reproduce the offline reference exactly.
+            let (model, _) = record.spec.problem.build().unwrap();
+            let reference = record
+                .spec
+                .build_solver()
+                .unwrap()
+                .run_sequential(&model, record.spec.termination());
+            assert_eq!(result.energy, reference.energy, "job {}", record.id);
+            assert_eq!(result.best, reference.best);
+        }
+        queue.close();
+        pool.join();
+    }
+
+    #[test]
+    fn expired_job_is_skipped_by_the_worker() {
+        let registry = registry();
+        let record = registry.register(JobSpec {
+            deadline_unix_ms: Some(now_unix_ms().saturating_sub(10)),
+            ..small_job(1, 1_000)
+        });
+        execute(&record);
+        let (phase, result, _) = record.snapshot();
+        assert_eq!(phase, JobPhase::Expired);
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn bad_problem_fails_cleanly() {
+        let registry = registry();
+        let record = registry.register(JobSpec {
+            problem: ProblemSpec {
+                kind: "no-such-kind".into(),
+                n: None,
+                seed: 1,
+                inline: None,
+            },
+            ..small_job(1, 10)
+        });
+        execute(&record);
+        let (phase, _, error) = record.snapshot();
+        assert_eq!(phase, JobPhase::Failed);
+        assert!(error.unwrap().contains("no-such-kind"));
+    }
+
+    #[test]
+    fn cancelled_running_job_stops_and_keeps_partial_result() {
+        let registry = registry();
+        // A long job: huge batch budget, no time limit.
+        let record = registry.register(small_job(5, u64::MAX / 2));
+        let runner = {
+            let record = Arc::clone(&record);
+            std::thread::spawn(move || execute(&record))
+        };
+        // Wait until it is running, then cancel.
+        let t0 = std::time::Instant::now();
+        while record.phase() != JobPhase::Running {
+            assert!(t0.elapsed() < Duration::from_secs(10), "never started");
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        record.request_cancel();
+        let cancel_at = std::time::Instant::now();
+        assert!(record.wait_terminal(Duration::from_secs(5)));
+        assert!(
+            cancel_at.elapsed() < Duration::from_millis(250),
+            "cancel latency {:?}",
+            cancel_at.elapsed()
+        );
+        runner.join().unwrap();
+        let (phase, result, _) = record.snapshot();
+        assert_eq!(phase, JobPhase::Cancelled);
+        assert!(result.is_some(), "partial result preserved");
+    }
+
+    #[test]
+    fn shutdown_drained_job_reports_cancelled_not_done() {
+        // A queued job whose stop flag trips before a worker reaches it
+        // (server shutdown path: queue.close() + registry.stop_all()) must
+        // not surface as a successful "done" with a zero result.
+        let registry = registry();
+        let record = registry.register(small_job(9, u64::MAX / 2));
+        registry.stop_all();
+        execute(&record);
+        let (phase, result, _) = record.snapshot();
+        assert_eq!(phase, JobPhase::Cancelled);
+        assert_eq!(result.expect("partial result attached").batches, 0);
+    }
+
+    #[test]
+    fn threaded_mode_jobs_run_too() {
+        let registry = registry();
+        let record = registry.register(JobSpec {
+            mode: ExecMode::Threaded,
+            max_batches: None,
+            time_ms: Some(150),
+            ..small_job(7, 0)
+        });
+        execute(&record);
+        let (phase, result, _) = record.snapshot();
+        assert_eq!(phase, JobPhase::Done);
+        assert!(result.unwrap().batches > 0);
+    }
+
+    #[test]
+    fn stop_flag_termination_used_by_worker_is_the_records() {
+        let record = registry().register(small_job(3, 50));
+        let term = record
+            .spec
+            .termination()
+            .with_stop(Arc::clone(&record.stop));
+        assert!(!term.stop_requested());
+        record.stop.stop();
+        assert!(term.stop_requested());
+        // Same semantics the core Termination promises.
+        let _ = Termination::external(Arc::clone(&record.stop));
+    }
+}

@@ -1,11 +1,17 @@
 //! Offline stand-in for [`serde`](https://crates.io/crates/serde).
 //!
-//! The build environment has no registry access, and the workspace only ever
-//! *derives* `Serialize`/`Deserialize` — nothing serializes yet. This shim
-//! supplies the two trait names plus no-op derive macros so the annotated
-//! types compile unchanged. When a real serialization backend (serde_json,
-//! bincode, …) lands, point the `serde` workspace dependency back at
-//! crates.io and everything keeps working.
+//! The build environment has no registry access. The shim has two layers:
+//!
+//! * The `Serialize`/`Deserialize` trait names plus no-op derive macros, so
+//!   types annotated for the real serde compile unchanged. When a crates.io
+//!   backend lands, point the `serde` workspace dependency back at the
+//!   registry and the annotations light up.
+//! * [`json`] — a real (small) JSON value model with a writer and parser,
+//!   standing in for `serde_json`. The wire types in `dabs-server` and the
+//!   CLI's `--json` output implement explicit `to_json`/`from_json`
+//!   conversions against it.
+
+pub mod json;
 
 /// Marker stand-in for `serde::Serialize`.
 pub trait Serialize {}

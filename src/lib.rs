@@ -6,3 +6,4 @@ pub use dabs_model as model;
 pub use dabs_problems as problems;
 pub use dabs_rng as rng;
 pub use dabs_search as search;
+pub use dabs_server as server;

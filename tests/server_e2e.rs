@@ -1,0 +1,274 @@
+//! End-to-end tests of the solve-job server over a real TCP socket.
+//!
+//! These drive the full stack — wire protocol, admission queue, worker
+//! pool, job lifecycle — exactly as an external client would, and pin the
+//! runtime's contract:
+//!
+//! * concurrent clients' job results are byte-identical to offline
+//!   `run_sequential` runs of the same specs,
+//! * `cancel` is honored mid-run within 250 ms,
+//! * a job whose deadline has already passed is rejected at admission,
+//! * `subscribe` streams monotonically non-increasing incumbent energies.
+
+use dabs::server::{
+    now_unix_ms, Client, ExecMode, JobSpec, ProblemSpec, Request, Response, Server, ServerConfig,
+};
+use std::time::{Duration, Instant};
+
+fn start_server(workers: usize) -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            queue_capacity: 128,
+        },
+    )
+    .expect("bind ephemeral server")
+}
+
+fn job(n: usize, seed: u64, batches: u64) -> JobSpec {
+    JobSpec {
+        problem: ProblemSpec::random(n, seed),
+        devices: 2,
+        blocks: 1,
+        seed,
+        mode: ExecMode::Sequential,
+        max_batches: Some(batches),
+        ..JobSpec::default()
+    }
+}
+
+#[test]
+fn concurrent_clients_get_results_matching_offline_reference() {
+    const CLIENTS: usize = 4;
+    const JOBS_PER_CLIENT: usize = 5; // ≥ 20 jobs total
+    let server = start_server(3);
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut outcomes = Vec::new();
+                for j in 0..JOBS_PER_CLIENT {
+                    let seed = 100 + (c * JOBS_PER_CLIENT + j) as u64;
+                    let spec = job(20 + 2 * j, seed, 120);
+                    let id = client.submit(&spec).expect("submit");
+                    let outcome = client.wait_result(id).expect("result");
+                    outcomes.push((spec, outcome));
+                }
+                outcomes
+            })
+        })
+        .collect();
+
+    let mut total = 0;
+    for h in handles {
+        for (spec, outcome) in h.join().expect("client thread") {
+            total += 1;
+            assert_eq!(outcome.phase, "done", "{:?}", outcome.error);
+            let result = outcome.result.expect("done jobs carry a result");
+            // The server ran this job in deterministic sequential mode —
+            // an offline run of the same spec must agree exactly.
+            let (model, _) = spec.problem.build().unwrap();
+            let reference = spec
+                .build_solver()
+                .unwrap()
+                .run_sequential(&model, spec.termination());
+            assert_eq!(result.energy, reference.energy, "spec {spec:?}");
+            assert_eq!(result.best, reference.best);
+            assert_eq!(result.batches, reference.batches);
+            assert_eq!(model.energy(&result.best), result.energy, "energy honest");
+        }
+    }
+    assert_eq!(total, CLIENTS * JOBS_PER_CLIENT);
+    server.shutdown();
+}
+
+#[test]
+fn mid_run_cancel_is_honored_quickly() {
+    let server = start_server(1);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Effectively unbounded batch budget: only the cancel ends it.
+    let id = client.submit(&job(48, 7, u64::MAX / 2)).expect("submit");
+
+    // Wait until the single worker picks it up.
+    let t0 = Instant::now();
+    loop {
+        let (phase, _) = client.status(id).expect("status");
+        if phase == "running" {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(20),
+            "job never started: {phase}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(30)); // let it do real work
+
+    let cancel_at = Instant::now();
+    let phase = client.cancel(id).expect("cancel");
+    assert!(phase == "running" || phase == "cancelled", "{phase}");
+    let outcome = client.wait_result(id).expect("result after cancel");
+    let latency = cancel_at.elapsed();
+    assert!(
+        latency < Duration::from_millis(250),
+        "cancel took {latency:?}"
+    );
+    assert_eq!(outcome.phase, "cancelled");
+    // Partial result: whatever was best when the flag tripped.
+    assert!(outcome.result.expect("partial result").batches > 0);
+    server.shutdown();
+}
+
+#[test]
+fn past_deadline_job_is_rejected_at_admission() {
+    let server = start_server(1);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let late = JobSpec {
+        deadline_unix_ms: Some(now_unix_ms().saturating_sub(2_000)),
+        ..job(16, 3, 50)
+    };
+    let err = client.submit(&late).expect_err("must be rejected");
+    assert!(err.contains("deadline"), "{err}");
+
+    // And the raw wire response really is a `rejected` line.
+    client
+        .send(&Request::Submit(Box::new(JobSpec {
+            deadline_unix_ms: Some(1),
+            ..job(16, 3, 50)
+        })))
+        .unwrap();
+    match client.recv().unwrap() {
+        Response::Rejected { reason } => assert!(reason.contains("deadline"), "{reason}"),
+        other => panic!("expected rejected, got {other:?}"),
+    }
+
+    // A future deadline passes admission and completes.
+    let ok = JobSpec {
+        deadline_unix_ms: Some(now_unix_ms() + 120_000),
+        ..job(16, 3, 50)
+    };
+    let id = client.submit(&ok).expect("future deadline admitted");
+    assert_eq!(client.wait_result(id).unwrap().phase, "done");
+    server.shutdown();
+}
+
+#[test]
+fn subscribe_streams_monotone_incumbents() {
+    let server = start_server(1);
+    let addr = server.local_addr();
+
+    // Park the single worker on a blocker so the real job stays queued
+    // until the subscription is definitely attached — no race between
+    // subscribing and the job finishing.
+    let mut submitter = Client::connect(addr).expect("connect");
+    let blocker = submitter
+        .submit(&JobSpec {
+            time_ms: Some(300),
+            max_batches: None,
+            ..job(32, 1, 0)
+        })
+        .expect("blocker");
+    // Big enough instance and budget that the best improves several times.
+    let id = submitter.submit(&job(64, 11, 4_000)).expect("submit");
+
+    // Subscribe from a second connection, as a dashboard would.
+    let mut watcher = Client::connect(addr).expect("connect watcher");
+    let (incumbents, outcome) = watcher.subscribe(id).expect("subscribe stream");
+    submitter.wait_result(blocker).expect("blocker result");
+
+    assert_eq!(outcome.phase, "done");
+    let final_energy = outcome.result.expect("result").energy;
+    assert!(
+        !incumbents.is_empty(),
+        "stream must carry at least one incumbent"
+    );
+    for pair in incumbents.windows(2) {
+        assert!(
+            pair[1].0 <= pair[0].0,
+            "incumbent energies must be non-increasing: {incumbents:?}"
+        );
+    }
+    assert_eq!(
+        incumbents.last().unwrap().0,
+        final_energy,
+        "stream must end at the final best"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn priorities_order_queued_work_on_a_busy_server() {
+    // One worker, one long job holding it, then a low- and a high-priority
+    // job: the high-priority one must finish first.
+    let server = start_server(1);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    let blocker = client
+        .submit(&JobSpec {
+            time_ms: Some(600),
+            max_batches: None,
+            ..job(32, 1, 0)
+        })
+        .expect("blocker");
+    let low = client
+        .submit(&JobSpec {
+            priority: -5,
+            ..job(16, 2, 40)
+        })
+        .expect("low");
+    let high = client
+        .submit(&JobSpec {
+            priority: 5,
+            ..job(16, 3, 40)
+        })
+        .expect("high");
+
+    // Register both result-waits on ONE connection: terminal `done` lines
+    // are pushed in completion order, so the arrival order on this socket
+    // IS the execution order — no wall-clock comparison, no race. The
+    // request order (low first) is the opposite of the expected completion
+    // order, so a broken scheduler would flip the arrivals.
+    let mut waiter = Client::connect(addr).expect("connect");
+    waiter.send(&Request::Result(low)).expect("send");
+    waiter.send(&Request::Result(high)).expect("send");
+    let mut done_order = Vec::new();
+    while done_order.len() < 2 {
+        if let Response::Done { job, phase, .. } = waiter.recv().expect("recv") {
+            assert_eq!(phase, "done");
+            done_order.push(job);
+        }
+    }
+    assert_eq!(
+        done_order,
+        vec![high, low],
+        "high priority must complete before low"
+    );
+    client.wait_result(blocker).expect("blocker result");
+    server.shutdown();
+}
+
+#[test]
+fn stats_and_ping_respond_over_the_wire() {
+    let server = start_server(2);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.ping().expect("ping");
+    let id = client.submit(&job(16, 5, 30)).expect("submit");
+    client.wait_result(id).expect("result");
+    match client.stats().expect("stats") {
+        Response::Stats {
+            finished, workers, ..
+        } => {
+            assert!(finished >= 1);
+            assert_eq!(workers, 2);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    server.shutdown();
+}
