@@ -124,6 +124,36 @@ pub fn parse_ising(text: &str) -> Result<IsingModel, ParseError> {
     })
 }
 
+/// The variable count a document's `p` header line(s) declare, extracted
+/// without parsing — or allocating — anything else. The full parsers let a
+/// later `p` line overwrite an earlier one, so the maximum across all of
+/// them is what bounds the eventual `vec![0; n]`. `None` when no
+/// well-formed header exists (such a document fails in [`parse_body`]
+/// before it allocates).
+///
+/// Kept next to [`parse_body`] so there is exactly one copy of the header
+/// grammar: admission-control callers (the `dabs-server` job runtime) use
+/// this to cap a client-declared `n` *before* handing the text to the real
+/// parser, and the two must never drift.
+pub fn declared_n(text: &str) -> Option<usize> {
+    let mut declared: Option<usize> = None;
+    for raw in text.lines() {
+        let Some(rest) = raw.trim().strip_prefix('p') else {
+            continue;
+        };
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        let n_pos = match fields.first() {
+            Some(&"qubo") => 2,  // p qubo 0 <n> <diag> <elems>
+            Some(&"ising") => 1, // p ising <n> <biases> <couplings>
+            _ => continue,
+        };
+        if let Some(n) = fields.get(n_pos).and_then(|f| f.parse().ok()) {
+            declared = Some(declared.map_or(n, |d: usize| d.max(n)));
+        }
+    }
+    declared
+}
+
 /// Shared scanner: returns `n` and the `(line_no, (i, j, w))` term list.
 #[allow(clippy::type_complexity)]
 fn parse_body(
@@ -188,6 +218,32 @@ mod tests {
     use super::*;
     use crate::{QuboBuilder, Solution};
     use dabs_rng::{Rng64, Xorshift64Star};
+
+    #[test]
+    fn declared_n_matches_what_the_parsers_allocate() {
+        // Single headers, both dialects.
+        assert_eq!(declared_n("p qubo 0 7 0 0\n"), Some(7));
+        assert_eq!(declared_n("c comment\np ising 9 0 0\n"), Some(9));
+        // The parsers let a later header overwrite an earlier one, so the
+        // maximum is what bounds the allocation.
+        assert_eq!(
+            declared_n("p qubo 0 4 0 0\np qubo 0 1000 0 0\n"),
+            Some(1000)
+        );
+        assert_eq!(
+            declared_n("p qubo 0 1000 0 0\np qubo 0 4 0 0\n"),
+            Some(1000)
+        );
+        // No well-formed header → None, and the real parser must also
+        // reject the document (before allocating anything).
+        for text in ["", "0 0 5\n", "p qubo 0 huge 0 0\n", "p graph 12\n"] {
+            assert_eq!(declared_n(text), None, "{text:?}");
+            assert!(parse_qubo(text).is_err(), "{text:?}");
+        }
+        // A document the parser accepts always has a declared n.
+        let q = parse_qubo("p qubo 0 3 1 1\n0 0 -2\n0 1 5\n").unwrap();
+        assert_eq!(declared_n("p qubo 0 3 1 1\n0 0 -2\n0 1 5\n"), Some(q.n()));
+    }
 
     fn random_model(n: usize, seed: u64) -> QuboModel {
         let mut rng = Xorshift64Star::new(seed);

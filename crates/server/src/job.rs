@@ -29,7 +29,8 @@ pub enum JobPhase {
     Done,
     /// Stopped by a client `cancel` (possibly with a partial result).
     Cancelled,
-    /// Deadline passed while the job was still queued.
+    /// Deadline passed while the job was still queued (or during worker
+    /// setup, before any batch ran).
     Expired,
     /// The spec failed to build or the solver rejected it.
     Failed,
@@ -134,12 +135,17 @@ impl JobRecord {
         self.cancel_requested.store(true, Ordering::Relaxed);
         self.stop.stop();
         {
-            let st = self.state.lock().expect("job state lock");
+            // The Queued check and the Cancelled transition must share one
+            // lock acquisition: releasing between them would let a worker
+            // claim (or even complete) the job in the window, and a late
+            // `finish(Cancelled, None)` would then erase the real outcome.
+            let mut st = self.state.lock().expect("job state lock");
             if st.phase != JobPhase::Queued {
                 return st.phase;
             }
+            st.phase = JobPhase::Cancelled;
         }
-        self.finish(JobPhase::Cancelled, None, None);
+        self.notify_terminal();
         JobPhase::Cancelled
     }
 
@@ -194,6 +200,12 @@ impl JobRecord {
             st.result = result;
             st.error = error;
         }
+        self.notify_terminal();
+    }
+
+    /// Wake synchronous waiters and send the terminal `done` line to every
+    /// watcher. Call exactly once, after the terminal transition.
+    fn notify_terminal(&self) {
         self.terminal_cv.notify_all();
         let line = self.terminal_line().expect("just finished").encode();
         let mut ws = self.watchers.lock().expect("watchers lock");
@@ -395,6 +407,54 @@ mod tests {
         assert!(r.stop.is_stopped());
         assert!(!r.mark_running(), "worker must skip a cancelled job");
         assert!(r.wait_terminal(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn cancel_vs_worker_claim_race_never_erases_an_outcome() {
+        // A cancel thread and a worker thread race on fresh records;
+        // whichever transition wins, the loser must observe it and stand
+        // down: a claimed job ends Done with its result, an unclaimed one
+        // ends Cancelled. (A lock released between request_cancel's Queued
+        // check and its transition used to let a late Cancelled/None stamp
+        // erase a completed run's result.)
+        let spec = JobSpec {
+            max_batches: Some(5),
+            ..JobSpec::default()
+        };
+        let (model, _) = spec.problem.build().unwrap();
+        let result = spec
+            .build_solver()
+            .unwrap()
+            .run_sequential(&model, spec.termination());
+        let reg = JobRegistry::new();
+        for _ in 0..200 {
+            let r = reg.register(spec.clone());
+            let worker = {
+                let r = Arc::clone(&r);
+                let result = result.clone();
+                std::thread::spawn(move || {
+                    if r.mark_running() {
+                        r.finish(JobPhase::Done, Some(result), None);
+                        true
+                    } else {
+                        false
+                    }
+                })
+            };
+            let canceller = {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || r.request_cancel())
+            };
+            let claimed = worker.join().unwrap();
+            let _ = canceller.join().unwrap();
+            let (phase, result, _) = r.snapshot();
+            if claimed {
+                assert_eq!(phase, JobPhase::Done);
+                assert!(result.is_some(), "claimed job lost its result");
+            } else {
+                assert_eq!(phase, JobPhase::Cancelled);
+            }
+        }
     }
 
     #[test]

@@ -51,5 +51,8 @@ pub use metrics::{drive_fleet, percentile, LatencySummary};
 pub use protocol::{JobId, Request, Response};
 pub use queue::{AdmissionError, JobQueue};
 pub use server::{Server, ServerConfig, ServerState};
-pub use spec::{now_unix_ms, ExecMode, JobSpec, ProblemSpec};
+pub use spec::{
+    now_unix_ms, ExecMode, JobSpec, ProblemSpec, MAX_BLOCKS, MAX_DEVICES, MAX_PROBLEM_N,
+    MAX_QAP_SIZE,
+};
 pub use worker::{execute, WorkerPool};

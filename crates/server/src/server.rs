@@ -14,12 +14,13 @@ use crate::protocol::{JobId, Request, Response};
 use crate::queue::JobQueue;
 use crate::spec::JobSpec;
 use crate::worker::WorkerPool;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Runtime knobs.
 #[derive(Debug, Clone, Copy)]
@@ -227,17 +228,96 @@ impl std::fmt::Debug for Server {
     }
 }
 
+/// Upper bound on one request line. Large enough for an `inline` problem
+/// spec of any size this repo handles, small enough that a client streaming
+/// bytes without a newline cannot grow a line buffer unboundedly and OOM
+/// the server past the bounded-admission-queue guarantee.
+pub const MAX_REQUEST_LINE_BYTES: usize = 4 * 1024 * 1024;
+
+/// Outcome of one bounded line read.
+#[derive(Debug, PartialEq, Eq)]
+enum LineRead {
+    /// `buf` holds the next line (newline included, except at EOF).
+    Line,
+    /// Clean end of stream.
+    Eof,
+    /// The cap was hit mid-line. The line boundary is lost, so the caller
+    /// must report the oversize and drop the connection.
+    TooLong,
+    /// The peer errored; nothing useful can be said to it.
+    Failed,
+}
+
+/// Pull the next `\n`-terminated line into `buf`, refusing to buffer more
+/// than [`MAX_REQUEST_LINE_BYTES`] of it.
+fn read_bounded_line(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> LineRead {
+    buf.clear();
+    match reader
+        .take(MAX_REQUEST_LINE_BYTES as u64 + 1)
+        .read_until(b'\n', buf)
+    {
+        Err(_) => LineRead::Failed,
+        Ok(0) => LineRead::Eof,
+        Ok(_) if buf.len() > MAX_REQUEST_LINE_BYTES && !buf.ends_with(b"\n") => LineRead::TooLong,
+        Ok(_) => LineRead::Line,
+    }
+}
+
+/// Tear-down for a protocol-fatal error: queue the writer's close sentinel
+/// (after the already-queued error line) so the writer exits even while
+/// live jobs' watcher lists still hold sender clones, then wait for its
+/// exit ack. A writer parked inside `write_all` on a peer that stopped
+/// reading never reaches the sentinel — and a write timeout set now would
+/// not interrupt its already-entered syscall — so on ack timeout the socket
+/// is shut down, which does force the blocked write to return (the error
+/// line was undeliverable to such a peer anyway). Either way the reader's
+/// subsequent join is bounded.
+fn hang_up(tx: &Sender<String>, writer_done: &Receiver<()>, stream: &TcpStream) {
+    let _ = tx.send(String::new());
+    if writer_done.recv_timeout(Duration::from_secs(5)).is_err() {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Best-effort discard of whatever an oversized-line peer still has in
+/// flight before the socket closes: closing with unread bytes in the
+/// receive queue makes the kernel send RST, which would also destroy the
+/// queued `error` line on the peer's side. Bounded in both bytes (a peer
+/// streaming forever costs a thread, never memory) and time (a peer that
+/// goes quiet without closing cannot pin the thread).
+fn drain_flood(stream: &mut TcpStream) {
+    const DRAIN_BUDGET: usize = 64 * 1024 * 1024;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut scratch = [0u8; 64 * 1024];
+    let mut drained = 0usize;
+    while drained < DRAIN_BUDGET {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break, // EOF, timeout, or peer error
+            Ok(n) => drained += n,
+        }
+    }
+}
+
 /// Reader side of one connection; spawns the paired writer thread.
 fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     let (tx, rx) = channel::<String>();
+    let (done_tx, done_rx) = channel::<()>();
     let writer = std::thread::Builder::new()
         .name("dabs-conn-writer".into())
         .spawn(move || {
             let mut out = write_half;
             while let Ok(line) = rx.recv() {
+                // Empty line = close sentinel from the reader (real protocol
+                // lines are always JSON objects). Without it the writer
+                // would outlive a protocol-fatal error for as long as any
+                // live job's watcher list holds a sender clone, keeping the
+                // socket half-open for minutes.
+                if line.is_empty() {
+                    break;
+                }
                 if out
                     .write_all(line.as_bytes())
                     .and_then(|()| out.write_all(b"\n"))
@@ -247,11 +327,42 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
                     break; // peer gone; senders see the drop via send errors
                 }
             }
+            let _ = done_tx.send(()); // exit ack for hang_up
         });
 
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        match read_bounded_line(&mut reader, &mut buf) {
+            LineRead::Line => {}
+            LineRead::Eof | LineRead::Failed => break,
+            LineRead::TooLong => {
+                let _ = tx.send(
+                    Response::Error {
+                        job: None,
+                        reason: format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"),
+                    }
+                    .encode(),
+                );
+                drain_flood(reader.get_mut());
+                hang_up(&tx, &done_rx, reader.get_mut());
+                break;
+            }
+        }
+        let Ok(line) = std::str::from_utf8(&buf) else {
+            let _ = tx.send(
+                Response::Error {
+                    job: None,
+                    reason: "request line is not UTF-8".into(),
+                }
+                .encode(),
+            );
+            // Pipelined bytes after the bad line would RST the close and
+            // destroy the error line in flight, same as the flood case.
+            drain_flood(reader.get_mut());
+            hang_up(&tx, &done_rx, reader.get_mut());
+            break;
+        };
         let line = line.trim();
         if line.is_empty() {
             continue;
@@ -339,6 +450,83 @@ mod tests {
         assert!(err.contains("deadline"));
         let (queued, running, terminal) = srv.state().registry.phase_counts();
         assert_eq!((queued, running, terminal), (0, 0, 0));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn bounded_line_reader_accepts_lines_and_refuses_floods() {
+        use std::io::Cursor;
+        let mut buf = Vec::new();
+        // Normal framing: two lines then EOF.
+        let mut r = Cursor::new(b"abc\ndef".to_vec());
+        assert_eq!(read_bounded_line(&mut r, &mut buf), LineRead::Line);
+        assert_eq!(buf, b"abc\n");
+        assert_eq!(read_bounded_line(&mut r, &mut buf), LineRead::Line);
+        assert_eq!(buf, b"def");
+        assert_eq!(read_bounded_line(&mut r, &mut buf), LineRead::Eof);
+        // A line of exactly the cap (plus its newline) still passes...
+        let mut max = vec![b'x'; MAX_REQUEST_LINE_BYTES];
+        max.push(b'\n');
+        let mut r = Cursor::new(max);
+        assert_eq!(read_bounded_line(&mut r, &mut buf), LineRead::Line);
+        assert_eq!(buf.len(), MAX_REQUEST_LINE_BYTES + 1);
+        // ...but one unterminated byte more is refused instead of buffered.
+        let mut r = Cursor::new(vec![b'x'; MAX_REQUEST_LINE_BYTES + 1]);
+        assert_eq!(read_bounded_line(&mut r, &mut buf), LineRead::TooLong);
+    }
+
+    #[test]
+    fn oversized_request_line_drops_the_connection_with_an_error() {
+        use std::io::{BufRead, BufReader, Write};
+        let srv = server();
+        let mut conn = TcpStream::connect(srv.local_addr()).unwrap();
+        // Flood well past the cap with no newline. The server must consume
+        // (and discard) the excess before closing — unread bytes at close
+        // would RST the socket and destroy the error line in flight.
+        for _ in 0..3 {
+            conn.write_all(&vec![b'x'; MAX_REQUEST_LINE_BYTES]).unwrap();
+        }
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut lines = BufReader::new(conn).lines();
+        let reply = lines.next().expect("error line before close").unwrap();
+        assert!(reply.contains("exceeds"), "{reply}");
+        assert!(lines.next().is_none(), "connection must be closed");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn oversized_line_closes_promptly_despite_live_subscription() {
+        use std::io::{BufRead, BufReader, Write};
+        let srv = server();
+        // A job that stays alive well past the assertion window, so its
+        // watcher list keeps holding this connection's sender clone.
+        let id = srv
+            .state()
+            .submit(JobSpec {
+                time_ms: Some(10_000),
+                max_batches: None,
+                ..job(4, 0)
+            })
+            .unwrap();
+        let mut conn = TcpStream::connect(srv.local_addr()).unwrap();
+        conn.write_all(format!("{{\"op\":\"subscribe\",\"job\":{id}}}\n").as_bytes())
+            .unwrap();
+        conn.write_all(&vec![b'y'; MAX_REQUEST_LINE_BYTES + 1])
+            .unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        let t0 = std::time::Instant::now();
+        let mut saw_error = false;
+        for line in BufReader::new(conn).lines() {
+            let Ok(line) = line else { break };
+            // Incumbent lines may legitimately precede the error.
+            saw_error |= line.contains("exceeds");
+        }
+        assert!(saw_error, "error line never arrived");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "socket stayed open behind a live subscription: {:?}",
+            t0.elapsed()
+        );
         srv.shutdown();
     }
 

@@ -15,6 +15,23 @@ use dabs_rng::{Rng64, Xorshift64Star};
 use serde::json::Json;
 use std::time::Duration;
 
+/// Admission caps on untrusted job shape, enforced by [`JobSpec::validate`]
+/// — the server path only; the CLI builds specs from its own flags and may
+/// exceed these offline. They bound what one `submit` line can make a worker
+/// do *before* the job's termination or stop flag is ever consulted: model
+/// construction is not cancellable, so its cost (an O(n²) generator loop, a
+/// `vec![0; n]` allocation sized by a client-declared header) must be capped
+/// at admission or a single small request pins a worker — or aborts the
+/// process — for every tenant.
+pub const MAX_PROBLEM_N: usize = 4096;
+/// QAP generators (`tai`/`nug`/`tho`) square their size into n² QUBO
+/// variables, so their cap is the square root of the variable budget.
+pub const MAX_QAP_SIZE: usize = 64;
+/// Threaded mode spawns a devices × (blocks + 1) thread tree per job.
+pub const MAX_DEVICES: usize = 32;
+/// See [`MAX_DEVICES`].
+pub const MAX_BLOCKS: usize = 32;
+
 /// Which instance to solve. `kind` selects a generator family (the same set
 /// the CLI exposes) or `"inline"`, in which case `inline` carries the model
 /// in the repo's `.qubo` text format.
@@ -141,6 +158,46 @@ impl ProblemSpec {
         }
     }
 
+    /// Admission-time size check (see [`MAX_PROBLEM_N`]). For `inline`
+    /// problems the *declared* variable count on the `p` header line is what
+    /// gets allocated before any term is validated, so that is what must be
+    /// bounded; a malformed header passes here and fails properly in
+    /// [`ProblemSpec::build`].
+    pub fn validate_size(&self) -> Result<(), String> {
+        match self.kind.as_str() {
+            "tai" | "nug" | "tho" => {
+                let n = self.n.unwrap_or(9);
+                if n > MAX_QAP_SIZE {
+                    return Err(format!(
+                        "{} size {n} exceeds the admission cap {MAX_QAP_SIZE} (n² variables)",
+                        self.kind
+                    ));
+                }
+            }
+            "inline" => {
+                if let Some(n) = self.inline.as_deref().and_then(dabs_model::io::declared_n) {
+                    if n > MAX_PROBLEM_N {
+                        return Err(format!(
+                            "inline problem declares {n} variables, admission cap is {MAX_PROBLEM_N}"
+                        ));
+                    }
+                }
+            }
+            _ => {
+                // Every generator's default is far below the cap, so only an
+                // explicit n can violate it (unknown kinds fail in build()).
+                if let Some(n) = self.n {
+                    if n > MAX_PROBLEM_N {
+                        return Err(format!(
+                            "problem size {n} exceeds the admission cap {MAX_PROBLEM_N}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("kind", Json::str(self.kind.clone())),
@@ -249,6 +306,12 @@ impl JobSpec {
         if self.devices == 0 || self.blocks == 0 {
             return Err("devices and blocks must be ≥ 1".into());
         }
+        if self.devices > MAX_DEVICES || self.blocks > MAX_BLOCKS {
+            return Err(format!(
+                "devices ≤ {MAX_DEVICES} and blocks ≤ {MAX_BLOCKS} (admission caps)"
+            ));
+        }
+        self.problem.validate_size()?;
         if self.target.is_none() && self.time_ms.is_none() && self.max_batches.is_none() {
             return Err("job needs a termination: target, time_ms, or max_batches".into());
         }
@@ -374,6 +437,60 @@ mod tests {
         assert!(spec.validate().is_err(), "target alone is unbounded");
         spec.max_batches = Some(10);
         spec.validate().unwrap();
+    }
+
+    #[test]
+    fn admission_caps_bound_untrusted_job_shape() {
+        let bounded = |problem| JobSpec {
+            problem,
+            max_batches: Some(1),
+            ..JobSpec::default()
+        };
+        // A generator n past the cap is refused at admission — before the
+        // uncancellable O(n²) build could pin a worker.
+        let err = bounded(ProblemSpec::random(MAX_PROBLEM_N + 1, 1))
+            .validate()
+            .unwrap_err();
+        assert!(err.contains("admission cap"), "{err}");
+        assert!(bounded(ProblemSpec::random(MAX_PROBLEM_N, 1))
+            .validate()
+            .is_ok());
+        // QAP kinds square their size into variables: a tighter cap.
+        let qap = ProblemSpec {
+            kind: "tai".into(),
+            n: Some(MAX_QAP_SIZE + 1),
+            seed: 1,
+            inline: None,
+        };
+        assert!(bounded(qap).validate().is_err());
+        // An inline header declaring a huge n must not reach the parser's
+        // `vec![0; n]` — including via a second header that the full parser
+        // would let overwrite a small first one.
+        for text in [
+            "p qubo 0 999999999999 0 0\n",
+            "p qubo 0 4 0 0\np qubo 0 999999999999 0 0\n",
+        ] {
+            let err = bounded(ProblemSpec::inline_text(text))
+                .validate()
+                .unwrap_err();
+            assert!(err.contains("admission cap"), "{err}");
+        }
+        assert!(bounded(ProblemSpec::inline_text("p qubo 0 4 0 0\n"))
+            .validate()
+            .is_ok());
+        // Thread-tree shape is capped too.
+        let wide = JobSpec {
+            devices: MAX_DEVICES + 1,
+            max_batches: Some(1),
+            ..JobSpec::default()
+        };
+        assert!(wide.validate().is_err());
+        let deep = JobSpec {
+            blocks: MAX_BLOCKS + 1,
+            max_batches: Some(1),
+            ..JobSpec::default()
+        };
+        assert!(deep.validate().is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::job::{JobPhase, JobRecord, JobRegistry};
 use crate::queue::JobQueue;
 use crate::spec::{now_unix_ms, ExecMode};
-use dabs_core::{Incumbent, IncumbentObserver};
+use dabs_core::{Incumbent, IncumbentObserver, SolveResult, Termination};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -99,8 +99,20 @@ pub fn execute(record: &Arc<JobRecord>) {
         .with_stop(Arc::clone(&record.stop));
     if let Some(deadline) = record.spec.deadline_unix_ms {
         // Clamp the run to the remaining deadline window so a slow job
-        // cannot blow past its own deadline on the worker.
-        let remaining = Duration::from_millis(deadline.saturating_sub(now_unix_ms()));
+        // cannot blow past its own deadline on the worker. The deadline may
+        // have expired during the (uncancellable) model/solver build above;
+        // a zero window must report `expired`, not run 0 batches and let
+        // `classify` count `elapsed >= 0` as a completed run.
+        let remaining = deadline.saturating_sub(now_unix_ms());
+        if remaining == 0 {
+            record.finish(
+                JobPhase::Expired,
+                None,
+                Some("deadline passed during setup".into()),
+            );
+            return;
+        }
+        let remaining = Duration::from_millis(remaining);
         termination.time_limit = Some(match termination.time_limit {
             Some(t) => t.min(remaining),
             None => remaining,
@@ -114,22 +126,42 @@ pub fn execute(record: &Arc<JobRecord>) {
         })
     };
 
+    let run_termination = termination.clone();
     let result = match record.spec.mode {
         ExecMode::Sequential => solver.run_sequential_with_observer(&model, termination, observer),
         ExecMode::Threaded => solver.run_with_observer(&Arc::new(model), termination, observer),
     };
 
-    // A tripped stop flag means the run was cut short externally — by a
-    // client cancel or a server shutdown (`stop_all`). Either way the job
-    // did not run to its own termination, so reporting `done` would hand
-    // the client a fabricated result (a shutdown-drained job never executes
-    // a batch and would claim energy 0).
-    let phase = if record.cancel_requested() || record.stop.is_stopped() {
-        JobPhase::Cancelled
-    } else {
+    record.finish(
+        classify(record, &run_termination, &result),
+        Some(result),
+        None,
+    );
+}
+
+/// Decide the terminal phase of a run that just returned `result`, where
+/// `term` is the termination the run *actually* executed under (including
+/// the worker's deadline clamp — not a recomputation from the spec, which
+/// would misjudge a deadline-clamped run that completed its whole window).
+///
+/// A tripped stop flag means a client cancel or a server shutdown
+/// (`stop_all`) reached the job — but the flag alone cannot distinguish a
+/// run that was actually cut short from one where the cancel landed *after*
+/// the solver already hit its own termination (target reached, batch or
+/// time budget exhausted). Judging completion from the result closes that
+/// race: a fully completed run stays `done` no matter when the flag
+/// tripped, while a genuinely interrupted one (e.g. a shutdown-drained job
+/// that never executed a batch) reports `cancelled` instead of handing the
+/// client a fabricated success.
+fn classify(record: &JobRecord, term: &Termination, result: &SolveResult) -> JobPhase {
+    let ran_to_completion = result.reached_target
+        || term.max_batches.is_some_and(|m| result.batches >= m)
+        || term.time_limit.is_some_and(|t| result.elapsed >= t);
+    if ran_to_completion || !(record.cancel_requested() || record.stop.is_stopped()) {
         JobPhase::Done
-    };
-    record.finish(phase, Some(result), None);
+    } else {
+        JobPhase::Cancelled
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +294,32 @@ mod tests {
         let (phase, result, _) = record.snapshot();
         assert_eq!(phase, JobPhase::Cancelled);
         assert_eq!(result.expect("partial result attached").batches, 0);
+    }
+
+    #[test]
+    fn classify_judges_completion_from_the_result_not_flag_timing() {
+        let registry = registry();
+        let record = registry.register(small_job(11, 40));
+        let (model, _) = record.spec.problem.build().unwrap();
+        let solver = record.spec.build_solver().unwrap();
+        // A run that exhausted the job's own 40-batch budget, and one that
+        // a stop flag would have cut short at 5 batches.
+        let spec_term = record.spec.termination();
+        let complete = solver.run_sequential(&model, spec_term.clone());
+        let partial = solver.run_sequential(&model, Termination::batches(5));
+        record.mark_running();
+        assert_eq!(classify(&record, &spec_term, &complete), JobPhase::Done);
+        // A cancel that lands only after the run already hit its own
+        // termination must not reclassify the completed run...
+        record.request_cancel();
+        assert_eq!(classify(&record, &spec_term, &complete), JobPhase::Done);
+        // ...while a genuinely interrupted run still reports cancelled.
+        assert_eq!(classify(&record, &spec_term, &partial), JobPhase::Cancelled);
+        // A deadline-clamped run is judged against the clamp it actually
+        // executed under, not the spec's longer budget: completing the
+        // whole clamped window is completion, even with the flag tripped.
+        let clamped = spec_term.with_time(partial.elapsed);
+        assert_eq!(classify(&record, &clamped, &partial), JobPhase::Done);
     }
 
     #[test]

@@ -123,6 +123,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -206,11 +207,17 @@ impl fmt::Display for Json {
             Json::Int(i) => write!(f, "{i}"),
             Json::Float(x) => {
                 if x.is_finite() {
-                    // Keep a marker so the value re-parses as Float.
-                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                    // Keep a syntactic marker so the value re-parses as
+                    // Float: integral floats get `.1` precision, and beyond
+                    // 1e15 (where `{x:.1}` output gets unwieldy and Rust's
+                    // plain Display would emit a bare integer literal)
+                    // exponent form.
+                    if x.fract() != 0.0 {
+                        write!(f, "{x}")
+                    } else if x.abs() < 1e15 {
                         write!(f, "{x:.1}")
                     } else {
-                        write!(f, "{x}")
+                        write!(f, "{x:e}")
                     }
                 } else {
                     f.write_str("null") // JSON has no NaN/Inf
@@ -258,9 +265,17 @@ fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     f.write_str("\"")
 }
 
+/// Maximum container nesting the parser accepts. The parser is recursive
+/// and fed directly from untrusted TCP lines, so without a cap a request of
+/// ~100k `[` characters overflows the connection thread's stack and aborts
+/// the whole process. The protocol's real documents nest a handful of
+/// levels; 128 is far above any legitimate message and far below any stack.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -317,12 +332,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_PARSE_DEPTH}")));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -333,6 +358,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -342,10 +368,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -361,6 +389,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -557,12 +586,53 @@ mod tests {
 
     #[test]
     fn floats_reparse_as_floats() {
-        // The writer must keep a syntactic float marker for integral floats.
-        let v = Json::Float(3.0);
-        match round_trip(&v) {
-            Json::Float(f) => assert_eq!(f, 3.0),
-            other => panic!("expected float, got {other:?}"),
+        // The writer must keep a syntactic float marker for integral floats,
+        // including magnitudes where Rust's plain Display would print a bare
+        // integer literal (no '.', no exponent).
+        for x in [
+            3.0,
+            -3.0,
+            1e15,
+            -1e15,
+            1e16,
+            9.007199254740992e18,
+            1e300,
+            f64::MAX,
+        ] {
+            let v = Json::Float(x);
+            match round_trip(&v) {
+                Json::Float(f) => assert_eq!(f, x, "{v}"),
+                other => panic!("expected float for {x}, got {other:?}"),
+            }
         }
+    }
+
+    #[test]
+    fn nesting_depth_is_capped() {
+        // One level under the cap parses; at the cap the parser must return
+        // an error instead of recursing (a ~100k-deep document would
+        // otherwise overflow the stack and abort the process).
+        let ok = format!(
+            "{}null{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(Json::parse(&ok).is_ok());
+        let deep = format!(
+            "{}null{}",
+            "[".repeat(MAX_PARSE_DEPTH + 1),
+            "]".repeat(MAX_PARSE_DEPTH + 1)
+        );
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        let hostile = "[".repeat(100_000);
+        assert!(Json::parse(&hostile).is_err());
+        // Mixed containers count object levels too, and siblings do not
+        // accumulate depth.
+        let obj_deep = format!("{}1{}", "{\"k\":[".repeat(70), "]}".repeat(70));
+        assert!(Json::parse(&obj_deep).is_err());
+        let wide = format!("[{}]", vec!["[1]"; 1000].join(","));
+        assert!(Json::parse(&wide).is_ok());
     }
 
     #[test]
