@@ -256,6 +256,11 @@ pub fn info(opts: &Options) -> Result<(), String> {
     println!("instance:        {name}");
     println!("bits:            {}", model.n());
     println!("quadratic terms: {}", model.edge_count());
+    println!(
+        "density:         {:.3} → {} kernel",
+        model.density(),
+        model.kernel_kind().name()
+    );
     println!("max |weight|:    {}", model.max_abs_weight());
     println!("trivial bound:   E ≥ {}", model.lower_bound());
     let degrees: Vec<usize> = (0..model.n())

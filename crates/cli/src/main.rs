@@ -64,7 +64,7 @@ fn print_usage(out: &mut dyn Write) {
 USAGE:
   dabs solve   --problem <kind> [--n N] [--seed S] [--budget-ms B]
                [--devices D] [--blocks K] [--abs] [--target E]
-               [--json] [--progress]
+               [--kernel auto|csr|dense] [--json] [--progress]
   dabs compare --problem <kind> [--n N] [--seed S] [--budget-ms B]
   dabs info    --problem <kind> [--n N] [--seed S]
   dabs serve   [--addr A] [--workers W] [--queue Q]
@@ -81,6 +81,8 @@ FLAGS:
   --abs          use the ABS baseline preset instead of full DABS
   --target E     stop as soon as energy E is reached
   --budget-ms B  wall-clock budget per solve (default 2000)
+  --kernel K     energy-kernel backend: auto (default; picks by instance
+                 density), csr, or dense (see docs/ARCHITECTURE.md)
   --json         print the result as one machine-readable JSON line
   --progress     stream new incumbents to stderr as they are found
 

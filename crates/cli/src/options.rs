@@ -1,6 +1,6 @@
 //! Flag parsing and instance construction for the CLI.
 
-use dabs_model::QuboModel;
+use dabs_model::{KernelChoice, QuboModel};
 use dabs_server::ProblemSpec;
 use std::time::Duration;
 
@@ -16,6 +16,8 @@ pub struct Options {
     pub use_abs: bool,
     pub target: Option<i64>,
     pub file: Option<String>,
+    /// Energy-kernel backend (`auto` picks by instance density).
+    pub kernel: KernelChoice,
     /// Emit the solve result as one machine-readable JSON line.
     pub json: bool,
     /// Stream incumbents to stderr while solving.
@@ -34,6 +36,7 @@ impl Options {
             use_abs: false,
             target: None,
             file: None,
+            kernel: KernelChoice::Auto,
             json: false,
             progress: false,
         };
@@ -55,6 +58,7 @@ impl Options {
                 "--blocks" => o.blocks = parse(&value("blocks")?, "blocks")?,
                 "--target" => o.target = Some(parse(&value("target")?, "target")?),
                 "--file" => o.file = Some(value("file")?),
+                "--kernel" => o.kernel = KernelChoice::from_name(&value("kernel")?)?,
                 "--abs" => o.use_abs = true,
                 "--json" => o.json = true,
                 "--progress" => o.progress = true,
@@ -74,7 +78,11 @@ impl Options {
         if let Some(path) = &self.file {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            return Ok((ProblemSpec::inline_text(text), Some(format!("file:{path}"))));
+            let spec = ProblemSpec {
+                kernel: self.kernel,
+                ..ProblemSpec::inline_text(text)
+            };
+            return Ok((spec, Some(format!("file:{path}"))));
         }
         Ok((
             ProblemSpec {
@@ -82,6 +90,7 @@ impl Options {
                 n: self.n,
                 seed: self.seed,
                 inline: None,
+                kernel: self.kernel,
             },
             None,
         ))
@@ -215,6 +224,18 @@ mod tests {
         let o = opts("--problem g22").unwrap();
         assert!(!o.json);
         assert!(!o.progress);
+        assert_eq!(o.kernel, KernelChoice::Auto);
+    }
+
+    #[test]
+    fn kernel_flag_selects_the_backend() {
+        use dabs_model::KernelKind;
+        for (flag, kind) in [("csr", KernelKind::Csr), ("dense", KernelKind::Dense)] {
+            let o = opts(&format!("--problem random --n 24 --kernel {flag}")).unwrap();
+            let (model, _) = o.build_model().unwrap();
+            assert_eq!(model.kernel_kind(), kind, "--kernel {flag}");
+        }
+        assert!(opts("--problem random --kernel gpu").is_err());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crossbeam::channel;
 use dabs_gpu_sim::{
     DeviceConfig, DeviceStats, InlineDevice, Packet, SharedBest, StopFlag, VirtualDevice,
 };
-use dabs_model::{QuboModel, Solution};
+use dabs_model::{CsrKernel, DenseKernel, KernelKind, QuboKernel, QuboModel, Solution};
 use dabs_rng::{Rng64, SplitMix64, Xorshift64Star};
 use dabs_search::MainAlgorithm;
 use parking_lot::Mutex;
@@ -433,6 +433,26 @@ impl DabsSolver {
         termination: Termination,
         observer: Option<IncumbentObserver>,
     ) -> SolveResult {
+        // Monomorphize the whole sequential loop on the model's selected
+        // energy-kernel backend (the threaded path dispatches inside each
+        // block worker instead — see `dabs_gpu_sim::VirtualDevice::spawn`).
+        match model.kernel_kind() {
+            KernelKind::Dense => {
+                self.run_sequential_kernel(model, DenseKernel::new(model), termination, observer)
+            }
+            KernelKind::Csr => {
+                self.run_sequential_kernel(model, CsrKernel::new(model), termination, observer)
+            }
+        }
+    }
+
+    fn run_sequential_kernel<K: QuboKernel>(
+        &self,
+        model: &QuboModel,
+        kernel: K,
+        termination: Termination,
+        observer: Option<IncumbentObserver>,
+    ) -> SolveResult {
         termination.validate().expect("invalid termination");
         let n = model.n();
         let cfg = &self.config;
@@ -448,8 +468,8 @@ impl DabsSolver {
             pools.push(pool);
             host_rngs.push(rng);
         }
-        let mut devices: Vec<InlineDevice<'_>> = (0..cfg.devices)
-            .map(|_| InlineDevice::new(model, cfg.params, seeder.next_u64()))
+        let mut devices: Vec<InlineDevice<'_, K>> = (0..cfg.devices)
+            .map(|_| InlineDevice::with_kernel(model, kernel, cfg.params, seeder.next_u64()))
             .collect();
 
         let tracker = FrequencyTracker::new();

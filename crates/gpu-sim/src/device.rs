@@ -2,7 +2,9 @@
 
 use crate::{DeviceStats, Packet, SharedBest, StopFlag};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use dabs_model::{IncrementalState, QuboModel, Solution};
+use dabs_model::{
+    CsrKernel, DenseKernel, IncrementalState, KernelKind, QuboKernel, QuboModel, Solution,
+};
 use dabs_rng::{Rng64, SplitMix64, Xorshift64Star};
 use dabs_search::{BatchSearch, SearchParams};
 use std::sync::Arc;
@@ -77,7 +79,33 @@ impl VirtualDevice {
                 let params = config.params;
                 let seed = seeder.next_u64();
                 std::thread::spawn(move || {
-                    block_loop(&model, params, seed, rx, tx, &shared, &stop, &stats);
+                    // Monomorphize the batch loop on the model's selected
+                    // kernel backend; the dispatch happens once per thread,
+                    // never per batch.
+                    match model.kernel_kind() {
+                        KernelKind::Dense => block_loop(
+                            &model,
+                            DenseKernel::new(&model),
+                            params,
+                            seed,
+                            rx,
+                            tx,
+                            &shared,
+                            &stop,
+                            &stats,
+                        ),
+                        KernelKind::Csr => block_loop(
+                            &model,
+                            CsrKernel::new(&model),
+                            params,
+                            seed,
+                            rx,
+                            tx,
+                            &shared,
+                            &stop,
+                            &stats,
+                        ),
+                    }
                 })
             })
             .collect();
@@ -87,8 +115,9 @@ impl VirtualDevice {
 
 /// The per-block work loop (one CUDA block in the paper's Fig. 4(2)).
 #[allow(clippy::too_many_arguments)]
-fn block_loop(
+fn block_loop<K: QuboKernel>(
     model: &QuboModel,
+    kernel: K,
     params: SearchParams,
     seed: u64,
     requests: Receiver<Packet>,
@@ -98,7 +127,7 @@ fn block_loop(
     stats: &DeviceStats,
 ) {
     let mut rng = Xorshift64Star::new(seed);
-    let mut state = IncrementalState::new(model);
+    let mut state = IncrementalState::with_kernel(model, kernel);
     let mut batch = BatchSearch::new(model.n(), params);
     loop {
         if stop.is_stopped() {
@@ -123,20 +152,30 @@ fn block_loop(
 
 /// A single-threaded, deterministic device used in tests and in the
 /// solver's sequential mode: processes one packet per call on a resident
-/// block state, with no channels or threads involved.
-pub struct InlineDevice<'m> {
-    state: IncrementalState<'m>,
+/// block state, with no channels or threads involved. Generic over the
+/// energy-kernel backend; [`InlineDevice::new`] builds the CSR-backed
+/// default, [`InlineDevice::with_kernel`] takes whichever backend the model
+/// selected.
+pub struct InlineDevice<'m, K: QuboKernel = CsrKernel<'m>> {
+    state: IncrementalState<'m, K>,
     batch: BatchSearch,
     rng: Xorshift64Star,
     shared: SharedBest,
     stats: DeviceStats,
 }
 
-impl<'m> InlineDevice<'m> {
-    /// Build an inline device with one resident block.
+impl<'m> InlineDevice<'m, CsrKernel<'m>> {
+    /// Build a CSR-backed inline device with one resident block.
     pub fn new(model: &'m QuboModel, params: SearchParams, seed: u64) -> Self {
+        Self::with_kernel(model, CsrKernel::new(model), params, seed)
+    }
+}
+
+impl<'m, K: QuboKernel> InlineDevice<'m, K> {
+    /// Build an inline device on an explicit kernel backend.
+    pub fn with_kernel(model: &'m QuboModel, kernel: K, params: SearchParams, seed: u64) -> Self {
         Self {
-            state: IncrementalState::new(model),
+            state: IncrementalState::with_kernel(model, kernel),
             batch: BatchSearch::new(model.n(), params),
             rng: Xorshift64Star::new(seed),
             shared: SharedBest::new(),
@@ -225,6 +264,73 @@ mod tests {
             energies
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn inline_device_kernels_are_bit_identical() {
+        // Same model weights, same seeds, different backends: the packet
+        // stream must match exactly (the integer delta arithmetic is
+        // identical, only the memory layout differs).
+        let mut q = random_model(45, 210);
+        q.select_kernel(dabs_model::KernelChoice::Dense);
+        let mut csr_dev =
+            InlineDevice::with_kernel(&q, CsrKernel::new(&q), SearchParams::default(), 3);
+        let mut dense_dev =
+            InlineDevice::with_kernel(&q, DenseKernel::new(&q), SearchParams::default(), 3);
+        let mut rng_a = Xorshift64Star::new(4);
+        let mut rng_b = Xorshift64Star::new(4);
+        for i in 0..6 {
+            let algo = MainAlgorithm::ALL[i % 5];
+            let ra = csr_dev.process(Packet::request(
+                Solution::random(45, &mut rng_a),
+                algo,
+                i as u8,
+            ));
+            let rb = dense_dev.process(Packet::request(
+                Solution::random(45, &mut rng_b),
+                algo,
+                i as u8,
+            ));
+            assert_eq!(ra.solution, rb.solution);
+            assert_eq!(ra.energy, rb.energy);
+        }
+        assert_eq!(csr_dev.resident(), dense_dev.resident());
+        assert_eq!(csr_dev.stats().flips(), dense_dev.stats().flips());
+    }
+
+    #[test]
+    fn threaded_device_runs_dense_models() {
+        let mut model = random_model(40, 211);
+        model.select_kernel(dabs_model::KernelChoice::Dense);
+        let q = Arc::new(model);
+        let (req_tx, req_rx) = channel::bounded::<Packet>(8);
+        let (res_tx, res_rx) = channel::unbounded::<Packet>();
+        let stop = Arc::new(StopFlag::new());
+        let handle = VirtualDevice::spawn(
+            Arc::clone(&q),
+            DeviceConfig::default(),
+            req_rx,
+            res_tx,
+            Arc::new(SharedBest::new()),
+            Arc::clone(&stop),
+            Arc::new(DeviceStats::new()),
+        );
+        let mut rng = Xorshift64Star::new(6);
+        for i in 0..4 {
+            req_tx
+                .send(Packet::request(
+                    Solution::random(40, &mut rng),
+                    MainAlgorithm::ALL[i % 5],
+                    i as u8,
+                ))
+                .unwrap();
+        }
+        for _ in 0..4 {
+            let r = res_rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert_eq!(q.energy(&r.solution), r.energy.unwrap());
+        }
+        stop.stop();
+        handle.join();
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! times. [`QuboBuilder`] accumulates terms and assembles the final
 //! [`QuboModel`] in one pass.
 
-use crate::{ModelError, QuboModel};
+use crate::{KernelChoice, ModelError, QuboModel};
 
 /// Accumulates linear and quadratic terms into a QUBO model.
 #[derive(Debug, Clone)]
@@ -13,16 +13,26 @@ pub struct QuboBuilder {
     n: usize,
     diag: Vec<i64>,
     edges: Vec<(usize, usize, i64)>,
+    kernel: KernelChoice,
 }
 
 impl QuboBuilder {
-    /// A builder for `n` binary variables, all weights zero.
+    /// A builder for `n` binary variables, all weights zero, automatic
+    /// kernel selection.
     pub fn new(n: usize) -> Self {
         Self {
             n,
             diag: vec![0; n],
             edges: Vec::new(),
+            kernel: KernelChoice::Auto,
         }
+    }
+
+    /// Override the energy-kernel backend the built model will run on
+    /// (default [`KernelChoice::Auto`]: pick by density at build time).
+    pub fn kernel(&mut self, choice: KernelChoice) -> &mut Self {
+        self.kernel = choice;
+        self
     }
 
     /// Number of variables.
@@ -85,7 +95,7 @@ impl QuboBuilder {
 
     /// Assemble the final model, merging duplicate pairs.
     pub fn build(self) -> Result<QuboModel, ModelError> {
-        QuboModel::new(self.n, &self.edges, self.diag)
+        QuboModel::new_with_kernel(self.n, &self.edges, self.diag, self.kernel)
     }
 }
 

@@ -16,38 +16,81 @@
 //! so a flip costs `O(deg(i))` instead of the `O(n²)` direct evaluation.
 //! Every search algorithm in `dabs-search` and every annealing baseline runs
 //! on this state.
+//!
+//! The state is generic over a [`QuboKernel`] backend so the flip loop
+//! monomorphizes per weight layout: [`CsrKernel`] (the default, and the only
+//! choice before the backend layer existed) chases the mirrored CSR row of
+//! the flipped bit, while [`crate::DenseKernel`] streams a padded dense row
+//! in 64-column strips. Both produce bit-identical energies and deltas; the
+//! backend only changes how fast they appear.
 
-use crate::{QuboModel, Solution};
+use crate::{CsrKernel, DenseKernel, QuboKernel, QuboModel, Solution};
 
 /// Current solution, its energy, and all one-flip gains.
 #[derive(Debug, Clone)]
-pub struct IncrementalState<'m> {
+pub struct IncrementalState<'m, K: QuboKernel = CsrKernel<'m>> {
     model: &'m QuboModel,
+    kernel: K,
     x: Solution,
     energy: i64,
     delta: Vec<i64>,
     flips: u64,
 }
 
-impl<'m> IncrementalState<'m> {
-    /// Start from the all-zeros vector: `E = 0`, `Δ_k = W_kk`.
+impl<'m> IncrementalState<'m, CsrKernel<'m>> {
+    /// CSR-backed state from the all-zeros vector: `E = 0`, `Δ_k = W_kk`.
     pub fn new(model: &'m QuboModel) -> Self {
+        Self::with_kernel(model, CsrKernel::new(model))
+    }
+
+    /// CSR-backed state from an arbitrary vector (`O(n + m)` single-pass
+    /// initialisation).
+    pub fn from_solution(model: &'m QuboModel, x: Solution) -> Self {
+        Self::from_solution_with(model, CsrKernel::new(model), x)
+    }
+}
+
+impl<'m> IncrementalState<'m, DenseKernel<'m>> {
+    /// Dense-backed state from the all-zeros vector. Panics when `model`
+    /// did not build dense storage (`KernelChoice::Dense`, or `Auto` on a
+    /// dense instance).
+    pub fn new_dense(model: &'m QuboModel) -> Self {
+        Self::with_kernel(model, DenseKernel::new(model))
+    }
+
+    /// Dense-backed state from an arbitrary vector.
+    pub fn from_solution_dense(model: &'m QuboModel, x: Solution) -> Self {
+        Self::from_solution_with(model, DenseKernel::new(model), x)
+    }
+}
+
+impl<'m, K: QuboKernel> IncrementalState<'m, K> {
+    /// Start from the all-zeros vector on an explicit kernel:
+    /// `E = 0`, `Δ_k = W_kk` — no weight pass needed.
+    pub fn with_kernel(model: &'m QuboModel, kernel: K) -> Self {
+        assert_eq!(kernel.n(), model.n(), "kernel/model size mismatch");
         Self {
             x: Solution::zeros(model.n()),
             energy: 0,
-            delta: model.diag_slice().to_vec(),
+            delta: kernel.diag().to_vec(),
             model,
+            kernel,
             flips: 0,
         }
     }
 
-    /// Start from an arbitrary vector (`O(n + m)` initialisation).
-    pub fn from_solution(model: &'m QuboModel, x: Solution) -> Self {
+    /// Start from an arbitrary vector on an explicit kernel. Uses the
+    /// kernel's single-pass `O(n + m)` initialisation: energy and all `n`
+    /// gains come out of one sweep over the stored weights (the old path
+    /// swept them twice — once for `E(X)`, once more for the `Δ_k`).
+    pub fn from_solution_with(model: &'m QuboModel, kernel: K, x: Solution) -> Self {
+        assert_eq!(kernel.n(), model.n(), "kernel/model size mismatch");
         assert_eq!(x.len(), model.n(), "solution length mismatch");
-        let energy = model.energy(&x);
-        let delta = (0..model.n()).map(|i| model.delta(&x, i)).collect();
+        let mut delta = vec![0i64; model.n()];
+        let energy = kernel.init(&x, &mut delta);
         Self {
             model,
+            kernel,
             x,
             energy,
             delta,
@@ -59,6 +102,12 @@ impl<'m> IncrementalState<'m> {
     #[inline]
     pub fn model(&self) -> &'m QuboModel {
         self.model
+    }
+
+    /// Name of the kernel backend driving the flips.
+    #[inline]
+    pub fn kernel_name(&self) -> &'static str {
+        self.kernel.kernel_name()
     }
 
     /// Number of bits.
@@ -105,18 +154,13 @@ impl<'m> IncrementalState<'m> {
     }
 
     /// Flip bit `i`, updating the energy and all gains.
-    /// Returns the new energy. `O(deg(i))`.
+    /// Returns the new energy. `O(deg(i))` (dense backend: `O(n)` cheap
+    /// contiguous lanes).
     pub fn flip(&mut self, i: usize) -> i64 {
         let d_i = self.delta[i];
         self.energy += d_i;
-        let sig_i_pre = self.x.spin(i);
-        let (cols, vals) = self.model.adjacency().row(i);
-        for (idx, &jc) in cols.iter().enumerate() {
-            let j = jc as usize;
-            // Δ_j += W_ij σ(x_i_pre) σ(x_j)
-            let sig_j = self.x.spin(j);
-            self.delta[j] += vals[idx] * sig_i_pre * sig_j;
-        }
+        // Δ_j += W_ij σ(x_i_pre) σ(x_j) for all j ≠ i — the backend's job.
+        self.kernel.apply_flip(&self.x, i, &mut self.delta);
         self.delta[i] = -d_i;
         self.x.flip(i);
         self.flips += 1;
@@ -154,22 +198,26 @@ impl<'m> IncrementalState<'m> {
         (k, self.energy + d)
     }
 
-    /// Replace the current vector wholesale (`O(n + m)` re-init). Keeps the
-    /// flip counter.
+    /// Replace the current vector wholesale (`O(n + m)` single-pass
+    /// re-init). Keeps the flip counter.
     pub fn reset_to(&mut self, x: Solution) {
         assert_eq!(x.len(), self.model.n());
-        self.energy = self.model.energy(&x);
-        for i in 0..self.model.n() {
-            self.delta[i] = self.model.delta(&x, i);
-        }
+        self.energy = self.kernel.init(&x, &mut self.delta);
         self.x = x;
     }
 
     /// Debug-build consistency check: recompute energy and all gains from
-    /// scratch and compare. Test helper; panics on divergence.
+    /// scratch — via the model's direct CSR evaluation, which is independent
+    /// of the active kernel backend — and compare. Test helper; panics on
+    /// divergence.
     pub fn assert_consistent(&self) {
         let e = self.model.energy(&self.x);
         assert_eq!(e, self.energy, "incremental energy diverged");
+        assert_eq!(
+            self.kernel.energy(&self.x),
+            self.energy,
+            "kernel energy diverged"
+        );
         for i in 0..self.n() {
             assert_eq!(
                 self.model.delta(&self.x, i),
@@ -208,7 +256,7 @@ impl BestTracker {
 
     /// Record the state's current vector if it improves the best.
     #[inline]
-    pub fn observe(&mut self, state: &IncrementalState<'_>) {
+    pub fn observe<K: QuboKernel>(&mut self, state: &IncrementalState<'_, K>) {
         if state.energy() < self.best_energy {
             self.best_energy = state.energy();
             self.best = state.solution().clone();
@@ -219,7 +267,7 @@ impl BestTracker {
     /// (Step 1 of the incremental search algorithm). Costs `O(n)` for the
     /// scan plus `O(n)` for the clone only when an improvement is found —
     /// the same "atomicMin rarely fires" argument as the paper's §V.
-    pub fn observe_neighborhood(&mut self, state: &IncrementalState<'_>) {
+    pub fn observe_neighborhood<K: QuboKernel>(&mut self, state: &IncrementalState<'_, K>) {
         let (k, e) = state.best_neighbor();
         if e < self.best_energy {
             let mut sol = state.solution().clone();
@@ -235,7 +283,7 @@ impl BestTracker {
     /// Used by algorithms that already know their argmin bit, so the `O(n)`
     /// rescan of [`Self::observe_neighborhood`] is skipped.
     #[inline]
-    pub fn observe_neighbor(&mut self, state: &IncrementalState<'_>, k: usize) {
+    pub fn observe_neighbor<K: QuboKernel>(&mut self, state: &IncrementalState<'_, K>, k: usize) {
         let e = state.energy() + state.delta(k);
         if e < self.best_energy {
             let mut sol = state.solution().clone();
@@ -428,6 +476,62 @@ mod tests {
                 st.assert_consistent();
             }
         }
+        st.assert_consistent();
+    }
+
+    #[test]
+    fn single_pass_init_matches_the_old_two_pass_path() {
+        // Regression for the `from_solution` rewrite: the single-pass
+        // kernel init must equal the old reference computation — a full
+        // `model.energy(&x)` sweep followed by n independent
+        // `model.delta(&x, i)` evaluations — on both backends, across
+        // densities and word-boundary sizes.
+        for (n, density) in [(25, 0.05), (63, 0.3), (64, 0.95), (65, 0.5), (100, 1.0)] {
+            let mut q = random_model(n, density, 600 + n as u64);
+            q.select_kernel(crate::KernelChoice::Dense);
+            let mut rng = Xorshift64Star::new(700 + n as u64);
+            for _ in 0..5 {
+                let x = Solution::random(n, &mut rng);
+                let old_energy = q.energy(&x);
+                let old_delta: Vec<i64> = (0..n).map(|i| q.delta(&x, i)).collect();
+                let csr = IncrementalState::from_solution(&q, x.clone());
+                assert_eq!(csr.energy(), old_energy, "csr energy n={n}");
+                assert_eq!(csr.deltas(), &old_delta[..], "csr deltas n={n}");
+                let dense = IncrementalState::from_solution_dense(&q, x.clone());
+                assert_eq!(dense.energy(), old_energy, "dense energy n={n}");
+                assert_eq!(dense.deltas(), &old_delta[..], "dense deltas n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_backed_state_walks_consistently() {
+        let mut q = random_model(70, 0.8, 19);
+        q.select_kernel(crate::KernelChoice::Dense);
+        assert_eq!(q.kernel_kind(), crate::KernelKind::Dense);
+        let mut st = IncrementalState::new_dense(&q);
+        assert_eq!(st.kernel_name(), "dense");
+        let mut rng = Xorshift64Star::new(20);
+        for step in 0..400 {
+            st.flip(rng.next_index(70));
+            if step % 89 == 0 {
+                st.assert_consistent();
+            }
+        }
+        st.assert_consistent();
+    }
+
+    #[test]
+    fn reset_to_reinitialises_dense_state() {
+        let mut q = random_model(33, 0.7, 21);
+        q.select_kernel(crate::KernelChoice::Dense);
+        let mut rng = Xorshift64Star::new(22);
+        let mut st = IncrementalState::new_dense(&q);
+        st.flip(3);
+        st.flip(17);
+        let y = Solution::random(33, &mut rng);
+        st.reset_to(y.clone());
+        assert_eq!(st.energy(), q.energy(&y));
         st.assert_consistent();
     }
 }

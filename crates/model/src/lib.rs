@@ -15,27 +15,39 @@
 //! * [`Solution`] — a packed bit vector with O(1) flips and fast Hamming ops,
 //! * [`QuboModel`] / [`IsingModel`] — CSR-backed sparse symmetric models,
 //! * [`QuboBuilder`] — incremental construction with term accumulation,
+//! * [`QuboKernel`] — pluggable energy backends: [`CsrKernel`] for sparse
+//!   instances, [`DenseKernel`] (bit-packed strips) for dense ones,
+//!   auto-selected per model by density and overridable via
+//!   [`KernelChoice`],
 //! * [`IncrementalState`] — current vector + energy + all one-flip gains
 //!   `Δ_k(X) = E(f_k(X)) − E(X)`, maintained in `O(deg(k))` per flip (the
-//!   paper's Eqs. 3–5). Every DABS search algorithm runs on this state.
+//!   paper's Eqs. 3–5), generic over the kernel. Every DABS search
+//!   algorithm runs on this state.
 //!
 //! Weights and energies are `i64` throughout: every benchmark in the paper is
 //! integral, and integer energies make optimality assertions exact.
 
 mod builder;
 mod csr;
+mod dense;
 mod error;
 mod incremental;
 pub mod io;
 mod ising;
+mod kernel;
 mod qubo;
 mod solution;
 
 pub use builder::QuboBuilder;
 pub use csr::SymmetricCsr;
+pub use dense::DenseStrips;
 pub use error::ModelError;
 pub use incremental::{BestTracker, IncrementalState};
 pub use ising::IsingModel;
+pub use kernel::{
+    CsrKernel, DenseKernel, KernelChoice, KernelKind, QuboKernel, DENSE_AUTO_MAX_N,
+    DENSE_DENSITY_THRESHOLD,
+};
 pub use qubo::QuboModel;
 pub use solution::Solution;
 

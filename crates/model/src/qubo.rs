@@ -1,25 +1,61 @@
 //! The QUBO model: `E(X) = Σ_{i<j} W_ij x_i x_j + Σ_i W_ii x_i`.
 
-use crate::{IsingModel, ModelError, Solution, SymmetricCsr};
+use crate::{
+    DenseStrips, IsingModel, KernelChoice, KernelKind, ModelError, Solution, SymmetricCsr,
+    DENSE_AUTO_MAX_N, DENSE_DENSITY_THRESHOLD,
+};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A Quadratic Unconstrained Binary Optimization model.
 ///
-/// Off-diagonal weights live in a mirrored [`SymmetricCsr`]; the diagonal
-/// (linear) weights `W_ii` are a dense vector, since most reductions assign a
-/// weight to every node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// Off-diagonal weights live in a mirrored [`SymmetricCsr`] — the canonical
+/// storage every query API (weights, edge iteration, I/O, Ising conversion)
+/// reads. The *energy kernel* run by [`crate::IncrementalState`] is selected
+/// per model ([`Self::kernel_kind`]): dense instances additionally
+/// materialize a [`DenseStrips`] matrix so the flip hot loop runs over
+/// contiguous rows. The diagonal (linear) weights `W_ii` are a dense vector,
+/// since most reductions assign a weight to every node.
+#[derive(Debug, Clone, Eq, Serialize, Deserialize)]
 pub struct QuboModel {
     adj: SymmetricCsr,
     diag: Vec<i64>,
+    kind: KernelKind,
+    /// Lazily-materialized strip matrix, populated on first
+    /// [`Self::dense_strips`] access while `kind == KernelKind::Dense`.
+    /// Laziness matters on construction paths that build with `Auto` and
+    /// re-select afterwards (`ProblemSpec.kernel`, CLI `--kernel`): a
+    /// `csr` override on an auto-dense instance must not pay a transient
+    /// `n² × 8`-byte allocation it immediately throws away.
+    dense: OnceLock<DenseStrips>,
+}
+
+/// Model identity is the weights, not the execution backend: two models with
+/// the same terms compare equal even when one was forced onto a different
+/// kernel (the parity suite depends on exactly that).
+impl PartialEq for QuboModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.adj == other.adj && self.diag == other.diag
+    }
 }
 
 impl QuboModel {
-    /// Build from an off-diagonal edge list and dense diagonal.
+    /// Build from an off-diagonal edge list and dense diagonal, selecting
+    /// the energy kernel automatically ([`KernelChoice::Auto`]).
     pub fn new(
         n: usize,
         edges: &[(usize, usize, i64)],
         diag: Vec<i64>,
+    ) -> Result<Self, ModelError> {
+        Self::new_with_kernel(n, edges, diag, KernelChoice::Auto)
+    }
+
+    /// Build with an explicit kernel choice.
+    pub fn new_with_kernel(
+        n: usize,
+        edges: &[(usize, usize, i64)],
+        diag: Vec<i64>,
+        kernel: KernelChoice,
     ) -> Result<Self, ModelError> {
         if diag.len() != n {
             return Err(ModelError::SizeMismatch {
@@ -27,10 +63,69 @@ impl QuboModel {
                 actual: diag.len(),
             });
         }
-        Ok(Self {
+        let mut model = Self {
             adj: SymmetricCsr::from_edges(n, edges)?,
             diag,
-        })
+            kind: KernelKind::Csr,
+            dense: OnceLock::new(),
+        };
+        model.select_kernel(kernel);
+        Ok(model)
+    }
+
+    /// (Re)select the energy kernel. `Auto` applies the density policy:
+    /// dense when `density() ≥` [`DENSE_DENSITY_THRESHOLD`] and
+    /// `n ≤` [`DENSE_AUTO_MAX_N`]; explicit choices are always honored.
+    ///
+    /// Selection itself is O(1): the `n² × 8`-byte strip matrix is only
+    /// materialized when a dense kernel view is actually taken (so forcing
+    /// `Dense` far beyond the auto ceiling defers its memory bill to solve
+    /// time — still a deliberate act). Selecting `Csr` drops any cached
+    /// matrix.
+    pub fn select_kernel(&mut self, choice: KernelChoice) {
+        let dense = match choice {
+            KernelChoice::Csr => false,
+            KernelChoice::Dense => true,
+            KernelChoice::Auto => {
+                self.n() <= DENSE_AUTO_MAX_N && self.density() >= DENSE_DENSITY_THRESHOLD
+            }
+        };
+        if dense {
+            self.kind = KernelKind::Dense;
+        } else {
+            self.dense = OnceLock::new();
+            self.kind = KernelKind::Csr;
+        }
+    }
+
+    /// The backend this model selected.
+    #[inline]
+    pub fn kernel_kind(&self) -> KernelKind {
+        self.kind
+    }
+
+    /// Dense strip storage, when the dense backend is selected —
+    /// materialized on first access (thread-safe; concurrent block workers
+    /// race benignly on the `OnceLock`).
+    pub fn dense_strips(&self) -> Option<&DenseStrips> {
+        (self.kind == KernelKind::Dense)
+            .then(|| self.dense.get_or_init(|| DenseStrips::from_csr(&self.adj)))
+    }
+
+    /// Whether the dense strip matrix has actually been allocated (memory
+    /// introspection; selection alone never materializes it).
+    pub fn dense_materialized(&self) -> bool {
+        self.dense.get().is_some()
+    }
+
+    /// Off-diagonal fill ratio `m / (n(n−1)/2)` ∈ [0, 1].
+    pub fn density(&self) -> f64 {
+        let n = self.n();
+        if n < 2 {
+            return 0.0;
+        }
+        let pairs = (n as f64) * ((n - 1) as f64) / 2.0;
+        self.edge_count() as f64 / pairs
     }
 
     /// Number of binary variables.
@@ -272,5 +367,24 @@ mod tests {
     #[should_panic(expected = "use diag()")]
     fn weight_panics_on_diagonal_query() {
         toy().weight(1, 1);
+    }
+
+    #[test]
+    fn kernel_selection_is_lazy_about_dense_storage() {
+        // A complete triangle auto-selects dense, but the strip matrix must
+        // not exist until a dense kernel view is actually taken — so a CSR
+        // override after an Auto build never pays a transient n² allocation.
+        let mut q = QuboModel::new(3, &[(0, 1, 1), (1, 2, 1), (0, 2, 1)], vec![0; 3]).unwrap();
+        assert_eq!(q.kernel_kind(), crate::KernelKind::Dense);
+        assert!(!q.dense_materialized(), "selection alone must not allocate");
+        q.select_kernel(crate::KernelChoice::Csr);
+        assert_eq!(q.kernel_kind(), crate::KernelKind::Csr);
+        assert!(q.dense_strips().is_none());
+        assert!(!q.dense_materialized());
+        // Back to dense: still lazy until first access, then cached.
+        q.select_kernel(crate::KernelChoice::Dense);
+        assert!(!q.dense_materialized());
+        assert!(q.dense_strips().is_some());
+        assert!(q.dense_materialized());
     }
 }

@@ -11,7 +11,7 @@
 //! 3. return the best solution observed anywhere in the batch.
 
 use crate::{greedy, straight, MainAlgorithm, SearchParams, TabuList};
-use dabs_model::{BestTracker, IncrementalState, Solution};
+use dabs_model::{BestTracker, IncrementalState, QuboKernel, Solution};
 use dabs_rng::Rng64;
 
 /// Result of one batch.
@@ -49,10 +49,10 @@ impl BatchSearch {
         &self.params
     }
 
-    /// Run one batch on the resident `state`.
-    pub fn run<R: Rng64 + ?Sized>(
+    /// Run one batch on the resident `state` (any kernel backend).
+    pub fn run<K: QuboKernel, R: Rng64 + ?Sized>(
         &mut self,
-        state: &mut IncrementalState<'_>,
+        state: &mut IncrementalState<'_, K>,
         target: &Solution,
         algorithm: MainAlgorithm,
         rng: &mut R,

@@ -14,14 +14,14 @@
 //! global. DESIGN.md records this fidelity note.
 
 use crate::{cubic, TabuList};
-use dabs_model::{BestTracker, IncrementalState};
+use dabs_model::{BestTracker, IncrementalState, QuboKernel};
 
 /// The paper's small window-floor constant.
 pub const WINDOW_FLOOR: usize = 32;
 
 /// Run CyclicMin for `total_flips` flips. Returns the flips performed.
-pub fn cyclic_min(
-    state: &mut IncrementalState<'_>,
+pub fn cyclic_min<K: QuboKernel>(
+    state: &mut IncrementalState<'_, K>,
     best: &mut BestTracker,
     tabu: &mut TabuList,
     total_flips: u64,

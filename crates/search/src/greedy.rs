@@ -4,7 +4,7 @@
 //! terminates in a 1-flip local minimum (`Δ_k ≥ 0` for all `k`).
 
 use crate::TabuList;
-use dabs_model::{BestTracker, IncrementalState};
+use dabs_model::{BestTracker, IncrementalState, QuboKernel};
 
 /// Run greedy descent to a local minimum, or until `max_flips` flips.
 /// Returns the number of flips performed.
@@ -12,8 +12,8 @@ use dabs_model::{BestTracker, IncrementalState};
 /// Greedy intentionally ignores the tabu list for *descending* moves — a
 /// strictly improving move is always taken — but records its flips so the
 /// following main-algorithm leg sees them.
-pub fn greedy(
-    state: &mut IncrementalState<'_>,
+pub fn greedy<K: QuboKernel>(
+    state: &mut IncrementalState<'_, K>,
     best: &mut BestTracker,
     tabu: &mut TabuList,
     max_flips: u64,

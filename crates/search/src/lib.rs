@@ -69,7 +69,7 @@ pub use straight::straight;
 pub use tabu::TabuList;
 pub use twoneighbor::two_neighbor;
 
-use dabs_model::{BestTracker, IncrementalState};
+use dabs_model::{BestTracker, IncrementalState, QuboKernel};
 use dabs_rng::Rng64;
 use serde::{Deserialize, Serialize};
 
@@ -118,9 +118,9 @@ impl MainAlgorithm {
     /// Dispatch: run this algorithm for (up to) `flips` bit flips.
     /// Returns the number of flips actually performed (TwoNeighbor always
     /// performs exactly `2n − 1` regardless of `flips`).
-    pub fn run<R: Rng64 + ?Sized>(
+    pub fn run<K: QuboKernel, R: Rng64 + ?Sized>(
         self,
-        state: &mut IncrementalState<'_>,
+        state: &mut IncrementalState<'_, K>,
         best: &mut BestTracker,
         tabu: &mut TabuList,
         rng: &mut R,

@@ -14,12 +14,12 @@
 //! near the minimum, exactly like a cooling schedule.
 
 use crate::{cubic, TabuList};
-use dabs_model::{BestTracker, IncrementalState};
+use dabs_model::{BestTracker, IncrementalState, QuboKernel};
 use dabs_rng::Rng64;
 
 /// Run MaxMin for `total_flips` flips. Returns the flips performed.
-pub fn max_min<R: Rng64 + ?Sized>(
-    state: &mut IncrementalState<'_>,
+pub fn max_min<K: QuboKernel, R: Rng64 + ?Sized>(
+    state: &mut IncrementalState<'_, K>,
     best: &mut BestTracker,
     tabu: &mut TabuList,
     rng: &mut R,

@@ -8,12 +8,12 @@
 //! from one local minimum toward another.
 
 use crate::TabuList;
-use dabs_model::{BestTracker, IncrementalState};
+use dabs_model::{BestTracker, IncrementalState, QuboKernel};
 use dabs_rng::Rng64;
 
 /// Run PositiveMin for `total_flips` flips. Returns the flips performed.
-pub fn positive_min<R: Rng64 + ?Sized>(
-    state: &mut IncrementalState<'_>,
+pub fn positive_min<K: QuboKernel, R: Rng64 + ?Sized>(
+    state: &mut IncrementalState<'_, K>,
     best: &mut BestTracker,
     tabu: &mut TabuList,
     rng: &mut R,

@@ -11,12 +11,12 @@
 //! `O(n·p(t))` expected rather than `O(n)` Bernoulli draws.
 
 use crate::{cubic, TabuList};
-use dabs_model::{BestTracker, IncrementalState};
+use dabs_model::{BestTracker, IncrementalState, QuboKernel};
 use dabs_rng::Rng64;
 
 /// Run RandomMin for `total_flips` flips. Returns the flips performed.
-pub fn random_min<R: Rng64 + ?Sized>(
-    state: &mut IncrementalState<'_>,
+pub fn random_min<K: QuboKernel, R: Rng64 + ?Sized>(
+    state: &mut IncrementalState<'_, K>,
     best: &mut BestTracker,
     tabu: &mut TabuList,
     rng: &mut R,
@@ -75,8 +75,8 @@ fn skip<R: Rng64 + ?Sized>(rng: &mut R, p: f64) -> usize {
 }
 
 /// Uniformly random bit, preferring non-tabu ones.
-fn fallback_bit<R: Rng64 + ?Sized>(
-    state: &IncrementalState<'_>,
+fn fallback_bit<K: QuboKernel, R: Rng64 + ?Sized>(
+    state: &IncrementalState<'_, K>,
     tabu: &TabuList,
     rng: &mut R,
 ) -> usize {

@@ -8,12 +8,12 @@
 //! state to the host-supplied target.
 
 use crate::TabuList;
-use dabs_model::{BestTracker, IncrementalState, Solution};
+use dabs_model::{BestTracker, IncrementalState, QuboKernel, Solution};
 
 /// Walk `state` to `target`. Returns the number of flips performed
 /// (the initial Hamming distance).
-pub fn straight(
-    state: &mut IncrementalState<'_>,
+pub fn straight<K: QuboKernel>(
+    state: &mut IncrementalState<'_, K>,
     best: &mut BestTracker,
     tabu: &mut TabuList,
     target: &Solution,

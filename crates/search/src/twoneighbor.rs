@@ -10,11 +10,14 @@
 //! Running it twice from the same point is pointless, so a batch executes
 //! it exactly once (enforced by [`crate::BatchSearch`]).
 
-use dabs_model::{BestTracker, IncrementalState};
+use dabs_model::{BestTracker, IncrementalState, QuboKernel};
 
 /// Run the TwoNeighbor sweep. Always performs exactly `2n − 1` flips and
 /// returns that count.
-pub fn two_neighbor(state: &mut IncrementalState<'_>, best: &mut BestTracker) -> u64 {
+pub fn two_neighbor<K: QuboKernel>(
+    state: &mut IncrementalState<'_, K>,
+    best: &mut BestTracker,
+) -> u64 {
     let n = state.n();
     best.observe_neighborhood(state);
     state.flip(0);

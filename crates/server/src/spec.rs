@@ -9,7 +9,7 @@
 //! "the job the test reproduces" are the same model by construction.
 
 use dabs_core::{DabsConfig, DabsSolver, Termination};
-use dabs_model::QuboModel;
+use dabs_model::{KernelChoice, QuboModel};
 use dabs_problems::{gset, qaplib, QaspInstance, Topology};
 use dabs_rng::{Rng64, Xorshift64Star};
 use serde::json::Json;
@@ -44,6 +44,9 @@ pub struct ProblemSpec {
     pub seed: u64,
     /// `.qubo` text for `kind == "inline"`.
     pub inline: Option<String>,
+    /// Energy-kernel backend override (`auto` picks by density at model
+    /// build; the wire spelling is `"kernel": "auto"|"csr"|"dense"`).
+    pub kernel: KernelChoice,
 }
 
 impl ProblemSpec {
@@ -54,6 +57,7 @@ impl ProblemSpec {
             n: Some(n),
             seed,
             inline: None,
+            kernel: KernelChoice::Auto,
         }
     }
 
@@ -64,11 +68,21 @@ impl ProblemSpec {
             n: None,
             seed: 0,
             inline: Some(text.into()),
+            kernel: KernelChoice::Auto,
         }
     }
 
     /// Materialize the model plus a human-readable instance name.
     pub fn build(&self) -> Result<(QuboModel, String), String> {
+        let (mut model, name) = self.build_instance()?;
+        // Apply the spec's kernel override after construction so every
+        // generator shares one selection path. `Auto` re-runs the same
+        // density policy the builder already applied — a no-op.
+        model.select_kernel(self.kernel);
+        Ok((model, name))
+    }
+
+    fn build_instance(&self) -> Result<(QuboModel, String), String> {
         let seed = self.seed;
         match self.kind.as_str() {
             "inline" => {
@@ -164,6 +178,32 @@ impl ProblemSpec {
     /// bounded; a malformed header passes here and fails properly in
     /// [`ProblemSpec::build`].
     pub fn validate_size(&self) -> Result<(), String> {
+        // `kernel:"dense"` on the wire commits a worker to an n²×8-byte
+        // weight matrix regardless of instance sparsity, so it gets the
+        // same ceiling the auto policy enforces (`DENSE_AUTO_MAX_N`).
+        // Today that equals MAX_PROBLEM_N — every admissible instance is
+        // already allowed to go dense via `Auto` (a tai-at-the-cap QAP
+        // does exactly that) — but the explicit check stops a future raise
+        // of MAX_PROBLEM_N from silently widening the dense memory bound.
+        if self.kernel == KernelChoice::Dense {
+            let declared = match self.kind.as_str() {
+                "inline" => self.inline.as_deref().and_then(dabs_model::io::declared_n),
+                "tai" | "nug" | "tho" => {
+                    let size = self.n.unwrap_or(9);
+                    Some(size * size)
+                }
+                _ => self.n,
+            };
+            if let Some(n) = declared {
+                if n > dabs_model::DENSE_AUTO_MAX_N {
+                    return Err(format!(
+                        "kernel \"dense\" at {n} variables exceeds the dense admission cap {} \
+                         (n² × 8 bytes of weights per job)",
+                        dabs_model::DENSE_AUTO_MAX_N
+                    ));
+                }
+            }
+        }
         match self.kind.as_str() {
             "tai" | "nug" | "tho" => {
                 let n = self.n.unwrap_or(9);
@@ -207,6 +247,7 @@ impl ProblemSpec {
                 "inline",
                 self.inline.as_ref().map(|t| Json::str(t.clone())).into(),
             ),
+            ("kernel", Json::str(self.kernel.name())),
         ])
     }
 
@@ -219,6 +260,10 @@ impl ProblemSpec {
             n: j.get_u64("n").map(|n| n as usize),
             seed: j.get_u64("seed").unwrap_or(1),
             inline: j.get_str("inline").map(String::from),
+            kernel: match j.get_str("kernel") {
+                Some(k) => KernelChoice::from_name(k)?,
+                None => KernelChoice::Auto,
+            },
         })
     }
 }
@@ -461,6 +506,7 @@ mod tests {
             n: Some(MAX_QAP_SIZE + 1),
             seed: 1,
             inline: None,
+            kernel: KernelChoice::Auto,
         };
         assert!(bounded(qap).validate().is_err());
         // An inline header declaring a huge n must not reach the parser's
@@ -507,6 +553,75 @@ mod tests {
     }
 
     #[test]
+    fn kernel_choice_rides_the_wire_and_selects_the_backend() {
+        use dabs_model::KernelKind;
+        // Default stays auto and is omitted-tolerant on parse.
+        let j = Json::parse("{\"kind\":\"random\",\"n\":16}").unwrap();
+        assert_eq!(
+            ProblemSpec::from_json(&j).unwrap().kernel,
+            KernelChoice::Auto
+        );
+        // Explicit choices round-trip and drive model selection.
+        for (choice, kind) in [
+            (KernelChoice::Csr, KernelKind::Csr),
+            (KernelChoice::Dense, KernelKind::Dense),
+        ] {
+            let spec = ProblemSpec {
+                kernel: choice,
+                ..ProblemSpec::random(24, 5)
+            };
+            let wire =
+                ProblemSpec::from_json(&Json::parse(&spec.to_json().to_string()).unwrap()).unwrap();
+            assert_eq!(wire, spec);
+            let (model, _) = wire.build().unwrap();
+            assert_eq!(model.kernel_kind(), kind, "{:?}", choice);
+        }
+        // Garbage is rejected at parse time, before any build work.
+        let j = Json::parse("{\"kind\":\"random\",\"kernel\":\"gpu\"}").unwrap();
+        assert!(ProblemSpec::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn forced_dense_kernel_is_bounded_at_admission() {
+        use dabs_model::DENSE_AUTO_MAX_N;
+        let dense = |spec: ProblemSpec| ProblemSpec {
+            kernel: KernelChoice::Dense,
+            ..spec
+        };
+        // At the cap: admitted (identical memory exposure to an auto-dense
+        // QAP instance at its cap).
+        assert!(dense(ProblemSpec::random(DENSE_AUTO_MAX_N, 1))
+            .validate_size()
+            .is_ok());
+        // The guard binds only when MAX_PROBLEM_N and the dense ceiling
+        // diverge; simulate that with an n past the dense cap.
+        let err = dense(ProblemSpec::random(DENSE_AUTO_MAX_N + 1, 1))
+            .validate_size()
+            .unwrap_err();
+        assert!(err.contains("dense admission cap"), "{err}");
+        // QAP kinds square into n² variables before the dense check.
+        let qap = ProblemSpec {
+            kind: "tai".into(),
+            n: Some(65),
+            seed: 1,
+            inline: None,
+            kernel: KernelChoice::Dense,
+        };
+        let err = qap.validate_size().unwrap_err();
+        assert!(err.contains("dense admission cap"), "{err}");
+        // Inline declared-n headers are bounded the same way.
+        let inline = dense(ProblemSpec::inline_text(format!(
+            "p qubo 0 {} 0 0\n",
+            DENSE_AUTO_MAX_N + 1
+        )));
+        assert!(inline.validate_size().is_err());
+        // CSR/auto behaviour is unchanged.
+        assert!(ProblemSpec::random(DENSE_AUTO_MAX_N, 1)
+            .validate_size()
+            .is_ok());
+    }
+
+    #[test]
     fn generator_kinds_build() {
         for kind in ["k2000", "g22", "random"] {
             let spec = ProblemSpec {
@@ -514,6 +629,7 @@ mod tests {
                 n: Some(32),
                 seed: 3,
                 inline: None,
+                kernel: KernelChoice::Auto,
             };
             let (model, _) = spec.build().unwrap_or_else(|e| panic!("{kind}: {e}"));
             assert!(model.n() > 0);
@@ -522,7 +638,8 @@ mod tests {
             kind: "nope".into(),
             n: None,
             seed: 1,
-            inline: None
+            inline: None,
+            kernel: KernelChoice::Auto
         }
         .build()
         .is_err());

@@ -12,6 +12,8 @@ use crate::job::{JobPhase, JobRecord, JobRegistry};
 use crate::queue::JobQueue;
 use crate::spec::{now_unix_ms, ExecMode};
 use dabs_core::{Incumbent, IncumbentObserver, SolveResult, Termination};
+#[cfg(test)]
+use dabs_model::KernelChoice;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -243,6 +245,7 @@ mod tests {
                 n: None,
                 seed: 1,
                 inline: None,
+                kernel: KernelChoice::Auto,
             },
             ..small_job(1, 10)
         });

@@ -1,8 +1,31 @@
 //! Property-based tests on the model layer: energies, deltas, conversions,
-//! and solution-vector algebra.
+//! solution-vector algebra, and cross-backend kernel parity.
 
-use dabs::model::{IsingModel, QuboBuilder, QuboModel, Solution};
+use dabs::model::{
+    IncrementalState, IsingModel, KernelChoice, KernelKind, QuboBuilder, QuboModel, Solution,
+};
 use proptest::prelude::*;
+
+/// The density grid the kernel-parity properties sweep: sparse enough that
+/// CSR is the auto pick, the auto crossover region, and near-complete.
+const PARITY_DENSITIES: [f64; 3] = [0.05, 0.5, 0.95];
+
+/// Deterministic random model at a target density with a forced backend.
+fn density_model(n: usize, density: f64, seed: u64, kernel: KernelChoice) -> QuboModel {
+    use dabs::rng::Rng64;
+    let mut rng = dabs::rng::Xorshift64Star::new(seed);
+    let mut b = QuboBuilder::new(n);
+    b.kernel(kernel);
+    for i in 0..n {
+        b.add_linear(i, rng.next_range_i64(-20, 20));
+        for j in (i + 1)..n {
+            if rng.next_bool(density) {
+                b.add_quadratic(i, j, rng.next_range_i64(-20, 20));
+            }
+        }
+    }
+    b.build().unwrap()
+}
 
 /// Strategy: a random QUBO with up to `n` variables and bounded weights.
 fn arb_qubo(max_n: usize) -> impl Strategy<Value = QuboModel> {
@@ -125,6 +148,59 @@ proptest! {
         let s = Solution::from_bits(&bits);
         prop_assert_eq!(s.count_ones(), s.iter_ones().count());
         prop_assert_eq!(s.count_ones(), bits.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn incremental_state_matches_recompute_on_both_backends(
+        n in 8usize..48,
+        seed in any::<u64>(),
+        steps in 1usize..100,
+    ) {
+        // For random models at each parity density, the incremental
+        // energy/deltas after a random flip sequence must equal a
+        // from-scratch `model.energy()` / `model.delta()` recompute —
+        // on BOTH kernel backends, flip for flip.
+        use dabs::rng::Rng64;
+        for &density in &PARITY_DENSITIES {
+            let q = density_model(n, density, seed, KernelChoice::Dense);
+            let mut rng = dabs::rng::Xorshift64Star::new(seed ^ 0x0D15_EA5E);
+            let start = Solution::random(n, &mut rng);
+            let mut csr = IncrementalState::from_solution(&q, start.clone());
+            let mut dense = IncrementalState::from_solution_dense(&q, start);
+            for _ in 0..steps {
+                let bit = rng.next_index(n);
+                let ec = csr.flip(bit);
+                let ed = dense.flip(bit);
+                prop_assert_eq!(ec, ed, "density {}", density);
+            }
+            let x = csr.solution().clone();
+            prop_assert_eq!(dense.solution(), &x);
+            // from-scratch ground truth
+            prop_assert_eq!(csr.energy(), q.energy(&x), "density {}", density);
+            for i in 0..n {
+                let truth = q.delta(&x, i);
+                prop_assert_eq!(csr.delta(i), truth, "csr Δ_{} density {}", i, density);
+                prop_assert_eq!(dense.delta(i), truth, "dense Δ_{} density {}", i, density);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_kernel_selection_follows_the_density_policy(
+        n in 8usize..40,
+        seed in any::<u64>(),
+    ) {
+        for &density in &PARITY_DENSITIES {
+            let q = density_model(n, density, seed, KernelChoice::Auto);
+            let expect = if q.density() >= dabs::model::DENSE_DENSITY_THRESHOLD {
+                KernelKind::Dense
+            } else {
+                KernelKind::Csr
+            };
+            prop_assert_eq!(q.kernel_kind(), expect);
+            // dense storage exists exactly when the dense backend is active
+            prop_assert_eq!(q.dense_strips().is_some(), expect == KernelKind::Dense);
+        }
     }
 
     #[test]

@@ -1,20 +1,23 @@
 //! Cross-solver parity: every solver in the repo agrees on small proven
-//! optima (they differ only in how fast they get there).
+//! optima (they differ only in how fast they get there) — and the two
+//! energy-kernel backends are bit-for-bit interchangeable underneath all of
+//! them.
 
 use dabs::baselines::bnb::{BnbConfig, BranchAndBound};
 use dabs::baselines::exact::exhaustive;
 use dabs::baselines::hybrid::{HybridConfig, HybridSolver};
 use dabs::baselines::sa::{SaConfig, SimulatedAnnealing};
 use dabs::baselines::sb::{SbConfig, SimulatedBifurcation};
-use dabs::core::{DabsConfig, DabsSolver, Termination};
-use dabs::model::{QuboBuilder, QuboModel};
+use dabs::core::{DabsConfig, DabsSolver, Incumbent, Termination};
+use dabs::model::{KernelChoice, KernelKind, QuboBuilder, QuboModel};
 use dabs::rng::{Rng64, Xorshift64Star};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-fn random_model(n: usize, density: f64, seed: u64) -> QuboModel {
+fn random_model_with_kernel(n: usize, density: f64, seed: u64, kernel: KernelChoice) -> QuboModel {
     let mut rng = Xorshift64Star::new(seed);
     let mut b = QuboBuilder::new(n);
+    b.kernel(kernel);
     for i in 0..n {
         b.add_linear(i, rng.next_range_i64(-9, 9));
         for j in (i + 1)..n {
@@ -24,6 +27,10 @@ fn random_model(n: usize, density: f64, seed: u64) -> QuboModel {
         }
     }
     b.build().unwrap()
+}
+
+fn random_model(n: usize, density: f64, seed: u64) -> QuboModel {
+    random_model_with_kernel(n, density, seed, KernelChoice::Auto)
 }
 
 #[test]
@@ -70,6 +77,89 @@ fn all_solvers_agree_on_a_16_bit_instance() {
     let sb_energy = (sb.energy + c) / 4;
     let gap = (sb_energy - truth).abs() as f64 / truth.abs().max(1) as f64;
     assert!(gap <= 0.15, "dSB energy {sb_energy} vs optimum {truth}");
+}
+
+/// Run `run_sequential` with an observer, collecting the full incumbent
+/// energy trajectory alongside the final result.
+fn traced_sequential(
+    model: &QuboModel,
+    cfg: DabsConfig,
+    batches: u64,
+) -> (dabs::core::SolveResult, Vec<i64>) {
+    let trace: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&trace);
+    let result = DabsSolver::new(cfg).unwrap().run_sequential_with_observer(
+        model,
+        Termination::batches(batches),
+        Arc::new(move |inc: &Incumbent| sink.lock().unwrap().push(inc.energy)),
+    );
+    let trace = trace.lock().unwrap().clone();
+    (result, trace)
+}
+
+#[test]
+fn csr_and_dense_kernels_are_bit_identical_under_run_sequential() {
+    // The tentpole contract: the kernel backend changes the memory layout
+    // of the flip loop and nothing else. Same instance + same seed must
+    // give the same best solution bit for bit, the same flip/batch
+    // accounting, and the same energy trajectory, at every density.
+    for (n, density, seed) in [(32, 0.1, 61), (48, 0.5, 62), (40, 0.9, 63)] {
+        let csr_model = random_model_with_kernel(n, density, seed, KernelChoice::Csr);
+        let dense_model = random_model_with_kernel(n, density, seed, KernelChoice::Dense);
+        assert_eq!(csr_model, dense_model, "same weights regardless of kernel");
+        assert_eq!(csr_model.kernel_kind(), KernelKind::Csr);
+        assert_eq!(dense_model.kernel_kind(), KernelKind::Dense);
+
+        let cfg = || {
+            let mut c = DabsConfig::dabs(2, 1);
+            c.seed = 1000 + seed;
+            c
+        };
+        let (ra, ta) = traced_sequential(&csr_model, cfg(), 150);
+        let (rb, tb) = traced_sequential(&dense_model, cfg(), 150);
+        assert_eq!(ra.best, rb.best, "n={n} density={density}");
+        assert_eq!(ra.energy, rb.energy, "n={n} density={density}");
+        assert_eq!(ra.batches, rb.batches, "n={n} density={density}");
+        assert_eq!(ra.flips, rb.flips, "n={n} density={density}");
+        assert_eq!(ra.frequencies, rb.frequencies, "n={n} density={density}");
+        assert_eq!(ra.first_finder, rb.first_finder, "n={n} density={density}");
+        assert_eq!(ta, tb, "incumbent trajectory n={n} density={density}");
+        assert!(!ta.is_empty(), "trajectory must contain the first best");
+    }
+}
+
+#[test]
+fn auto_kernel_matches_forced_kernels_exactly() {
+    // Whatever `auto` picks must be one of the two forced behaviours — no
+    // third code path. A dense instance auto-selects the dense backend and
+    // reproduces its trajectory exactly.
+    let auto_model = random_model_with_kernel(36, 0.8, 71, KernelChoice::Auto);
+    assert_eq!(auto_model.kernel_kind(), KernelKind::Dense);
+    let forced = random_model_with_kernel(36, 0.8, 71, KernelChoice::Dense);
+    let mut cfg = DabsConfig::dabs(2, 1);
+    cfg.seed = 9;
+    let (ra, ta) = traced_sequential(&auto_model, cfg.clone(), 120);
+    let (rb, tb) = traced_sequential(&forced, cfg, 120);
+    assert_eq!(ra.best, rb.best);
+    assert_eq!(ra.energy, rb.energy);
+    assert_eq!(ta, tb);
+}
+
+#[test]
+fn threaded_run_on_dense_kernel_reaches_the_proven_optimum() {
+    // The threaded path dispatches per block worker; make sure a dense
+    // model solves correctly end to end there too.
+    let q = random_model_with_kernel(16, 0.6, 72, KernelChoice::Dense);
+    let truth = exhaustive(&q).energy;
+    let model = Arc::new(q.clone());
+    let mut cfg = DabsConfig::dabs(2, 2);
+    cfg.seed = 73;
+    let r = DabsSolver::new(cfg).unwrap().run(
+        &model,
+        Termination::target(truth).with_time(Duration::from_secs(30)),
+    );
+    assert_eq!(r.energy, truth);
+    assert_eq!(q.energy(&r.best), truth);
 }
 
 #[test]
