@@ -3,61 +3,25 @@
 //!
 //! Setting `explore_prob = 1.0` disables the replay path entirely — every
 //! packet draws its algorithm/operation uniformly — isolating the value of
-//! the paper's pool-driven adaptivity.
+//! the paper's pool-driven adaptivity. Thin wrapper over
+//! [`dabs_bench::scenarios::ablation`]; the suite's `ablation_adaptive`
+//! entry runs the same arms deterministically.
 //!
-//! Flags: `--runs N`, `--seed S`, `--budget-ms B`.
+//! Flags: `--runs N`, `--seed S`, `--budget-ms B`, `--devices D`,
+//! `--blocks K`, `--full`.
 
-use dabs_bench::harness::{dabs_run_outcome, establish_reference, fmt_tts};
-use dabs_bench::instances::full_problem_suite;
-use dabs_bench::{repeat_solver, Args, Table};
-use dabs_core::DabsConfig;
-use std::time::Duration;
+use dabs_bench::scenarios::ablation::{adaptive_arms, run_table, ArmColumns};
+use dabs_bench::{Args, RunPlan};
 
 fn main() {
-    let args = Args::from_env();
-    let runs = args.get("runs", 5usize);
-    let seed = args.get("seed", 1u64);
-    let budget = Duration::from_millis(args.get("budget-ms", 2_000));
-
+    let plan = RunPlan::from_args(&Args::from_env());
     println!("== Ablation: adaptive vs uniform strategy selection ==");
-    println!("runs = {runs}, per-run budget = {budget:?}\n");
-
-    let mut table = Table::new(vec![
-        "Problem",
-        "PotOpt E",
-        "adaptive best",
-        "adaptive TTS",
-        "adaptive prob",
-        "uniform best",
-        "uniform TTS",
-        "uniform prob",
-    ]);
-
-    for (label, model, params) in full_problem_suite(false, seed) {
-        let mut adaptive = DabsConfig::dabs(4, 2);
-        adaptive.params = params;
-        let mut uniform = adaptive.clone();
-        uniform.explore_prob = 1.0; // always uniform: adaptivity off
-
-        let reference = establish_reference(&model, &adaptive, budget * 3);
-
-        let a = repeat_solver(runs, seed * 100, |s| {
-            dabs_run_outcome(&model, &adaptive, s, reference, budget)
-        });
-        let u = repeat_solver(runs, seed * 200, |s| {
-            dabs_run_outcome(&model, &uniform, s, reference, budget)
-        });
-
-        table.row(vec![
-            label,
-            reference.to_string(),
-            a.best_energy().to_string(),
-            fmt_tts(a.mean_tts()),
-            format!("{:.0}%", 100.0 * a.success_rate()),
-            u.best_energy().to_string(),
-            fmt_tts(u.mean_tts()),
-            format!("{:.0}%", 100.0 * u.success_rate()),
-        ]);
-    }
-    println!("{}", table.render());
+    println!(
+        "runs = {}, per-family canonical budgets (see scenarios::family_budget_ms)\n",
+        plan.runs
+    );
+    println!(
+        "{}",
+        run_table(&adaptive_arms(), &plan, ArmColumns::Full).render()
+    );
 }

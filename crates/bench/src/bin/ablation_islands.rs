@@ -2,61 +2,24 @@
 //!
 //! Compares 4 devices × 2 blocks (four islands) against 1 device × 8 blocks
 //! (one island, same total block workers) — the paper's §IV-B diversity
-//! argument in isolation.
+//! argument in isolation. Thin wrapper over
+//! [`dabs_bench::scenarios::ablation`]; the suite's `ablation_islands`
+//! entry runs the same arms deterministically.
 //!
-//! Flags: `--runs N`, `--seed S`, `--budget-ms B`.
+//! Flags: `--runs N`, `--seed S`, `--budget-ms B`, `--full`.
 
-use dabs_bench::harness::{dabs_run_outcome, establish_reference, fmt_tts};
-use dabs_bench::instances::full_problem_suite;
-use dabs_bench::{repeat_solver, Args, Table};
-use dabs_core::DabsConfig;
-use std::time::Duration;
+use dabs_bench::scenarios::ablation::{islands_arms, run_table, ArmColumns};
+use dabs_bench::{Args, RunPlan};
 
 fn main() {
-    let args = Args::from_env();
-    let runs = args.get("runs", 5usize);
-    let seed = args.get("seed", 1u64);
-    let budget = Duration::from_millis(args.get("budget-ms", 2_000));
-
+    let plan = RunPlan::from_args(&Args::from_env());
     println!("== Ablation: 4 islands × 2 blocks vs 1 island × 8 blocks ==");
-    println!("runs = {runs}, per-run budget = {budget:?}\n");
-
-    let mut table = Table::new(vec![
-        "Problem",
-        "PotOpt E",
-        "islands best",
-        "islands TTS",
-        "islands prob",
-        "single best",
-        "single TTS",
-        "single prob",
-    ]);
-
-    for (label, model, params) in full_problem_suite(false, seed) {
-        let mut islands = DabsConfig::dabs(4, 2);
-        islands.params = params;
-        let mut single = DabsConfig::dabs(1, 8);
-        single.params = params;
-
-        let reference = establish_reference(&model, &islands, budget * 3);
-
-        let multi = repeat_solver(runs, seed * 100, |s| {
-            dabs_run_outcome(&model, &islands, s, reference, budget)
-        });
-        let one = repeat_solver(runs, seed * 200, |s| {
-            dabs_run_outcome(&model, &single, s, reference, budget)
-        });
-
-        table.row(vec![
-            label,
-            reference.to_string(),
-            multi.best_energy().to_string(),
-            fmt_tts(multi.mean_tts()),
-            format!("{:.0}%", 100.0 * multi.success_rate()),
-            one.best_energy().to_string(),
-            fmt_tts(one.mean_tts()),
-            format!("{:.0}%", 100.0 * one.success_rate()),
-        ]);
-    }
-    println!("{}", table.render());
+    println!(
+        "runs = {}, per-family canonical budgets (see scenarios::family_budget_ms)\n",
+        plan.runs
+    );
+    println!(
+        "{}",
+        run_table(&islands_arms(), &plan, ArmColumns::Full).render()
+    );
 }

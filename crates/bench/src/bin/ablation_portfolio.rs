@@ -2,63 +2,25 @@
 //!
 //! The No-Free-Lunch motivation of §I-B in one table: no single algorithm
 //! wins everywhere, while the adaptive portfolio tracks the per-problem
-//! winner.
+//! winner. Thin wrapper over [`dabs_bench::scenarios::ablation`]; the
+//! suite's `ablation_portfolio` entry runs the same arms deterministically.
 //!
-//! Flags: `--runs N`, `--seed S`, `--budget-ms B`.
+//! Flags: `--runs N` (default 3), `--seed S`, `--budget-ms B`,
+//! `--devices D`, `--blocks K`, `--full`.
 
-use dabs_bench::harness::{dabs_run_outcome, establish_reference};
-use dabs_bench::instances::full_problem_suite;
-use dabs_bench::{repeat_solver, Args, Table};
-use dabs_core::DabsConfig;
-use dabs_search::MainAlgorithm;
-use std::time::Duration;
+use dabs_bench::scenarios::ablation::{portfolio_arms, run_table, ArmColumns};
+use dabs_bench::{Args, RunPlan};
 
 fn main() {
-    let args = Args::from_env();
-    let runs = args.get("runs", 3usize);
-    let seed = args.get("seed", 1u64);
-    let budget = Duration::from_millis(args.get("budget-ms", 2_000));
-
+    let plan = RunPlan::from_args_with_runs(&Args::from_env(), 3);
     println!("== Ablation: algorithm portfolio vs single algorithms ==");
-    println!("cells: success probability reaching the portfolio's reference energy");
-    println!("runs = {runs}, per-run budget = {budget:?}\n");
-
-    let mut headers = vec![
-        "Problem".to_string(),
-        "PotOpt E".to_string(),
-        "portfolio".to_string(),
-    ];
-    headers.extend(
-        MainAlgorithm::ALL
-            .iter()
-            .map(|a| format!("only-{}", a.name())),
+    println!("cells: success probability reaching the first arm's reference energy");
+    println!(
+        "runs = {}, per-family canonical budgets (see scenarios::family_budget_ms)\n",
+        plan.runs
     );
-    let mut table = Table::new(headers);
-
-    for (label, model, params) in full_problem_suite(false, seed) {
-        let mut portfolio = DabsConfig::dabs(4, 2);
-        portfolio.params = params;
-
-        let reference = establish_reference(&model, &portfolio, budget * 3);
-
-        let port = repeat_solver(runs, seed * 100, |s| {
-            dabs_run_outcome(&model, &portfolio, s, reference, budget)
-        });
-
-        let mut row = vec![
-            label,
-            reference.to_string(),
-            format!("{:.0}%", 100.0 * port.success_rate()),
-        ];
-        for algo in MainAlgorithm::ALL {
-            let mut solo = portfolio.clone();
-            solo.algorithms = vec![algo];
-            let stats = repeat_solver(runs, seed * 200 + algo.index() as u64, |s| {
-                dabs_run_outcome(&model, &solo, s, reference, budget)
-            });
-            row.push(format!("{:.0}%", 100.0 * stats.success_rate()));
-        }
-        table.row(row);
-    }
-    println!("{}", table.render());
+    println!(
+        "{}",
+        run_table(&portfolio_arms(), &plan, ArmColumns::ProbOnly).render()
+    );
 }

@@ -1,59 +1,23 @@
 //! Ablation: tabu tenure 8 (the paper's fixed setting) vs tenure 0.
 //!
-//! Flags: `--runs N`, `--seed S`, `--budget-ms B`.
+//! Thin wrapper over [`dabs_bench::scenarios::ablation`]; the suite's
+//! `ablation_tabu` entry runs the same arms deterministically.
+//!
+//! Flags: `--runs N`, `--seed S`, `--budget-ms B`, `--devices D`,
+//! `--blocks K`, `--full`.
 
-use dabs_bench::harness::{dabs_run_outcome, establish_reference, fmt_tts};
-use dabs_bench::instances::full_problem_suite;
-use dabs_bench::{repeat_solver, Args, Table};
-use dabs_core::DabsConfig;
-use std::time::Duration;
+use dabs_bench::scenarios::ablation::{run_table, tabu_arms, ArmColumns};
+use dabs_bench::{Args, RunPlan};
 
 fn main() {
-    let args = Args::from_env();
-    let runs = args.get("runs", 5usize);
-    let seed = args.get("seed", 1u64);
-    let budget = Duration::from_millis(args.get("budget-ms", 2_000));
-
+    let plan = RunPlan::from_args(&Args::from_env());
     println!("== Ablation: tabu tenure 8 vs 0 ==");
-    println!("runs = {runs}, per-run budget = {budget:?}\n");
-
-    let mut table = Table::new(vec![
-        "Problem",
-        "PotOpt E",
-        "tabu8 best",
-        "tabu8 TTS",
-        "tabu8 prob",
-        "tabu0 best",
-        "tabu0 TTS",
-        "tabu0 prob",
-    ]);
-
-    for (label, model, params) in full_problem_suite(false, seed) {
-        let mut with_tabu = DabsConfig::dabs(4, 2);
-        with_tabu.params = params;
-        with_tabu.params.tabu_tenure = 8;
-        let mut no_tabu = with_tabu.clone();
-        no_tabu.params.tabu_tenure = 0;
-
-        let reference = establish_reference(&model, &with_tabu, budget * 3);
-
-        let t8 = repeat_solver(runs, seed * 100, |s| {
-            dabs_run_outcome(&model, &with_tabu, s, reference, budget)
-        });
-        let t0 = repeat_solver(runs, seed * 200, |s| {
-            dabs_run_outcome(&model, &no_tabu, s, reference, budget)
-        });
-
-        table.row(vec![
-            label,
-            reference.to_string(),
-            t8.best_energy().to_string(),
-            fmt_tts(t8.mean_tts()),
-            format!("{:.0}%", 100.0 * t8.success_rate()),
-            t0.best_energy().to_string(),
-            fmt_tts(t0.mean_tts()),
-            format!("{:.0}%", 100.0 * t0.success_rate()),
-        ]);
-    }
-    println!("{}", table.render());
+    println!(
+        "runs = {}, per-family canonical budgets (see scenarios::family_budget_ms)\n",
+        plan.runs
+    );
+    println!(
+        "{}",
+        run_table(&tabu_arms(), &plan, ArmColumns::Full).render()
+    );
 }

@@ -2,55 +2,51 @@
 //!
 //! The paper runs DABS 1 000 times and bins TTS at 0.1 s; all runs finish
 //! under 1.7 s. Default CI scale uses fewer runs and auto-scaled bins.
+//! Setup and measurement protocol come from the shared
+//! [`dabs_bench::scenarios`] plan (canonical MaxCut family budget).
 //!
 //! Flags: `--full`, `--runs N` (default 25; paper: 1000), `--seed S`,
-//! `--budget-ms B`, `--bin-ms W`, `--devices D`, `--blocks B`.
+//! `--budget-ms B`, `--bin-ms W`, `--devices D`, `--blocks B`, `--n N`.
 
 use dabs_bench::harness::{dabs_run_outcome, establish_reference};
 use dabs_bench::instances::maxcut_set;
-use dabs_bench::{repeat_solver, Args, Histogram};
-use dabs_core::DabsConfig;
+use dabs_bench::suite::Family;
+use dabs_bench::{repeat_solver, Args, Histogram, RunPlan};
 use dabs_problems::gset;
 use dabs_search::SearchParams;
 use std::sync::Arc;
-use std::time::Duration;
 
 fn main() {
     let args = Args::from_env();
-    let full = args.flag("full");
-    let runs = args.get("runs", 25usize);
-    let seed = args.get("seed", 1u64);
-    let budget = Duration::from_millis(args.get("budget-ms", if full { 60_000 } else { 3_000 }));
-    let bin = args.get("bin-ms", if full { 100u64 } else { 50 }) as f64 / 1000.0;
-    let devices = args.get("devices", 4usize);
-    let blocks = args.get("blocks", 2usize);
+    let plan = RunPlan::from_args_with_runs(&args, 25);
+    let budget = plan.budget(Family::MaxCut);
+    let bin = args.get("bin-ms", if plan.full { 100u64 } else { 50 }) as f64 / 1000.0;
     let n_override = args.get("n", 0usize);
 
     let bench = if n_override > 0 {
         dabs_bench::instances::MaxCutBench {
             label: "K2000(custom n)",
-            problem: gset::k2000_like(n_override, seed),
+            problem: gset::k2000_like(n_override, plan.seed),
         }
     } else {
-        maxcut_set(full, seed).remove(0) // the K2000-class instance
+        maxcut_set(plan.full, plan.seed).remove(0) // the K2000-class instance
     };
     println!(
         "== Fig. 5: TTS histogram, {} (n = {}) ==",
         bench.label,
         bench.problem.n()
     );
-    println!("runs = {runs}, bin width = {bin}s\n");
+    println!("runs = {}, bin width = {bin}s\n", plan.runs);
 
     let model = Arc::new(bench.problem.to_qubo());
-    let mut cfg = DabsConfig::dabs(devices, blocks);
-    cfg.params = SearchParams::maxcut();
+    let cfg = plan.dabs(SearchParams::maxcut());
     let reference = establish_reference(&model, &cfg, budget * 3);
     println!(
         "potentially optimal energy: {reference} (cut {})",
         -reference
     );
 
-    let stats = repeat_solver(runs, seed * 1000, |s| {
+    let stats = repeat_solver(plan.runs, plan.arm_seed(0), |s| {
         dabs_run_outcome(&model, &cfg, s, reference, budget)
     });
 

@@ -4,45 +4,46 @@
 //! The paper runs the D-Wave Hybrid solver 100× at T = 50/100/200 s and
 //! shows the best-energy distribution sharpening toward the optimum as the
 //! budget grows. Our stand-in portfolio is run at `--t-ms`, `2×`, `4×`.
+//! Instance and seed handling come from the shared
+//! [`dabs_bench::scenarios`] plan.
 //!
 //! Flags: `--full`, `--runs N` (default 20; paper: 100), `--seed S`,
-//! `--t-ms T` (base deadline).
+//! `--t-ms T` (base deadline), `--bin W`, `--n N`.
 
 use dabs_baselines::hybrid::{HybridConfig, HybridSolver};
 use dabs_bench::harness::establish_reference;
 use dabs_bench::instances::maxcut_set;
-use dabs_bench::{Args, Histogram};
-use dabs_core::DabsConfig;
+use dabs_bench::{Args, Histogram, RunPlan};
 use dabs_search::SearchParams;
 use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
     let args = Args::from_env();
-    let full = args.flag("full");
-    let runs = args.get("runs", 20usize);
-    let seed = args.get("seed", 1u64);
-    let t_base = Duration::from_millis(args.get("t-ms", if full { 5_000 } else { 250 }));
+    let plan = RunPlan::from_args_with_runs(&args, 20);
+    let t_base = Duration::from_millis(args.get("t-ms", if plan.full { 5_000 } else { 250 }));
 
     let n_override = args.get("n", 0usize);
     let bench = if n_override > 0 {
         dabs_bench::instances::MaxCutBench {
             label: "K2000(custom n)",
-            problem: dabs_problems::gset::k2000_like(n_override, seed),
+            problem: dabs_problems::gset::k2000_like(n_override, plan.seed),
         }
     } else {
-        maxcut_set(full, seed).remove(0)
+        maxcut_set(plan.full, plan.seed).remove(0)
     };
     println!(
         "== Fig. 6: hybrid-solver energy histogram, {} (n = {}) ==",
         bench.label,
         bench.problem.n()
     );
-    println!("runs = {runs} per deadline, deadlines = T/2T/4T with T = {t_base:?}\n");
+    println!(
+        "runs = {} per deadline, deadlines = T/2T/4T with T = {t_base:?}\n",
+        plan.runs
+    );
 
     let model = Arc::new(bench.problem.to_qubo());
-    let mut cfg = DabsConfig::dabs(4, 2);
-    cfg.params = SearchParams::maxcut();
+    let cfg = plan.dabs(SearchParams::maxcut());
     let reference = establish_reference(&model, &cfg, t_base * 8);
     println!("potentially optimal energy: {reference}\n");
 
@@ -51,10 +52,10 @@ fn main() {
         let deadline = t_base * factor;
         let mut hist = Histogram::new(0.0, bin_width);
         let mut hits = 0;
-        for k in 0..runs as u64 {
+        for k in 0..plan.runs as u64 {
             let r = HybridSolver::new(HybridConfig {
                 time_limit: deadline,
-                seed: seed * 3000 + factor as u64 * 100 + k,
+                seed: plan.seed * 3000 + factor as u64 * 100 + k,
                 ..HybridConfig::default()
             })
             .solve(&model);
@@ -67,7 +68,8 @@ fn main() {
         println!(
             "{}",
             hist.render(&format!(
-                "T = {deadline:?}: energy − optimum ({hits}/{runs} runs found the optimum)"
+                "T = {deadline:?}: energy − optimum ({hits}/{} runs found the optimum)",
+                plan.runs
             ))
         );
     }

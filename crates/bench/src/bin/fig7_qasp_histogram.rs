@@ -1,35 +1,34 @@
 //! Fig. 7: histograms of DABS running time to reach the potentially optimal
 //! solutions of QASP1 / QASP16 / QASP256.
 //!
+//! Setup and measurement protocol come from the shared
+//! [`dabs_bench::scenarios`] plan (canonical QASP family budget).
+//!
 //! Flags: `--full`, `--runs N` (default 15; paper: 1000), `--seed S`,
 //! `--budget-ms B`, `--bin-ms W`.
 
 use dabs_bench::harness::{dabs_run_outcome, establish_reference};
 use dabs_bench::instances::qasp_set;
-use dabs_bench::{repeat_solver, Args, Histogram};
-use dabs_core::DabsConfig;
+use dabs_bench::suite::Family;
+use dabs_bench::{repeat_solver, Args, Histogram, RunPlan};
 use dabs_search::SearchParams;
 use std::sync::Arc;
-use std::time::Duration;
 
 fn main() {
     let args = Args::from_env();
-    let full = args.flag("full");
-    let runs = args.get("runs", 15usize);
-    let seed = args.get("seed", 1u64);
-    let budget = Duration::from_millis(args.get("budget-ms", if full { 60_000 } else { 5_000 }));
-    let bin = args.get("bin-ms", if full { 1000u64 } else { 200 }) as f64 / 1000.0;
+    let plan = RunPlan::from_args_with_runs(&args, 15);
+    let budget = plan.budget(Family::Qasp);
+    let bin = args.get("bin-ms", if plan.full { 1000u64 } else { 200 }) as f64 / 1000.0;
 
     println!("== Fig. 7: QASP TTS histograms ==");
-    println!("runs = {runs} per resolution, bin width = {bin}s\n");
+    println!("runs = {} per resolution, bin width = {bin}s\n", plan.runs);
 
-    for bench in qasp_set(full, seed) {
+    for bench in qasp_set(plan.full, plan.seed) {
         let model = Arc::new(bench.instance.qubo().clone());
-        let mut cfg = DabsConfig::dabs(4, 2);
-        cfg.params = SearchParams::qap_qasp();
+        let cfg = plan.dabs(SearchParams::qap_qasp());
         let reference = establish_reference(&model, &cfg, budget * 3);
 
-        let stats = repeat_solver(runs, seed * 4000, |s| {
+        let stats = repeat_solver(plan.runs, plan.arm_seed(0), |s| {
             dabs_run_outcome(&model, &cfg, s, reference, budget)
         });
         let mut hist = Histogram::new(0.0, bin);

@@ -3,10 +3,11 @@
 //!
 //! The one-flip delta update is the hottest loop in the repo — every search
 //! strategy, every baseline, and every server job funnels through it. This
-//! bin pits the two [`dabs_model::QuboKernel`] backends against each other
-//! on identical random instances and reports raw flip throughput plus what
-//! the `auto` policy would have picked, so a regression in either backend
-//! (or a mistuned density threshold) is visible in every CI log.
+//! bin is a thin wrapper over [`dabs_bench::scenarios::kernel`], the same
+//! sweep the suite's `kernel_sweep` entry records into `BENCH_*.json`; it
+//! prints raw flip throughput per backend plus what the `auto` policy would
+//! have picked, so a regression in either backend (or a mistuned density
+//! threshold) is visible in every CI log.
 //!
 //! ```text
 //! cargo run --release -p dabs-bench --bin kernel_shootout
@@ -17,50 +18,13 @@
 //!
 //! Methodology: one model per density; a pre-generated random flip sequence
 //! (so the RNG is off the measured path) is applied to a resident
-//! [`IncrementalState`] per backend, timed after an untimed warm-up pass.
+//! `IncrementalState` per backend, timed after an untimed warm-up pass.
 //! Identical flip sequences mean both backends do exactly the same logical
 //! work; only the weight-layout changes.
 
+use dabs_bench::scenarios::kernel::{sweep, violations, SMOKE_MIN_SPEEDUP};
 use dabs_bench::{Args, Table};
-use dabs_model::{
-    CsrKernel, DenseKernel, IncrementalState, KernelChoice, QuboBuilder, QuboKernel, QuboModel,
-    DENSE_DENSITY_THRESHOLD,
-};
-use dabs_rng::{Rng64, Xorshift64Star};
-use std::time::Instant;
-
-fn random_model(n: usize, density: f64, seed: u64) -> QuboModel {
-    let mut rng = Xorshift64Star::new(seed);
-    let mut b = QuboBuilder::new(n);
-    // Force dense storage so both backends are measurable on one model;
-    // the auto verdict is reported separately from `density()`.
-    b.kernel(KernelChoice::Dense);
-    for i in 0..n {
-        b.add_linear(i, rng.next_range_i64(-9, 9));
-        for j in (i + 1)..n {
-            if rng.next_bool(density) {
-                b.add_quadratic(i, j, rng.next_range_i64(-9, 9));
-            }
-        }
-    }
-    b.build().expect("valid model")
-}
-
-/// Apply `order` to a fresh state twice (warm-up + timed); flips/s of the
-/// timed pass.
-fn measure<K: QuboKernel>(model: &QuboModel, kernel: K, order: &[u32]) -> f64 {
-    let mut state = IncrementalState::with_kernel(model, kernel);
-    for &i in order {
-        state.flip(i as usize);
-    }
-    let start = Instant::now();
-    for &i in order {
-        state.flip(i as usize);
-    }
-    let secs = start.elapsed().as_secs_f64().max(1e-9);
-    std::hint::black_box(state.energy());
-    order.len() as f64 / secs
-}
+use dabs_model::DENSE_DENSITY_THRESHOLD;
 
 fn human(rate: f64) -> String {
     if rate >= 1e6 {
@@ -84,44 +48,21 @@ fn main() {
 
     println!(
         "kernel shootout — n = {n}, {flips} timed flips per backend, seed {seed} \
-         (auto threshold: density ≥ {DENSE_DENSITY_THRESHOLD})"
+         (auto threshold: density ≥ {DENSE_DENSITY_THRESHOLD}; \
+          smoke contract: dense ≥ {SMOKE_MIN_SPEEDUP}× csr at density ≥ 0.5)"
     );
 
-    // The acceptance contract CI enforces in smoke mode: dense must beat
-    // CSR by at least this factor wherever the density is ≥ 0.5 (measured
-    // headroom is ~3.5×, so a trip means a real kernel regression, not
-    // runner noise).
-    const SMOKE_MIN_SPEEDUP: f64 = 2.0;
-    let mut violations: Vec<String> = Vec::new();
+    let points = sweep(n, flips, seed, &densities);
 
     let mut table = Table::new(vec!["density", "nnz", "auto", "csr", "dense", "speedup"]);
-    for (idx, &density) in densities.iter().enumerate() {
-        let model = random_model(n, density, seed.wrapping_add(idx as u64));
-        let mut rng = Xorshift64Star::new(seed ^ 0xF11F_5EED);
-        let order: Vec<u32> = (0..flips).map(|_| rng.next_index(n) as u32).collect();
-
-        let csr_rate = measure(&model, CsrKernel::new(&model), &order);
-        let dense_rate = measure(&model, DenseKernel::new(&model), &order);
-
-        let auto = {
-            let mut probe = model.clone();
-            probe.select_kernel(KernelChoice::Auto);
-            probe.kernel_kind().name()
-        };
-        let speedup = dense_rate / csr_rate;
-        if density >= 0.5 && speedup < SMOKE_MIN_SPEEDUP {
-            violations.push(format!(
-                "density {:.2}: dense is only {speedup:.2}× csr (contract: ≥ {SMOKE_MIN_SPEEDUP}×)",
-                model.density()
-            ));
-        }
+    for p in &points {
         table.row(vec![
-            format!("{:.2}", model.density()),
-            format!("{}", model.edge_count()),
-            auto.to_string(),
-            human(csr_rate),
-            human(dense_rate),
-            format!("{speedup:.2}×"),
+            format!("{:.2}", p.density),
+            format!("{}", p.nnz),
+            p.auto.to_string(),
+            human(p.csr_rate),
+            human(p.dense_rate),
+            format!("{:.2}×", p.speedup()),
         ]);
     }
     print!("{}", table.render());
@@ -130,10 +71,11 @@ fn main() {
     );
     // Violations are always reported; only smoke mode (the CI gate) turns
     // them into a failing exit, since full sweeps run on arbitrary hardware.
-    for v in &violations {
+    let bad = violations(&points);
+    for v in &bad {
         eprintln!("SPEEDUP CONTRACT VIOLATED — {v}");
     }
-    if smoke && !violations.is_empty() {
+    if smoke && !bad.is_empty() {
         std::process::exit(1);
     }
 }

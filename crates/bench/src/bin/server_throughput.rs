@@ -1,10 +1,11 @@
 //! Server throughput benchmark: jobs/s and latency percentiles against a
 //! live in-process `dabs-server`.
 //!
-//! Spins up the job runtime on an ephemeral port, then drives it over real
-//! TCP with concurrent clients submitting small deterministic solve jobs.
-//! Reported latency is submit→result per job (queue wait + solve + wire);
-//! throughput is completed jobs per wall-clock second across all clients.
+//! Thin wrapper over [`dabs_bench::scenarios::server_load`] — the same
+//! measurement the suite's `server_throughput` entry records into
+//! `BENCH_*.json`. Reported latency is submit→result per job (queue wait +
+//! solve + wire); throughput is completed jobs per wall-clock second across
+//! all clients.
 //!
 //! ```text
 //! cargo run --release -p dabs-bench --bin server_throughput
@@ -12,102 +13,37 @@
 //!     --clients 16 --jobs 256 --workers 4 --n 32 --batches 200
 //! ```
 
-use dabs_server::{
-    drive_fleet, Client, ExecMode, JobSpec, LatencySummary, ProblemSpec, Server, ServerConfig,
-};
-use std::time::Instant;
-
-struct Args {
-    clients: usize,
-    jobs: usize,
-    workers: usize,
-    n: usize,
-    batches: u64,
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        clients: 8,
-        jobs: 96,
-        workers: 4,
-        n: 32,
-        batches: 200,
-    };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut it = argv.iter();
-    while let Some(a) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .unwrap_or_else(|| panic!("--{name} requires a value"))
-                .parse::<u64>()
-                .unwrap_or_else(|_| panic!("--{name}: not a number"))
-        };
-        match a.as_str() {
-            "--clients" => args.clients = value("clients") as usize,
-            "--jobs" => args.jobs = value("jobs") as usize,
-            "--workers" => args.workers = value("workers") as usize,
-            "--n" => args.n = value("n") as usize,
-            "--batches" => args.batches = value("batches"),
-            other => panic!("unknown flag {other:?}"),
-        }
-    }
-    args
-}
+use dabs_bench::scenarios::server_load::{run, LoadSpec};
+use dabs_bench::Args;
 
 fn main() {
-    let args = parse_args();
-    let server = Server::bind(
-        "127.0.0.1:0",
-        ServerConfig {
-            workers: args.workers,
-            queue_capacity: (args.jobs * 2).max(64),
-        },
-    )
-    .expect("bind in-process server");
-    let addr = server.local_addr();
+    let args = Args::from_env();
+    let spec = LoadSpec {
+        clients: args.get("clients", 8usize),
+        jobs: args.get("jobs", 96usize),
+        workers: args.get("workers", 4usize),
+        n: args.get("n", 32usize),
+        batches: args.get("batches", 200u64),
+        seed: args.get("seed", 1u64),
+    };
     println!(
-        "server_throughput: {} clients × {} jobs on {addr} — {} workers, n = {}, {} batches/job",
-        args.clients, args.jobs, args.workers, args.n, args.batches
+        "server_throughput: {} clients × {} jobs — {} workers, n = {}, {} batches/job",
+        spec.clients, spec.jobs, spec.workers, spec.n, spec.batches
     );
 
-    // Warmup: one job end-to-end so thread spawning and first-touch costs
-    // don't land in the measured window.
-    {
-        let mut c = Client::connect(addr).expect("warmup connect");
-        let id = c
-            .submit(&JobSpec {
-                problem: ProblemSpec::random(args.n, 999),
-                seed: 999,
-                mode: ExecMode::Sequential,
-                max_batches: Some(args.batches),
-                ..JobSpec::default()
-            })
-            .expect("warmup submit");
-        c.wait_result(id).expect("warmup result");
-    }
-
-    let t0 = Instant::now();
-    let (n, batches) = (args.n, args.batches);
-    let all = drive_fleet(&addr.to_string(), args.clients, args.jobs, move |c, j| {
-        let seed = 1 + (c * 10_007 + j) as u64;
-        JobSpec {
-            problem: ProblemSpec::random(n, seed),
-            seed,
-            mode: ExecMode::Sequential,
-            max_batches: Some(batches),
-            ..JobSpec::default()
+    match run(&spec) {
+        Ok(summary) => {
+            println!("{}", summary.report());
+            println!(
+                "jobs/s: {:.1}   p50: {:.2} ms   p99: {:.2} ms",
+                summary.jobs_per_sec(),
+                summary.p50.as_secs_f64() * 1e3,
+                summary.p99.as_secs_f64() * 1e3
+            );
         }
-    })
-    .expect("fleet run");
-    let wall = t0.elapsed();
-    server.shutdown();
-
-    let summary = LatencySummary::from_samples(all, wall).expect("jobs completed");
-    println!("{}", summary.report());
-    println!(
-        "jobs/s: {:.1}   p50: {:.2} ms   p99: {:.2} ms",
-        summary.jobs_per_sec(),
-        summary.p50.as_secs_f64() * 1e3,
-        summary.p99.as_secs_f64() * 1e3
-    );
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,0 +1,15 @@
+//! The unified benchmark-suite runner — the machine-readable counterpart of
+//! the table/figure bins and the producer of the repo's perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p dabs-bench --bin suite -- --smoke --out BENCH_ci.json
+//! cargo run --release -p dabs-bench --bin suite -- compare --baseline BENCH_4.json
+//! cargo run --release -p dabs-bench --bin suite -- --list
+//! ```
+//!
+//! See `docs/BENCHMARKS.md` for the JSON schema and the CI gate.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(dabs_bench::suite_cli::run_from_args(&argv));
+}

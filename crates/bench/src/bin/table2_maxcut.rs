@@ -2,37 +2,37 @@
 //!
 //! Rows: potentially-optimal energy, DABS TTS, ABS TTS + success
 //! probability, branch-and-bound ("Gurobi") gap, hybrid-solver result, and
-//! simulated bifurcation (CIM/dSB-class) gap.
+//! simulated bifurcation (CIM/dSB-class) gap. The DABS/ABS protocol is the
+//! shared [`dabs_bench::scenarios::measure_dabs_abs`]; the baseline solvers
+//! are this table's own extras.
 //!
 //! Flags: `--full` (paper-sized n = 2000), `--runs N` (default 5),
-//! `--seed S`, `--budget-ms B` (per measured run), `--devices D`,
-//! `--blocks B`.
+//! `--seed S`, `--budget-ms B` (per measured run; default = the canonical
+//! MaxCut family budget), `--devices D`, `--blocks B`.
 
 use dabs_baselines::bnb::{BnbConfig, BranchAndBound};
 use dabs_baselines::hybrid::{HybridConfig, HybridSolver};
 use dabs_baselines::sb::{SbConfig, SimulatedBifurcation};
-use dabs_bench::harness::{dabs_run_outcome, establish_reference, fmt_gap, fmt_tts};
+use dabs_bench::harness::{fmt_gap, fmt_tts};
 use dabs_bench::instances::maxcut_set;
-use dabs_bench::{repeat_solver, Args, Table};
-use dabs_core::DabsConfig;
+use dabs_bench::scenarios::{measure_dabs_abs, warn_unconverged};
+use dabs_bench::suite::Family;
+use dabs_bench::{Args, RunPlan, Table};
 use dabs_search::SearchParams;
 use std::sync::Arc;
-use std::time::Duration;
 
 fn main() {
-    let args = Args::from_env();
-    let full = args.flag("full");
-    let runs = args.get("runs", 5usize);
-    let seed = args.get("seed", 1u64);
-    let budget = Duration::from_millis(args.get("budget-ms", if full { 60_000 } else { 3_000 }));
-    let devices = args.get("devices", 4usize);
-    let blocks = args.get("blocks", 2usize);
+    let plan = RunPlan::from_args(&Args::from_env());
+    let budget = plan.budget(Family::MaxCut);
 
     println!(
         "== Table II: MaxCut ({}) ==",
-        if full { "paper scale" } else { "CI scale" }
+        if plan.full { "paper scale" } else { "CI scale" }
     );
-    println!("runs = {runs}, per-run budget = {budget:?}, devices = {devices}×{blocks} blocks\n");
+    println!(
+        "runs = {}, per-run budget = {budget:?}, devices = {}×{} blocks\n",
+        plan.runs, plan.devices, plan.blocks
+    );
 
     let mut table = Table::new(vec![
         "MaxCut",
@@ -48,66 +48,47 @@ fn main() {
         "dSB gap",
     ]);
 
-    for bench in maxcut_set(full, seed) {
+    for bench in maxcut_set(plan.full, plan.seed) {
         let model = Arc::new(bench.problem.to_qubo());
 
         // paper parameters for MaxCut: s = 0.1, b = 10
-        let mut dabs_cfg = DabsConfig::dabs(devices, blocks);
-        dabs_cfg.params = SearchParams::maxcut();
-        let mut abs_cfg = DabsConfig::abs_baseline(devices, blocks);
-        abs_cfg.params = SearchParams::maxcut();
-
-        // potentially-optimal reference: long DABS run (3× measured budget)
-        let reference = establish_reference(&model, &dabs_cfg, budget * 3);
-
-        let dabs = repeat_solver(runs, seed * 1000, |s| {
-            dabs_run_outcome(&model, &dabs_cfg, s, reference, budget)
-        });
-        let abs = repeat_solver(runs, seed * 2000, |s| {
-            dabs_run_outcome(&model, &abs_cfg, s, reference, budget)
-        });
+        let pair = measure_dabs_abs(&model, SearchParams::maxcut(), &plan, Family::MaxCut);
+        let reference = pair.reference;
 
         let bnb = BranchAndBound::new(BnbConfig {
             time_limit: budget,
             heuristic_restarts: 32,
-            seed,
+            seed: plan.seed,
         })
         .solve(&model);
 
         let hybrid = HybridSolver::new(HybridConfig {
             time_limit: budget,
-            seed,
+            seed: plan.seed,
             ..HybridConfig::default()
         })
         .solve(&model);
 
         let (ising, c) = model.to_ising();
         let sb = SimulatedBifurcation::new(SbConfig {
-            steps: if full { 20_000 } else { 5_000 },
-            seed,
+            steps: if plan.full { 20_000 } else { 5_000 },
+            seed: plan.seed,
             ..SbConfig::default()
         })
         .solve(&ising);
         // H = 4E − C  ⇒  E = (H + C)/4
         let sb_energy = (sb.energy + c) / 4;
 
-        let observed_best = reference.min(dabs.best_energy()).min(abs.best_energy());
-        if observed_best < reference {
-            println!(
-                "note: {} reference {reference} was not converged — a measured run reached {observed_best}; \
-                 rerun with a larger --budget-ms for tighter TTS statistics",
-                bench.label
-            );
-        }
+        warn_unconverged(bench.label, reference, pair.observed_best());
         table.row(vec![
             bench.label.to_string(),
             reference.to_string(),
             (-reference).to_string(),
-            dabs.best_energy().to_string(),
-            fmt_tts(dabs.mean_tts()),
-            abs.best_energy().to_string(),
-            fmt_tts(abs.mean_tts()),
-            format!("{:.1}%", 100.0 * abs.success_rate()),
+            pair.dabs.best_energy().to_string(),
+            fmt_tts(pair.dabs.mean_tts()),
+            pair.abs.best_energy().to_string(),
+            fmt_tts(pair.abs.mean_tts()),
+            format!("{:.1}%", 100.0 * pair.abs.success_rate()),
             fmt_gap(bnb.energy, reference),
             fmt_gap(hybrid.energy, reference),
             fmt_gap(sb_energy, reference),

@@ -2,35 +2,33 @@
 //!
 //! Reports the QAP cost and QUBO energy of the best solution, the paper's
 //! `E = C − n·p` identity, DABS/ABS TTS + probability, and branch-and-bound
-//! / hybrid gaps.
+//! / hybrid gaps. The DABS/ABS protocol is the shared
+//! [`dabs_bench::scenarios::measure_dabs_abs`]; the feasibility decode and
+//! baseline solvers are this table's own extras.
 //!
-//! Flags: `--full`, `--runs N`, `--seed S`, `--budget-ms B`, `--devices D`,
-//! `--blocks B`.
+//! Flags: `--full`, `--runs N`, `--seed S`, `--budget-ms B` (default = the
+//! canonical QAP family budget), `--devices D`, `--blocks B`.
 
 use dabs_baselines::bnb::{BnbConfig, BranchAndBound};
 use dabs_baselines::hybrid::{HybridConfig, HybridSolver};
-use dabs_bench::harness::{dabs_run_outcome, establish_reference, fmt_gap, fmt_tts};
+use dabs_bench::harness::{fmt_gap, fmt_tts};
 use dabs_bench::instances::qap_set;
-use dabs_bench::{repeat_solver, Args, Table};
-use dabs_core::{DabsConfig, DabsSolver, Termination};
+use dabs_bench::scenarios::{measure_dabs_abs, warn_unconverged};
+use dabs_bench::suite::Family;
+use dabs_bench::{Args, RunPlan, Table};
+use dabs_core::{DabsSolver, Termination};
 use dabs_search::SearchParams;
 use std::sync::Arc;
-use std::time::Duration;
 
 fn main() {
-    let args = Args::from_env();
-    let full = args.flag("full");
-    let runs = args.get("runs", 5usize);
-    let seed = args.get("seed", 1u64);
-    let budget = Duration::from_millis(args.get("budget-ms", if full { 120_000 } else { 4_000 }));
-    let devices = args.get("devices", 4usize);
-    let blocks = args.get("blocks", 2usize);
+    let plan = RunPlan::from_args(&Args::from_env());
+    let budget = plan.budget(Family::Qap);
 
     println!(
         "== Table III: QAP ({}) ==",
-        if full { "paper scale" } else { "CI scale" }
+        if plan.full { "paper scale" } else { "CI scale" }
     );
-    println!("runs = {runs}, per-run budget = {budget:?}\n");
+    println!("runs = {}, per-run budget = {budget:?}\n", plan.runs);
 
     let mut table = Table::new(vec![
         "QAP",
@@ -48,21 +46,17 @@ fn main() {
         "feasible",
     ]);
 
-    for bench in qap_set(full, seed) {
+    for bench in qap_set(plan.full, plan.seed) {
         let n = bench.instance.n() as i64;
         let model = Arc::new(bench.instance.to_qubo(bench.penalty));
 
         // paper parameters for QAP: s = 0.1, b = 1
-        let mut dabs_cfg = DabsConfig::dabs(devices, blocks);
-        dabs_cfg.params = SearchParams::qap_qasp();
-        let mut abs_cfg = DabsConfig::abs_baseline(devices, blocks);
-        abs_cfg.params = SearchParams::qap_qasp();
-
-        let reference = establish_reference(&model, &dabs_cfg, budget * 3);
+        let pair = measure_dabs_abs(&model, SearchParams::qap_qasp(), &plan, Family::Qap);
+        let reference = pair.reference;
 
         // decode the reference solution to verify feasibility & the
         // E = C − n·p identity
-        let solver = DabsSolver::new(dabs_cfg.clone()).unwrap();
+        let solver = DabsSolver::new(pair.dabs_cfg.clone()).unwrap();
         let ref_run = solver.run(&model, Termination::target(reference).with_time(budget * 3));
         let decoded = bench.instance.decode(&ref_run.best);
         let (cost_str, feasible) = match &decoded {
@@ -78,45 +72,31 @@ fn main() {
             None => ("—".to_string(), "NO"),
         };
 
-        let dabs = repeat_solver(runs, seed * 1000, |s| {
-            dabs_run_outcome(&model, &dabs_cfg, s, reference, budget)
-        });
-        let abs = repeat_solver(runs, seed * 2000, |s| {
-            dabs_run_outcome(&model, &abs_cfg, s, reference, budget)
-        });
-
         let bnb = BranchAndBound::new(BnbConfig {
             time_limit: budget,
             heuristic_restarts: 32,
-            seed,
+            seed: plan.seed,
         })
         .solve(&model);
         let hybrid = HybridSolver::new(HybridConfig {
             time_limit: budget,
-            seed,
+            seed: plan.seed,
             ..HybridConfig::default()
         })
         .solve(&model);
 
-        let observed_best = reference.min(dabs.best_energy()).min(abs.best_energy());
-        if observed_best < reference {
-            println!(
-                "note: {} reference {reference} was not converged — a measured run reached {observed_best}; \
-                 rerun with a larger --budget-ms for tighter TTS statistics",
-                bench.label
-            );
-        }
+        warn_unconverged(bench.label, reference, pair.observed_best());
         table.row(vec![
             bench.label.to_string(),
             n.to_string(),
             bench.penalty.to_string(),
             cost_str,
             reference.to_string(),
-            dabs.best_energy().to_string(),
-            fmt_tts(dabs.mean_tts()),
-            abs.best_energy().to_string(),
-            fmt_tts(abs.mean_tts()),
-            format!("{:.1}%", 100.0 * abs.success_rate()),
+            pair.dabs.best_energy().to_string(),
+            fmt_tts(pair.dabs.mean_tts()),
+            pair.abs.best_energy().to_string(),
+            fmt_tts(pair.abs.mean_tts()),
+            format!("{:.1}%", 100.0 * pair.abs.success_rate()),
             fmt_gap(bnb.energy, reference),
             fmt_gap(hybrid.energy, reference),
             feasible.to_string(),

@@ -4,35 +4,37 @@
 //! branch-and-bound ("Gurobi") gap, and the analog annealer simulator
 //! ("D-Wave Advantage") gap — which stays above zero at every resolution
 //! while DABS reaches the potentially-optimal value (the paper's headline).
+//! The DABS/ABS protocol is the shared
+//! [`dabs_bench::scenarios::measure_dabs_abs`].
 //!
-//! Flags: `--full`, `--runs N`, `--seed S`, `--budget-ms B`, `--devices D`,
-//! `--blocks B`, `--reads R` (annealer reads).
+//! Flags: `--full`, `--runs N`, `--seed S`, `--budget-ms B` (default = the
+//! canonical QASP family budget), `--devices D`, `--blocks B`, `--reads R`
+//! (annealer reads).
 
 use dabs_baselines::annealer::{AnalogAnnealer, AnnealerConfig};
 use dabs_baselines::bnb::{BnbConfig, BranchAndBound};
-use dabs_bench::harness::{dabs_run_outcome, establish_reference, fmt_gap, fmt_tts};
+use dabs_bench::harness::{fmt_gap, fmt_tts};
 use dabs_bench::instances::qasp_set;
-use dabs_bench::{repeat_solver, Args, Table};
-use dabs_core::DabsConfig;
+use dabs_bench::scenarios::{measure_dabs_abs, warn_unconverged};
+use dabs_bench::suite::Family;
+use dabs_bench::{Args, RunPlan, Table};
 use dabs_search::SearchParams;
 use std::sync::Arc;
-use std::time::Duration;
 
 fn main() {
     let args = Args::from_env();
-    let full = args.flag("full");
-    let runs = args.get("runs", 5usize);
-    let seed = args.get("seed", 1u64);
-    let budget = Duration::from_millis(args.get("budget-ms", if full { 60_000 } else { 5_000 }));
-    let devices = args.get("devices", 4usize);
-    let blocks = args.get("blocks", 2usize);
-    let reads = args.get("reads", if full { 1000u32 } else { 200 });
+    let plan = RunPlan::from_args(&args);
+    let budget = plan.budget(Family::Qasp);
+    let reads = args.get("reads", if plan.full { 1000u32 } else { 200 });
 
     println!(
         "== Table IV: QASP ({}) ==",
-        if full { "paper scale" } else { "CI scale" }
+        if plan.full { "paper scale" } else { "CI scale" }
     );
-    println!("runs = {runs}, per-run budget = {budget:?}, annealer reads = {reads}\n");
+    println!(
+        "runs = {}, per-run budget = {budget:?}, annealer reads = {reads}\n",
+        plan.runs
+    );
 
     let mut table = Table::new(vec![
         "QASP",
@@ -47,28 +49,17 @@ fn main() {
         "Annealer gap",
     ]);
 
-    for bench in qasp_set(full, seed) {
+    for bench in qasp_set(plan.full, plan.seed) {
         let model = Arc::new(bench.instance.qubo().clone());
 
         // paper parameters for QASP: s = 0.1, b = 1
-        let mut dabs_cfg = DabsConfig::dabs(devices, blocks);
-        dabs_cfg.params = SearchParams::qap_qasp();
-        let mut abs_cfg = DabsConfig::abs_baseline(devices, blocks);
-        abs_cfg.params = SearchParams::qap_qasp();
-
-        let reference = establish_reference(&model, &dabs_cfg, budget * 3);
-
-        let dabs = repeat_solver(runs, seed * 1000, |s| {
-            dabs_run_outcome(&model, &dabs_cfg, s, reference, budget)
-        });
-        let abs = repeat_solver(runs, seed * 2000, |s| {
-            dabs_run_outcome(&model, &abs_cfg, s, reference, budget)
-        });
+        let pair = measure_dabs_abs(&model, SearchParams::qap_qasp(), &plan, Family::Qasp);
+        let reference = pair.reference;
 
         let bnb = BranchAndBound::new(BnbConfig {
             time_limit: budget,
             heuristic_restarts: 32,
-            seed,
+            seed: plan.seed,
         })
         .solve(&model);
 
@@ -78,29 +69,22 @@ fn main() {
             num_reads: reads,
             sweeps_per_read: 10,
             noise_sigma: 0.02,
-            seed,
+            seed: plan.seed,
             ..AnnealerConfig::default()
         })
         .sample(bench.instance.ising());
         let annealer_energy = annealer.energy - bench.instance.offset();
 
-        let observed_best = reference.min(dabs.best_energy()).min(abs.best_energy());
-        if observed_best < reference {
-            println!(
-                "note: {} reference {reference} was not converged — a measured run reached {observed_best}; \
-                 rerun with a larger --budget-ms for tighter TTS statistics",
-                bench.label
-            );
-        }
+        warn_unconverged(&bench.label, reference, pair.observed_best());
         table.row(vec![
             bench.label.clone(),
             bench.instance.resolution.to_string(),
             reference.to_string(),
-            dabs.best_energy().to_string(),
-            fmt_tts(dabs.mean_tts()),
-            abs.best_energy().to_string(),
-            fmt_tts(abs.mean_tts()),
-            format!("{:.1}%", 100.0 * abs.success_rate()),
+            pair.dabs.best_energy().to_string(),
+            fmt_tts(pair.dabs.mean_tts()),
+            pair.abs.best_energy().to_string(),
+            fmt_tts(pair.abs.mean_tts()),
+            format!("{:.1}%", 100.0 * pair.abs.success_rate()),
             fmt_gap(bnb.energy, reference),
             fmt_gap(annealer_energy, reference),
         ]);

@@ -3,57 +3,30 @@
 //!
 //! For each of the nine benchmark instances, runs DABS `--runs` times and
 //! aggregates the dispatch counters; prints the paper's percentage matrix.
-//! The boldface-equivalent (most-frequent entry) is marked with `*`.
+//! The boldface-equivalent (most-frequent entry) is marked with `*`. The
+//! measurement loop is the shared [`dabs_bench::scenarios::frequency`].
 //!
-//! Flags: `--full`, `--runs N`, `--seed S`, `--budget-ms B`, `--devices D`,
-//! `--blocks B`.
+//! Flags: `--full`, `--runs N` (default 3), `--seed S`, `--budget-ms B`,
+//! `--devices D`, `--blocks B`.
 
-use dabs_bench::instances::full_problem_suite;
-use dabs_bench::{Args, Table};
-use dabs_core::{DabsConfig, DabsSolver, FrequencyReport, GeneticOp, Termination};
+use dabs_bench::scenarios::{frequency, problem_suite};
+use dabs_bench::{Args, RunPlan, Table};
+use dabs_core::GeneticOp;
 use dabs_search::MainAlgorithm;
-use std::time::Duration;
 
 fn main() {
-    let args = Args::from_env();
-    let full = args.flag("full");
-    let runs = args.get("runs", 3usize);
-    let seed = args.get("seed", 1u64);
-    let budget = Duration::from_millis(args.get("budget-ms", if full { 30_000 } else { 2_000 }));
-    let devices = args.get("devices", 4usize);
-    let blocks = args.get("blocks", 2usize);
+    let plan = RunPlan::from_args_with_runs(&Args::from_env(), 3);
 
     println!("== Table V: executed-frequency of algorithms and operations ==");
-    println!("runs = {runs}, per-run budget = {budget:?}\n");
+    println!(
+        "runs = {}, per-family canonical budgets (see scenarios::family_budget_ms)\n",
+        plan.runs
+    );
 
-    let algo_headers: Vec<String> = MainAlgorithm::ALL
-        .iter()
-        .map(|a| a.name().to_string())
-        .collect();
-    let op_headers: Vec<String> = GeneticOp::DABS
-        .iter()
-        .map(|o| o.name().to_string())
-        .collect();
-    let mut headers = vec!["Problem".to_string()];
-    headers.extend(algo_headers);
-    headers.extend(op_headers);
-    let mut table = Table::new(headers);
+    let mut table = Table::new(frequency::table_headers());
 
-    for (label, model, params) in full_problem_suite(full, seed) {
-        let mut agg: Option<FrequencyReport> = None;
-        for k in 0..runs as u64 {
-            let mut cfg = DabsConfig::dabs(devices, blocks);
-            cfg.params = params;
-            cfg.seed = seed * 10_000 + k;
-            let solver = DabsSolver::new(cfg).unwrap();
-            let r = solver.run(&model, Termination::time(budget));
-            match &mut agg {
-                Some(a) => a.merge(&r.frequencies),
-                None => agg = Some(r.frequencies),
-            }
-        }
-        let report = agg.expect("at least one run");
-
+    for inst in problem_suite(plan.full, plan.seed) {
+        let report = frequency::executed(&inst, &plan);
         let algo_pcts: Vec<f64> = MainAlgorithm::ALL
             .iter()
             .map(|&a| report.algo_percent(a))
@@ -62,12 +35,10 @@ fn main() {
             .iter()
             .map(|&o| report.op_percent(o))
             .collect();
-        let algo_max = algo_pcts.iter().cloned().fold(0.0f64, f64::max);
-        let op_max = op_pcts.iter().cloned().fold(0.0f64, f64::max);
 
-        let mut row = vec![label];
-        row.extend(algo_pcts.iter().map(|&p| mark(p, algo_max)));
-        row.extend(op_pcts.iter().map(|&p| mark(p, op_max)));
+        let mut row = vec![inst.label.clone()];
+        row.extend(frequency::percent_row(&algo_pcts));
+        row.extend(frequency::percent_row(&op_pcts));
         table.row(row);
     }
 
@@ -76,12 +47,4 @@ fn main() {
     println!("\npaper highlights: PositiveMin dominates most rows (e.g. tai20a 60.4%),");
     println!("CyclicMin leads QASP256 (35.7%); Zero dominates tai20a (73.0%),");
     println!("Crossover dominates nug30 (62.8%).");
-}
-
-fn mark(p: f64, max: f64) -> String {
-    if (p - max).abs() < 1e-9 && max > 0.0 {
-        format!("{p:.1}%*")
-    } else {
-        format!("{p:.1}%")
-    }
 }

@@ -4,50 +4,30 @@
 //! For each benchmark instance, repeats DABS runs and tallies which
 //! (algorithm, operation) pair produced the final best solution of each
 //! run — the paper's evidence that the *finisher* distribution differs from
-//! the *executed* distribution of Table V.
+//! the *executed* distribution of Table V. The measurement loop is the
+//! shared [`dabs_bench::scenarios::frequency`].
 //!
 //! Flags: `--full`, `--runs N`, `--seed S`, `--budget-ms B`, `--devices D`,
 //! `--blocks B`.
 
-use dabs_bench::instances::full_problem_suite;
-use dabs_bench::{Args, Table};
-use dabs_core::{DabsConfig, DabsSolver, GeneticOp, Termination};
+use dabs_bench::scenarios::{frequency, problem_suite};
+use dabs_bench::{Args, RunPlan, Table};
+use dabs_core::GeneticOp;
 use dabs_search::MainAlgorithm;
-use std::time::Duration;
 
 fn main() {
-    let args = Args::from_env();
-    let full = args.flag("full");
-    let runs = args.get("runs", 5usize);
-    let seed = args.get("seed", 1u64);
-    let budget = Duration::from_millis(args.get("budget-ms", if full { 30_000 } else { 2_000 }));
-    let devices = args.get("devices", 4usize);
-    let blocks = args.get("blocks", 2usize);
+    let plan = RunPlan::from_args(&Args::from_env());
 
     println!("== Table VI: first-finder frequency ==");
-    println!("runs = {runs}, per-run budget = {budget:?}\n");
+    println!(
+        "runs = {}, per-family canonical budgets (see scenarios::family_budget_ms)\n",
+        plan.runs
+    );
 
-    let mut headers = vec!["Problem".to_string()];
-    headers.extend(MainAlgorithm::ALL.iter().map(|a| a.name().to_string()));
-    headers.extend(GeneticOp::DABS.iter().map(|o| o.name().to_string()));
-    let mut table = Table::new(headers);
+    let mut table = Table::new(frequency::table_headers());
 
-    for (label, model, params) in full_problem_suite(full, seed) {
-        let mut algo_counts = [0u32; 5];
-        let mut op_counts = [0u32; 9];
-        let mut counted = 0u32;
-        for k in 0..runs as u64 {
-            let mut cfg = DabsConfig::dabs(devices, blocks);
-            cfg.params = params;
-            cfg.seed = seed * 20_000 + k;
-            let solver = DabsSolver::new(cfg).unwrap();
-            let r = solver.run(&model, Termination::time(budget));
-            if let Some((algo, op)) = r.first_finder {
-                algo_counts[algo.index()] += 1;
-                op_counts[op.index()] += 1;
-                counted += 1;
-            }
-        }
+    for inst in problem_suite(plan.full, plan.seed) {
+        let (algo_counts, op_counts, counted) = frequency::first_finder(&inst, &plan);
         let denom = counted.max(1) as f64;
         let algo_pcts: Vec<f64> = MainAlgorithm::ALL
             .iter()
@@ -57,12 +37,10 @@ fn main() {
             .iter()
             .map(|o| 100.0 * op_counts[o.index()] as f64 / denom)
             .collect();
-        let algo_max = algo_pcts.iter().cloned().fold(0.0f64, f64::max);
-        let op_max = op_pcts.iter().cloned().fold(0.0f64, f64::max);
 
-        let mut row = vec![label];
-        row.extend(algo_pcts.iter().map(|&p| mark(p, algo_max)));
-        row.extend(op_pcts.iter().map(|&p| mark(p, op_max)));
+        let mut row = vec![inst.label.clone()];
+        row.extend(frequency::percent_row(&algo_pcts));
+        row.extend(frequency::percent_row(&op_pcts));
         table.row(row);
     }
 
@@ -71,12 +49,4 @@ fn main() {
     println!("\npaper highlights: PositiveMin first-finds K2000 (93.1%) though it is");
     println!("executed only 25.1% of the time; Best first-finds MaxCut optima though");
     println!("rarely executed — the Table V vs VI divergence is the adaptivity story.");
-}
-
-fn mark(p: f64, max: f64) -> String {
-    if (p - max).abs() < 1e-9 && max > 0.0 {
-        format!("{p:.1}%*")
-    } else {
-        format!("{p:.1}%")
-    }
 }

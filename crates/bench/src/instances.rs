@@ -127,41 +127,6 @@ pub fn qasp_set(full: bool, seed: u64) -> Vec<QaspBench> {
         .collect()
 }
 
-/// All nine Table V/VI instances as ready-to-solve QUBO models with their
-/// paper search parameters.
-pub fn full_problem_suite(
-    full: bool,
-    seed: u64,
-) -> Vec<(
-    String,
-    std::sync::Arc<dabs_model::QuboModel>,
-    dabs_search::SearchParams,
-)> {
-    let mut out = Vec::new();
-    for b in maxcut_set(full, seed) {
-        out.push((
-            b.label.to_string(),
-            std::sync::Arc::new(b.problem.to_qubo()),
-            dabs_search::SearchParams::maxcut(),
-        ));
-    }
-    for b in qap_set(full, seed) {
-        out.push((
-            b.label.to_string(),
-            std::sync::Arc::new(b.instance.to_qubo(b.penalty)),
-            dabs_search::SearchParams::qap_qasp(),
-        ));
-    }
-    for b in qasp_set(full, seed) {
-        out.push((
-            b.label.clone(),
-            std::sync::Arc::new(b.instance.qubo().clone()),
-            dabs_search::SearchParams::qap_qasp(),
-        ));
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

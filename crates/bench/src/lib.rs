@@ -1,18 +1,31 @@
-//! Benchmark harness shared by the table/figure binaries.
+//! Benchmark harness shared by the table/figure binaries and the unified
+//! suite runner.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the paper
-//! (see DESIGN.md §4 for the index). The helpers here provide: flag parsing
-//! (`--runs`, `--scale`, `--seed`, `--full`), ASCII histograms matching the
-//! paper's figure binning, aligned table printing, and the repeated-run TTS
-//! protocol of §VI.
+//! (see DESIGN.md §4 for the index) as a thin wrapper over the shared
+//! scenario code in [`scenarios`]. The same scenarios power the declarative
+//! [`suite`] registry, whose runner emits the machine-readable perf
+//! trajectory (`BENCH_*.json`, schema in [`report`]) and whose [`baseline`]
+//! compare mode gates CI on regressions. The older helpers remain: flag
+//! parsing ([`Args`]), ASCII histograms matching the paper's figure binning,
+//! aligned table printing, and the repeated-run TTS protocol of §VI
+//! ([`harness`]).
 
 pub mod args;
+pub mod baseline;
 pub mod harness;
 pub mod histogram;
 pub mod instances;
+pub mod report;
+pub mod scenarios;
+pub mod suite;
+pub mod suite_cli;
 pub mod table;
 
 pub use args::Args;
 pub use harness::{repeat_solver, RepeatStats};
 pub use histogram::Histogram;
+pub use report::SuiteReport;
+pub use scenarios::RunPlan;
+pub use suite::{run_suite, SuiteConfig, SuiteEntry, SuiteMode};
 pub use table::Table;

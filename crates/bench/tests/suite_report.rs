@@ -1,0 +1,251 @@
+//! End-to-end tests of the suite runner, the `BENCH_*.json` schema, and
+//! the baseline gate — at `SuiteMode::Test` scale so a debug-profile run
+//! stays in seconds while exercising exactly the smoke/full code path.
+
+use dabs_bench::baseline::compare;
+use dabs_bench::report::SuiteReport;
+use dabs_bench::suite::{run_suite, Family, SuiteConfig, SuiteMode};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn test_cfg(seed: u64) -> SuiteConfig {
+    SuiteConfig {
+        mode: SuiteMode::Test,
+        seed,
+        filter: None,
+        verbose: false,
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dabs_suite_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+fn suite_bin(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_suite"))
+        .args(args)
+        .output()
+        .expect("failed to spawn the suite binary")
+}
+
+#[test]
+fn golden_fixed_seed_run_round_trips_and_validates() {
+    // A fixed-seed run, through the real binary, producing a real file.
+    let out_path = tmp("golden.json");
+    let out = suite_bin(&[
+        "--mode",
+        "test",
+        "--seed",
+        "7",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "suite run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Round-trip through the shims/serde json module.
+    let text = std::fs::read_to_string(&out_path).expect("report written");
+    let report = SuiteReport::from_json_str(&text).expect("parses back");
+    let rewritten = report.to_json_string();
+    let reparsed = SuiteReport::from_json_str(&rewritten).expect("reparses");
+    assert_eq!(reparsed, report, "serialize → parse must be a fixed point");
+
+    // Schema: every metric has a unit, timestamps are monotone, and every
+    // family has a non-empty entry.
+    report
+        .validate_coverage(&Family::ALL)
+        .expect("schema-valid with full family coverage");
+    assert_eq!(report.mode, SuiteMode::Test);
+    assert_eq!(report.seed, 7);
+    assert!(report.wall_ms > 0);
+    for entry in &report.entries {
+        for m in entry.metrics.iter() {
+            assert!(!m.unit.is_empty(), "{}.{} lacks a unit", entry.name, m.name);
+        }
+    }
+}
+
+#[test]
+fn same_seed_runs_emit_identical_deterministic_metrics() {
+    let a = run_suite(&test_cfg(3));
+    let b = run_suite(&test_cfg(3));
+    let mut checked = 0usize;
+    for ea in &a.entries {
+        let eb = b.entry(&ea.name).expect("same entries");
+        for ma in ea.metrics.iter().filter(|m| m.deterministic) {
+            let mb = eb
+                .metrics
+                .get(&ma.name)
+                .unwrap_or_else(|| panic!("{}/{} missing from second run", ea.name, ma.name));
+            assert!(
+                ma.value == mb.value,
+                "{}/{}: {} vs {} — deterministic metrics must reproduce bit-for-bit",
+                ea.name,
+                ma.name,
+                ma.value,
+                mb.value
+            );
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 40,
+        "expected a substantial deterministic surface, found {checked} metrics"
+    );
+    // And the gate agrees on that surface: comparing the two runs with the
+    // wall-clock metrics stripped must pass. (Timing metrics are exempt by
+    // design — at Test scale they measure box contention, not the code —
+    // which is also why the entries leave them ungated in this mode.)
+    let outcome = compare(&det_only(&a), &det_only(&b), 1.0).expect("comparable");
+    assert!(outcome.passed(), "{}", outcome.render());
+}
+
+/// A copy of the report keeping only deterministic metrics.
+fn det_only(r: &SuiteReport) -> SuiteReport {
+    let mut out = r.clone();
+    for e in &mut out.entries {
+        let mut kept = dabs_core::MetricSet::new();
+        for m in e.metrics.iter().filter(|m| m.deterministic) {
+            kept.push(m.clone());
+        }
+        e.metrics = kept;
+    }
+    out
+}
+
+#[test]
+fn different_seed_changes_the_workload() {
+    let a = run_suite(&test_cfg(3));
+    let c = run_suite(&test_cfg(4));
+    // Guard against a scenario accidentally ignoring the seed: at least one
+    // deterministic energy must differ between seeds.
+    let differs = a.entries.iter().any(|ea| {
+        c.entry(&ea.name).is_some_and(|ec| {
+            ea.metrics.iter().filter(|m| m.deterministic).any(|ma| {
+                ec.metrics
+                    .get(&ma.name)
+                    .is_some_and(|mc| mc.value != ma.value)
+            })
+        })
+    });
+    assert!(differs, "seed had no effect on any deterministic metric");
+    // ...and the comparator refuses cross-seed comparisons.
+    assert!(compare(&a, &c, 1.0).unwrap_err().contains("seed"));
+}
+
+#[test]
+fn compare_rejects_doctored_baseline_with_inflated_metrics() {
+    // Produce an honest candidate, then doctor a baseline from it by
+    // inflating every gated metric in its better direction. The gate must
+    // fail (exit 1) — this is the acceptance test for the CI regression
+    // check.
+    let honest_path = tmp("honest.json");
+    let doctored_path = tmp("doctored.json");
+    let out = suite_bin(&[
+        "--mode",
+        "test",
+        "--seed",
+        "11",
+        "--out",
+        honest_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    let honest = SuiteReport::read_file(&honest_path).expect("readable");
+    let mut doctored = honest.clone();
+    for entry in &mut doctored.entries {
+        let mut inflated = dabs_core::MetricSet::new();
+        for m in entry.metrics.clone() {
+            let mut m2 = m.clone();
+            if m.gate {
+                m2.value = match m.direction {
+                    dabs_core::Direction::HigherIsBetter => m.value.abs() * 10.0 + 100.0,
+                    dabs_core::Direction::LowerIsBetter => -(m.value.abs() * 10.0 + 100.0),
+                };
+            }
+            inflated.push(m2);
+        }
+        entry.metrics = inflated;
+    }
+    doctored.write_file(&doctored_path).expect("writable");
+
+    let out = suite_bin(&[
+        "compare",
+        "--baseline",
+        doctored_path.to_str().unwrap(),
+        "--candidate",
+        honest_path.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "doctored baseline must trip the gate: stdout {} stderr {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    assert!(stdout.contains("FAIL"), "{stdout}");
+
+    // Sanity: the honest file compared against itself passes (exit 0).
+    let out = suite_bin(&[
+        "compare",
+        "--baseline",
+        honest_path.to_str().unwrap(),
+        "--candidate",
+        honest_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+}
+
+#[test]
+fn compare_usage_and_io_errors_exit_2() {
+    let out = suite_bin(&["compare"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "missing --baseline is usage error"
+    );
+    let out = suite_bin(&["compare", "--baseline", "/nonexistent/x.json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unreadable baseline is an I/O error"
+    );
+    let out = suite_bin(&["frobnicate"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown subcommand is usage error"
+    );
+    let out = suite_bin(&["--mode", "nope"]);
+    assert_eq!(out.status.code(), Some(2), "unknown mode is usage error");
+}
+
+#[test]
+fn corrupted_report_file_fails_validation_at_compare_time() {
+    let path = tmp("corrupt.json");
+    let cfg = test_cfg(5);
+    let report = run_suite(&cfg);
+    // Drop the unit of one metric by textual surgery: the file parses as
+    // JSON but must fail schema validation inside `compare`.
+    let text = report
+        .to_json_string()
+        .replacen("\"unit\":\"count\"", "\"unit\":\"\"", 1);
+    std::fs::write(&path, &text).unwrap();
+    let out = suite_bin(&[
+        "compare",
+        "--baseline",
+        path.to_str().unwrap(),
+        "--candidate",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("schema"));
+}

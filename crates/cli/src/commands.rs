@@ -162,6 +162,34 @@ pub fn loadgen_from_args(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `dabs bench`: the unified benchmark suite (smoke/full/list/compare).
+///
+/// Thin veneer over [`dabs_bench::suite_cli`] — the same driver behind
+/// `cargo run -p dabs-bench --bin suite` — translating the subcommand word
+/// into the suite's flag form. Returns the process exit code (0 ok, 1 gate
+/// failure, 2 usage error).
+pub fn bench_from_args(args: &[String]) -> i32 {
+    let translated: Vec<String> = match args.first().map(String::as_str) {
+        Some("smoke") => {
+            let mut v = vec!["--smoke".to_string()];
+            v.extend_from_slice(&args[1..]);
+            v
+        }
+        Some("full") => {
+            let mut v = vec!["--full".to_string()];
+            v.extend_from_slice(&args[1..]);
+            v
+        }
+        Some("list") => vec!["--list".to_string()],
+        Some("compare") => args.to_vec(),
+        _ => {
+            eprintln!("error: dabs bench expects smoke | full | list | compare");
+            return 2;
+        }
+    };
+    dabs_bench::suite_cli::run_from_args(&translated)
+}
+
 /// `dabs compare`: run every solver in the repo on the same instance.
 pub fn compare(opts: &Options) -> Result<(), String> {
     let (model, name) = opts.build_model()?;

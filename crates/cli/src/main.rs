@@ -9,6 +9,7 @@
 //! dabs info    --problem … --n N --seed S
 //! dabs serve   [--addr A] [--workers W] [--queue Q]
 //! dabs loadgen [--addr A] [--clients C] [--jobs J] [--n N] [--batches B]
+//! dabs bench   smoke|full|list|compare …
 //! ```
 
 mod commands;
@@ -33,6 +34,8 @@ fn main() {
     let outcome = match command.as_str() {
         "serve" => commands::serve_from_args(&args),
         "loadgen" => commands::loadgen_from_args(&args),
+        // `bench` owns its own exit codes (1 = gate failure, 2 = usage).
+        "bench" => std::process::exit(commands::bench_from_args(&args)),
         "solve" | "compare" | "info" => {
             let opts = match Options::parse(&args) {
                 Ok(o) => o,
@@ -70,6 +73,9 @@ USAGE:
   dabs serve   [--addr A] [--workers W] [--queue Q]
   dabs loadgen [--addr A] [--clients C] [--jobs J] [--n N] [--batches B]
                [--workers W] [--seed S]
+  dabs bench   smoke|full [--seed S] [--filter F] [--out FILE] | list
+  dabs bench   compare --baseline FILE [--candidate FILE]
+               [--tolerance-scale X]
 
 PROBLEM KINDS:
   k2000 | g22 | g39   MaxCut instance classes (default n = 200)
@@ -91,6 +97,13 @@ SERVER:
   front of W long-lived solver workers, speaking newline-delimited JSON
   over TCP (see docs/PROTOCOL.md). dabs loadgen drives it with C
   concurrent clients × J jobs and reports jobs/s and latency percentiles;
-  without --addr it spins up an in-process server first."
+  without --addr it spins up an in-process server first.
+
+BENCH:
+  dabs bench runs the unified benchmark suite (time-to-target per problem
+  family, kernel density sweep, ablations, server throughput) and writes a
+  machine-readable BENCH_*.json report; compare diffs a run against a
+  committed baseline and exits non-zero on gated regressions (see
+  docs/BENCHMARKS.md)."
     );
 }

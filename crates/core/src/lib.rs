@@ -61,4 +61,4 @@ pub use genetic::GeneticOp;
 pub use island::IslandRing;
 pub use pool::{PoolEntry, SolutionPool};
 pub use solver::{DabsSolver, Incumbent, IncumbentObserver, SolveResult, Termination};
-pub use stats::{FrequencyReport, FrequencyTracker};
+pub use stats::{Direction, FrequencyReport, FrequencyTracker, Metric, MetricSet};

@@ -128,10 +128,10 @@ pub fn parse_ising(text: &str) -> Result<IsingModel, ParseError> {
 /// without parsing — or allocating — anything else. The full parsers let a
 /// later `p` line overwrite an earlier one, so the maximum across all of
 /// them is what bounds the eventual `vec![0; n]`. `None` when no
-/// well-formed header exists (such a document fails in [`parse_body`]
+/// well-formed header exists (such a document fails in `parse_body`
 /// before it allocates).
 ///
-/// Kept next to [`parse_body`] so there is exactly one copy of the header
+/// Kept next to `parse_body` so there is exactly one copy of the header
 /// grammar: admission-control callers (the `dabs-server` job runtime) use
 /// this to cap a client-declared `n` *before* handing the text to the real
 /// parser, and the two must never drift.

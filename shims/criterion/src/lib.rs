@@ -1,4 +1,4 @@
-//! Offline stand-in for the subset of [`criterion`] used by
+//! Offline stand-in for the subset of `criterion` used by
 //! `crates/bench/benches/microbench.rs`: `Criterion`, benchmark groups,
 //! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
 //! `criterion_group!` / `criterion_main!` macros.

@@ -1,4 +1,4 @@
-//! Offline stand-in for the subset of [`crossbeam`] the workspace uses:
+//! Offline stand-in for the subset of `crossbeam` the workspace uses:
 //! `crossbeam::channel` MPMC channels (bounded + unbounded).
 //!
 //! Implemented as a `Mutex<VecDeque>` + two `Condvar`s. This trades the

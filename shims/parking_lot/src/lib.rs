@@ -1,4 +1,4 @@
-//! Offline stand-in for the subset of [`parking_lot`] the workspace uses:
+//! Offline stand-in for the subset of `parking_lot` the workspace uses:
 //! a `Mutex` whose `lock()` returns the guard directly (no poison `Result`).
 //! Backed by `std::sync::Mutex`; poisoning is swallowed via `into_inner`,
 //! which matches parking_lot's no-poisoning semantics.

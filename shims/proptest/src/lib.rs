@@ -1,4 +1,4 @@
-//! Offline stand-in for the subset of [`proptest`] used by the DABS test
+//! Offline stand-in for the subset of `proptest` used by the DABS test
 //! suite: the `proptest!` macro, `Strategy` with `prop_map` /
 //! `prop_flat_map` / `prop_filter`, integer-range and tuple strategies,
 //! `collection::vec`, `any::<T>()`, `Just`, `prop_assert*`, and
@@ -284,7 +284,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Inclusive length bounds for [`vec`].
+    /// Inclusive length bounds for [`vec`](fn@vec).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
