@@ -203,6 +203,7 @@ mod tests {
                 family: Family::Kernel,
                 started_ms: 0,
                 wall_ms: 100,
+                context: Vec::new(),
                 metrics: set,
             }],
         }

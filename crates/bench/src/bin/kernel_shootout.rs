@@ -22,7 +22,9 @@
 //! Identical flip sequences mean both backends do exactly the same logical
 //! work; only the weight-layout changes.
 
-use dabs_bench::scenarios::kernel::{sweep, violations, SMOKE_MIN_SPEEDUP};
+use dabs_bench::scenarios::kernel::{
+    sweep, violations, SMOKE_MIN_SPEEDUP, SPEEDUP_CONTRACT_MIN_DENSITY,
+};
 use dabs_bench::{Args, Table};
 use dabs_model::DENSE_DENSITY_THRESHOLD;
 
@@ -49,7 +51,7 @@ fn main() {
     println!(
         "kernel shootout — n = {n}, {flips} timed flips per backend, seed {seed} \
          (auto threshold: density ≥ {DENSE_DENSITY_THRESHOLD}; \
-          smoke contract: dense ≥ {SMOKE_MIN_SPEEDUP}× csr at density ≥ 0.5)"
+          smoke contract: dense ≥ {SMOKE_MIN_SPEEDUP}× csr at density ≥ {SPEEDUP_CONTRACT_MIN_DENSITY})"
     );
 
     let points = sweep(n, flips, seed, &densities);

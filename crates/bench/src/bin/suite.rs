@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p dabs-bench --bin suite -- --smoke --out BENCH_ci.json
-//! cargo run --release -p dabs-bench --bin suite -- compare --baseline BENCH_4.json
+//! cargo run --release -p dabs-bench --bin suite -- compare --baseline BENCH_5.json
 //! cargo run --release -p dabs-bench --bin suite -- --list
 //! ```
 //!

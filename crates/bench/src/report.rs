@@ -31,7 +31,7 @@ impl HostInfo {
         HostInfo {
             os: std::env::consts::OS.to_string(),
             arch: std::env::consts::ARCH.to_string(),
-            cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            cpus: detect_cpus(),
         }
     }
 
@@ -64,16 +64,28 @@ pub struct EntryReport {
     /// in registry order, so these are monotone (schema-validated).
     pub started_ms: u64,
     pub wall_ms: u64,
+    /// Measurement context (kernel backend, segment-layer on/off, …):
+    /// string key/value pairs that make trajectory points comparable across
+    /// machines and code revisions. Optional in the schema — reports
+    /// written before it existed parse with an empty context.
+    pub context: Vec<(String, String)>,
     pub metrics: MetricSet,
 }
 
 impl EntryReport {
     fn to_json(&self) -> Json {
+        let context = Json::Obj(
+            self.context
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::str(v.clone())))
+                .collect(),
+        );
         Json::obj([
             ("name", Json::str(self.name.clone())),
             ("family", Json::str(self.family.name())),
             ("started_ms", Json::from(self.started_ms)),
             ("wall_ms", Json::from(self.wall_ms)),
+            ("context", context),
             ("metrics", self.metrics.to_json()),
         ])
     }
@@ -87,6 +99,20 @@ impl EntryReport {
             .get_str("family")
             .and_then(Family::by_name)
             .ok_or_else(|| format!("entry {name:?}: bad family"))?;
+        let context = match j.get("context") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| {
+                            format!("entry {name:?}: context value for {k:?} not a string")
+                        })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err(format!("entry {name:?}: context is not an object")),
+            None => Vec::new(),
+        };
         Ok(EntryReport {
             started_ms: j
                 .get_u64("started_ms")
@@ -101,6 +127,7 @@ impl EntryReport {
             .map_err(|e| format!("entry {name:?}: {e}"))?,
             name,
             family,
+            context,
         })
     }
 }
@@ -261,6 +288,20 @@ impl SuiteReport {
     }
 }
 
+/// Robust CPU count: the max of `available_parallelism` (which reflects
+/// cgroup/affinity limits and can report 1 in containers even on large
+/// machines) and the `processor` entries in `/proc/cpuinfo`. Taking the max
+/// records the hardware the box actually has — the number that makes
+/// wall-clock trajectory points comparable across machines — rather than
+/// whatever quota the run happened to execute under.
+pub fn detect_cpus() -> usize {
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cpuinfo = std::fs::read_to_string("/proc/cpuinfo")
+        .map(|s| s.lines().filter(|l| l.starts_with("processor")).count())
+        .unwrap_or(0);
+    avail.max(cpuinfo).max(1)
+}
+
 /// Process CPU time (user + system) in milliseconds, from `/proc/self/stat`.
 /// Assumes the conventional 100 Hz clock-tick unit (`USER_HZ`); returns
 /// `None` off Linux or if the file is unreadable.
@@ -313,6 +354,10 @@ mod tests {
                     family: Family::MaxCut,
                     started_ms: 0,
                     wall_ms: 900,
+                    context: vec![
+                        ("kernel".into(), "auto".into()),
+                        ("segments".into(), "on".into()),
+                    ],
                     metrics: m,
                 },
                 EntryReport {
@@ -320,6 +365,7 @@ mod tests {
                     family: Family::Server,
                     started_ms: 900,
                     wall_ms: 300,
+                    context: Vec::new(),
                     metrics: srv,
                 },
             ],
@@ -373,6 +419,32 @@ mod tests {
         bad.push(Metric::new("x", 1.0, "", Direction::LowerIsBetter));
         unitless.entries[0].metrics = bad;
         assert!(unitless.validate().unwrap_err().contains("unit"));
+    }
+
+    #[test]
+    fn context_survives_round_trip_and_is_optional() {
+        let r = sample();
+        let back = SuiteReport::from_json_str(&r.to_json_string()).expect("parse");
+        assert_eq!(
+            back.entries[0].context,
+            vec![
+                ("kernel".to_string(), "auto".to_string()),
+                ("segments".to_string(), "on".to_string()),
+            ]
+        );
+        // Reports written before the context field existed (e.g. the
+        // committed BENCH_4.json) must parse with an empty context.
+        let legacy = r
+            .to_json_string()
+            .replace("\"context\":{\"kernel\":\"auto\",\"segments\":\"on\"},", "");
+        let back = SuiteReport::from_json_str(&legacy).expect("legacy parse");
+        assert!(back.entries[0].context.is_empty());
+    }
+
+    #[test]
+    fn detect_cpus_is_at_least_one_and_at_least_available_parallelism() {
+        let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert!(detect_cpus() >= avail.max(1));
     }
 
     #[test]

@@ -488,10 +488,26 @@ pub mod kernel {
     use dabs_rng::{Rng64, Xorshift64Star};
     use std::time::Instant;
 
-    /// The CI speedup contract: dense must beat CSR by at least this factor
-    /// wherever density ≥ 0.5 (measured headroom is ~3.5×, so a trip means a
-    /// real kernel regression, not runner noise).
+    /// The CI speedup contract: dense must beat CSR by at least this
+    /// factor wherever density ≥ [`SPEEDUP_CONTRACT_MIN_DENSITY`].
+    /// Calibration history: the original line was density ≥ 0.5 with ~3.5×
+    /// headroom, against a CSR flip that paid a read-modify-write per
+    /// entry. The segment-layer rewrite of the CSR flip (explicit
+    /// load/compute/store) doubled CSR throughput and moved the dense/CSR
+    /// crossover from ~0.12 to ~0.3 density, so the 2× line now holds
+    /// from 0.75 up (measured ~3.2× at 0.95); at 0.5 the ratio is ~1.9×
+    /// and is recorded as ungated trajectory instead.
     pub const SMOKE_MIN_SPEEDUP: f64 = 2.0;
+
+    /// Lowest requested density the speedup contract applies to.
+    pub const SPEEDUP_CONTRACT_MIN_DENSITY: f64 = 0.75;
+
+    /// Absolute Mflip/s floor every backend must clear at every density —
+    /// a last-resort tripwire for catastrophic kernel regressions (an
+    /// accidental O(n²) flip, a debug-build suite run). Set ~3× below the
+    /// slowest point ever recorded (CSR at density 0.95: 0.15 Mflip/s in
+    /// BENCH_4) so loaded CI boxes never trip it spuriously.
+    pub const KERNEL_MIN_MFLIPS: f64 = 0.05;
 
     /// One measured density point.
     pub struct SweepPoint {
@@ -576,13 +592,15 @@ pub mod kernel {
     }
 
     /// Speedup-contract violations across a sweep (empty = contract holds).
-    /// The threshold tests the *requested* density, so the nominal 0.5
+    /// The threshold tests the *requested* density, so a nominal contract
     /// point stays under contract even when random sampling lands the
     /// achieved density a hair below it.
     pub fn violations(points: &[SweepPoint]) -> Vec<String> {
         points
             .iter()
-            .filter(|p| p.requested >= 0.5 && p.speedup() < SMOKE_MIN_SPEEDUP)
+            .filter(|p| {
+                p.requested >= SPEEDUP_CONTRACT_MIN_DENSITY && p.speedup() < SMOKE_MIN_SPEEDUP
+            })
             .map(|p| {
                 format!(
                     "density {:.2}: dense is only {:.2}× csr (contract: ≥ {SMOKE_MIN_SPEEDUP}×)",
@@ -636,7 +654,7 @@ pub mod kernel {
                 "ratio",
                 Direction::HigherIsBetter,
             );
-            if p.requested >= 0.5 && gate_timing {
+            if p.requested >= SPEEDUP_CONTRACT_MIN_DENSITY && gate_timing {
                 // Machine-relative (both backends run on the same box), so
                 // it gates meaningfully across hosts — unlike raw flips/s.
                 speedup = speedup.gated(0.65);
@@ -653,6 +671,342 @@ pub mod kernel {
             contract = contract.gated(0.0);
         }
         out.push(contract);
+        let below_floor = points.iter().any(|p| {
+            p.csr_rate / 1e6 < KERNEL_MIN_MFLIPS || p.dense_rate / 1e6 < KERNEL_MIN_MFLIPS
+        });
+        let mut floor = Metric::new(
+            "floor_ok",
+            if below_floor { 0.0 } else { 1.0 },
+            "bool",
+            Direction::HigherIsBetter,
+        );
+        if gate_timing {
+            floor = floor.gated(0.0);
+        }
+        out.push(floor);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy-level selection: segment aggregates vs full-scan reference
+// ---------------------------------------------------------------------------
+
+/// Strategy-level flip throughput of the segment-aggregate selection
+/// primitives against the pre-segment full-scan path
+/// (`dabs_search::reference`) — the measurement behind the suite's
+/// `scan_sweep` entry.
+///
+/// Both arms run the *same* strategy logic on the same seeds and produce
+/// bit-identical trajectories (enforced by `tests/solver_parity.rs`), so
+/// the flips/s ratio isolates exactly the selection cost. Being a ratio of
+/// two timings on one box (each arm taken best-of-N to shed scheduler
+/// noise), it gates meaningfully across machines, like the kernel sweep's
+/// dense/CSR speedup.
+///
+/// Two sparse n = 1024 instances, because the win is Δ-distribution
+/// dependent:
+///
+/// * `gset` — G22-like fixed-degree (deg ≈ 10) with ±9 weights: gains
+///   collapse onto few distinct values, so threshold selections keep large
+///   candidate sets whose mandatory per-candidate reservoir RNG draws are
+///   shared by both arms (Amdahl-bound); greedy's pure argmin still wins.
+/// * `weighted` — deg ≈ 24 with ±99 weights: gains spread out, candidate
+///   sets shrink to near the minimum, and the segment filter skips almost
+///   everything. This is where the paper's workhorse PositiveMin (the
+///   most-executed algorithm, Table V) and the production batch loop
+///   (alternating Greedy and PositiveMin legs, §III-B) live — both under
+///   the gated ≥ [`scan::SCAN_MIN_SPEEDUP`]× contract.
+pub mod scan {
+    use super::*;
+    use dabs_model::{BestTracker, IncrementalState, QuboModel, Solution};
+    use dabs_rng::{Rng64, Xorshift64Star};
+    use dabs_search::{cyclic_min, max_min, positive_min, reference, TabuList};
+    use std::time::{Duration, Instant};
+
+    /// The CI speedup contract: segment-aggregate selection must beat the
+    /// full-scan path by at least this factor on every contract strategy
+    /// (measured headroom is ~7×, so a trip means a real selection
+    /// regression, not runner noise).
+    pub const SCAN_MIN_SPEEDUP: f64 = 3.0;
+
+    /// Sweep shape per suite mode: `(n, timed flips per arm, best-of
+    /// repetitions per arm)`.
+    pub fn shape(mode: SuiteMode) -> (usize, u64, usize) {
+        match mode {
+            SuiteMode::Test => (256, 3_000, 1),
+            SuiteMode::Smoke => (1_024, 30_000, 3),
+            SuiteMode::Full => (1_024, 150_000, 5),
+        }
+    }
+
+    /// Fixed-edge-count random QUBO (`edges` off-diagonal terms, weights
+    /// `±wmax`) — degree-controlled sparsity, like the G-set family.
+    pub fn sparse_model(n: usize, edges: usize, wmax: i64, seed: u64) -> QuboModel {
+        let mut rng = Xorshift64Star::new(seed);
+        let mut b = dabs_model::QuboBuilder::new(n);
+        let mut added = 0usize;
+        while added < edges {
+            let i = rng.next_index(n);
+            let j = rng.next_index(n);
+            if i == j {
+                continue;
+            }
+            let mut w = rng.next_range_i64(-wmax, wmax);
+            if w == 0 {
+                w = 1;
+            }
+            b.add_quadratic(i.min(j), i.max(j), w);
+            added += 1;
+        }
+        for i in 0..n {
+            b.add_linear(i, rng.next_range_i64(-wmax, wmax));
+        }
+        b.build().expect("valid model")
+    }
+
+    /// One measured (strategy, instance) pair: both arms, same work, plus
+    /// whether the speedup participates in the gated contract.
+    pub struct ScanPoint {
+        pub name: &'static str,
+        pub scan_rate: f64,
+        pub seg_rate: f64,
+        pub gated: bool,
+    }
+
+    impl ScanPoint {
+        pub fn speedup(&self) -> f64 {
+            self.seg_rate / self.scan_rate
+        }
+    }
+
+    /// Which strategy a measurement arm runs; `seg` selects the
+    /// segment-primitive implementation vs the full-scan reference.
+    #[derive(Clone, Copy)]
+    enum Strategy {
+        MaxMin,
+        PositiveMin,
+        CyclicMin,
+        Greedy,
+        /// The §III-B batch composite: alternating Greedy-to-local-minimum
+        /// and PositiveMin legs of `⌈0.1 n⌉` flips — the work a resident
+        /// block actually performs between targets.
+        Batch,
+    }
+
+    fn run_iterative(
+        strategy: Strategy,
+        seg: bool,
+        st: &mut IncrementalState<'_>,
+        best: &mut BestTracker,
+        tabu: &mut TabuList,
+        rng: &mut Xorshift64Star,
+        flips: u64,
+    ) -> u64 {
+        match (strategy, seg) {
+            (Strategy::MaxMin, true) => max_min(st, best, tabu, rng, flips),
+            (Strategy::MaxMin, false) => reference::max_min_scan(st, best, tabu, rng, flips),
+            (Strategy::PositiveMin, true) => positive_min(st, best, tabu, rng, flips),
+            (Strategy::PositiveMin, false) => {
+                reference::positive_min_scan(st, best, tabu, rng, flips)
+            }
+            (Strategy::CyclicMin, true) => cyclic_min(st, best, tabu, flips),
+            (Strategy::CyclicMin, false) => reference::cyclic_min_scan(st, best, tabu, flips),
+            (Strategy::Batch, true) => {
+                let leg = (st.n() as u64).div_ceil(10);
+                let mut done = dabs_search::greedy(st, best, tabu, u64::MAX);
+                done += positive_min(st, best, tabu, rng, leg.min(flips));
+                done
+            }
+            (Strategy::Batch, false) => {
+                let leg = (st.n() as u64).div_ceil(10);
+                let mut done = reference::greedy_scan(st, best, tabu, u64::MAX);
+                done += reference::positive_min_scan(st, best, tabu, rng, leg.min(flips));
+                done
+            }
+            // Greedy is measured by `run_arm`'s descent loop, never here.
+            (Strategy::Greedy, _) => unreachable!("greedy uses the descent harness"),
+        }
+    }
+
+    /// Time one arm once. Iterative strategies (and the batch composite)
+    /// run a warm-up fraction then a timed budget. Greedy times pure
+    /// descents from a stream of random starts — the `O(n + m)` re-seeding
+    /// between local minima is identical state management in both arms and
+    /// would otherwise drown the selection cost this entry measures.
+    fn run_arm(model: &QuboModel, strategy: Strategy, seg: bool, flips: u64, seed: u64) -> f64 {
+        let n = model.n();
+        let mut st = IncrementalState::new(model);
+        let mut best = BestTracker::unbounded(n);
+        let mut tabu = TabuList::new(n, 8);
+        let mut rng = Xorshift64Star::new(seed);
+        if matches!(strategy, Strategy::Greedy) {
+            let mut starts = Xorshift64Star::new(seed ^ 0x5EED);
+            // warm-up descent
+            st.reset_to(Solution::random(n, &mut starts));
+            if seg {
+                dabs_search::greedy(&mut st, &mut best, &mut tabu, u64::MAX);
+            } else {
+                reference::greedy_scan(&mut st, &mut best, &mut tabu, u64::MAX);
+            }
+            let mut done = 0u64;
+            let mut busy = Duration::ZERO;
+            while done < flips {
+                st.reset_to(Solution::random(n, &mut starts));
+                let t0 = Instant::now();
+                let used = if seg {
+                    dabs_search::greedy(&mut st, &mut best, &mut tabu, u64::MAX)
+                } else {
+                    reference::greedy_scan(&mut st, &mut best, &mut tabu, u64::MAX)
+                };
+                busy += t0.elapsed();
+                done += used.max(1);
+            }
+            std::hint::black_box(best.energy());
+            return done as f64 / busy.as_secs_f64().max(1e-9);
+        }
+        let mut warm = 0u64;
+        while warm < (flips / 8).max(64) {
+            warm +=
+                run_iterative(strategy, seg, &mut st, &mut best, &mut tabu, &mut rng, 256).max(1);
+        }
+        let mut done = 0u64;
+        let t0 = Instant::now();
+        while done < flips {
+            done += run_iterative(
+                strategy,
+                seg,
+                &mut st,
+                &mut best,
+                &mut tabu,
+                &mut rng,
+                flips - done,
+            )
+            .max(1);
+        }
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        std::hint::black_box(best.energy());
+        done as f64 / secs
+    }
+
+    /// Best-of-`reps` throughput for one arm (the max sheds scheduler
+    /// noise; both arms get the same treatment).
+    fn measure(model: &QuboModel, strategy: Strategy, seg: bool, flips: u64, reps: usize) -> f64 {
+        (0..reps)
+            .map(|r| run_arm(model, strategy, seg, flips, 5 + r as u64))
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Run the sweep over both instances.
+    pub fn sweep(mode: SuiteMode, seed: u64) -> Vec<ScanPoint> {
+        let (n, flips, reps) = shape(mode);
+        let gset = sparse_model(n, 5 * n, 9, seed.wrapping_add(79));
+        let weighted = sparse_model(n, 12 * n, 99, seed.wrapping_add(80));
+        let plan: [(&'static str, &QuboModel, Strategy, bool); 6] = [
+            ("gset.greedy", &gset, Strategy::Greedy, false),
+            ("gset.cyclicmin", &gset, Strategy::CyclicMin, false),
+            (
+                "weighted.positivemin",
+                &weighted,
+                Strategy::PositiveMin,
+                true,
+            ),
+            ("weighted.maxmin", &weighted, Strategy::MaxMin, false),
+            ("weighted.batch", &weighted, Strategy::Batch, true),
+            ("gset.batch", &gset, Strategy::Batch, false),
+        ];
+        plan.into_iter()
+            .map(|(name, model, strategy, gated)| ScanPoint {
+                name,
+                scan_rate: measure(model, strategy, false, flips, reps),
+                seg_rate: measure(model, strategy, true, flips, reps),
+                gated,
+            })
+            .collect()
+    }
+
+    /// Contract violations across a sweep (empty = contract holds).
+    pub fn violations(points: &[ScanPoint]) -> Vec<String> {
+        points
+            .iter()
+            .filter(|p| p.gated && p.speedup() < SCAN_MIN_SPEEDUP)
+            .map(|p| {
+                format!(
+                    "{}: segment selection is only {:.2}\u{d7} the full scan \
+                     (contract: \u{2265} {SCAN_MIN_SPEEDUP}\u{d7})",
+                    p.name,
+                    p.speedup()
+                )
+            })
+            .collect()
+    }
+
+    /// The suite entry: per-point throughput for both arms (trajectory),
+    /// speedups (contract points gated with a drift tolerance), the
+    /// minimum contract speedup, and the \u{2265}3\u{d7} contract verdict. As in
+    /// the kernel entry, timing gates are suspended at `Test` scale.
+    pub fn entry(cfg: &SuiteConfig) -> MetricSet {
+        let gate_timing = cfg.mode != SuiteMode::Test;
+        let points = sweep(cfg.mode, cfg.seed);
+        let bad = violations(&points);
+        let mut out = MetricSet::new();
+        let mut min_gated = f64::INFINITY;
+        for p in &points {
+            out.push(Metric::new(
+                format!("{}.scan_mflips", p.name),
+                p.scan_rate / 1e6,
+                "Mflip/s",
+                Direction::HigherIsBetter,
+            ));
+            out.push(Metric::new(
+                format!("{}.seg_mflips", p.name),
+                p.seg_rate / 1e6,
+                "Mflip/s",
+                Direction::HigherIsBetter,
+            ));
+            let mut speedup = Metric::new(
+                format!("{}.speedup", p.name),
+                p.speedup(),
+                "ratio",
+                Direction::HigherIsBetter,
+            );
+            if p.gated {
+                min_gated = min_gated.min(p.speedup());
+                if gate_timing {
+                    // Machine-relative (both arms on one box) — gates
+                    // meaningfully across hosts, unlike raw flips/s.
+                    speedup = speedup.gated(0.5);
+                }
+            }
+            out.push(speedup);
+        }
+        let mut min_speedup = Metric::new(
+            "min_contract_speedup",
+            if min_gated.is_finite() {
+                min_gated
+            } else {
+                0.0
+            },
+            "ratio",
+            Direction::HigherIsBetter,
+        );
+        if gate_timing {
+            min_speedup = min_speedup.gated(0.5);
+        }
+        out.push(min_speedup);
+        let mut contract = Metric::new(
+            "contract_ok",
+            if bad.is_empty() { 1.0 } else { 0.0 },
+            "bool",
+            Direction::HigherIsBetter,
+        );
+        if gate_timing {
+            contract = contract.gated(0.0);
+        }
+        out.push(contract);
+        for v in &bad {
+            eprintln!("scan_sweep contract violation: {v}");
+        }
         out
     }
 }

@@ -113,10 +113,20 @@ pub struct SuiteEntry {
     pub family: Family,
     /// One-line description (shown by `suite --list` and in the docs).
     pub about: &'static str,
+    /// Measurement context recorded verbatim into the entry's report:
+    /// which kernel backend the entry exercises and whether the Δ-segment
+    /// aggregate layer is in play — so trajectory points stay comparable
+    /// across machines and code revisions.
+    pub context: &'static [(&'static str, &'static str)],
     /// Produce the entry's metrics. Must derive all randomness from
     /// `cfg.seed` so deterministic metrics reproduce across runs.
     pub run: fn(&SuiteConfig) -> MetricSet,
 }
+
+/// The default context of solver-driven entries: the models pick their
+/// backend via the auto policy and every `IncrementalState` runs with the
+/// segment-aggregate selection layer.
+const CTX_SOLVER: &[(&str, &str)] = &[("kernel", "auto"), ("segments", "on")];
 
 /// The full scenario registry, in execution order.
 pub fn registry() -> Vec<SuiteEntry> {
@@ -125,54 +135,71 @@ pub fn registry() -> Vec<SuiteEntry> {
             name: "ttt_maxcut",
             family: Family::MaxCut,
             about: "time-to-target on the Table II MaxCut trio (deterministic sequential runs)",
+            context: CTX_SOLVER,
             run: scenarios::ttt::maxcut,
         },
         SuiteEntry {
             name: "ttt_qap",
             family: Family::Qap,
             about: "time-to-target on the Table III QAP trio",
+            context: CTX_SOLVER,
             run: scenarios::ttt::qap,
         },
         SuiteEntry {
             name: "ttt_qasp",
             family: Family::Qasp,
             about: "time-to-target on the Table IV QASP resolutions 1/16/256",
+            context: CTX_SOLVER,
             run: scenarios::ttt::qasp,
         },
         SuiteEntry {
             name: "kernel_sweep",
             family: Family::Kernel,
             about: "CSR vs dense flip throughput across the density sweep + speedup contract",
+            context: &[("kernel", "csr+dense"), ("segments", "on")],
             run: scenarios::kernel::entry,
+        },
+        SuiteEntry {
+            name: "scan_sweep",
+            family: Family::Kernel,
+            about: "strategy-level flips/s: segment-aggregate selection vs the full-scan \
+                    reference on a sparse n=1024 instance + speedup contract",
+            context: &[("kernel", "csr"), ("segments", "seg-vs-scan")],
+            run: scenarios::scan::entry,
         },
         SuiteEntry {
             name: "server_throughput",
             family: Family::Server,
             about: "jobs/s and p50/p99 latency against an in-process dabs-server over TCP",
+            context: CTX_SOLVER,
             run: scenarios::server_load::entry,
         },
         SuiteEntry {
             name: "ablation_adaptive",
             family: Family::Ablation,
             about: "adaptive (95% replay) vs uniform strategy selection",
+            context: CTX_SOLVER,
             run: scenarios::ablation::adaptive_entry,
         },
         SuiteEntry {
             name: "ablation_islands",
             family: Family::Ablation,
             about: "4 islands × 2 blocks vs 1 island × 8 blocks",
+            context: CTX_SOLVER,
             run: scenarios::ablation::islands_entry,
         },
         SuiteEntry {
             name: "ablation_tabu",
             family: Family::Ablation,
             about: "tabu tenure 8 (paper setting) vs tenure 0",
+            context: CTX_SOLVER,
             run: scenarios::ablation::tabu_entry,
         },
         SuiteEntry {
             name: "ablation_portfolio",
             family: Family::Ablation,
             about: "five-algorithm portfolio vs each algorithm alone",
+            context: CTX_SOLVER,
             run: scenarios::ablation::portfolio_entry,
         },
     ]
@@ -219,6 +246,11 @@ pub fn run_suite(cfg: &SuiteConfig) -> SuiteReport {
             family: entry.family,
             started_ms,
             wall_ms,
+            context: entry
+                .context
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
             metrics,
         });
     }

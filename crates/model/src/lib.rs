@@ -23,6 +23,11 @@
 //!   `Δ_k(X) = E(f_k(X)) − E(X)`, maintained in `O(deg(k))` per flip (the
 //!   paper's Eqs. 3–5), generic over the kernel. Every DABS search
 //!   algorithm runs on this state.
+//! * [`SegmentAggregates`] ([`segments`]) — incrementally maintained
+//!   per-64-gain min/argmin/max over the Δ array, turning the selection
+//!   primitives every strategy uses ([`IncrementalState::min_delta`],
+//!   [`IncrementalState::select_le`], …) from `O(n)` re-scans into
+//!   `O(n/64 + dirty)` reductions with bit-identical results.
 //!
 //! Weights and energies are `i64` throughout: every benchmark in the paper is
 //! integral, and integer energies make optimality assertions exact.
@@ -36,6 +41,7 @@ pub mod io;
 mod ising;
 mod kernel;
 mod qubo;
+pub mod segments;
 mod solution;
 
 pub use builder::QuboBuilder;
@@ -49,6 +55,7 @@ pub use kernel::{
     DENSE_DENSITY_THRESHOLD,
 };
 pub use qubo::QuboModel;
+pub use segments::{SegmentAggregates, SEG_WIDTH};
 pub use solution::Solution;
 
 /// The spin map `σ(x) = 2x − 1`, i.e. `σ(0) = −1`, `σ(1) = +1`.

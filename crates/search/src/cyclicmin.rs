@@ -34,23 +34,11 @@ pub fn cyclic_min<K: QuboKernel>(
         let frac = cubic(t as f64 / t_max as f64);
         let width = ((frac * n as f64).ceil() as usize).clamp(floor, n);
 
-        // argmin Δ over the cyclic window [pos, pos + width)
-        let mut arg = usize::MAX;
-        let mut min_d = i64::MAX;
-        let mut arg_any = usize::MAX; // ignoring tabu, as fallback
-        let mut min_any = i64::MAX;
-        for off in 0..width {
-            let k = (pos + off) % n;
-            let d = state.delta(k);
-            if d < min_any {
-                min_any = d;
-                arg_any = k;
-            }
-            if d < min_d && !tabu.is_tabu(k) {
-                min_d = d;
-                arg = k;
-            }
-        }
+        // argmin Δ over the cyclic window [pos, pos + width), answered from
+        // the segment aggregates (in-window segments whose min cannot beat
+        // the running minimum are skipped whole). `arg_any` ignores the
+        // tabu list and is the fallback.
+        let (arg, arg_any) = state.window_argmin(pos, width, |k| !tabu.is_tabu(k));
         let bit = if arg == usize::MAX { arg_any } else { arg };
         best.observe_neighbor(state, arg_any);
         state.flip(bit);

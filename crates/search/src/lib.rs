@@ -31,6 +31,14 @@
 //! Straight to the target, then alternating Greedy and the selected main
 //! algorithm until the flip budget `b·n` is spent.
 //!
+//! Candidate selection inside every strategy runs on the
+//! `dabs_model` segment-aggregate primitives (`min_delta`,
+//! `min_max_argmin`, `positive_min_delta`, `select_le`, `window_argmin`)
+//! instead of re-scanning the Δ array — tie-break and reservoir-sampling
+//! semantics live in exactly one place. The pre-segment full-scan code is
+//! preserved verbatim in [`mod@reference`] for the parity suite and the
+//! `scan_sweep` benchmark.
+//!
 //! ```
 //! use dabs_model::{IncrementalState, QuboBuilder, Solution};
 //! use dabs_rng::Xorshift64Star;
@@ -55,6 +63,7 @@ mod greedy;
 mod maxmin;
 mod positivemin;
 mod randommin;
+pub mod reference;
 mod straight;
 mod tabu;
 mod twoneighbor;

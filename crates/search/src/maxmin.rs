@@ -27,21 +27,9 @@ pub fn max_min<K: QuboKernel, R: Rng64 + ?Sized>(
 ) -> u64 {
     let t_max = total_flips;
     for t in 1..=t_max {
-        // Pass 1: global min/max of Δ plus the argmin for the Step-1
-        // neighbourhood observation.
-        let deltas = state.deltas();
-        let mut min_d = deltas[0];
-        let mut max_d = deltas[0];
-        let mut argmin = 0usize;
-        for (k, &d) in deltas.iter().enumerate().skip(1) {
-            if d < min_d {
-                min_d = d;
-                argmin = k;
-            }
-            if d > max_d {
-                max_d = d;
-            }
-        }
+        // Global min/max of Δ plus the argmin for the Step-1 neighbourhood
+        // observation — one segment-aggregate reduction, not a full scan.
+        let (argmin, min_d, max_d) = state.min_max_argmin();
         best.observe_neighbor(state, argmin);
 
         let u = cubic((t_max - t) as f64 / t_max as f64);
@@ -49,20 +37,12 @@ pub fn max_min<K: QuboKernel, R: Rng64 + ?Sized>(
         let span = upper - min_d as f64;
         let threshold = min_d as f64 + rng.next_f64() * span.max(0.0);
 
-        // Pass 2: reservoir-sample uniformly among non-tabu bits with
-        // Δ_i ≤ threshold. Since threshold ≥ minΔ a candidate exists unless
-        // tabu excludes them all; fall back to the global argmin then.
-        let mut chosen = usize::MAX;
-        let mut count = 0u64;
-        for (k, &d) in state.deltas().iter().enumerate() {
-            if (d as f64) <= threshold && !tabu.is_tabu(k) {
-                count += 1;
-                if rng.next_below(count) == 0 {
-                    chosen = k;
-                }
-            }
-        }
-        let bit = if chosen == usize::MAX { argmin } else { chosen };
+        // Reservoir-sample uniformly among non-tabu bits with
+        // Δ_i ≤ threshold, skipping segments with no candidate. Since
+        // threshold ≥ minΔ a candidate exists unless tabu excludes them
+        // all; fall back to the global argmin then.
+        let chosen = state.select_le_f64(threshold, rng, |k| !tabu.is_tabu(k));
+        let bit = chosen.unwrap_or(argmin);
         state.flip(bit);
         tabu.record(bit);
         best.observe(state);

@@ -20,36 +20,18 @@ pub fn positive_min<K: QuboKernel, R: Rng64 + ?Sized>(
     total_flips: u64,
 ) -> u64 {
     for _ in 0..total_flips {
-        // Pass 1: posmin = smallest positive gain, plus the global argmin
-        // for the Step-1 observation.
-        let deltas = state.deltas();
-        let mut posmin = i64::MAX;
-        let mut argmin = 0usize;
-        let mut min_d = deltas[0];
-        for (k, &d) in deltas.iter().enumerate() {
-            if d > 0 && d < posmin {
-                posmin = d;
-            }
-            if d < min_d {
-                min_d = d;
-                argmin = k;
-            }
-        }
+        // posmin = smallest positive gain, plus the global argmin for the
+        // Step-1 observation — both answered from the segment aggregates
+        // (mixed-sign segments are the only ones scanned element-wise).
+        let (argmin, _) = state.min_delta();
+        let posmin = state.positive_min_delta();
         best.observe_neighbor(state, argmin);
         // If no gain is positive, every bit is a candidate (posmin = +∞).
 
-        // Pass 2: reservoir-sample among non-tabu bits with Δ_i ≤ posmin.
-        let mut chosen = usize::MAX;
-        let mut count = 0u64;
-        for (k, &d) in state.deltas().iter().enumerate() {
-            if d <= posmin && !tabu.is_tabu(k) {
-                count += 1;
-                if rng.next_below(count) == 0 {
-                    chosen = k;
-                }
-            }
-        }
-        let bit = if chosen == usize::MAX { argmin } else { chosen };
+        // Reservoir-sample among non-tabu bits with Δ_i ≤ posmin, skipping
+        // segments whose min exceeds posmin.
+        let chosen = state.select_le(posmin, rng, |k| !tabu.is_tabu(k));
+        let bit = chosen.unwrap_or(argmin);
         state.flip(bit);
         tabu.record(bit);
         best.observe(state);

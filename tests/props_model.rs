@@ -186,6 +186,153 @@ proptest! {
     }
 
     #[test]
+    fn segment_aggregates_match_fresh_reduction_after_flip_walks(
+        seed in any::<u64>(),
+        steps in 1usize..80,
+    ) {
+        // The Δ-segment aggregate layer (min/argmin/max per 64-gain
+        // segment, incrementally maintained by tighten-or-mark updates)
+        // must equal a fresh full-array reduction after ANY flip sequence,
+        // on BOTH kernel backends, across the parity densities and the
+        // word-boundary sizes that stress partial tail segments.
+        // `assert_consistent` refreshes the aggregates and compares every
+        // segment against `reduce_min_argmin_max` ground truth.
+        use dabs::rng::Rng64;
+        for &n in &[63usize, 64, 65, 128, 129] {
+            for &density in &PARITY_DENSITIES {
+                let q = density_model(n, density, seed ^ n as u64, KernelChoice::Dense);
+                let mut rng = dabs::rng::Xorshift64Star::new(seed ^ 0xA66E);
+                let start = Solution::random(n, &mut rng);
+                let mut csr = IncrementalState::from_solution(&q, start.clone());
+                let mut dense = IncrementalState::from_solution_dense(&q, start);
+                for _ in 0..steps {
+                    let bit = rng.next_index(n);
+                    csr.flip(bit);
+                    dense.flip(bit);
+                }
+                csr.assert_consistent();
+                dense.assert_consistent();
+                // the aggregate-backed argmin/min/max equal a naive scan
+                let naive_min = *csr.deltas().iter().min().unwrap();
+                let naive_arg = csr.deltas().iter().position(|&d| d == naive_min).unwrap();
+                let naive_max = *csr.deltas().iter().max().unwrap();
+                prop_assert_eq!(csr.min_max_argmin(), (naive_arg, naive_min, naive_max));
+                prop_assert_eq!(dense.min_max_argmin(), (naive_arg, naive_min, naive_max));
+                let naive_posmin = csr
+                    .deltas()
+                    .iter()
+                    .copied()
+                    .filter(|&d| d > 0)
+                    .min()
+                    .unwrap_or(i64::MAX);
+                prop_assert_eq!(csr.positive_min_delta(), naive_posmin);
+                prop_assert_eq!(dense.positive_min_delta(), naive_posmin);
+            }
+        }
+    }
+
+    #[test]
+    fn select_le_is_stream_identical_to_the_naive_reservoir(
+        n in 8usize..140,
+        seed in any::<u64>(),
+        steps in 0usize..60,
+        bound_off in -4i64..10,
+    ) {
+        // `select_le` must pick the SAME bit as the naive full-scan
+        // reservoir AND consume the SAME number of RNG draws (skipped
+        // segments hold no candidates, so no draw is elided) — the
+        // property that keeps whole trajectories bit-identical.
+        use dabs::rng::Rng64;
+        let q = density_model(n, 0.3, seed, KernelChoice::Csr);
+        let mut rng = dabs::rng::Xorshift64Star::new(seed ^ 0x5E1E_C700);
+        let mut st = IncrementalState::from_solution(&q, Solution::random(n, &mut rng));
+        for _ in 0..steps {
+            let bit = rng.next_index(n);
+            st.flip(bit);
+        }
+        let (_, min_d) = st.min_delta();
+        let bound = min_d.saturating_add(bound_off);
+        let blocked = |k: usize| k % 5 != 0; // arbitrary tabu-ish filter
+        // i64 bound
+        let mut rng_a = dabs::rng::Xorshift64Star::new(seed ^ 1);
+        let mut rng_b = dabs::rng::Xorshift64Star::new(seed ^ 1);
+        let fast = st.select_le(bound, &mut rng_a, blocked);
+        let mut naive = None;
+        let mut count = 0u64;
+        for (k, &d) in st.deltas().iter().enumerate() {
+            if d <= bound && blocked(k) {
+                count += 1;
+                if rng_b.next_below(count) == 0 {
+                    naive = Some(k);
+                }
+            }
+        }
+        prop_assert_eq!(fast, naive);
+        prop_assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "i64 stream diverged");
+        // f64 bound (MaxMin's threshold shape)
+        let fbound = bound as f64 + 0.25;
+        let mut rng_a = dabs::rng::Xorshift64Star::new(seed ^ 2);
+        let mut rng_b = dabs::rng::Xorshift64Star::new(seed ^ 2);
+        let fast = st.select_le_f64(fbound, &mut rng_a, blocked);
+        let mut naive = None;
+        let mut count = 0u64;
+        for (k, &d) in st.deltas().iter().enumerate() {
+            if (d as f64) <= fbound && blocked(k) {
+                count += 1;
+                if rng_b.next_below(count) == 0 {
+                    naive = Some(k);
+                }
+            }
+        }
+        prop_assert_eq!(fast, naive);
+        prop_assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "f64 stream diverged");
+    }
+
+    #[test]
+    fn window_argmin_matches_the_element_wise_window_scan(
+        n in 8usize..150,
+        seed in any::<u64>(),
+        steps in 0usize..50,
+        pos_raw in 0usize..1000,
+        width_raw in 0usize..1000,
+    ) {
+        // CyclicMin's cyclic-window argmin, answered from segment
+        // aggregates with whole-segment skipping, must reproduce the
+        // element-wise traversal exactly — both the filtered and the
+        // unrestricted argmin, including wrap-around windows.
+        use dabs::rng::Rng64;
+        let q = density_model(n, 0.4, seed, KernelChoice::Csr);
+        let mut rng = dabs::rng::Xorshift64Star::new(seed ^ 0xC1C);
+        let mut st = IncrementalState::from_solution(&q, Solution::random(n, &mut rng));
+        for _ in 0..steps {
+            let bit = rng.next_index(n);
+            st.flip(bit);
+        }
+        let pos = pos_raw % n;
+        let width = (width_raw % n) + 1;
+        let blocked = |k: usize| k % 7 != 0;
+        let (arg, arg_any) = st.window_argmin(pos, width, blocked);
+        let mut n_arg = usize::MAX;
+        let mut n_min = i64::MAX;
+        let mut n_arg_any = usize::MAX;
+        let mut n_min_any = i64::MAX;
+        for off in 0..width {
+            let k = (pos + off) % n;
+            let d = st.delta(k);
+            if d < n_min_any {
+                n_min_any = d;
+                n_arg_any = k;
+            }
+            if d < n_min && blocked(k) {
+                n_min = d;
+                n_arg = k;
+            }
+        }
+        prop_assert_eq!(arg, n_arg);
+        prop_assert_eq!(arg_any, n_arg_any);
+    }
+
+    #[test]
     fn auto_kernel_selection_follows_the_density_policy(
         n in 8usize..40,
         seed in any::<u64>(),

@@ -195,3 +195,152 @@ fn energies_are_internally_consistent_across_solvers() {
     .solve(&q);
     assert_eq!(q.energy(&hy.best), hy.energy);
 }
+
+// ---------------------------------------------------------------------------
+// Segment-aggregate selection vs the pre-segment full-scan reference
+// ---------------------------------------------------------------------------
+
+/// Run one strategy twice — once through the segment-aggregate selection
+/// primitives, once through the preserved full-scan path in
+/// `dabs_search::reference` — from identical states under identical RNG
+/// streams, and demand bit-identical outcomes: final vector, energy, flip
+/// count, best-tracker contents, and RNG stream position.
+fn assert_strategy_parity(n: usize, density: f64, seed: u64, flips: u64, which: &str) {
+    use dabs::model::{BestTracker, IncrementalState, Solution};
+    use dabs::search::{reference, TabuList};
+
+    let q = random_model(n, density, seed);
+    let mut start_rng = Xorshift64Star::new(seed ^ 0x57A7);
+    let start = Solution::random(n, &mut start_rng);
+
+    let mut st_seg = IncrementalState::from_solution(&q, start.clone());
+    let mut st_scan = IncrementalState::from_solution(&q, start);
+    let mut best_seg = BestTracker::unbounded(n);
+    let mut best_scan = BestTracker::unbounded(n);
+    let mut tabu_seg = TabuList::new(n, 8);
+    let mut tabu_scan = TabuList::new(n, 8);
+    let mut rng_seg = Xorshift64Star::new(seed ^ 0xF11);
+    let mut rng_scan = Xorshift64Star::new(seed ^ 0xF11);
+
+    match which {
+        "maxmin" => {
+            dabs::search::max_min(
+                &mut st_seg,
+                &mut best_seg,
+                &mut tabu_seg,
+                &mut rng_seg,
+                flips,
+            );
+            reference::max_min_scan(
+                &mut st_scan,
+                &mut best_scan,
+                &mut tabu_scan,
+                &mut rng_scan,
+                flips,
+            );
+        }
+        "positivemin" => {
+            dabs::search::positive_min(
+                &mut st_seg,
+                &mut best_seg,
+                &mut tabu_seg,
+                &mut rng_seg,
+                flips,
+            );
+            reference::positive_min_scan(
+                &mut st_scan,
+                &mut best_scan,
+                &mut tabu_scan,
+                &mut rng_scan,
+                flips,
+            );
+        }
+        "cyclicmin" => {
+            dabs::search::cyclic_min(&mut st_seg, &mut best_seg, &mut tabu_seg, flips);
+            reference::cyclic_min_scan(&mut st_scan, &mut best_scan, &mut tabu_scan, flips);
+        }
+        "greedy" => {
+            dabs::search::greedy(&mut st_seg, &mut best_seg, &mut tabu_seg, flips);
+            reference::greedy_scan(&mut st_scan, &mut best_scan, &mut tabu_scan, flips);
+        }
+        other => panic!("unknown strategy {other}"),
+    }
+
+    let label = format!("{which} n={n} density={density} seed={seed}");
+    assert_eq!(st_seg.solution(), st_scan.solution(), "{label}: vector");
+    assert_eq!(st_seg.energy(), st_scan.energy(), "{label}: energy");
+    assert_eq!(st_seg.flips(), st_scan.flips(), "{label}: flip accounting");
+    assert_eq!(
+        best_seg.energy(),
+        best_scan.energy(),
+        "{label}: best energy"
+    );
+    assert_eq!(
+        best_seg.solution(),
+        best_scan.solution(),
+        "{label}: best vector"
+    );
+    assert_eq!(
+        rng_seg.next_u64(),
+        rng_scan.next_u64(),
+        "{label}: RNG stream position"
+    );
+    st_seg.assert_consistent();
+}
+
+#[test]
+fn segment_strategies_are_bit_identical_to_the_scan_reference() {
+    // Word-boundary sizes stress partial tail segments; the density spread
+    // covers tie-heavy and spread-out Δ distributions.
+    for &(n, density) in &[
+        (63usize, 0.1),
+        (64, 0.5),
+        (65, 0.9),
+        (129, 0.05),
+        (200, 0.3),
+    ] {
+        for which in ["maxmin", "positivemin", "cyclicmin", "greedy"] {
+            assert_strategy_parity(n, density, 1_000 + n as u64, 1_500, which);
+        }
+    }
+}
+
+#[test]
+fn segment_batch_composite_is_bit_identical_to_the_scan_reference() {
+    // The §III-B shape: alternating greedy descents and PositiveMin legs,
+    // as BatchSearch runs between targets — the production flip loop.
+    use dabs::model::{BestTracker, IncrementalState, Solution};
+    use dabs::search::{reference, TabuList};
+
+    let n = 150;
+    let q = random_model(n, 0.2, 77);
+    let mut start_rng = Xorshift64Star::new(78);
+    let start = Solution::random(n, &mut start_rng);
+    let mut st_seg = IncrementalState::from_solution(&q, start.clone());
+    let mut st_scan = IncrementalState::from_solution(&q, start);
+    let mut best_seg = BestTracker::unbounded(n);
+    let mut best_scan = BestTracker::unbounded(n);
+    let mut tabu_seg = TabuList::new(n, 8);
+    let mut tabu_scan = TabuList::new(n, 8);
+    let mut rng_seg = Xorshift64Star::new(79);
+    let mut rng_scan = Xorshift64Star::new(79);
+    let leg = (n as u64).div_ceil(10);
+    for _ in 0..25 {
+        dabs::search::greedy(&mut st_seg, &mut best_seg, &mut tabu_seg, u64::MAX);
+        reference::greedy_scan(&mut st_scan, &mut best_scan, &mut tabu_scan, u64::MAX);
+        dabs::search::positive_min(&mut st_seg, &mut best_seg, &mut tabu_seg, &mut rng_seg, leg);
+        reference::positive_min_scan(
+            &mut st_scan,
+            &mut best_scan,
+            &mut tabu_scan,
+            &mut rng_scan,
+            leg,
+        );
+        assert_eq!(st_seg.solution(), st_scan.solution());
+        assert_eq!(st_seg.flips(), st_scan.flips());
+        assert_eq!(rng_seg.next_u64(), rng_scan.next_u64());
+    }
+    assert_eq!(best_seg.energy(), best_scan.energy());
+    assert_eq!(best_seg.solution(), best_scan.solution());
+    st_seg.assert_consistent();
+}
