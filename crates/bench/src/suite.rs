@@ -175,6 +175,14 @@ pub fn registry() -> Vec<SuiteEntry> {
             run: scenarios::server_load::entry,
         },
         SuiteEntry {
+            name: "server_load",
+            family: Family::Server,
+            about: "small-job p99 isolation under a saturating decomposed job + elastic-pool \
+                    scaling contract (steals/splits from the pool gauges)",
+            context: CTX_SOLVER,
+            run: scenarios::server_load::load_entry,
+        },
+        SuiteEntry {
             name: "ablation_adaptive",
             family: Family::Ablation,
             about: "adaptive (95% replay) vs uniform strategy selection",

@@ -60,5 +60,8 @@ pub use dabs_gpu_sim::StopFlag;
 pub use genetic::GeneticOp;
 pub use island::IslandRing;
 pub use pool::{PoolEntry, SolutionPool};
-pub use solver::{DabsSolver, Incumbent, IncumbentObserver, SolveResult, Termination};
+pub use solver::{
+    DabsSolver, Incumbent, IncumbentObserver, SolveResult, Termination, UnitOutcome, UnitRun,
+    WarmStart,
+};
 pub use stats::{Direction, FrequencyReport, FrequencyTracker, Metric, MetricSet};

@@ -173,6 +173,57 @@ pub struct SolveResult {
     pub restarts: u32,
 }
 
+/// A sibling incumbent used to seed a unit run (incumbent broadcast: a unit
+/// scheduled after its job already found something starts from that best,
+/// not from scratch).
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// The incumbent solution.
+    pub solution: Solution,
+    /// Its energy; the unit's observer threshold starts here, so only strict
+    /// improvements over the warm start are reported.
+    pub energy: i64,
+}
+
+/// Outcome of one unit run: the assembled [`SolveResult`] plus whether its
+/// `best` is a genuine solution. A unit revoked before its first batch (and
+/// given no warm start) carries the placeholder zeros/energy-0 result;
+/// `found = false` keeps that placeholder from winning a merge on energy.
+#[derive(Debug, Clone)]
+pub struct UnitOutcome {
+    pub result: SolveResult,
+    pub found: bool,
+}
+
+impl UnitOutcome {
+    /// Fold a sibling unit's outcome into this one, producing the job-level
+    /// result a client sees: the best solution by minimum energy among units
+    /// that found one (ties keep `self`, so folding units in submission
+    /// order is deterministic), summed work counters (`batches`, `flips`,
+    /// `restarts`), the maximum `elapsed` (units overlap in wall time; a sum
+    /// would double-count), OR-ed `reached_target`, merged frequency tables,
+    /// and the winning unit's `time_to_best`/`first_finder`.
+    pub fn merge(self, other: UnitOutcome) -> UnitOutcome {
+        let found = self.found || other.found;
+        let other_wins = other.found && (!self.found || other.result.energy < self.result.energy);
+        let (mut base, add) = if other_wins {
+            (other.result, self.result)
+        } else {
+            (self.result, other.result)
+        };
+        base.batches += add.batches;
+        base.flips += add.flips;
+        base.restarts += add.restarts;
+        base.elapsed = base.elapsed.max(add.elapsed);
+        base.reached_target |= add.reached_target;
+        base.frequencies.merge(&add.frequencies);
+        UnitOutcome {
+            result: base,
+            found,
+        }
+    }
+}
+
 /// Shared record of the best solution across all pools/devices.
 struct GlobalBest {
     /// Fast-path energy for lock-free checks.
@@ -433,29 +484,159 @@ impl DabsSolver {
         termination: Termination,
         observer: Option<IncumbentObserver>,
     ) -> SolveResult {
+        // One unit, stepped to its own termination: bit-for-bit the loop
+        // this method ran before units existed.
+        let mut unit = self.start_unit(model, termination, observer, None);
+        unit.step(u64::MAX);
+        unit.finish().result
+    }
+
+    /// Begin a resumable sequential *unit*: the same deterministic
+    /// round-robin loop as [`DabsSolver::run_sequential`], but paused and
+    /// resumed in caller-controlled batch quanta ([`UnitRun::step`]) so a
+    /// scheduler can interleave many jobs' units on one thread, split a
+    /// unit's remaining budget, or revoke it between quanta.
+    ///
+    /// `warm` seeds the unit with a sibling's incumbent: the solution is
+    /// inserted into pool 0, every device's resident block state starts from
+    /// it, and the unit's best (hence its observer threshold) starts at its
+    /// energy, so the observer fires only on strict improvements over the
+    /// warm start. With `warm = None`, stepping a unit to termination is
+    /// bit-for-bit identical to [`DabsSolver::run_sequential`] under the
+    /// same seed — the RNG seed stream is drawn identically either way.
+    pub fn start_unit<'m>(
+        &self,
+        model: &'m QuboModel,
+        termination: Termination,
+        observer: Option<IncumbentObserver>,
+        warm: Option<WarmStart>,
+    ) -> UnitRun<'m> {
         // Monomorphize the whole sequential loop on the model's selected
         // energy-kernel backend (the threaded path dispatches inside each
         // block worker instead — see `dabs_gpu_sim::VirtualDevice::spawn`).
-        match model.kernel_kind() {
-            KernelKind::Dense => {
-                self.run_sequential_kernel(model, DenseKernel::new(model), termination, observer)
-            }
-            KernelKind::Csr => {
-                self.run_sequential_kernel(model, CsrKernel::new(model), termination, observer)
-            }
+        let inner = match model.kernel_kind() {
+            KernelKind::Dense => UnitInner::Dense(SeqEngine::new(
+                self.config.clone(),
+                model,
+                DenseKernel::new(model),
+                termination,
+                observer,
+                warm,
+            )),
+            KernelKind::Csr => UnitInner::Csr(SeqEngine::new(
+                self.config.clone(),
+                model,
+                CsrKernel::new(model),
+                termination,
+                observer,
+                warm,
+            )),
+        };
+        UnitRun { inner }
+    }
+}
+
+/// A paused-and-resumable sequential solver run (see
+/// [`DabsSolver::start_unit`]). Erases the energy-kernel monomorphization so
+/// schedulers can hold units of different jobs in one collection.
+pub struct UnitRun<'m> {
+    inner: UnitInner<'m>,
+}
+
+enum UnitInner<'m> {
+    Csr(SeqEngine<'m, CsrKernel<'m>>),
+    Dense(SeqEngine<'m, DenseKernel<'m>>),
+}
+
+impl<'m> UnitRun<'m> {
+    /// Advance up to `quota` batches. Returns `true` when the unit hit one
+    /// of its termination conditions (further steps are no-ops), `false`
+    /// when the quota ran out first — the unit is paused and resumable.
+    pub fn step(&mut self, quota: u64) -> bool {
+        match &mut self.inner {
+            UnitInner::Csr(e) => e.step(quota),
+            UnitInner::Dense(e) => e.step(quota),
         }
     }
 
-    fn run_sequential_kernel<K: QuboKernel>(
-        &self,
-        model: &QuboModel,
+    /// Batches executed so far by this unit.
+    pub fn batches(&self) -> u64 {
+        match &self.inner {
+            UnitInner::Csr(e) => e.batches,
+            UnitInner::Dense(e) => e.batches,
+        }
+    }
+
+    /// Best energy seen so far (including a warm start), `None` before the
+    /// first solution.
+    pub fn best_energy(&self) -> Option<i64> {
+        let e = match &self.inner {
+            UnitInner::Csr(e) => e.best_energy,
+            UnitInner::Dense(e) => e.best_energy,
+        };
+        (e != i64::MAX).then_some(e)
+    }
+
+    /// Whether a termination condition has been hit.
+    pub fn terminated(&self) -> bool {
+        match &self.inner {
+            UnitInner::Csr(e) => e.done,
+            UnitInner::Dense(e) => e.done,
+        }
+    }
+
+    /// Consume the unit and assemble its outcome.
+    pub fn finish(self) -> UnitOutcome {
+        match self.inner {
+            UnitInner::Csr(e) => e.finish(),
+            UnitInner::Dense(e) => e.finish(),
+        }
+    }
+}
+
+impl std::fmt::Debug for UnitRun<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnitRun")
+            .field("batches", &self.batches())
+            .field("best", &self.best_energy())
+            .field("terminated", &self.terminated())
+            .finish()
+    }
+}
+
+/// The sequential solver loop, held as resumable state instead of a stack
+/// frame: pools, host RNGs, inline devices, and the running best.
+struct SeqEngine<'m, K: QuboKernel> {
+    cfg: DabsConfig,
+    n: usize,
+    termination: Termination,
+    observer: Option<IncumbentObserver>,
+    pools: Vec<SolutionPool>,
+    host_rngs: Vec<Xorshift64Star>,
+    devices: Vec<InlineDevice<'m, K>>,
+    tracker: FrequencyTracker,
+    best_solution: Option<Solution>,
+    best_energy: i64,
+    found_at: Duration,
+    finder: Option<(MainAlgorithm, GeneticOp)>,
+    batches: u64,
+    restarts: u32,
+    start: Instant,
+    next_device: usize,
+    done: bool,
+}
+
+impl<'m, K: QuboKernel> SeqEngine<'m, K> {
+    fn new(
+        cfg: DabsConfig,
+        model: &'m QuboModel,
         kernel: K,
         termination: Termination,
         observer: Option<IncumbentObserver>,
-    ) -> SolveResult {
+        warm: Option<WarmStart>,
+    ) -> Self {
         termination.validate().expect("invalid termination");
         let n = model.n();
-        let cfg = &self.config;
         let start = Instant::now();
 
         let mut seeder = SplitMix64::new(cfg.seed);
@@ -468,109 +649,165 @@ impl DabsSolver {
             pools.push(pool);
             host_rngs.push(rng);
         }
-        let mut devices: Vec<InlineDevice<'_, K>> = (0..cfg.devices)
+        let mut devices: Vec<InlineDevice<'m, K>> = (0..cfg.devices)
             .map(|_| InlineDevice::with_kernel(model, kernel, cfg.params, seeder.next_u64()))
             .collect();
 
-        let tracker = FrequencyTracker::new();
         let mut best_solution: Option<Solution> = None;
         let mut best_energy = i64::MAX;
-        let mut found_at = Duration::ZERO;
-        let mut finder: Option<(MainAlgorithm, GeneticOp)> = None;
-        let mut batches = 0u64;
-        let mut restarts = 0u32;
+        if let Some(w) = warm {
+            // Seed after the draws above so a warm unit consumes the seed
+            // stream exactly like a cold one.
+            pools[0].insert(PoolEntry {
+                solution: w.solution.clone(),
+                energy: w.energy,
+                algorithm: MainAlgorithm::ALL[0],
+                operation: GeneticOp::Random,
+            });
+            for dev in &mut devices {
+                dev.reset_resident(&w.solution);
+            }
+            best_energy = w.energy;
+            best_solution = Some(w.solution);
+        }
 
-        'outer: loop {
-            for d in 0..cfg.devices {
-                // Check the external flag before (not after) the batch so an
-                // already-tripped flag returns without touching a device.
-                if termination.stop_requested() {
-                    break 'outer;
-                }
-                // adaptive choice + target generation on pool d
-                let (packet, algo, op) = {
-                    let pool = &pools[d];
-                    let neighbor_idx = (d + 1) % cfg.devices;
-                    let neighbor = (cfg.devices > 1).then(|| &pools[neighbor_idx]);
-                    let rng = &mut host_rngs[d];
-                    let algo = select_algorithm(pool, cfg, rng);
-                    let op = select_operation(pool, cfg, rng);
-                    let target = generate_target(op, pool, neighbor, n, cfg, rng);
-                    (Packet::request(target, algo, op.index() as u8), algo, op)
-                };
-                tracker.record_dispatch(algo, op);
-                let result = devices[d].process(packet);
-                batches += 1;
-                let energy = result.energy.expect("device results carry energy");
-                if energy < best_energy {
-                    best_energy = energy;
-                    best_solution = Some(result.solution.clone());
-                    found_at = start.elapsed();
-                    finder = Some((algo, op));
-                    if let Some(obs) = &observer {
-                        obs(&Incumbent {
-                            solution: result.solution.clone(),
-                            energy,
-                            found_at,
-                        });
-                    }
-                }
-                pools[d].insert(PoolEntry {
-                    solution: result.solution,
-                    energy,
-                    algorithm: algo,
-                    operation: op,
-                });
-                if let Some(threshold) = cfg.restart_diversity {
-                    let pool = &mut pools[d];
-                    if pool.len() == pool.capacity()
-                        && pool.iter().all(|e| e.energy < i64::MAX)
-                        && pool.diversity() < threshold
-                    {
-                        let rng = &mut host_rngs[d];
-                        pool.fill_random(n, &cfg.algorithms, &cfg.operations, rng);
-                        restarts += 1;
-                    }
-                }
+        Self {
+            cfg,
+            n,
+            termination,
+            observer,
+            pools,
+            host_rngs,
+            devices,
+            tracker: FrequencyTracker::new(),
+            best_solution,
+            best_energy,
+            found_at: Duration::ZERO,
+            finder: None,
+            batches: 0,
+            restarts: 0,
+            start,
+            next_device: 0,
+            done: false,
+        }
+    }
 
-                if let Some(t) = termination.target_energy {
-                    if best_energy <= t {
-                        break 'outer;
-                    }
+    fn step(&mut self, quota: u64) -> bool {
+        let mut ran = 0u64;
+        while !self.done {
+            if ran >= quota {
+                return false;
+            }
+            // Check the external flag before (not after) the batch so an
+            // already-tripped flag returns without touching a device.
+            if self.termination.stop_requested() {
+                self.done = true;
+                break;
+            }
+            self.one_batch();
+            ran += 1;
+            if let Some(t) = self.termination.target_energy {
+                if self.best_energy <= t {
+                    self.done = true;
+                    break;
                 }
-                if let Some(maxb) = termination.max_batches {
-                    if batches >= maxb {
-                        break 'outer;
-                    }
+            }
+            if let Some(maxb) = self.termination.max_batches {
+                if self.batches >= maxb {
+                    self.done = true;
+                    break;
                 }
-                if let Some(limit) = termination.time_limit {
-                    if start.elapsed() >= limit {
-                        break 'outer;
-                    }
+            }
+            if let Some(limit) = self.termination.time_limit {
+                if self.start.elapsed() >= limit {
+                    self.done = true;
+                    break;
                 }
             }
         }
+        true
+    }
 
-        let flips: u64 = devices.iter().map(|dv| dv.stats().flips()).sum();
-        let reached = termination
+    fn one_batch(&mut self) {
+        let d = self.next_device;
+        self.next_device = (d + 1) % self.cfg.devices;
+        let cfg = &self.cfg;
+        let n = self.n;
+        // adaptive choice + target generation on pool d
+        let (packet, algo, op) = {
+            let pool = &self.pools[d];
+            let neighbor_idx = (d + 1) % cfg.devices;
+            let neighbor = (cfg.devices > 1).then(|| &self.pools[neighbor_idx]);
+            let rng = &mut self.host_rngs[d];
+            let algo = select_algorithm(pool, cfg, rng);
+            let op = select_operation(pool, cfg, rng);
+            let target = generate_target(op, pool, neighbor, n, cfg, rng);
+            (Packet::request(target, algo, op.index() as u8), algo, op)
+        };
+        self.tracker.record_dispatch(algo, op);
+        let result = self.devices[d].process(packet);
+        self.batches += 1;
+        let energy = result.energy.expect("device results carry energy");
+        if energy < self.best_energy {
+            self.best_energy = energy;
+            self.best_solution = Some(result.solution.clone());
+            self.found_at = self.start.elapsed();
+            self.finder = Some((algo, op));
+            if let Some(obs) = &self.observer {
+                obs(&Incumbent {
+                    solution: result.solution.clone(),
+                    energy,
+                    found_at: self.found_at,
+                });
+            }
+        }
+        self.pools[d].insert(PoolEntry {
+            solution: result.solution,
+            energy,
+            algorithm: algo,
+            operation: op,
+        });
+        if let Some(threshold) = self.cfg.restart_diversity {
+            let pool = &mut self.pools[d];
+            if pool.len() == pool.capacity()
+                && pool.iter().all(|e| e.energy < i64::MAX)
+                && pool.diversity() < threshold
+            {
+                let rng = &mut self.host_rngs[d];
+                pool.fill_random(n, &self.cfg.algorithms, &self.cfg.operations, rng);
+                self.restarts += 1;
+            }
+        }
+    }
+
+    fn finish(self) -> UnitOutcome {
+        let flips: u64 = self.devices.iter().map(|dv| dv.stats().flips()).sum();
+        let reached = self
+            .termination
             .target_energy
-            .map(|t| best_energy <= t)
+            .map(|t| self.best_energy <= t)
             .unwrap_or(false);
-        SolveResult {
-            best: best_solution.unwrap_or_else(|| Solution::zeros(n)),
-            energy: if best_energy == i64::MAX {
-                0
-            } else {
-                best_energy
+        let found = self.best_solution.is_some();
+        UnitOutcome {
+            result: SolveResult {
+                best: self
+                    .best_solution
+                    .unwrap_or_else(|| Solution::zeros(self.n)),
+                energy: if self.best_energy == i64::MAX {
+                    0
+                } else {
+                    self.best_energy
+                },
+                time_to_best: self.found_at,
+                elapsed: self.start.elapsed(),
+                batches: self.batches,
+                flips,
+                reached_target: reached,
+                frequencies: self.tracker.report(),
+                first_finder: self.finder,
+                restarts: self.restarts,
             },
-            time_to_best: found_at,
-            elapsed: start.elapsed(),
-            batches,
-            flips,
-            reached_target: reached,
-            frequencies: tracker.report(),
-            first_finder: finder,
-            restarts,
+            found,
         }
     }
 }
@@ -1046,5 +1283,170 @@ mod tests {
             assert!(w[1] < w[0], "energies must strictly improve: {seen:?}");
         }
         assert_eq!(*seen.last().unwrap(), r.energy);
+    }
+
+    #[test]
+    fn unit_stepped_in_chunks_matches_run_sequential_exactly() {
+        let q = random_model(24, 0.3, 216);
+        let mk = || {
+            DabsSolver::new(DabsConfig {
+                devices: 3,
+                blocks_per_device: 1,
+                pool_capacity: 8,
+                seed: 91,
+                ..DabsConfig::default()
+            })
+            .unwrap()
+        };
+        let reference = mk().run_sequential(&q, Termination::batches(120));
+        // Same budget, but stepped in ragged quanta through the unit API.
+        let mut unit = mk().start_unit(&q, Termination::batches(120), None, None);
+        for quota in [1u64, 7, 3, 50] {
+            assert!(!unit.step(quota), "must pause before termination");
+        }
+        assert_eq!(unit.batches(), 61);
+        assert!(unit.step(u64::MAX), "must run to termination");
+        assert!(unit.terminated());
+        let out = unit.finish();
+        assert!(out.found);
+        assert_eq!(out.result.energy, reference.energy);
+        assert_eq!(out.result.best, reference.best);
+        assert_eq!(out.result.batches, reference.batches);
+        assert_eq!(out.result.flips, reference.flips);
+        assert_eq!(out.result.frequencies, reference.frequencies);
+        assert_eq!(out.result.first_finder, reference.first_finder);
+        assert_eq!(out.result.restarts, reference.restarts);
+    }
+
+    #[test]
+    fn warm_started_unit_observes_only_strict_improvements() {
+        let q = random_model(24, 0.3, 217);
+        let solver = DabsSolver::new(DabsConfig {
+            devices: 2,
+            blocks_per_device: 1,
+            pool_capacity: 8,
+            seed: 92,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        // A cold run establishes a strong incumbent...
+        let cold = solver.run_sequential(&q, Termination::batches(200));
+        // ...and a warm unit seeded with it only reports strict improvements.
+        let seen: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let mut unit = solver.start_unit(
+            &q,
+            Termination::batches(200),
+            Some(Arc::new(move |inc: &Incumbent| {
+                sink.lock().push(inc.energy);
+            })),
+            Some(WarmStart {
+                solution: cold.best.clone(),
+                energy: cold.energy,
+            }),
+        );
+        unit.step(u64::MAX);
+        assert_eq!(unit.best_energy().unwrap().min(cold.energy), {
+            // warm best is the floor: the unit can only improve on it
+            unit.best_energy().unwrap()
+        });
+        let out = unit.finish();
+        assert!(out.found, "warm start alone counts as a found solution");
+        assert!(out.result.energy <= cold.energy);
+        for e in seen.lock().iter() {
+            assert!(*e < cold.energy, "observer fired at non-improvement {e}");
+        }
+    }
+
+    #[test]
+    fn warm_start_with_zero_batches_returns_the_seed() {
+        let q = random_model(16, 0.4, 218);
+        let solver = DabsSolver::new(DabsConfig {
+            devices: 1,
+            blocks_per_device: 1,
+            pool_capacity: 4,
+            seed: 93,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        let seed_sol = Solution::zeros(16);
+        let seed_energy = q.energy(&seed_sol);
+        let stop = Arc::new(StopFlag::new());
+        stop.stop();
+        let unit = {
+            let mut u = solver.start_unit(
+                &q,
+                Termination::external(Arc::clone(&stop)),
+                None,
+                Some(WarmStart {
+                    solution: seed_sol.clone(),
+                    energy: seed_energy,
+                }),
+            );
+            u.step(u64::MAX);
+            u
+        };
+        let out = unit.finish();
+        assert!(out.found);
+        assert_eq!(out.result.batches, 0);
+        assert_eq!(out.result.energy, seed_energy);
+        assert_eq!(out.result.best, seed_sol);
+    }
+
+    #[test]
+    fn unit_outcome_merge_keeps_min_energy_and_sums_counters() {
+        let q = random_model(20, 0.3, 219);
+        let solver = DabsSolver::new(DabsConfig {
+            devices: 2,
+            blocks_per_device: 1,
+            pool_capacity: 6,
+            seed: 94,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        let mut a = solver.start_unit(&q, Termination::batches(40), None, None);
+        a.step(u64::MAX);
+        let a = a.finish();
+        let solver_b = DabsSolver::new(DabsConfig {
+            devices: 2,
+            blocks_per_device: 1,
+            pool_capacity: 6,
+            seed: 95,
+            ..DabsConfig::default()
+        })
+        .unwrap();
+        let mut b = solver_b.start_unit(&q, Termination::batches(60), None, None);
+        b.step(u64::MAX);
+        let b = b.finish();
+        let (ea, eb) = (a.result.energy, b.result.energy);
+        let merged = a.clone().merge(b.clone());
+        assert!(merged.found);
+        assert_eq!(merged.result.energy, ea.min(eb));
+        assert_eq!(merged.result.batches, 100);
+        assert_eq!(merged.result.flips, a.result.flips + b.result.flips);
+        assert_eq!(
+            merged.result.frequencies.total(),
+            a.result.frequencies.total() + b.result.frequencies.total()
+        );
+        // A not-found placeholder (e.g. a revoked unit) never wins the fold.
+        let empty = UnitOutcome {
+            result: SolveResult {
+                best: Solution::zeros(20),
+                energy: 0,
+                time_to_best: Duration::ZERO,
+                elapsed: Duration::ZERO,
+                batches: 0,
+                flips: 0,
+                reached_target: false,
+                frequencies: FrequencyTracker::new().report(),
+                first_finder: None,
+                restarts: 0,
+            },
+            found: false,
+        };
+        let folded = empty.merge(merged.clone());
+        assert_eq!(folded.result.energy, ea.min(eb));
+        assert_eq!(folded.result.batches, 100);
+        assert!(folded.found);
     }
 }

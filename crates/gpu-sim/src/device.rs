@@ -210,6 +210,13 @@ impl<'m, K: QuboKernel> InlineDevice<'m, K> {
     pub fn resident(&self) -> &Solution {
         self.state.solution()
     }
+
+    /// Re-seat the resident block on `solution`, recomputing energy and
+    /// flip deltas. Used to warm-start a device from a sibling unit's
+    /// incumbent instead of whatever state it last held.
+    pub fn reset_resident(&mut self, solution: &Solution) {
+        self.state.reset_to(solution.clone());
+    }
 }
 
 #[cfg(test)]

@@ -10,12 +10,13 @@
 //! the next send.
 
 use crate::protocol::{JobId, Response};
-use crate::spec::JobSpec;
-use dabs_core::{SolveResult, StopFlag};
+use crate::spec::{now_unix_ms, JobSpec};
+use dabs_core::{SolveResult, StopFlag, UnitOutcome};
+use dabs_model::{QuboModel, Solution};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Where a job is in its lifecycle.
@@ -76,6 +77,45 @@ struct Watcher {
     kind: WatchKind,
 }
 
+/// How one unit of a decomposed job ended (the per-unit analogue of the
+/// job-level terminal phase; the fold over all units decides the latter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitEnd {
+    /// Ran to its own termination: budget slice exhausted, target reached,
+    /// or time window closed.
+    Completed,
+    /// Cut short by the job's stop flag — client cancel, server shutdown,
+    /// or a sibling unit reaching the target.
+    Interrupted,
+    /// Never executed: revoked while queued (cancel or shutdown drain).
+    Revoked,
+    /// Model/solver construction failed.
+    Failed,
+}
+
+/// Aggregation state for a job decomposed into units. `total` can grow
+/// while units run (in-job splitting); the fold fires when `finished`
+/// catches up to it.
+#[derive(Debug, Default)]
+struct UnitBook {
+    total: u32,
+    started: u32,
+    finished: u32,
+    /// Units genuinely cut short or revoked (not ones that completed their
+    /// slice before noticing the flag).
+    cut_short: u32,
+    failed: Option<String>,
+    merged: Option<UnitOutcome>,
+}
+
+/// Best solution seen by any unit so far; the warm-start source for
+/// incumbent broadcast between units of the same job.
+#[derive(Debug, Default)]
+struct IncumbentStore {
+    energy: Option<i64>,
+    solution: Option<Solution>,
+}
+
 /// One admitted job.
 pub struct JobRecord {
     pub id: JobId,
@@ -90,6 +130,15 @@ pub struct JobRecord {
     state: Mutex<JobState>,
     terminal_cv: Condvar,
     watchers: Mutex<Vec<Watcher>>,
+    incumbent: Mutex<IncumbentStore>,
+    units: Mutex<UnitBook>,
+    /// Lazily-built model shared by every unit of the job (built by
+    /// whichever worker executes the job's first unit).
+    model: OnceLock<Result<Arc<QuboModel>, String>>,
+    /// When the job's first unit began executing — the origin of the job's
+    /// wall-clock window, shared by all units so `time_ms` bounds the job,
+    /// not each unit.
+    first_unit_start: OnceLock<Instant>,
 }
 
 impl JobRecord {
@@ -108,6 +157,10 @@ impl JobRecord {
             }),
             terminal_cv: Condvar::new(),
             watchers: Mutex::new(Vec::new()),
+            incumbent: Mutex::new(IncumbentStore::default()),
+            units: Mutex::new(UnitBook::default()),
+            model: OnceLock::new(),
+            first_unit_start: OnceLock::new(),
         }
     }
 
@@ -162,10 +215,29 @@ impl JobRecord {
     }
 
     /// Worker-side incumbent delivery: records the energy and fans the line
-    /// out to subscribers. Monotonicity comes from the solver's observer
-    /// contract (serialized, strictly improving); the watcher lock keeps the
-    /// fan-out in that order.
+    /// out to subscribers. With many units publishing concurrently, each
+    /// unit's observer stream is only *locally* improving, so the store lock
+    /// both filters non-improvements and serializes the fan-out — every
+    /// subscriber still sees a strictly improving sequence.
     pub fn publish_incumbent(&self, energy: i64, found_at: Duration) {
+        self.offer(None, energy, found_at);
+    }
+
+    /// Like [`JobRecord::publish_incumbent`], but also stores the solution
+    /// so later units of this job can warm-start from it.
+    pub fn offer_incumbent(&self, solution: &Solution, energy: i64, found_at: Duration) {
+        self.offer(Some(solution), energy, found_at);
+    }
+
+    fn offer(&self, solution: Option<&Solution>, energy: i64, found_at: Duration) {
+        let mut inc = self.incumbent.lock().expect("incumbent lock");
+        if inc.energy.is_some_and(|e| energy >= e) {
+            return;
+        }
+        inc.energy = Some(energy);
+        if let Some(s) = solution {
+            inc.solution = Some(s.clone());
+        }
         self.best.fetch_min(energy, Ordering::Relaxed);
         let line = Response::Incumbent {
             job: self.id,
@@ -175,6 +247,171 @@ impl JobRecord {
         .encode();
         let mut ws = self.watchers.lock().expect("watchers lock");
         ws.retain(|w| w.kind != WatchKind::Subscribe || w.sink.send(line.clone()).is_ok());
+    }
+
+    /// Snapshot of the job-wide best `(solution, energy)` — what a freshly
+    /// dispatched or stolen unit warm-starts from. `None` until a unit has
+    /// published a solution-carrying incumbent.
+    pub fn incumbent(&self) -> Option<(Solution, i64)> {
+        let inc = self.incumbent.lock().expect("incumbent lock");
+        match (&inc.solution, inc.energy) {
+            (Some(s), Some(e)) => Some((s.clone(), e)),
+            _ => None,
+        }
+    }
+
+    /// Build (once) and share the job's model. Every unit calls this; only
+    /// the first pays the construction cost.
+    pub fn model(&self) -> Result<Arc<QuboModel>, String> {
+        self.model
+            .get_or_init(|| self.spec.problem.build().map(|(m, _name)| Arc::new(m)))
+            .clone()
+    }
+
+    /// The origin of the job's shared wall-clock window: set when the first
+    /// unit begins executing, read by every later unit.
+    pub fn unit_clock(&self) -> Instant {
+        *self.first_unit_start.get_or_init(Instant::now)
+    }
+
+    /// Declare how many units the job was decomposed into. Called once at
+    /// admission, before any unit is queued.
+    pub fn plan_units(&self, total: u32) {
+        let mut book = self.units.lock().expect("units lock");
+        debug_assert_eq!(book.total, 0, "units planned twice");
+        book.total = total.max(1);
+    }
+
+    /// In-job split: a running unit carved off part of its remaining budget
+    /// as a new stealable unit. Returns `false` (and registers nothing) if
+    /// the job is already terminal.
+    pub fn add_split_unit(&self) -> bool {
+        let st = self.state.lock().expect("job state lock");
+        if st.phase.is_terminal() {
+            return false;
+        }
+        let mut book = self.units.lock().expect("units lock");
+        book.total += 1;
+        true
+    }
+
+    /// `(total, started, finished)` unit counts.
+    pub fn unit_counts(&self) -> (u32, u32, u32) {
+        let book = self.units.lock().expect("units lock");
+        (book.total, book.started, book.finished)
+    }
+
+    /// Worker claim of one unit. The first claim moves the job
+    /// `Queued → Running`. Fails when the job is already terminal
+    /// (cancelled/expired while its units sat in queues) — the caller must
+    /// drop the unit without executing or accounting it.
+    pub fn begin_unit(&self) -> bool {
+        let mut st = self.state.lock().expect("job state lock");
+        match st.phase {
+            JobPhase::Queued => st.phase = JobPhase::Running,
+            JobPhase::Running => {}
+            _ => return false,
+        }
+        let mut book = self.units.lock().expect("units lock");
+        book.started += 1;
+        true
+    }
+
+    /// Stale-deadline dequeue (checked when a unit is *popped*, not only at
+    /// admission): if the deadline has passed and no unit of this job has
+    /// ever started, the whole job goes `Expired` now, without burning pool
+    /// time. The started-check and the transition share the state lock so a
+    /// concurrent `begin_unit` cannot slip in between.
+    pub fn expire_if_unstarted(self: &Arc<Self>, reason: &str) -> bool {
+        {
+            let mut st = self.state.lock().expect("job state lock");
+            if st.phase.is_terminal() {
+                return false;
+            }
+            let book = self.units.lock().expect("units lock");
+            if book.started > 0 {
+                return false;
+            }
+            drop(book);
+            st.phase = JobPhase::Expired;
+            st.error = Some(reason.to_string());
+        }
+        self.notify_terminal();
+        true
+    }
+
+    /// Account one finished unit and, when it is the job's last, fold the
+    /// unit outcomes into the job's terminal phase:
+    ///
+    /// - any unit failed → `Failed` (first error wins);
+    /// - the merged result reached the target → `Done` — sibling units
+    ///   tripped by the success's stop broadcast are not interruptions;
+    /// - deadline passed with zero batches executed → `Expired` (the
+    ///   deadline closed during setup, before any work happened);
+    /// - at least one unit genuinely cut short (interrupted mid-run or
+    ///   revoked unexecuted — both only arise from cancel, shutdown, or a
+    ///   sibling's stop broadcast, and the broadcast case is already `Done`
+    ///   above) → `Cancelled`, with the merged best-so-far attached;
+    /// - otherwise → `Done`.
+    ///
+    /// This is PR 2's `classify` lifted over a fold: per-unit completion is
+    /// judged by the scheduler against the termination each unit actually
+    /// executed under, and the job completes iff its units did.
+    pub fn finish_unit(
+        self: &Arc<Self>,
+        end: UnitEnd,
+        outcome: Option<UnitOutcome>,
+        error: Option<String>,
+    ) {
+        let fold = {
+            let mut book = self.units.lock().expect("units lock");
+            debug_assert!(book.finished < book.total, "more unit ends than units");
+            book.finished += 1;
+            match end {
+                UnitEnd::Completed => {}
+                UnitEnd::Interrupted | UnitEnd::Revoked => book.cut_short += 1,
+                UnitEnd::Failed => {
+                    if book.failed.is_none() {
+                        book.failed = error.clone().or_else(|| Some("unit failed".into()));
+                    }
+                }
+            }
+            if let Some(o) = outcome {
+                book.merged = Some(match book.merged.take() {
+                    Some(m) => m.merge(o),
+                    None => o,
+                });
+            }
+            if book.finished == book.total {
+                Some((book.merged.clone(), book.failed.clone(), book.cut_short))
+            } else {
+                None
+            }
+        };
+        let Some((merged, failed, cut_short)) = fold else {
+            return;
+        };
+        let reached = merged.as_ref().is_some_and(|m| m.result.reached_target);
+        let batches = merged.as_ref().map_or(0, |m| m.result.batches);
+        let deadline_passed = self
+            .spec
+            .deadline_unix_ms
+            .is_some_and(|d| now_unix_ms() >= d);
+        if failed.is_some() {
+            self.finish(JobPhase::Failed, merged.map(|m| m.result), failed);
+        } else if reached {
+            self.finish(JobPhase::Done, merged.map(|m| m.result), None);
+        } else if deadline_passed && batches == 0 {
+            self.finish(
+                JobPhase::Expired,
+                None,
+                Some("deadline passed during setup".into()),
+            );
+        } else if cut_short > 0 {
+            self.finish(JobPhase::Cancelled, merged.map(|m| m.result), None);
+        } else {
+            self.finish(JobPhase::Done, merged.map(|m| m.result), None);
+        }
     }
 
     /// Transition to a terminal phase, wake synchronous waiters, and notify

@@ -4,14 +4,18 @@
 //! adaptive operator selection. This crate adds the layer that turns it from
 //! a one-shot CLI process into a service:
 //!
-//! * **Admission queue** ([`JobQueue`]) — bounded, per-job priority, jobs
-//!   with already-passed deadlines refused at the door.
-//! * **Worker pool** ([`WorkerPool`]) — `W` long-lived solver workers
-//!   multiplexing every admitted job, so a thousand clients never spawn a
-//!   thousand solver thread-trees.
+//! * **Elastic pool** ([`ElasticPool`]) — `W` long-lived solver workers
+//!   over per-worker unit deques: jobs decompose at admission into
+//!   stealable *units* (slices of the batch budget, cube-seeded starts for
+//!   large instances), idle workers steal the most urgent queued unit, and
+//!   a running unit splits off half its remaining budget when the pool goes
+//!   idle. Admission is bounded and unit-granular; jobs with already-passed
+//!   deadlines are refused at the door and re-checked at dequeue.
 //! * **Job lifecycle** ([`JobRecord`]) — per-job [`StopFlag`] cancellation
-//!   (honored between batches), streamed incumbents to subscribers, and
-//!   terminal notifications for waiting clients.
+//!   (honored between batches), incumbent broadcast between units of the
+//!   same job, streamed incumbents to subscribers, and terminal
+//!   notifications for waiting clients; a job's terminal phase is the fold
+//!   of its unit outcomes.
 //! * **Line protocol** ([`Request`]/[`Response`]) — newline-delimited JSON
 //!   over plain TCP: `submit`, `status`, `cancel`, `result`, `subscribe`,
 //!   `stats`, `ping`. See `docs/PROTOCOL.md` for the wire reference.
@@ -38,21 +42,21 @@
 mod client;
 mod job;
 mod metrics;
+mod pool;
 mod protocol;
 mod queue;
 mod server;
 mod spec;
-mod worker;
 
 pub use client::{Client, JobOutcome};
 pub use dabs_core::StopFlag;
 pub use job::{JobPhase, JobRecord, JobRegistry, WatchKind};
-pub use metrics::{drive_fleet, percentile, LatencySummary};
+pub use metrics::{drive_fleet, percentile, LatencySummary, PoolLoad};
+pub use pool::{execute, ElasticPool, PoolGauges, MIN_UNIT_BATCHES};
 pub use protocol::{JobId, Request, Response};
 pub use queue::{AdmissionError, JobQueue};
 pub use server::{Server, ServerConfig, ServerState};
 pub use spec::{
     now_unix_ms, ExecMode, JobSpec, ProblemSpec, MAX_BLOCKS, MAX_DEVICES, MAX_PROBLEM_N,
-    MAX_QAP_SIZE,
+    MAX_QAP_SIZE, MAX_UNITS_PER_JOB,
 };
-pub use worker::{execute, WorkerPool};

@@ -1,7 +1,8 @@
-//! Load-driving and latency bookkeeping shared by `dabs loadgen` and the
-//! throughput bench.
+//! Load-driving, latency bookkeeping, and pool-gauge summaries shared by
+//! `dabs loadgen` and the throughput/server-load benches.
 
 use crate::client::Client;
+use crate::protocol::Response;
 use crate::spec::JobSpec;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -107,6 +108,62 @@ impl LatencySummary {
     }
 }
 
+/// Point-in-time pool load, extracted from a `stats` response. The gauge
+/// fields mirror [`crate::PoolGauges`] but arrive over the wire, so a load
+/// generator can watch a remote server's pool without sharing its process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolLoad {
+    pub workers: u64,
+    pub busy: u64,
+    pub queued_units: u64,
+    pub steals: u64,
+    pub splits: u64,
+}
+
+impl PoolLoad {
+    /// Extract from a [`Response::Stats`]; `None` for any other response.
+    pub fn from_stats(response: &Response) -> Option<Self> {
+        match response {
+            Response::Stats {
+                workers,
+                busy_workers,
+                queued_units,
+                steals,
+                splits,
+                ..
+            } => Some(Self {
+                workers: *workers,
+                busy: *busy_workers,
+                queued_units: *queued_units,
+                steals: *steals,
+                splits: *splits,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Fraction of workers busy, in `[0, 1]`.
+    pub fn occupancy(&self) -> f64 {
+        if self.workers == 0 {
+            return 0.0;
+        }
+        self.busy as f64 / self.workers as f64
+    }
+
+    /// One-line human report.
+    pub fn report(&self) -> String {
+        format!(
+            "pool {}/{} busy ({:.0}%) · {} units queued · {} steals · {} splits",
+            self.busy,
+            self.workers,
+            self.occupancy() * 100.0,
+            self.queued_units,
+            self.steals,
+            self.splits,
+        )
+    }
+}
+
 /// Nearest-rank percentile over an ascending-sorted slice.
 pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
     assert!(!sorted.is_empty(), "percentile of empty sample set");
@@ -144,5 +201,36 @@ mod tests {
         let line = s.report();
         assert!(line.contains("jobs/s"), "{line}");
         assert!(LatencySummary::from_samples(vec![], ms(1)).is_none());
+    }
+
+    #[test]
+    fn pool_load_reads_stats_and_only_stats() {
+        let stats = Response::Stats {
+            queued: 1,
+            running: 2,
+            finished: 3,
+            workers: 4,
+            queue_capacity: 64,
+            busy_workers: 3,
+            queued_units: 7,
+            steals: 11,
+            splits: 2,
+        };
+        let load = PoolLoad::from_stats(&stats).unwrap();
+        assert_eq!(load.busy, 3);
+        assert_eq!(load.queued_units, 7);
+        assert!((load.occupancy() - 0.75).abs() < 1e-12);
+        let line = load.report();
+        assert!(line.contains("3/4 busy"), "{line}");
+        assert!(line.contains("11 steals"), "{line}");
+        assert!(PoolLoad::from_stats(&Response::Pong).is_none());
+        let idle = PoolLoad {
+            workers: 0,
+            busy: 0,
+            queued_units: 0,
+            steals: 0,
+            splits: 0,
+        };
+        assert_eq!(idle.occupancy(), 0.0);
     }
 }

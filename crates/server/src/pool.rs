@@ -1,0 +1,1129 @@
+//! The elastic shared worker pool: jobs decompose into stealable *units*.
+//!
+//! The fixed job-per-worker pool bound one whole job to one long-lived
+//! thread — a single saturating job monopolized its worker while siblings
+//! idled. Here admission decomposes every sequential job into **units**
+//! (slices of its batch budget, plus cube-seeded subproblem starts for
+//! large instances), scheduled from per-worker deques:
+//!
+//! - an idle worker takes the most urgent queued unit anywhere in the pool
+//!   (priority first, then units of jobs that have not started yet, then
+//!   earliest deadline, then FIFO — so one job's units keep their admission
+//!   order); taking a unit from another worker's deque is a **steal**;
+//! - units of the same job share an **incumbent broadcast**: every
+//!   improving solution is published to the [`JobRecord`], and a freshly
+//!   dispatched (or stolen) unit warm-starts from the job's current best
+//!   instead of from scratch;
+//! - a running unit **splits cooperatively**: between scheduling quanta it
+//!   checks whether the pool has gone idle, and if so carves half of its
+//!   remaining batch budget into a new stealable unit; symmetrically it
+//!   *yields* its remainder as a continuation unit when a strictly
+//!   higher-priority unit is waiting and no worker is free;
+//! - cancel revokes all queued units of the job, and a unit popped after
+//!   its job's deadline passed re-checks the deadline (stale-deadline
+//!   dequeue) so an expired job reports `expired` without burning pool
+//!   time.
+//!
+//! A job's terminal phase is the fold of its unit outcomes
+//! ([`JobRecord::finish_unit`]); per-unit completion is judged by
+//! [`classify`] against the termination each unit actually executed under,
+//! so the cancel/expired/done semantics of the one-job-per-worker runtime
+//! are preserved exactly.
+
+use crate::job::{JobRecord, UnitEnd};
+use crate::queue::AdmissionError;
+use crate::spec::{now_unix_ms, ExecMode, JobSpec, MAX_UNITS_PER_JOB};
+use dabs_core::{Incumbent, IncumbentObserver, SolveResult, Termination, UnitOutcome, WarmStart};
+use dabs_model::{IncrementalState, QuboModel, Solution};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+pub use crate::job::JobPhase;
+
+/// Smallest batch budget worth decomposing: below this, per-unit setup
+/// (model build amortization aside, pool fills and RNG seeding) dominates,
+/// and single-unit jobs keep the sequential runtime bit-identical to the
+/// offline reference.
+pub const MIN_UNIT_BATCHES: u64 = 100;
+
+/// Batches a unit runs between scheduler checks (split / yield points).
+/// Cancellation does not wait for a quantum boundary — the stop flag is
+/// checked before every batch inside the solver.
+const SPLIT_QUANTUM: u64 = 32;
+
+/// A unit will not split or yield below this remaining budget.
+const MIN_SPLIT_BATCHES: u64 = 64;
+
+/// Cube seeding kicks in at this instance size (known-`n` problems only).
+const CUBE_MIN_N: usize = 128;
+
+/// Number of highest-|Δ| bits enumerated by cube seeding (2^k seed units).
+const CUBE_BITS: u32 = 2;
+
+/// What one unit executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum UnitWork {
+    /// A slice of the job's sequential batch budget (`None` = bounded by
+    /// the job's time window / target only).
+    Slice { batches: Option<u64> },
+    /// A slice that starts from assignment `index` of the `CUBE_BITS`
+    /// highest-|Δ| bits instead of the shared incumbent — cube-and-conquer
+    /// style diversification for large instances.
+    Cube { index: u32, batches: Option<u64> },
+    /// The whole job, threaded mode (the solver parallelizes internally).
+    Whole,
+}
+
+/// One queued unit.
+#[derive(Debug, Clone)]
+struct UnitTask {
+    record: Arc<JobRecord>,
+    work: UnitWork,
+    priority: i32,
+    deadline_unix_ms: Option<u64>,
+    /// Pool-wide admission order; lower = earlier (FIFO tie-break).
+    seq: u64,
+}
+
+impl UnitTask {
+    /// Steal-order key, greater = more urgent: priority first, then units
+    /// of jobs that have not executed anything yet (a fresh small job beats
+    /// the tail of a saturating one), then nearest deadline, then FIFO.
+    fn urgency(&self) -> (i32, bool, std::cmp::Reverse<u64>, std::cmp::Reverse<u64>) {
+        let fresh = self.record.unit_counts().1 == 0;
+        (
+            self.priority,
+            fresh,
+            std::cmp::Reverse(self.deadline_unix_ms.unwrap_or(u64::MAX)),
+            std::cmp::Reverse(self.seq),
+        )
+    }
+}
+
+/// Pool occupancy/throughput counters, exposed through the `stats`
+/// protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolGauges {
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Workers currently executing a unit.
+    pub busy: u64,
+    /// Units waiting in per-worker deques.
+    pub queued_units: u64,
+    /// Units taken from another worker's deque.
+    pub steals: u64,
+    /// Units created by in-job splitting (idle-split + priority yield).
+    pub splits: u64,
+}
+
+#[derive(Debug)]
+struct Sched {
+    deques: Vec<VecDeque<UnitTask>>,
+    next_rr: usize,
+    next_seq: u64,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    sched: Mutex<Sched>,
+    available: Condvar,
+    capacity: usize,
+    workers: usize,
+    busy: AtomicUsize,
+    queued: AtomicUsize,
+    steals: AtomicU64,
+    splits: AtomicU64,
+}
+
+impl PoolShared {
+    /// Queued-unit count across all deques (gauge; racy by nature).
+    fn queued_units(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    fn idle_workers(&self) -> usize {
+        self.workers
+            .saturating_sub(self.busy.load(Ordering::Relaxed))
+    }
+
+    /// Push one unit onto a deque — the submitting round-robin target, or
+    /// `home` (the splitting worker's own deque, so an idle thief takes it).
+    fn push_unit(&self, task: UnitTask, home: Option<usize>) {
+        let mut s = self.sched.lock().expect("sched lock");
+        let at = match home {
+            Some(w) => w,
+            None => {
+                let w = s.next_rr;
+                s.next_rr = (s.next_rr + 1) % self.workers;
+                w
+            }
+        };
+        s.deques[at].push_back(task);
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        drop(s);
+        self.available.notify_all();
+    }
+
+    /// Is a strictly higher-priority unit waiting anywhere? (Yield check —
+    /// only meaningful when no worker is idle to take it.)
+    fn higher_priority_waiting(&self, than: i32) -> bool {
+        if self.queued_units() == 0 {
+            return false;
+        }
+        let s = self.sched.lock().expect("sched lock");
+        s.deques
+            .iter()
+            .flat_map(|d| d.iter())
+            .any(|t| t.priority > than)
+    }
+}
+
+/// The elastic pool: `W` worker threads over per-worker unit deques.
+#[derive(Debug)]
+pub struct ElasticPool {
+    shared: Arc<PoolShared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ElasticPool {
+    /// Spawn `workers` threads; at most `capacity` units may be queued.
+    pub fn spawn(workers: usize, capacity: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            sched: Mutex::new(Sched {
+                deques: (0..workers).map(|_| VecDeque::new()).collect(),
+                next_rr: 0,
+                next_seq: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            workers,
+            busy: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            splits: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dabs-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Occupancy and throughput counters.
+    pub fn gauges(&self) -> PoolGauges {
+        PoolGauges {
+            workers: self.shared.workers as u64,
+            busy: self.shared.busy.load(Ordering::Relaxed) as u64,
+            queued_units: self.shared.queued_units() as u64,
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            splits: self.shared.splits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Admit one job: decompose it into units and queue them round-robin
+    /// across the worker deques. Capacity counts *units*, so a wide job
+    /// cannot starve admission accounting.
+    pub fn submit(&self, record: &Arc<JobRecord>) -> Result<(), AdmissionError> {
+        if let Some(deadline) = record.spec.deadline_unix_ms {
+            let now = now_unix_ms();
+            if now >= deadline {
+                return Err(AdmissionError::PastDeadline {
+                    late_by_ms: now - deadline,
+                });
+            }
+        }
+        let works = decompose(&record.spec, self.shared.workers);
+        {
+            let mut s = self.shared.sched.lock().expect("sched lock");
+            if s.closed {
+                return Err(AdmissionError::Closed);
+            }
+            if self.shared.queued_units() + works.len() > self.shared.capacity {
+                return Err(AdmissionError::Full {
+                    capacity: self.shared.capacity,
+                });
+            }
+            record.plan_units(works.len() as u32);
+            for work in works {
+                let seq = s.next_seq;
+                s.next_seq += 1;
+                let at = s.next_rr;
+                s.next_rr = (s.next_rr + 1) % self.shared.workers;
+                s.deques[at].push_back(UnitTask {
+                    record: Arc::clone(record),
+                    work,
+                    priority: record.spec.priority,
+                    deadline_unix_ms: record.spec.deadline_unix_ms,
+                    seq,
+                });
+                self.shared.queued.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.shared.available.notify_all();
+        Ok(())
+    }
+
+    /// Graceful shutdown, phase 1: refuse new work and stop dispatching —
+    /// workers *drain* every still-queued unit in revoked mode (no
+    /// execution), so each partially-run job folds to `cancelled` with its
+    /// best-so-far incumbent attached. Running units observe their job's
+    /// stop flag (trip it via `JobRegistry::stop_all`) at the next batch.
+    pub fn close(&self) {
+        self.shared.sched.lock().expect("sched lock").closed = true;
+        self.shared.available.notify_all();
+    }
+
+    /// Phase 2: wait for every worker to exit (call [`ElasticPool::close`]
+    /// first). Idempotent; callable through a shared handle.
+    pub fn join(&self) {
+        let handles = std::mem::take(&mut *self.handles.lock().expect("handles lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Decompose a job spec into unit work descriptors.
+///
+/// - Threaded jobs stay whole (the solver parallelizes internally).
+/// - Sequential batch-budget jobs split into at most `workers` even slices,
+///   but only once the budget is ≥ 2×[`MIN_UNIT_BATCHES`] — small jobs stay
+///   single-unit, which keeps them bit-identical to the offline sequential
+///   reference. `spec.units` overrides the width (capped at
+///   [`MAX_UNITS_PER_JOB`]).
+/// - Large known-`n` instances additionally get cube-seeded units: when the
+///   job is ≥ 4 units wide and `n ≥ CUBE_MIN_N`, the first 2^[`CUBE_BITS`]
+///   units start from the enumerated assignments of the highest-|Δ| bits.
+/// - Time/target-bounded jobs default to one unit (each extra unit would
+///   re-run the whole window); `spec.units` opts into parallel arms.
+fn decompose(spec: &JobSpec, workers: usize) -> Vec<UnitWork> {
+    if spec.mode == ExecMode::Threaded {
+        return vec![UnitWork::Whole];
+    }
+    let width = match (spec.units, spec.max_batches) {
+        (Some(u), _) => u as u64,
+        (None, Some(b)) => (b / MIN_UNIT_BATCHES).min(workers as u64).max(1),
+        (None, None) => 1,
+    }
+    .clamp(1, u64::from(MAX_UNITS_PER_JOB));
+    match spec.max_batches {
+        None => (0..width)
+            .map(|_| UnitWork::Slice { batches: None })
+            .collect(),
+        Some(b) => {
+            let width = width.min(b.max(1));
+            let base = b / width;
+            let rem = b % width;
+            let cubes = if width >= 4 && spec.problem.n.is_some_and(|n| n >= CUBE_MIN_N) {
+                1u64 << CUBE_BITS
+            } else {
+                0
+            };
+            (0..width)
+                .map(|i| {
+                    let batches = Some(base + u64::from(i < rem));
+                    if i < cubes {
+                        UnitWork::Cube {
+                            index: i as u32,
+                            batches,
+                        }
+                    } else {
+                        UnitWork::Slice { batches }
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// The start solution for cube unit `index`: the `CUBE_BITS` bits whose
+/// zero-state flip deltas have the largest magnitude are set according to
+/// the bits of `index`; everything else starts at zero. (A seed-level cube:
+/// the bits steer where the unit begins, they are not clamped during the
+/// search.)
+fn cube_seed(model: &QuboModel, index: u32) -> Solution {
+    let n = model.n();
+    let state = IncrementalState::new(model);
+    let deltas = state.deltas();
+    let mut bits: Vec<usize> = (0..n).collect();
+    bits.sort_by_key(|&i| (std::cmp::Reverse(deltas[i].unsigned_abs()), i));
+    let mut seed = Solution::zeros(n);
+    for (j, &bit) in bits.iter().take(CUBE_BITS as usize).enumerate() {
+        if (index >> j) & 1 == 1 {
+            seed.set(bit, true);
+        }
+    }
+    seed
+}
+
+fn worker_loop(shared: &Arc<PoolShared>, me: usize) {
+    loop {
+        let (task, revoked) = {
+            let mut s = shared.sched.lock().expect("sched lock");
+            loop {
+                // Most urgent unit anywhere in the pool; taking it from
+                // another worker's deque is a steal. The seq tie-break
+                // keeps units of one job in admission order, so a
+                // single-worker pool folds a job exactly like the
+                // sequential reference.
+                let chosen = s
+                    .deques
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(w, d)| d.iter().enumerate().map(move |(j, t)| (w, j, t.urgency())))
+                    .max_by_key(|&(_, _, u)| u)
+                    .map(|(w, j, _)| (w, j));
+                if let Some((w, j)) = chosen {
+                    let t = s.deques[w].remove(j).expect("chosen unit present");
+                    shared.queued.fetch_sub(1, Ordering::Relaxed);
+                    if w != me {
+                        shared.steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break (Some(t), s.closed);
+                }
+                if s.closed {
+                    break (None, true);
+                }
+                s = shared.available.wait(s).expect("sched lock");
+            }
+        };
+        let Some(task) = task else {
+            return; // closed and fully drained
+        };
+        shared.busy.fetch_add(1, Ordering::Relaxed);
+        run_task(Some((shared, me)), &task, revoked);
+        shared.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Execute (or revoke) one popped unit. `pool` is absent when called from
+/// the standalone [`execute`] path — no splitting or yielding then.
+fn run_task(pool: Option<(&Arc<PoolShared>, usize)>, task: &UnitTask, revoked: bool) {
+    let record = &task.record;
+    if record.phase().is_terminal() {
+        // Cancelled/expired while this unit sat in a deque; the record is
+        // already folded or abandoned — just drop the unit.
+        return;
+    }
+    // Stale-deadline dequeue: a deadline that passed while the unit was
+    // queued expires the whole job if nothing ran yet; if siblings already
+    // ran, this unit's window is simply gone (counts as completed-empty —
+    // the siblings were deadline-clamped themselves).
+    if task
+        .deadline_unix_ms
+        .is_some_and(|deadline| now_unix_ms() >= deadline)
+    {
+        if record.expire_if_unstarted("deadline passed while queued") {
+            return;
+        }
+        record.finish_unit(UnitEnd::Completed, None, None);
+        return;
+    }
+    if revoked || record.cancel_requested() || record.stop.is_stopped() {
+        // Shutdown drain, or a cancel/stop that landed while queued: the
+        // unit is revoked without execution. (A sibling that reached the
+        // target also lands here via the stop broadcast — the fold still
+        // reports `done` because the merged result reached the target.)
+        record.finish_unit(UnitEnd::Revoked, None, None);
+        return;
+    }
+    if !record.begin_unit() {
+        return; // lost a race with a terminal transition
+    }
+    execute_unit(pool, task);
+}
+
+/// Run one claimed unit to an end and account it on the record.
+fn execute_unit(pool: Option<(&Arc<PoolShared>, usize)>, task: &UnitTask) {
+    let record = &task.record;
+    let model = match record.model() {
+        Ok(m) => m,
+        Err(e) => {
+            record.finish_unit(UnitEnd::Failed, None, Some(e));
+            return;
+        }
+    };
+    let solver = match record.spec.build_solver() {
+        Ok(s) => s,
+        Err(e) => {
+            record.finish_unit(UnitEnd::Failed, None, Some(e));
+            return;
+        }
+    };
+    let clock = record.unit_clock();
+
+    // The wall-clock window this unit may still use: the job's `time_ms`
+    // minus what earlier units already consumed (the window is shared — all
+    // units measure from the job's first unit start), clamped to the
+    // remaining deadline. A closed window means the job's time is simply
+    // up: the unit completes empty and the fold judges the siblings.
+    let mut window: Option<Duration> = record
+        .spec
+        .time_ms
+        .map(|ms| Duration::from_millis(ms).saturating_sub(clock.elapsed()));
+    if let Some(deadline) = record.spec.deadline_unix_ms {
+        let left = Duration::from_millis(deadline.saturating_sub(now_unix_ms()));
+        window = Some(window.map_or(left, |w| w.min(left)));
+    }
+    if window == Some(Duration::ZERO) {
+        record.finish_unit(UnitEnd::Completed, None, None);
+        return;
+    }
+
+    let observer: IncumbentObserver = {
+        let record = Arc::clone(record);
+        Arc::new(move |inc: &Incumbent| {
+            record.offer_incumbent(&inc.solution, inc.energy, inc.found_at);
+        })
+    };
+
+    let mut term = Termination::external(Arc::clone(&record.stop));
+    term.target_energy = record.spec.target;
+    term.time_limit = window;
+
+    let (slice, warm) = match &task.work {
+        UnitWork::Whole => {
+            // Threaded mode: the solver runs the whole job internally.
+            term.max_batches = record.spec.max_batches;
+            let result = solver.run_with_observer(&model, term.clone(), observer);
+            finish_run(record, &term, result);
+            return;
+        }
+        UnitWork::Slice { batches } => (*batches, record.incumbent()),
+        UnitWork::Cube { index, batches } => {
+            // A cube unit starts from its enumerated corner, not the shared
+            // incumbent — that divergence is the point.
+            let seed = cube_seed(&model, *index);
+            let energy = model.energy(&seed);
+            (*batches, Some((seed, energy)))
+        }
+    };
+    term.max_batches = slice;
+    let warm = warm.map(|(solution, energy)| WarmStart { solution, energy });
+
+    let mut unit = solver.start_unit(&model, term.clone(), Some(observer), warm);
+    let mut remaining = slice.unwrap_or(u64::MAX);
+    let mut assigned = slice; // shrinks when this unit splits or yields
+    let mut terminated = false;
+    while remaining > 0 {
+        let before = unit.batches();
+        terminated = unit.step(remaining.min(SPLIT_QUANTUM));
+        remaining = remaining.saturating_sub(unit.batches() - before);
+        if terminated || remaining == 0 {
+            break;
+        }
+        let Some((shared, me)) = pool else {
+            continue;
+        };
+        if slice.is_none() {
+            continue; // window-bounded units have no batch budget to split
+        }
+        if remaining >= 2 * MIN_SPLIT_BATCHES
+            && shared.idle_workers() > 0
+            && shared.queued_units() == 0
+        {
+            // In-job split: the pool went idle mid-run — carve half the
+            // remaining budget into a stealable sibling so the idle worker
+            // joins this job (warm-started from the shared incumbent).
+            let carved = remaining / 2;
+            if record.add_split_unit() {
+                remaining -= carved;
+                assigned = assigned.map(|a| a - carved);
+                shared.splits.fetch_add(1, Ordering::Relaxed);
+                shared.push_unit(
+                    UnitTask {
+                        record: Arc::clone(record),
+                        work: UnitWork::Slice {
+                            batches: Some(carved),
+                        },
+                        ..task.clone()
+                    },
+                    Some(me),
+                );
+            }
+        } else if remaining >= MIN_SPLIT_BATCHES
+            && shared.idle_workers() == 0
+            && shared.higher_priority_waiting(task.priority)
+        {
+            // Priority yield: hand the remainder back as a continuation
+            // unit and free this worker for the more urgent one. The
+            // executed prefix is complete in itself; the continuation owns
+            // the rest of the budget.
+            if record.add_split_unit() {
+                assigned = assigned.map(|a| a - remaining);
+                shared.splits.fetch_add(1, Ordering::Relaxed);
+                shared.push_unit(
+                    UnitTask {
+                        record: Arc::clone(record),
+                        work: UnitWork::Slice {
+                            batches: Some(remaining),
+                        },
+                        ..task.clone()
+                    },
+                    Some(me),
+                );
+                break;
+            }
+        }
+    }
+    let _ = terminated;
+    let out = unit.finish();
+    // Judge this unit against the budget it actually kept (after splits and
+    // yields) — exactly PR 2's completion rule, per unit.
+    let mut judged = term;
+    judged.max_batches = assigned;
+    if out.result.reached_target {
+        // Success broadcast: siblings stop at their next batch and the
+        // queued remainder is revoked; the fold still reports `done`.
+        record.stop.stop();
+    }
+    let end = match classify(record, &judged, &out.result) {
+        JobPhase::Done => UnitEnd::Completed,
+        _ => UnitEnd::Interrupted,
+    };
+    record.finish_unit(end, Some(out), None);
+}
+
+/// Account a whole-job (threaded-mode) run as the record's single unit.
+fn finish_run(record: &Arc<JobRecord>, term: &Termination, result: SolveResult) {
+    if result.reached_target {
+        record.stop.stop();
+    }
+    let end = match classify(record, term, &result) {
+        JobPhase::Done => UnitEnd::Completed,
+        _ => UnitEnd::Interrupted,
+    };
+    record.finish_unit(
+        end,
+        Some(UnitOutcome {
+            result,
+            found: true,
+        }),
+        None,
+    );
+}
+
+/// Execute one job record synchronously to a terminal phase, as a
+/// sequential fold of the same units the pool would create for a one-worker
+/// pool (FIFO, incumbent broadcast between consecutive units, no stealing
+/// or splitting). Public so embedded callers — tests, single-shot tools —
+/// can run a record without a pool; also the reference the scheduler's
+/// merged results are property-tested against.
+pub fn execute(record: &Arc<JobRecord>) {
+    if let Some(deadline) = record.spec.deadline_unix_ms {
+        if now_unix_ms() >= deadline && record.expire_if_unstarted("deadline passed while queued") {
+            return;
+        }
+    }
+    let works = decompose(&record.spec, 1);
+    record.plan_units(works.len() as u32);
+    for (seq, work) in works.into_iter().enumerate() {
+        if record.phase().is_terminal() {
+            return;
+        }
+        run_task(
+            None,
+            &UnitTask {
+                record: Arc::clone(record),
+                work,
+                priority: record.spec.priority,
+                deadline_unix_ms: record.spec.deadline_unix_ms,
+                seq: seq as u64,
+            },
+            false,
+        );
+    }
+}
+
+/// Decide the terminal phase of a run that just returned `result`, where
+/// `term` is the termination the run *actually* executed under (including
+/// the deadline clamp and any budget moved to split/continuation units —
+/// not a recomputation from the spec, which would misjudge a
+/// deadline-clamped run that completed its whole window).
+///
+/// A tripped stop flag means a client cancel or a server shutdown
+/// (`stop_all`) reached the job — but the flag alone cannot distinguish a
+/// run that was actually cut short from one where the cancel landed *after*
+/// the solver already hit its own termination (target reached, batch or
+/// time budget exhausted). Judging completion from the result closes that
+/// race: a fully completed run stays `done` no matter when the flag
+/// tripped, while a genuinely interrupted one (e.g. a shutdown-drained job
+/// that never executed a batch) reports `cancelled` instead of handing the
+/// client a fabricated success.
+fn classify(record: &JobRecord, term: &Termination, result: &SolveResult) -> JobPhase {
+    let ran_to_completion = result.reached_target
+        || term.max_batches.is_some_and(|m| result.batches >= m)
+        || term.time_limit.is_some_and(|t| result.elapsed >= t);
+    if ran_to_completion || !(record.cancel_requested() || record.stop.is_stopped()) {
+        JobPhase::Done
+    } else {
+        JobPhase::Cancelled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobRegistry;
+    use crate::spec::ProblemSpec;
+    use dabs_core::Termination;
+    #[cfg(test)]
+    use dabs_model::KernelChoice;
+
+    fn registry() -> Arc<JobRegistry> {
+        Arc::new(JobRegistry::new())
+    }
+
+    fn small_job(seed: u64, batches: u64) -> JobSpec {
+        JobSpec {
+            problem: ProblemSpec::random(20, seed),
+            devices: 2,
+            blocks: 1,
+            seed,
+            max_batches: Some(batches),
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn pool_drains_queue_and_results_match_offline_reference() {
+        // 150-batch jobs stay single-unit, so the pool must reproduce the
+        // offline sequential reference bit-for-bit even with 3 workers.
+        let registry = registry();
+        let pool = ElasticPool::spawn(3, 64);
+        let mut records = Vec::new();
+        for seed in 1..=12u64 {
+            let record = registry.register(small_job(seed, 150));
+            pool.submit(&record).unwrap();
+            records.push(record);
+        }
+        for record in &records {
+            assert!(
+                record.wait_terminal(Duration::from_secs(60)),
+                "job {} stuck",
+                record.id
+            );
+            let (phase, result, error) = record.snapshot();
+            assert_eq!(phase, JobPhase::Done, "{error:?}");
+            let result = result.expect("done jobs carry a result");
+            let (model, _) = record.spec.problem.build().unwrap();
+            let reference = record
+                .spec
+                .build_solver()
+                .unwrap()
+                .run_sequential(&model, record.spec.termination());
+            assert_eq!(result.energy, reference.energy, "job {}", record.id);
+            assert_eq!(result.best, reference.best);
+        }
+        pool.close();
+        pool.join();
+    }
+
+    #[test]
+    fn decomposed_job_executes_all_units_and_spends_the_whole_budget() {
+        let registry = registry();
+        let pool = ElasticPool::spawn(4, 64);
+        let record = registry.register(JobSpec {
+            units: Some(6),
+            ..small_job(3, 1_200)
+        });
+        pool.submit(&record).unwrap();
+        assert!(record.wait_terminal(Duration::from_secs(120)));
+        let (phase, result, error) = record.snapshot();
+        assert_eq!(phase, JobPhase::Done, "{error:?}");
+        let result = result.unwrap();
+        // Merged batches must equal the full budget: no unit lost, none
+        // duplicated (splits move budget, they never mint it).
+        assert_eq!(result.batches, 1_200);
+        let (total, started, finished) = record.unit_counts();
+        assert_eq!(finished, total);
+        assert!(started >= 6, "{started} of {total} units started");
+        pool.close();
+        pool.join();
+    }
+
+    #[test]
+    fn expired_job_is_skipped_by_the_worker() {
+        let registry = registry();
+        let record = registry.register(JobSpec {
+            deadline_unix_ms: Some(now_unix_ms().saturating_sub(10)),
+            ..small_job(1, 1_000)
+        });
+        execute(&record);
+        let (phase, result, _) = record.snapshot();
+        assert_eq!(phase, JobPhase::Expired);
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn stale_deadline_is_rechecked_at_dequeue() {
+        // Admission passes (deadline still in the future), but the deadline
+        // expires while the unit sits behind a long-running job: the pop
+        // re-check must report `expired` without executing anything. The
+        // blocker outranks the doomed job on priority — at equal priority
+        // the earliest-deadline tie-break would let the doomed unit jump
+        // the queue whenever both are pushed before the worker's first pop.
+        let registry = registry();
+        let pool = ElasticPool::spawn(1, 64);
+        let blocker = registry.register(JobSpec {
+            max_batches: None,
+            time_ms: Some(400),
+            priority: 1,
+            ..small_job(9, 0)
+        });
+        pool.submit(&blocker).unwrap();
+        let doomed = registry.register(JobSpec {
+            deadline_unix_ms: Some(now_unix_ms() + 100),
+            ..small_job(2, 50_000)
+        });
+        pool.submit(&doomed).unwrap();
+        assert!(doomed.wait_terminal(Duration::from_secs(30)));
+        let (phase, result, error) = doomed.snapshot();
+        assert_eq!(phase, JobPhase::Expired, "{error:?}");
+        assert!(result.is_none());
+        assert_eq!(doomed.unit_counts().1, 0, "expired job must not run");
+        pool.close();
+        pool.join();
+    }
+
+    #[test]
+    fn bad_problem_fails_cleanly() {
+        let registry = registry();
+        let record = registry.register(JobSpec {
+            problem: ProblemSpec {
+                kind: "no-such-kind".into(),
+                n: None,
+                seed: 1,
+                inline: None,
+                kernel: KernelChoice::Auto,
+            },
+            ..small_job(1, 10)
+        });
+        execute(&record);
+        let (phase, _, error) = record.snapshot();
+        assert_eq!(phase, JobPhase::Failed);
+        assert!(error.unwrap().contains("no-such-kind"));
+    }
+
+    #[test]
+    fn cancelled_running_job_stops_and_keeps_partial_result() {
+        let registry = registry();
+        // A long job: huge batch budget, no time limit.
+        let record = registry.register(small_job(5, u64::MAX / 2));
+        let runner = {
+            let record = Arc::clone(&record);
+            std::thread::spawn(move || execute(&record))
+        };
+        // Wait until it is running, then cancel.
+        let t0 = std::time::Instant::now();
+        while record.phase() != JobPhase::Running {
+            assert!(t0.elapsed() < Duration::from_secs(10), "never started");
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        record.request_cancel();
+        let cancel_at = std::time::Instant::now();
+        assert!(record.wait_terminal(Duration::from_secs(5)));
+        assert!(
+            cancel_at.elapsed() < Duration::from_millis(250),
+            "cancel latency {:?}",
+            cancel_at.elapsed()
+        );
+        runner.join().unwrap();
+        let (phase, result, _) = record.snapshot();
+        assert_eq!(phase, JobPhase::Cancelled);
+        assert!(result.is_some(), "partial result preserved");
+    }
+
+    #[test]
+    fn cancel_revokes_every_queued_unit_of_the_job() {
+        let registry = registry();
+        let pool = ElasticPool::spawn(1, 128);
+        // A blocker so the victim's units all sit queued.
+        let blocker = registry.register(JobSpec {
+            max_batches: None,
+            time_ms: Some(300),
+            ..small_job(8, 0)
+        });
+        pool.submit(&blocker).unwrap();
+        let victim = registry.register(JobSpec {
+            units: Some(8),
+            ..small_job(4, 80_000)
+        });
+        pool.submit(&victim).unwrap();
+        assert_eq!(victim.request_cancel(), JobPhase::Cancelled);
+        assert!(victim.wait_terminal(Duration::from_secs(10)));
+        // None of the victim's units may ever start.
+        pool.close();
+        pool.join();
+        assert_eq!(victim.unit_counts().1, 0, "revoked unit executed");
+        assert!(blocker.wait_terminal(Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn shutdown_drained_job_reports_cancelled_not_done() {
+        // A queued job whose stop flag trips before a worker reaches it
+        // (server shutdown path: pool.close() + registry.stop_all()) must
+        // not surface as a successful "done" with a zero result.
+        let registry = registry();
+        let record = registry.register(small_job(9, u64::MAX / 2));
+        registry.stop_all();
+        execute(&record);
+        let (phase, result, _) = record.snapshot();
+        assert_eq!(phase, JobPhase::Cancelled);
+        assert!(result.is_none(), "nothing ran, so no fabricated result");
+    }
+
+    #[test]
+    fn classify_judges_completion_from_the_result_not_flag_timing() {
+        let registry = registry();
+        let record = registry.register(small_job(11, 40));
+        let (model, _) = record.spec.problem.build().unwrap();
+        let solver = record.spec.build_solver().unwrap();
+        // A run that exhausted the job's own 40-batch budget, and one that
+        // a stop flag would have cut short at 5 batches.
+        let spec_term = record.spec.termination();
+        let complete = solver.run_sequential(&model, spec_term.clone());
+        let partial = solver.run_sequential(&model, Termination::batches(5));
+        record.begin_unit();
+        assert_eq!(classify(&record, &spec_term, &complete), JobPhase::Done);
+        // A cancel that lands only after the run already hit its own
+        // termination must not reclassify the completed run...
+        record.request_cancel();
+        assert_eq!(classify(&record, &spec_term, &complete), JobPhase::Done);
+        // ...while a genuinely interrupted run still reports cancelled.
+        assert_eq!(classify(&record, &spec_term, &partial), JobPhase::Cancelled);
+        // A deadline-clamped run is judged against the clamp it actually
+        // executed under, not the spec's longer budget: completing the
+        // whole clamped window is completion, even with the flag tripped.
+        let clamped = spec_term.with_time(partial.elapsed);
+        assert_eq!(classify(&record, &clamped, &partial), JobPhase::Done);
+    }
+
+    #[test]
+    fn threaded_mode_jobs_run_too() {
+        let registry = registry();
+        let record = registry.register(JobSpec {
+            mode: ExecMode::Threaded,
+            max_batches: None,
+            time_ms: Some(150),
+            ..small_job(7, 0)
+        });
+        execute(&record);
+        let (phase, result, _) = record.snapshot();
+        assert_eq!(phase, JobPhase::Done);
+        assert!(result.unwrap().batches > 0);
+    }
+
+    #[test]
+    fn stop_flag_termination_used_by_worker_is_the_records() {
+        let record = registry().register(small_job(3, 50));
+        let term = record
+            .spec
+            .termination()
+            .with_stop(Arc::clone(&record.stop));
+        assert!(!term.stop_requested());
+        record.stop.stop();
+        assert!(term.stop_requested());
+        // Same semantics the core Termination promises.
+        let _ = Termination::external(Arc::clone(&record.stop));
+    }
+
+    #[test]
+    fn decompose_widths() {
+        // Small budgets stay single-unit (bit-identical sequential path).
+        assert_eq!(decompose(&small_job(1, 150), 8).len(), 1);
+        // Large budgets split up to the worker count.
+        assert_eq!(decompose(&small_job(1, 1_000), 4).len(), 4);
+        // Explicit width wins.
+        let wide = JobSpec {
+            units: Some(6),
+            ..small_job(1, 1_000)
+        };
+        assert_eq!(decompose(&wide, 2).len(), 6);
+        // Time-only jobs default to one arm.
+        let timed = JobSpec {
+            max_batches: None,
+            time_ms: Some(100),
+            ..small_job(1, 0)
+        };
+        assert_eq!(decompose(&timed, 8).len(), 1);
+        // Threaded jobs stay whole.
+        let threaded = JobSpec {
+            mode: ExecMode::Threaded,
+            ..small_job(1, 10_000)
+        };
+        assert_eq!(decompose(&threaded, 8), vec![UnitWork::Whole]);
+        // Budgets are partitioned exactly.
+        let budget: u64 = decompose(&wide, 2)
+            .iter()
+            .map(|w| match w {
+                UnitWork::Slice { batches } | UnitWork::Cube { batches, .. } => batches.unwrap(),
+                UnitWork::Whole => 0,
+            })
+            .sum();
+        assert_eq!(budget, 1_000);
+    }
+
+    #[test]
+    fn large_instances_get_cube_seeded_units() {
+        let spec = JobSpec {
+            problem: ProblemSpec::random(200, 1),
+            units: Some(6),
+            ..small_job(1, 1_200)
+        };
+        let works = decompose(&spec, 4);
+        let cubes = works
+            .iter()
+            .filter(|w| matches!(w, UnitWork::Cube { .. }))
+            .count();
+        assert_eq!(cubes, 4);
+        // Cube seeds are distinct corners of the same bit set.
+        let (model, _) = spec.problem.build().unwrap();
+        let seeds: Vec<Solution> = (0..4).map(|i| cube_seed(&model, i)).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(seeds[i], seeds[j], "cube corners {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn incumbent_broadcast_reaches_single_worker_energy_at_equal_budget() {
+        // Solver parity (acceptance criterion): a job executed as N units
+        // with incumbent broadcast must reach an energy ≤ the single-worker
+        // run at the same total flip budget.
+        let spec = JobSpec {
+            problem: ProblemSpec::random(64, 77),
+            units: Some(4),
+            ..small_job(77, 800)
+        };
+        let single = JobSpec {
+            units: None,
+            ..spec.clone()
+        };
+        let (model, _) = single.problem.build().unwrap();
+        let reference = single
+            .build_solver()
+            .unwrap()
+            .run_sequential(&model, single.termination());
+
+        let registry = registry();
+        let pool = ElasticPool::spawn(2, 64);
+        let record = registry.register(spec);
+        pool.submit(&record).unwrap();
+        assert!(record.wait_terminal(Duration::from_secs(120)));
+        let (phase, result, error) = record.snapshot();
+        assert_eq!(phase, JobPhase::Done, "{error:?}");
+        let result = result.unwrap();
+        assert_eq!(result.batches, 800);
+        assert!(
+            result.energy <= reference.energy,
+            "decomposed {} vs single {}",
+            result.energy,
+            reference.energy
+        );
+        pool.close();
+        pool.join();
+    }
+
+    #[test]
+    fn target_reached_by_one_unit_halts_its_siblings() {
+        // The zero solution has energy 0, so target=0 is reached by every
+        // unit instantly; the first one to finish broadcasts stop and the
+        // job folds to done, not cancelled.
+        let registry = registry();
+        let pool = ElasticPool::spawn(2, 64);
+        let record = registry.register(JobSpec {
+            target: Some(0),
+            units: Some(4),
+            ..small_job(6, 400_000)
+        });
+        pool.submit(&record).unwrap();
+        assert!(record.wait_terminal(Duration::from_secs(60)));
+        let (phase, result, error) = record.snapshot();
+        assert_eq!(phase, JobPhase::Done, "{error:?}");
+        let result = result.unwrap();
+        assert!(result.reached_target);
+        assert!(
+            result.batches < 400_000,
+            "siblings kept burning the budget: {} batches",
+            result.batches
+        );
+        pool.close();
+        pool.join();
+    }
+
+    #[test]
+    fn pool_gauges_count_work() {
+        let registry = registry();
+        let pool = ElasticPool::spawn(2, 64);
+        assert_eq!(
+            pool.gauges(),
+            PoolGauges {
+                workers: 2,
+                ..PoolGauges::default()
+            }
+        );
+        let record = registry.register(JobSpec {
+            units: Some(4),
+            ..small_job(2, 2_000)
+        });
+        pool.submit(&record).unwrap();
+        assert!(record.wait_terminal(Duration::from_secs(60)));
+        let g = pool.gauges();
+        assert_eq!(g.workers, 2);
+        assert_eq!(g.queued_units, 0);
+        pool.close();
+        pool.join();
+    }
+
+    #[test]
+    fn unit_capacity_is_enforced() {
+        let registry = registry();
+        let pool = ElasticPool::spawn(1, 4);
+        // One blocker occupies the worker while the capacity fills.
+        let blocker = registry.register(JobSpec {
+            max_batches: None,
+            time_ms: Some(300),
+            ..small_job(5, 0)
+        });
+        pool.submit(&blocker).unwrap();
+        // A 4-unit job exceeds what is left of the 4-slot capacity as soon
+        // as any other unit is still queued.
+        let wide = registry.register(JobSpec {
+            units: Some(4),
+            ..small_job(1, 50_000)
+        });
+        let narrow = registry.register(small_job(2, 150));
+        pool.submit(&narrow).unwrap();
+        match pool.submit(&wide) {
+            Err(AdmissionError::Full { capacity: 4 }) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        pool.close();
+        pool.join();
+    }
+}

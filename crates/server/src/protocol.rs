@@ -129,13 +129,23 @@ pub enum Response {
         result: Option<Box<SolveResult>>,
         error: Option<String>,
     },
-    /// Runtime counters.
+    /// Runtime counters. `queued`/`running`/`finished` count *jobs*;
+    /// the pool gauges count *units* (the stealable slices jobs decompose
+    /// into) and pool activity since startup.
     Stats {
         queued: u64,
         running: u64,
         finished: u64,
         workers: u64,
         queue_capacity: u64,
+        /// Workers currently executing a unit.
+        busy_workers: u64,
+        /// Units waiting in worker deques.
+        queued_units: u64,
+        /// Units executed off another worker's deque (lifetime total).
+        steals: u64,
+        /// Units created by in-job splitting (lifetime total).
+        splits: u64,
     },
     Pong,
 }
@@ -207,6 +217,10 @@ impl Response {
                 finished,
                 workers,
                 queue_capacity,
+                busy_workers,
+                queued_units,
+                steals,
+                splits,
             } => Json::obj([
                 ("type", Json::str("stats")),
                 ("ok", Json::Bool(true)),
@@ -215,6 +229,10 @@ impl Response {
                 ("finished", (*finished).into()),
                 ("workers", (*workers).into()),
                 ("queue_capacity", (*queue_capacity).into()),
+                ("busy_workers", (*busy_workers).into()),
+                ("queued_units", (*queued_units).into()),
+                ("steals", (*steals).into()),
+                ("splits", (*splits).into()),
             ]),
             Response::Pong => Json::obj([("type", Json::str("pong")), ("ok", Json::Bool(true))]),
         }
@@ -273,6 +291,10 @@ impl Response {
                 finished: j.get_u64("finished").unwrap_or(0),
                 workers: j.get_u64("workers").unwrap_or(0),
                 queue_capacity: j.get_u64("queue_capacity").unwrap_or(0),
+                busy_workers: j.get_u64("busy_workers").unwrap_or(0),
+                queued_units: j.get_u64("queued_units").unwrap_or(0),
+                steals: j.get_u64("steals").unwrap_or(0),
+                splits: j.get_u64("splits").unwrap_or(0),
             }),
             "pong" => Ok(Response::Pong),
             other => Err(format!("unknown response type {other:?}")),
@@ -355,6 +377,10 @@ mod tests {
                 finished: 3,
                 workers: 4,
                 queue_capacity: 64,
+                busy_workers: 3,
+                queued_units: 9,
+                steals: 17,
+                splits: 5,
             },
             Response::Pong,
         ];

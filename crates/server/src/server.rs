@@ -10,10 +10,9 @@
 //! and a dead connection is discovered by the writer and pruned lazily.
 
 use crate::job::{JobRegistry, WatchKind};
+use crate::pool::ElasticPool;
 use crate::protocol::{JobId, Request, Response};
-use crate::queue::JobQueue;
 use crate::spec::JobSpec;
-use crate::worker::WorkerPool;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -27,7 +26,8 @@ use std::time::Duration;
 pub struct ServerConfig {
     /// Solver worker threads (`W`): the concurrent-solve ceiling.
     pub workers: usize,
-    /// Admission queue bound.
+    /// Admission bound, in *units* (the stealable slices jobs decompose
+    /// into; a plain job is at least one unit).
     pub queue_capacity: usize,
 }
 
@@ -44,23 +44,22 @@ impl Default for ServerConfig {
 #[derive(Debug)]
 pub struct ServerState {
     pub registry: Arc<JobRegistry>,
-    pub queue: Arc<JobQueue>,
+    pub pool: Arc<ElasticPool>,
     pub config: ServerConfig,
     shutting_down: AtomicBool,
 }
 
 impl ServerState {
-    /// Admission: validate the spec, register, and enqueue. On refusal the
-    /// record is evicted so rejected jobs leave no trace.
+    /// Admission: validate the spec, register, and hand the record to the
+    /// pool (which decomposes it into units). On refusal the record is
+    /// evicted so rejected jobs leave no trace.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, String> {
         if self.shutting_down.load(Ordering::Relaxed) {
             return Err("server is shutting down".into());
         }
         spec.validate()?;
-        let priority = spec.priority;
-        let deadline = spec.deadline_unix_ms;
         let record = self.registry.register(spec);
-        match self.queue.push(record.id, priority, deadline) {
+        match self.pool.submit(&record) {
             Ok(()) => Ok(record.id),
             Err(e) => {
                 self.registry.evict(record.id);
@@ -71,12 +70,17 @@ impl ServerState {
 
     fn stats(&self) -> Response {
         let (queued, running, finished) = self.registry.phase_counts();
+        let gauges = self.pool.gauges();
         Response::Stats {
             queued,
             running,
             finished,
-            workers: self.config.workers as u64,
-            queue_capacity: self.queue.capacity() as u64,
+            workers: gauges.workers,
+            queue_capacity: self.pool.capacity() as u64,
+            busy_workers: gauges.busy,
+            queued_units: gauges.queued_units,
+            steals: gauges.steals,
+            splits: gauges.splits,
         }
     }
 
@@ -138,12 +142,11 @@ impl ServerState {
     }
 }
 
-/// A running server: accept thread + worker pool over shared state.
+/// A running server: accept thread + elastic pool over shared state.
 pub struct Server {
     state: Arc<ServerState>,
     addr: SocketAddr,
     accept_handle: Option<JoinHandle<()>>,
-    pool: Option<WorkerPool>,
 }
 
 impl Server {
@@ -153,11 +156,10 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let registry = Arc::new(JobRegistry::new());
-        let queue = Arc::new(JobQueue::new(config.queue_capacity));
-        let pool = WorkerPool::spawn(config.workers, Arc::clone(&queue), Arc::clone(&registry));
+        let pool = Arc::new(ElasticPool::spawn(config.workers, config.queue_capacity));
         let state = Arc::new(ServerState {
             registry,
-            queue,
+            pool,
             config,
             shutting_down: AtomicBool::new(false),
         });
@@ -184,7 +186,6 @@ impl Server {
             state,
             addr,
             accept_handle: Some(accept_handle),
-            pool: Some(pool),
         })
     }
 
@@ -205,20 +206,21 @@ impl Server {
         }
     }
 
-    /// Graceful stop: refuse new work, cancel live jobs, drain the workers,
-    /// and join every runtime thread.
+    /// Graceful stop: refuse new work, trip every live job's stop flag
+    /// (running units observe it at their next batch), stop dispatch so the
+    /// workers drain still-queued units in revoked mode, and join every
+    /// runtime thread. Partially-run jobs fold to `cancelled` with their
+    /// best-so-far incumbent.
     pub fn shutdown(mut self) {
         self.state.shutting_down.store(true, Ordering::Relaxed);
-        self.state.queue.close();
         self.state.registry.stop_all();
+        self.state.pool.close();
         // Wake the blocking accept loop with a no-op connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
-        if let Some(pool) = self.pool.take() {
-            pool.join();
-        }
+        self.state.pool.join();
     }
 }
 

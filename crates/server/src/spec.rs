@@ -323,7 +323,15 @@ pub struct JobSpec {
     /// queued is dropped by the worker; a running job has its time budget
     /// clamped to the remaining window.
     pub deadline_unix_ms: Option<u64>,
+    /// Explicit decomposition width: how many stealable units the scheduler
+    /// splits this job into (sequential mode only). `None` lets the pool
+    /// decide from the batch budget and worker count; capped at
+    /// [`MAX_UNITS_PER_JOB`].
+    pub units: Option<u32>,
 }
+
+/// Admission cap on a job's explicit unit count.
+pub const MAX_UNITS_PER_JOB: u32 = 64;
 
 impl Default for JobSpec {
     fn default() -> Self {
@@ -339,6 +347,7 @@ impl Default for JobSpec {
             max_batches: None,
             priority: 0,
             deadline_unix_ms: None,
+            units: None,
         }
     }
 }
@@ -362,6 +371,11 @@ impl JobSpec {
         }
         if self.target.is_some() && self.time_ms.is_none() && self.max_batches.is_none() {
             return Err("a target-only job is unbounded; add time_ms or max_batches".into());
+        }
+        if let Some(u) = self.units {
+            if u == 0 || u > MAX_UNITS_PER_JOB {
+                return Err(format!("units must be in 1..={MAX_UNITS_PER_JOB}"));
+            }
         }
         Ok(())
     }
@@ -406,6 +420,7 @@ impl JobSpec {
             ("max_batches", self.max_batches.into()),
             ("priority", Json::from(i64::from(self.priority))),
             ("deadline_unix_ms", self.deadline_unix_ms.into()),
+            ("units", self.units.map(u64::from).into()),
         ])
     }
 
@@ -427,6 +442,7 @@ impl JobSpec {
             max_batches: j.get_u64("max_batches"),
             priority: j.get_i64("priority").unwrap_or(0) as i32,
             deadline_unix_ms: j.get_u64("deadline_unix_ms"),
+            units: j.get_u64("units").map(|v| v as u32),
         })
     }
 }
@@ -457,6 +473,7 @@ mod tests {
             max_batches: Some(1000),
             priority: 5,
             deadline_unix_ms: Some(1_700_000_000_000),
+            units: Some(4),
         };
         let line = spec.to_json().to_string();
         let back = JobSpec::from_json(&Json::parse(&line).unwrap()).unwrap();

@@ -1,0 +1,142 @@
+//! Property-based tests on the elastic unit scheduler.
+//!
+//! Two families of invariants:
+//!
+//! * **Conservation** — under random submit/cancel interleavings across a
+//!   multi-worker pool, no unit is ever lost or duplicated: every job goes
+//!   terminal, every planned unit is accounted exactly once, and a job that
+//!   folds `done` has executed *exactly* its batch budget (splitting moves
+//!   budget between units, it never mints or burns any).
+//! * **Sequential equivalence** — a one-worker pool executes a decomposed
+//!   job as the same unit sequence the standalone `execute()` fold runs, so
+//!   their merged results are identical field-for-field.
+
+use dabs::server::{execute, ElasticPool, JobRegistry, JobSpec, ProblemSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn spec(n: usize, seed: u64, batches: u64, units: u32, priority: i32) -> JobSpec {
+    JobSpec {
+        problem: ProblemSpec::random(n, seed),
+        devices: 2,
+        blocks: 1,
+        seed,
+        max_batches: Some(batches),
+        units: (units > 0).then_some(units),
+        priority,
+        ..JobSpec::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn no_unit_is_lost_or_duplicated_under_random_interleavings(
+        seed in any::<u64>(),
+        workers in 1usize..4,
+        jobs in 2usize..6,
+        cancel_mask in any::<u8>(),
+    ) {
+        let registry = Arc::new(JobRegistry::new());
+        let pool = ElasticPool::spawn(workers, 256);
+        let mut records = Vec::new();
+        for j in 0..jobs {
+            let s = seed.wrapping_add(j as u64);
+            let record = registry.register(spec(
+                16,
+                s,
+                200 + (s % 5) * 150,
+                (s % 7) as u32, // 0 = pool decides
+                (s % 3) as i32 - 1,
+            ));
+            pool.submit(&record).unwrap();
+            // Cancel a pseudo-random subset immediately after admission, so
+            // cancels race admission, dispatch, and execution.
+            if (cancel_mask >> (j % 8)) & 1 == 1 {
+                record.request_cancel();
+            }
+            records.push(record);
+        }
+        for record in &records {
+            prop_assert!(
+                record.wait_terminal(Duration::from_secs(120)),
+                "job {} never went terminal",
+                record.id
+            );
+        }
+        // Close and join so every still-queued unit has been drained before
+        // the unit books are inspected.
+        pool.close();
+        pool.join();
+        for record in &records {
+            let (total, started, finished) = record.unit_counts();
+            // Conservation: a unit is claimed at most once and ends at most
+            // once. (A job cancelled while queued goes terminal directly and
+            // its units are dropped unaccounted — so `finished == total` is
+            // only owed when the fold decided the phase, i.e. for `done`.)
+            prop_assert!(started <= total, "job {}", record.id);
+            prop_assert!(finished <= total, "job {}", record.id);
+            prop_assert!(finished >= started, "job {}: a claimed unit never ended", record.id);
+            let (phase, result, error) = record.snapshot();
+            let budget = record.spec.max_batches.unwrap();
+            match phase.name() {
+                "done" => {
+                    prop_assert_eq!(finished, total, "job {}", record.id);
+                    let result = result.expect("done carries a result");
+                    prop_assert_eq!(
+                        result.batches, budget,
+                        "job {}: done must spend exactly its budget",
+                        record.id
+                    );
+                }
+                "cancelled" => {
+                    // Partial work never exceeds the budget (no duplicated
+                    // unit), and a result is only present if something ran.
+                    if let Some(result) = result {
+                        prop_assert!(result.batches <= budget, "job {}", record.id);
+                    }
+                }
+                other => prop_assert!(false, "job {}: unexpected phase {} ({:?})",
+                    record.id, other, error),
+            }
+        }
+    }
+
+    #[test]
+    fn one_worker_pool_equals_the_sequential_unit_fold(
+        seed in any::<u64>(),
+        batches in 150u64..900,
+        units in 1u32..6,
+    ) {
+        let make = || spec(24, seed, batches, units, 0);
+
+        // Reference: the standalone fold (same decomposition, FIFO order,
+        // incumbent chain between consecutive units, no pool).
+        let reference = Arc::new(JobRegistry::new()).register(make());
+        execute(&reference);
+        let (ref_phase, ref_result, ref_error) = reference.snapshot();
+        prop_assert_eq!(ref_phase.name(), "done", "{:?}", ref_error);
+        let ref_result = ref_result.unwrap();
+
+        // Same spec through a one-worker pool.
+        let registry = Arc::new(JobRegistry::new());
+        let pool = ElasticPool::spawn(1, 64);
+        let record = registry.register(make());
+        pool.submit(&record).unwrap();
+        prop_assert!(record.wait_terminal(Duration::from_secs(120)));
+        pool.close();
+        pool.join();
+        let (phase, result, error) = record.snapshot();
+        prop_assert_eq!(phase.name(), "done", "{:?}", error);
+        let result = result.unwrap();
+
+        prop_assert_eq!(result.energy, ref_result.energy);
+        prop_assert_eq!(result.best.clone(), ref_result.best.clone());
+        prop_assert_eq!(result.batches, ref_result.batches);
+        prop_assert_eq!(result.flips, ref_result.flips);
+        prop_assert_eq!(result.restarts, ref_result.restarts);
+        prop_assert_eq!(result.reached_target, ref_result.reached_target);
+    }
+}

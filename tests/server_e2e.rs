@@ -276,6 +276,63 @@ fn priorities_order_queued_work_on_a_busy_server() {
 }
 
 #[test]
+fn graceful_shutdown_drains_in_flight_units() {
+    // One worker held by a huge job, three more jobs queued behind it.
+    // `shutdown()` must stop dispatch, revoke the queued units without
+    // executing them, interrupt the running unit at its next batch, and
+    // join promptly — with the partially-run job reporting `cancelled`
+    // and keeping its best-so-far result.
+    let server = start_server(1);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    let running_id = client.submit(&job(32, 9, u64::MAX / 2)).expect("submit");
+    let queued_ids: Vec<_> = (0..3)
+        .map(|i| client.submit(&job(16, 20 + i, 500)).expect("submit"))
+        .collect();
+
+    let t0 = Instant::now();
+    loop {
+        let (phase, _) = client.status(running_id).expect("status");
+        if phase == "running" {
+            break;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(20), "never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(30)); // let it do real work
+
+    // Keep record handles so the outcomes stay inspectable after the
+    // sockets are gone.
+    let state = server.state().clone();
+    let running = state.registry.get(running_id).expect("record");
+    let queued: Vec<_> = queued_ids
+        .iter()
+        .map(|&id| state.registry.get(id).expect("record"))
+        .collect();
+
+    let shutdown_at = Instant::now();
+    server.shutdown();
+    assert!(
+        shutdown_at.elapsed() < Duration::from_secs(10),
+        "shutdown hung: {:?}",
+        shutdown_at.elapsed()
+    );
+
+    let (phase, result, _) = running.snapshot();
+    assert_eq!(phase.name(), "cancelled");
+    let partial = result.expect("partially-run job keeps its best-so-far");
+    assert!(partial.batches > 0, "it really was mid-run");
+    for record in &queued {
+        let (phase, result, _) = record.snapshot();
+        assert_eq!(phase.name(), "cancelled", "drained job {}", record.id);
+        assert!(result.is_none(), "never-run job has no fabricated result");
+        let (_, started, _) = record.unit_counts();
+        assert_eq!(started, 0, "drained unit executed on job {}", record.id);
+    }
+}
+
+#[test]
 fn stats_and_ping_respond_over_the_wire() {
     let server = start_server(2);
     let mut client = Client::connect(server.local_addr()).expect("connect");
