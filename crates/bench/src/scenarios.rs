@@ -1012,6 +1012,209 @@ pub mod scan {
 }
 
 // ---------------------------------------------------------------------------
+// Observability overhead
+// ---------------------------------------------------------------------------
+
+/// Prices the observability layer on the solver's hot loop: the §III-B
+/// batch composite (greedy descent + PositiveMin leg) runs twice on the
+/// `scan_sweep` sparse instance — once plain, once tallying every batch
+/// into a [`dabs_core::ObsAccumulator`] exactly as the sequential engine
+/// does (sampled 1-in-2^k publication to the global counters). The
+/// contract pins the instrumented arm at ≥ 97% of plain throughput.
+pub mod obs_overhead {
+    use super::scan::{shape, sparse_model};
+    use super::*;
+    use dabs_core::ObsAccumulator;
+    use dabs_model::{BestTracker, IncrementalState};
+    use dabs_rng::Xorshift64Star;
+    use dabs_search::{positive_min, TabuList};
+    use std::time::Instant;
+
+    /// The CI contract: instrumentation may cost at most this fraction of
+    /// flip throughput (the measured cost is ~0 — the accumulator is plain
+    /// per-engine arithmetic with a sampled atomic flush — so a trip means
+    /// something started touching shared state per flip).
+    pub const OBS_MAX_OVERHEAD: f64 = 0.03;
+
+    /// One measured pair: flips/s with and without the per-batch tally.
+    pub struct OverheadPoint {
+        pub name: &'static str,
+        pub plain_rate: f64,
+        pub instr_rate: f64,
+    }
+
+    impl OverheadPoint {
+        /// Instrumented throughput as a fraction of plain (1.0 = free).
+        pub fn ratio(&self) -> f64 {
+            self.instr_rate / self.plain_rate
+        }
+    }
+
+    /// Time one arm once: warm-up, then a timed budget of batch
+    /// composites. The instrumented arm additionally reports each batch
+    /// (strategy, flip count, Δ-segment re-reductions, improved?) to an
+    /// accumulator — the exact call sequence `SeqEngine::one_batch` makes.
+    fn run_arm(model: &QuboModel, flips: u64, seed: u64, instrumented: bool) -> f64 {
+        let n = model.n();
+        let mut st = IncrementalState::new(model);
+        let mut best = BestTracker::unbounded(n);
+        let mut tabu = TabuList::new(n, 8);
+        let mut rng = Xorshift64Star::new(seed);
+        let mut acc = instrumented.then(ObsAccumulator::new);
+        let leg = (n as u64).div_ceil(10);
+        let mut last_reds = st.seg_reductions();
+        let mut last_best = best.energy();
+        let mut one_batch = |st: &mut IncrementalState<'_>,
+                             best: &mut BestTracker,
+                             tabu: &mut TabuList,
+                             rng: &mut Xorshift64Star,
+                             budget: u64| {
+            let mut done = dabs_search::greedy(st, best, tabu, u64::MAX);
+            done += positive_min(st, best, tabu, rng, leg.min(budget));
+            if let Some(acc) = acc.as_mut() {
+                let reds = st.seg_reductions();
+                let improved = best.energy() < last_best;
+                acc.on_batch(0, done, reds - last_reds, improved);
+                last_reds = reds;
+                last_best = best.energy();
+            }
+            done.max(1)
+        };
+        let mut warm = 0u64;
+        while warm < (flips / 8).max(64) {
+            warm += one_batch(&mut st, &mut best, &mut tabu, &mut rng, 256);
+        }
+        let mut done = 0u64;
+        let t0 = Instant::now();
+        while done < flips {
+            done += one_batch(&mut st, &mut best, &mut tabu, &mut rng, flips - done);
+        }
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        std::hint::black_box(best.energy());
+        done as f64 / secs
+    }
+
+    /// Best-of-`reps` per arm, with the arms interleaved (plain, instr,
+    /// plain, …) so slow machine-wide drift hits both equally. A pair
+    /// whose first pass lands under the contract line gets one
+    /// confirmation pass with fresh reps (best-of-all kept): the timed
+    /// sections are ~100 ms, where a one-off 3% deficit is scheduler
+    /// noise on a busy host, so only a deficit that survives both passes
+    /// reaches [`violations`].
+    pub fn measure(mode: SuiteMode, seed: u64) -> Vec<OverheadPoint> {
+        let (n, flips, reps) = shape(mode);
+        let flips = flips * 2;
+        let plan: [(&'static str, QuboModel); 2] = [
+            (
+                "gset.batch",
+                sparse_model(n, 5 * n, 9, seed.wrapping_add(79)),
+            ),
+            (
+                "weighted.batch",
+                sparse_model(n, 12 * n, 99, seed.wrapping_add(80)),
+            ),
+        ];
+        plan.iter()
+            .map(|(name, model)| {
+                let mut plain = 0.0f64;
+                let mut instr = 0.0f64;
+                for pass in 0..2 {
+                    for r in 0..reps {
+                        let arm_seed = 5 + (pass * reps + r) as u64;
+                        plain = plain.max(run_arm(model, flips, arm_seed, false));
+                        instr = instr.max(run_arm(model, flips, arm_seed, true));
+                    }
+                    if instr >= plain * (1.0 - OBS_MAX_OVERHEAD) {
+                        break;
+                    }
+                }
+                OverheadPoint {
+                    name,
+                    plain_rate: plain,
+                    instr_rate: instr,
+                }
+            })
+            .collect()
+    }
+
+    /// Contract violations across the measured pairs (empty = holds).
+    pub fn violations(points: &[OverheadPoint]) -> Vec<String> {
+        points
+            .iter()
+            .filter(|p| p.ratio() < 1.0 - OBS_MAX_OVERHEAD)
+            .map(|p| {
+                format!(
+                    "{}: instrumented arm runs at {:.1}% of plain throughput \
+                     (contract: \u{2265} {:.0}%)",
+                    p.name,
+                    p.ratio() * 100.0,
+                    (1.0 - OBS_MAX_OVERHEAD) * 100.0
+                )
+            })
+            .collect()
+    }
+
+    /// The suite entry: both arms' throughput (trajectory), the ratio per
+    /// pair, the worst ratio, and the \u{2264}3% contract verdict. Like the
+    /// other machine-timed entries, gates are suspended at `Test` scale.
+    pub fn entry(cfg: &SuiteConfig) -> MetricSet {
+        let gate_timing = cfg.mode != SuiteMode::Test;
+        let points = measure(cfg.mode, cfg.seed);
+        let bad = violations(&points);
+        let mut out = MetricSet::new();
+        let mut worst = f64::INFINITY;
+        for p in &points {
+            out.push(Metric::new(
+                format!("{}.plain_mflips", p.name),
+                p.plain_rate / 1e6,
+                "Mflip/s",
+                Direction::HigherIsBetter,
+            ));
+            out.push(Metric::new(
+                format!("{}.instr_mflips", p.name),
+                p.instr_rate / 1e6,
+                "Mflip/s",
+                Direction::HigherIsBetter,
+            ));
+            worst = worst.min(p.ratio());
+            out.push(Metric::new(
+                format!("{}.ratio", p.name),
+                p.ratio(),
+                "ratio",
+                Direction::HigherIsBetter,
+            ));
+        }
+        let mut min_ratio = Metric::new(
+            "min_throughput_ratio",
+            if worst.is_finite() { worst } else { 0.0 },
+            "ratio",
+            Direction::HigherIsBetter,
+        );
+        if gate_timing {
+            // Machine-relative (both arms on one box), so it gates
+            // meaningfully across hosts; 10% slack absorbs runner noise
+            // while the contract below pins the absolute floor.
+            min_ratio = min_ratio.gated(0.1);
+        }
+        out.push(min_ratio);
+        let mut contract = Metric::new(
+            "contract_ok",
+            if bad.is_empty() { 1.0 } else { 0.0 },
+            "bool",
+            Direction::HigherIsBetter,
+        );
+        if gate_timing {
+            contract = contract.gated(0.0);
+        }
+        out.push(contract);
+        for v in &bad {
+            eprintln!("obs_overhead contract violation: {v}");
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Server throughput
 // ---------------------------------------------------------------------------
 

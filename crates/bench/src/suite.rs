@@ -168,6 +168,14 @@ pub fn registry() -> Vec<SuiteEntry> {
             run: scenarios::scan::entry,
         },
         SuiteEntry {
+            name: "obs_overhead",
+            family: Family::Kernel,
+            about: "observability tax on the hot loop: batch-composite flips/s with the \
+                    per-batch ObsAccumulator tally vs plain + \u{2264}3% overhead contract",
+            context: &[("kernel", "csr"), ("segments", "on")],
+            run: scenarios::obs_overhead::entry,
+        },
+        SuiteEntry {
             name: "server_throughput",
             family: Family::Server,
             about: "jobs/s and p50/p99 latency against an in-process dabs-server over TCP",

@@ -1,16 +1,18 @@
 //! The CLI subcommands.
 
-use crate::options::{LoadgenOptions, Options, ServeOptions};
+use crate::options::{LoadgenOptions, Options, ServeOptions, TimelineOptions};
 use dabs_baselines::bnb::{BnbConfig, BranchAndBound};
 use dabs_baselines::hybrid::{HybridConfig, HybridSolver};
 use dabs_baselines::sa::{SaConfig, SimulatedAnnealing};
 use dabs_baselines::sb::{SbConfig, SimulatedBifurcation};
 use dabs_core::{DabsConfig, DabsSolver, Incumbent, IncumbentObserver, Termination};
 use dabs_server::{
-    drive_fleet, ExecMode, JobSpec, LatencySummary, ProblemSpec, Server, ServerConfig,
+    drive_fleet, timeline_to_chrome, Client, ExecMode, JobSpec, LatencySummary, PoolLoad,
+    ProblemSpec, Server, ServerConfig, TimelineEvent, TimelineKind,
 };
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// `dabs solve`: run DABS (or the ABS preset) and print the result.
 pub fn solve(opts: &Options) -> Result<(), String> {
@@ -141,9 +143,19 @@ pub fn loadgen_from_args(args: &[String]) -> Result<(), String> {
         opts.batches
     );
 
+    // --watch-pool: a side thread polls `stats` on its own connection and
+    // prints pool load plus per-interval steal/split deltas while the
+    // fleet runs.
+    let stop = Arc::new(AtomicBool::new(false));
+    let watcher = opts.watch_pool.map(|interval_ms| {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || watch_pool_loop(&addr, interval_ms, &stop))
+    });
+
     let t0 = Instant::now();
     let (n, batches, seed_base) = (opts.n, opts.batches, opts.seed);
-    let all = drive_fleet(&addr, opts.clients, opts.jobs, move |c, j| {
+    let driven = drive_fleet(&addr, opts.clients, opts.jobs, move |c, j| {
         let seed = seed_base + (c * 10_007 + j) as u64;
         JobSpec {
             problem: ProblemSpec::random(n, seed),
@@ -152,13 +164,109 @@ pub fn loadgen_from_args(args: &[String]) -> Result<(), String> {
             max_batches: Some(batches),
             ..JobSpec::default()
         }
-    })?;
+    });
     let wall = t0.elapsed();
+    // Stop the watcher before tearing down the in-process server so its
+    // polls don't race the listener going away.
+    stop.store(true, Ordering::Relaxed);
+    if let Some(h) = watcher {
+        let _ = h.join();
+    }
+    let all = driven?;
     if let Some(s) = local {
         s.shutdown();
     }
     let summary = LatencySummary::from_samples(all, wall).ok_or("no jobs completed")?;
     println!("{}", summary.report());
+    Ok(())
+}
+
+/// Poll `stats` every `interval_ms` and print pool-load lines to stderr
+/// (stdout stays reserved for the loadgen summary). Best-effort: connect
+/// or poll failures end the watch quietly rather than failing the run.
+fn watch_pool_loop(addr: &str, interval_ms: u64, stop: &AtomicBool) {
+    let Ok(mut client) = Client::connect(addr) else {
+        eprintln!("watch-pool: cannot connect to {addr}");
+        return;
+    };
+    let mut last: Option<PoolLoad> = None;
+    while !stop.load(Ordering::Relaxed) {
+        let Ok(response) = client.stats() else { return };
+        if let Some(load) = PoolLoad::from_stats(&response) {
+            let (d_steals, d_splits) = match last {
+                Some(prev) => (
+                    load.steals.saturating_sub(prev.steals),
+                    load.splits.saturating_sub(prev.splits),
+                ),
+                None => (load.steals, load.splits),
+            };
+            eprintln!(
+                "watch-pool: {} · Δ{interval_ms}ms: +{d_steals} steals +{d_splits} splits",
+                load.report()
+            );
+            last = Some(load);
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}
+
+/// One human-readable line per timeline event.
+fn timeline_line(event: &TimelineEvent) -> String {
+    let at = event.at_us as f64 / 1e3;
+    let body = match &event.kind {
+        TimelineKind::Admitted => "admitted".to_string(),
+        TimelineKind::UnitStart {
+            unit,
+            worker,
+            queue_wait_us,
+        } => format!(
+            "unit {unit} start on worker {worker} (queued {:.3}ms)",
+            *queue_wait_us as f64 / 1e3
+        ),
+        TimelineKind::UnitEnd { unit, end, batches } => {
+            format!("unit {unit} {end} after {batches} batches")
+        }
+        TimelineKind::Incumbent { energy } => format!("incumbent E = {energy}"),
+        TimelineKind::Terminal { phase } => format!("terminal: {phase}"),
+    };
+    format!("{at:>10.3}ms  {body}")
+}
+
+/// `dabs timeline <job>`: print a job's recorded lifecycle events.
+pub fn timeline_from_args(args: &[String]) -> Result<(), String> {
+    let opts = TimelineOptions::parse(args)?;
+    let mut client = Client::connect(opts.addr.as_str())
+        .map_err(|e| format!("cannot connect to {}: {e}", opts.addr))?;
+    let (events, dropped) = client.timeline(opts.job)?;
+    println!("job {} — {} timeline events", opts.job, events.len());
+    for event in &events {
+        println!("{}", timeline_line(event));
+    }
+    if dropped > 0 {
+        println!("({dropped} later events dropped at the per-job cap)");
+    }
+    Ok(())
+}
+
+/// `dabs trace`: export a job's timeline as a Chrome `trace_event` JSON
+/// file (load in chrome://tracing or Perfetto).
+pub fn trace_from_args(args: &[String]) -> Result<(), String> {
+    let opts = TimelineOptions::parse(args)?;
+    let out = opts.out.unwrap_or_else(|| "trace.json".to_string());
+    let mut client = Client::connect(opts.addr.as_str())
+        .map_err(|e| format!("cannot connect to {}: {e}", opts.addr))?;
+    let (events, dropped) = client.timeline(opts.job)?;
+    if dropped > 0 {
+        eprintln!("trace: {dropped} later events were dropped at the per-job cap");
+    }
+    let chrome = timeline_to_chrome(opts.job, &events);
+    std::fs::write(&out, dabs_obs::chrome::write_trace(&chrome))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {} trace events for job {} to {out}",
+        chrome.len(),
+        opts.job
+    );
     Ok(())
 }
 

@@ -9,6 +9,9 @@
 //! dabs info    --problem … --n N --seed S
 //! dabs serve   [--addr A] [--workers W] [--queue Q]
 //! dabs loadgen [--addr A] [--clients C] [--jobs J] [--n N] [--batches B]
+//!              [--watch-pool MS]
+//! dabs timeline <job> [--addr A]
+//! dabs trace   <job> [--addr A] [--out FILE]
 //! dabs bench   smoke|full|list|compare …
 //! ```
 
@@ -34,6 +37,8 @@ fn main() {
     let outcome = match command.as_str() {
         "serve" => commands::serve_from_args(&args),
         "loadgen" => commands::loadgen_from_args(&args),
+        "timeline" => commands::timeline_from_args(&args),
+        "trace" => commands::trace_from_args(&args),
         // `bench` owns its own exit codes (1 = gate failure, 2 = usage).
         "bench" => std::process::exit(commands::bench_from_args(&args)),
         "solve" | "compare" | "info" => {
@@ -72,7 +77,9 @@ USAGE:
   dabs info    --problem <kind> [--n N] [--seed S]
   dabs serve   [--addr A] [--workers W] [--queue Q]
   dabs loadgen [--addr A] [--clients C] [--jobs J] [--n N] [--batches B]
-               [--workers W] [--seed S]
+               [--workers W] [--seed S] [--watch-pool MS]
+  dabs timeline <job> [--addr A]
+  dabs trace   <job> [--addr A] [--out FILE]
   dabs bench   smoke|full [--seed S] [--filter F] [--out FILE] | list
   dabs bench   compare --baseline FILE [--candidate FILE]
                [--tolerance-scale X]
@@ -97,7 +104,14 @@ SERVER:
   front of W long-lived solver workers, speaking newline-delimited JSON
   over TCP (see docs/PROTOCOL.md). dabs loadgen drives it with C
   concurrent clients × J jobs and reports jobs/s and latency percentiles;
-  without --addr it spins up an in-process server first.
+  without --addr it spins up an in-process server first, and with
+  --watch-pool MS it prints pool load + steal/split deltas every MS ms.
+
+OBSERVABILITY:
+  dabs timeline prints a job's recorded lifecycle (admission, per-unit
+  start/end with queue waits, incumbents, terminal phase). dabs trace
+  exports the same timeline as a Chrome trace_event JSON file for
+  chrome://tracing or Perfetto (see docs/OBSERVABILITY.md).
 
 BENCH:
   dabs bench runs the unified benchmark suite (time-to-target per problem

@@ -152,6 +152,9 @@ pub struct LoadgenOptions {
     /// Workers for the in-process server (ignored with `--addr`).
     pub workers: usize,
     pub seed: u64,
+    /// Print pool-load snapshots (with steal/split deltas) every N ms
+    /// while the fleet runs.
+    pub watch_pool: Option<u64>,
 }
 
 impl LoadgenOptions {
@@ -164,6 +167,7 @@ impl LoadgenOptions {
             batches: 300,
             workers: 2,
             seed: 1,
+            watch_pool: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -180,13 +184,55 @@ impl LoadgenOptions {
                 "--batches" => o.batches = parse(&value("batches")?, "batches")?,
                 "--workers" => o.workers = parse(&value("workers")?, "workers")?,
                 "--seed" => o.seed = parse(&value("seed")?, "seed")?,
+                "--watch-pool" => o.watch_pool = Some(parse(&value("watch-pool")?, "watch-pool")?),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
         if o.clients == 0 || o.jobs == 0 {
             return Err("--clients and --jobs must be ≥ 1".into());
         }
+        if o.watch_pool == Some(0) {
+            return Err("--watch-pool interval must be ≥ 1 ms".into());
+        }
         Ok(o)
+    }
+}
+
+/// Options for `dabs timeline` and `dabs trace` — both fetch one job's
+/// event timeline from a running server; `trace` additionally exports it
+/// as a Chrome `trace_event` file.
+#[derive(Debug, Clone)]
+pub struct TimelineOptions {
+    pub job: u64,
+    pub addr: String,
+    /// `dabs trace` output path (defaulted there, unused by `timeline`).
+    pub out: Option<String>,
+}
+
+impl TimelineOptions {
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut job: Option<u64> = None;
+        let mut addr = "127.0.0.1:7878".to_string();
+        let mut out: Option<String> = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("--{name} requires a value"))
+            };
+            match a.as_str() {
+                "--addr" => addr = value("addr")?,
+                "--job" => job = Some(parse(&value("job")?, "job")?),
+                "--out" => out = Some(value("out")?),
+                other if !other.starts_with('-') && job.is_none() => {
+                    job = Some(parse(other, "job")?)
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        let job = job.ok_or("a job id is required (positional or --job)")?;
+        Ok(Self { job, addr, out })
     }
 }
 
@@ -326,6 +372,38 @@ mod tests {
         let o = LoadgenOptions::parse(&args).unwrap();
         assert_eq!(o.addr.as_deref(), Some("127.0.0.1:7878"));
         assert_eq!((o.clients, o.jobs, o.n, o.batches), (8, 64, 16, 50));
+        assert!(o.watch_pool.is_none());
         assert!(LoadgenOptions::parse(&["--jobs".into(), "0".into()]).is_err());
+    }
+
+    #[test]
+    fn loadgen_watch_pool_flag() {
+        let args: Vec<String> = "--watch-pool 250"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let o = LoadgenOptions::parse(&args).unwrap();
+        assert_eq!(o.watch_pool, Some(250));
+        assert!(LoadgenOptions::parse(&["--watch-pool".into(), "0".into()]).is_err());
+        assert!(LoadgenOptions::parse(&["--watch-pool".into()]).is_err());
+    }
+
+    #[test]
+    fn timeline_options_positional_and_flags() {
+        let args: Vec<String> = vec!["17".into()];
+        let o = TimelineOptions::parse(&args).unwrap();
+        assert_eq!((o.job, o.addr.as_str()), (17, "127.0.0.1:7878"));
+        assert!(o.out.is_none());
+        let args: Vec<String> = "--job 4 --addr 10.0.0.1:9 --out t.json"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let o = TimelineOptions::parse(&args).unwrap();
+        assert_eq!((o.job, o.addr.as_str()), (4, "10.0.0.1:9"));
+        assert_eq!(o.out.as_deref(), Some("t.json"));
+        // A job id is mandatory; garbage and unknown flags are rejected.
+        assert!(TimelineOptions::parse(&[]).is_err());
+        assert!(TimelineOptions::parse(&["nonsense".into()]).is_err());
+        assert!(TimelineOptions::parse(&["1".into(), "--bogus".into()]).is_err());
     }
 }

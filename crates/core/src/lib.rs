@@ -47,6 +47,7 @@ mod adaptive;
 mod config;
 mod genetic;
 mod island;
+pub mod obs;
 mod pool;
 mod solver;
 mod stats;
@@ -59,6 +60,7 @@ pub use config::DabsConfig;
 pub use dabs_gpu_sim::StopFlag;
 pub use genetic::GeneticOp;
 pub use island::IslandRing;
+pub use obs::{push_hist, solver_obs, ObsAccumulator, SolverObs};
 pub use pool::{PoolEntry, SolutionPool};
 pub use solver::{
     DabsSolver, Incumbent, IncumbentObserver, SolveResult, Termination, UnitOutcome, UnitRun,

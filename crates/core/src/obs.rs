@@ -1,0 +1,276 @@
+//! Solver-side observability: sampled hot-loop counters and the bridge
+//! from `dabs-obs` snapshots to [`MetricSet`].
+//!
+//! The flip loop is scan-free-fast and must stay that way, so nothing in
+//! the hot path touches a shared atomic. Instead the sequential engine
+//! tallies per-batch deltas (flips per strategy, incumbent updates,
+//! Δ-segment re-reductions) into a private [`ObsAccumulator`] and
+//! publishes to the process-wide [`SolverObs`] only once every
+//! `2^OBS_SAMPLE_SHIFT` batches — plus a final flush when the unit ends —
+//! so the shared counters lag the truth by at most one sampling window.
+
+use crate::stats::{Direction, Metric, MetricSet, N_ALGOS};
+use dabs_obs::{Counter, HistSnapshot, OBS_SAMPLE_MASK};
+use dabs_search::MainAlgorithm;
+use std::sync::OnceLock;
+
+/// Process-wide solver counters, indexed by [`MainAlgorithm::index`]
+/// where per-strategy. Updated at sampling granularity by every engine in
+/// the process; read by the server's `metrics` verb and the bench suite.
+#[derive(Debug)]
+pub struct SolverObs {
+    /// Batches completed across all units.
+    pub batches: Counter,
+    /// Flips executed, per main algorithm.
+    pub flips_by_algo: [Counter; N_ALGOS],
+    /// Engine-best (incumbent) improvements, per main algorithm — the
+    /// improvement-rate signal the ROADMAP's portfolio controller reads.
+    pub incumbents_by_algo: [Counter; N_ALGOS],
+    /// Lazy Δ-segment re-reductions performed by the segment layer.
+    pub seg_reductions: Counter,
+}
+
+impl SolverObs {
+    fn new() -> Self {
+        Self {
+            batches: Counter::new(),
+            flips_by_algo: std::array::from_fn(|_| Counter::new()),
+            incumbents_by_algo: std::array::from_fn(|_| Counter::new()),
+            seg_reductions: Counter::new(),
+        }
+    }
+
+    /// Total flips across all strategies.
+    pub fn total_flips(&self) -> u64 {
+        self.flips_by_algo.iter().map(Counter::get).sum()
+    }
+
+    /// Total incumbent improvements across all strategies.
+    pub fn total_incumbents(&self) -> u64 {
+        self.incumbents_by_algo.iter().map(Counter::get).sum()
+    }
+
+    /// Export the counters under `solver.*` names.
+    pub fn metrics_into(&self, set: &mut MetricSet) {
+        let up = Direction::HigherIsBetter;
+        set.push(Metric::new(
+            "solver.batches",
+            self.batches.get() as f64,
+            "count",
+            up,
+        ));
+        set.push(Metric::new(
+            "solver.flips",
+            self.total_flips() as f64,
+            "count",
+            up,
+        ));
+        set.push(Metric::new(
+            "solver.incumbent_updates",
+            self.total_incumbents() as f64,
+            "count",
+            up,
+        ));
+        set.push(Metric::new(
+            "solver.seg_reductions",
+            self.seg_reductions.get() as f64,
+            "count",
+            up,
+        ));
+        for algo in MainAlgorithm::ALL {
+            let i = algo.index();
+            set.push(Metric::new(
+                format!("solver.flips.{}", algo.name()),
+                self.flips_by_algo[i].get() as f64,
+                "count",
+                up,
+            ));
+            set.push(Metric::new(
+                format!("solver.incumbent_updates.{}", algo.name()),
+                self.incumbents_by_algo[i].get() as f64,
+                "count",
+                up,
+            ));
+        }
+    }
+}
+
+/// The process-wide [`SolverObs`] singleton.
+pub fn solver_obs() -> &'static SolverObs {
+    static OBS: OnceLock<SolverObs> = OnceLock::new();
+    OBS.get_or_init(SolverObs::new)
+}
+
+/// Per-engine tally that batches counter updates and publishes to
+/// [`solver_obs`] once every `2^OBS_SAMPLE_SHIFT` batches. Dropping the
+/// accumulator flushes the tail, so short units still report.
+#[derive(Debug, Default)]
+pub struct ObsAccumulator {
+    batches: u64,
+    pend_batches: u64,
+    pend_flips: [u64; N_ALGOS],
+    pend_incumbents: [u64; N_ALGOS],
+    pend_reductions: u64,
+}
+
+impl ObsAccumulator {
+    /// A fresh accumulator with nothing pending.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed batch: which strategy ran, how many flips and
+    /// segment re-reductions it cost, and whether it improved the engine
+    /// best. Publishes on 1-in-2^k batches only.
+    #[inline]
+    pub fn on_batch(&mut self, algo_index: usize, flips: u64, reductions: u64, improved: bool) {
+        self.batches += 1;
+        self.pend_batches += 1;
+        self.pend_flips[algo_index] += flips;
+        self.pend_reductions += reductions;
+        if improved {
+            self.pend_incumbents[algo_index] += 1;
+        }
+        if self.batches & OBS_SAMPLE_MASK == 0 {
+            self.flush();
+        }
+    }
+
+    /// Publish all pending tallies to the global counters.
+    pub fn flush(&mut self) {
+        let obs = solver_obs();
+        if self.pend_batches > 0 {
+            obs.batches.add(self.pend_batches);
+            self.pend_batches = 0;
+        }
+        if self.pend_reductions > 0 {
+            obs.seg_reductions.add(self.pend_reductions);
+            self.pend_reductions = 0;
+        }
+        for i in 0..N_ALGOS {
+            if self.pend_flips[i] > 0 {
+                obs.flips_by_algo[i].add(self.pend_flips[i]);
+                self.pend_flips[i] = 0;
+            }
+            if self.pend_incumbents[i] > 0 {
+                obs.incumbents_by_algo[i].add(self.pend_incumbents[i]);
+                self.pend_incumbents[i] = 0;
+            }
+        }
+    }
+}
+
+impl Drop for ObsAccumulator {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Export a histogram snapshot as `{prefix}.count/p50/p99/p999/max/mean`
+/// metrics (values in `unit`, e.g. `"us"`). Count is higher-is-better in
+/// spirit (more observations, more confidence); the latency-style
+/// percentiles are lower-is-better.
+pub fn push_hist(set: &mut MetricSet, prefix: &str, unit: &str, snap: &HistSnapshot) {
+    set.push(Metric::new(
+        format!("{prefix}.count"),
+        snap.count() as f64,
+        "count",
+        Direction::HigherIsBetter,
+    ));
+    let down = Direction::LowerIsBetter;
+    set.push(Metric::new(
+        format!("{prefix}.p50"),
+        snap.p50() as f64,
+        unit,
+        down,
+    ));
+    set.push(Metric::new(
+        format!("{prefix}.p99"),
+        snap.p99() as f64,
+        unit,
+        down,
+    ));
+    set.push(Metric::new(
+        format!("{prefix}.p999"),
+        snap.p999() as f64,
+        unit,
+        down,
+    ));
+    set.push(Metric::new(
+        format!("{prefix}.max"),
+        snap.max().unwrap_or(0) as f64,
+        unit,
+        down,
+    ));
+    set.push(Metric::new(
+        format!("{prefix}.mean"),
+        snap.mean(),
+        unit,
+        down,
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dabs_obs::LogHistogram;
+
+    // Both tests assert `>=` deltas: the counters are process-global and
+    // the test harness runs tests in parallel threads.
+
+    #[test]
+    fn accumulator_samples_then_flushes_tail() {
+        let obs = solver_obs();
+        let before = obs.batches.get();
+        {
+            let mut acc = ObsAccumulator::new();
+            // One short of a full sampling window: only the drop-flush can
+            // publish these.
+            for _ in 0..OBS_SAMPLE_MASK {
+                acc.on_batch(0, 10, 1, false);
+            }
+        }
+        assert!(solver_obs().batches.get() >= before + OBS_SAMPLE_MASK);
+    }
+
+    #[test]
+    fn accumulator_publishes_on_window_boundary() {
+        let obs = solver_obs();
+        let before = obs.flips_by_algo[1].get();
+        let mut acc = ObsAccumulator::new();
+        for _ in 0..=OBS_SAMPLE_MASK {
+            acc.on_batch(1, 5, 0, true);
+        }
+        // The 2^k-th batch hit the boundary and published before any drop.
+        assert!(obs.flips_by_algo[1].get() >= before + 5 * (OBS_SAMPLE_MASK + 1));
+        drop(acc);
+    }
+
+    #[test]
+    fn hist_bridge_exports_expected_names() {
+        let h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let mut set = MetricSet::new();
+        push_hist(&mut set, "pool.queue_wait", "us", &h.snapshot());
+        for suffix in ["count", "p50", "p99", "p999", "max", "mean"] {
+            assert!(
+                set.get(&format!("pool.queue_wait.{suffix}")).is_some(),
+                "missing {suffix}"
+            );
+        }
+        assert_eq!(set.get("pool.queue_wait.count").unwrap().value, 100.0);
+        assert_eq!(set.get("pool.queue_wait.max").unwrap().value, 100.0);
+    }
+
+    #[test]
+    fn solver_obs_metrics_cover_all_strategies() {
+        let mut set = MetricSet::new();
+        solver_obs().metrics_into(&mut set);
+        for algo in MainAlgorithm::ALL {
+            assert!(set.get(&format!("solver.flips.{}", algo.name())).is_some());
+        }
+        assert!(set.get("solver.seg_reductions").is_some());
+    }
+}

@@ -615,6 +615,7 @@ struct SeqEngine<'m, K: QuboKernel> {
     host_rngs: Vec<Xorshift64Star>,
     devices: Vec<InlineDevice<'m, K>>,
     tracker: FrequencyTracker,
+    obs: crate::obs::ObsAccumulator,
     best_solution: Option<Solution>,
     best_energy: i64,
     found_at: Duration,
@@ -680,6 +681,7 @@ impl<'m, K: QuboKernel> SeqEngine<'m, K> {
             host_rngs,
             devices,
             tracker: FrequencyTracker::new(),
+            obs: crate::obs::ObsAccumulator::new(),
             best_solution,
             best_energy,
             found_at: Duration::ZERO,
@@ -745,9 +747,18 @@ impl<'m, K: QuboKernel> SeqEngine<'m, K> {
             (Packet::request(target, algo, op.index() as u8), algo, op)
         };
         self.tracker.record_dispatch(algo, op);
+        // Deltas around the batch (three relaxed loads) feed the sampled
+        // observability tally; the flip loop itself is untouched.
+        let flips_before = self.devices[d].stats().flips();
+        let reds_before = self.devices[d].seg_reductions();
         let result = self.devices[d].process(packet);
+        let flips_delta = self.devices[d].stats().flips() - flips_before;
+        let reds_delta = self.devices[d].seg_reductions() - reds_before;
         self.batches += 1;
         let energy = result.energy.expect("device results carry energy");
+        let improved = energy < self.best_energy;
+        self.obs
+            .on_batch(algo.index(), flips_delta, reds_delta, improved);
         if energy < self.best_energy {
             self.best_energy = energy;
             self.best_solution = Some(result.solution.clone());

@@ -206,6 +206,12 @@ impl<'m, K: QuboKernel> InlineDevice<'m, K> {
         &self.stats
     }
 
+    /// Lifetime lazy Δ-segment re-reductions performed by the resident
+    /// state (sampled into the solver's observability counters).
+    pub fn seg_reductions(&self) -> u64 {
+        self.state.seg_reductions()
+    }
+
     /// The resident block's current vector (for tests).
     pub fn resident(&self) -> &Solution {
         self.state.solution()

@@ -169,6 +169,13 @@ impl<'m, K: QuboKernel> IncrementalState<'m, K> {
         self.flips
     }
 
+    /// Lifetime lazy segment re-reductions performed by this state's
+    /// aggregates (see [`SegmentAggregates::reductions`]).
+    #[inline]
+    pub fn seg_reductions(&self) -> u64 {
+        self.segs.reductions()
+    }
+
     /// Flip bit `i`, updating the energy, all gains, and the dirtied
     /// segment aggregates. Returns the new energy. `O(deg(i))` (dense
     /// backend: `O(n)` cheap contiguous lanes).

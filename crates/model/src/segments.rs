@@ -69,6 +69,13 @@ pub struct SegmentAggregates {
     any_dirty_min: bool,
     /// Fast path: false means no `dirty_max` bit can be set.
     any_dirty_max: bool,
+    /// Lifetime count of segment re-reductions (one per segment side
+    /// recomputed by [`SegmentAggregates::refresh_min`] /
+    /// [`SegmentAggregates::refresh_max`]). A plain field, not an atomic:
+    /// observability reads it at batch granularity through
+    /// [`SegmentAggregates::reductions`], so the flip loop pays one
+    /// register increment per O(64) re-reduction and nothing else.
+    reductions: u64,
 }
 
 impl SegmentAggregates {
@@ -85,6 +92,7 @@ impl SegmentAggregates {
             dirty_max: vec![0u64; segs.div_ceil(64)],
             any_dirty_min: false,
             any_dirty_max: false,
+            reductions: 0,
         };
         s.mark_all();
         s
@@ -244,6 +252,7 @@ impl SegmentAggregates {
                 let (mn, am) = reduce_min_argmin(lo, &delta[lo..hi]);
                 self.mins[seg] = mn;
                 self.argmins[seg] = am as u32;
+                self.reductions += 1;
             }
         }
         self.any_dirty_min = false;
@@ -268,9 +277,18 @@ impl SegmentAggregates {
                     mx = if v > mx { v } else { mx };
                 }
                 self.maxs[seg] = mx;
+                self.reductions += 1;
             }
         }
         self.any_dirty_max = false;
+    }
+
+    /// Lifetime segment re-reductions performed by the lazy refresh paths
+    /// (the cost the Δ-segment layer exists to amortize; exported as a
+    /// sampled solver counter).
+    #[inline]
+    pub fn reductions(&self) -> u64 {
+        self.reductions
     }
 
     /// Bring both sides up to date.

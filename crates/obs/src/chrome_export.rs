@@ -1,0 +1,198 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the "JSON Object Format" understood by `chrome://tracing` and
+//! Perfetto: `{"traceEvents": [...], "displayTimeUnit": "ms"}` where each
+//! event carries `name`/`cat`/`ph`/`ts`/`pid`/`tid` (plus `dur` for
+//! complete spans and an `args` object). Written by hand — this crate has
+//! no serializer dependency — with full string escaping.
+
+use crate::trace::TraceEvent;
+
+/// One exportable trace event with owned strings, so callers outside the
+/// hot path (e.g. a CLI reconstructing a job timeline fetched over the
+/// wire) can build events from dynamic data.
+#[derive(Debug, Clone)]
+pub struct ChromeEvent {
+    /// Event name.
+    pub name: String,
+    /// Comma-separated category list.
+    pub cat: String,
+    /// Chrome phase code: `'X'` complete, `'i'` instant, `'B'`/`'E'`
+    /// span open/close.
+    pub ph: char,
+    /// Timestamp in microseconds.
+    pub ts_us: u64,
+    /// Duration in microseconds (only emitted for `'X'`).
+    pub dur_us: u64,
+    /// Process lane.
+    pub pid: u64,
+    /// Thread lane.
+    pub tid: u64,
+    /// Numeric arguments, shown in the trace viewer's detail pane.
+    pub args: Vec<(String, i64)>,
+}
+
+impl From<&TraceEvent> for ChromeEvent {
+    fn from(ev: &TraceEvent) -> Self {
+        let mut args = vec![("id".to_string(), ev.id as i64)];
+        if !ev.arg_name.is_empty() {
+            args.push((ev.arg_name.to_string(), ev.arg));
+        }
+        ChromeEvent {
+            name: ev.name.to_string(),
+            cat: ev.cat.to_string(),
+            ph: ev.ph.code(),
+            ts_us: ev.ts_us,
+            dur_us: ev.dur_us,
+            pid: 1,
+            tid: ev.tid,
+            args,
+        }
+    }
+}
+
+/// Escape `s` for inclusion in a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_event(out: &mut String, ev: &ChromeEvent) {
+    out.push_str("{\"name\":\"");
+    escape_into(out, &ev.name);
+    out.push_str("\",\"cat\":\"");
+    escape_into(out, &ev.cat);
+    out.push_str("\",\"ph\":\"");
+    escape_into(out, &ev.ph.to_string());
+    out.push_str("\",\"ts\":");
+    out.push_str(&ev.ts_us.to_string());
+    if ev.ph == 'X' {
+        out.push_str(",\"dur\":");
+        out.push_str(&ev.dur_us.to_string());
+    }
+    if ev.ph == 'i' {
+        // Instant scope: thread-local, the narrowest marker.
+        out.push_str(",\"s\":\"t\"");
+    }
+    out.push_str(",\"pid\":");
+    out.push_str(&ev.pid.to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&ev.tid.to_string());
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in ev.args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, k);
+        out.push_str("\":");
+        out.push_str(&v.to_string());
+    }
+    out.push_str("}}");
+}
+
+/// Render `events` as a complete Chrome trace document.
+pub fn write_trace(events: &[ChromeEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 128);
+    out.push_str("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_event(&mut out, ev);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Convert a batch of ring events and render the trace document in one
+/// step.
+pub fn export_events(events: &[TraceEvent]) -> String {
+    let chrome: Vec<ChromeEvent> = events.iter().map(ChromeEvent::from).collect();
+    write_trace(&chrome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChromeEvent {
+        ChromeEvent {
+            name: "unit_run".into(),
+            cat: "pool".into(),
+            ph: 'X',
+            ts_us: 120,
+            dur_us: 30,
+            pid: 1,
+            tid: 2,
+            args: vec![("job".into(), 7)],
+        }
+    }
+
+    #[test]
+    fn complete_event_has_required_fields() {
+        let doc = write_trace(&[sample()]);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        for field in [
+            "\"name\":\"unit_run\"",
+            "\"cat\":\"pool\"",
+            "\"ph\":\"X\"",
+            "\"ts\":120",
+            "\"dur\":30",
+            "\"pid\":1",
+            "\"tid\":2",
+            "\"args\":{\"job\":7}",
+        ] {
+            assert!(doc.contains(field), "missing {field} in {doc}");
+        }
+    }
+
+    #[test]
+    fn instant_event_omits_dur_and_scopes_to_thread() {
+        let mut ev = sample();
+        ev.ph = 'i';
+        let doc = write_trace(&[ev]);
+        assert!(!doc.contains("\"dur\""));
+        assert!(doc.contains("\"s\":\"t\""));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut ev = sample();
+        ev.name = "we\"ird\\name\n".into();
+        let doc = write_trace(&[ev]);
+        assert!(doc.contains("we\\\"ird\\\\name\\n"));
+    }
+
+    #[test]
+    fn braces_balance_across_many_events() {
+        let events: Vec<ChromeEvent> = (0..10).map(|_| sample()).collect();
+        let doc = write_trace(&events);
+        let open = doc.matches('{').count();
+        let close = doc.matches('}').count();
+        assert_eq!(open, close);
+        assert_eq!(doc.matches("\"name\"").count(), 10);
+    }
+
+    #[test]
+    fn ring_events_convert() {
+        let t = crate::Tracer::with_capacity(8);
+        t.instant("admitted", "job", 0, 9);
+        let snap = t.snapshot();
+        let doc = export_events(&snap.events);
+        assert!(doc.contains("\"name\":\"admitted\""));
+        assert!(doc.contains("\"id\":9"));
+    }
+}

@@ -182,6 +182,39 @@ impl Client {
         self.request(&Request::Stats)
     }
 
+    /// Full observability snapshot (solver + pool counters, histograms).
+    pub fn metrics(&mut self) -> Result<dabs_core::MetricSet, String> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { metrics } => Ok(*metrics),
+            Response::Error { reason, .. } => Err(reason),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// A job's event timeline and the count of events its bounded log
+    /// dropped.
+    pub fn timeline(
+        &mut self,
+        job: JobId,
+    ) -> Result<(Vec<crate::obs::TimelineEvent>, u64), String> {
+        self.send(&Request::Timeline(job))?;
+        loop {
+            match self.recv()? {
+                Response::Timeline {
+                    job: id,
+                    events,
+                    dropped,
+                } if id == job => return Ok((events, dropped)),
+                Response::Error {
+                    job: Some(id),
+                    reason,
+                } if id == job => return Err(reason),
+                Response::Error { job: None, reason } => return Err(reason),
+                _ => continue, // other jobs' traffic on a shared connection
+            }
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), String> {
         match self.request(&Request::Ping)? {

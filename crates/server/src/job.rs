@@ -9,6 +9,7 @@
 //! non-blocking channel send; a watcher whose connection died is pruned on
 //! the next send.
 
+use crate::obs::{TimelineEvent, TimelineKind};
 use crate::protocol::{JobId, Response};
 use crate::spec::{now_unix_ms, JobSpec};
 use dabs_core::{SolveResult, StopFlag, UnitOutcome};
@@ -116,6 +117,20 @@ struct IncumbentStore {
     solution: Option<Solution>,
 }
 
+/// Cap on retained timeline events per job. Past it, new events only move
+/// the drop counter — a runaway incumbent stream cannot grow a record
+/// unboundedly.
+const TIMELINE_CAP: usize = 512;
+
+/// Bounded per-job event log. Timestamps are computed *inside* the log's
+/// lock (see [`JobRecord::push_timeline`]), so the stored sequence is
+/// monotone by construction.
+#[derive(Debug, Default)]
+struct TimelineLog {
+    events: Vec<TimelineEvent>,
+    dropped: u64,
+}
+
 /// One admitted job.
 pub struct JobRecord {
     pub id: JobId,
@@ -132,6 +147,7 @@ pub struct JobRecord {
     watchers: Mutex<Vec<Watcher>>,
     incumbent: Mutex<IncumbentStore>,
     units: Mutex<UnitBook>,
+    timeline: Mutex<TimelineLog>,
     /// Lazily-built model shared by every unit of the job (built by
     /// whichever worker executes the job's first unit).
     model: OnceLock<Result<Arc<QuboModel>, String>>,
@@ -159,9 +175,31 @@ impl JobRecord {
             watchers: Mutex::new(Vec::new()),
             incumbent: Mutex::new(IncumbentStore::default()),
             units: Mutex::new(UnitBook::default()),
+            timeline: Mutex::new(TimelineLog::default()),
             model: OnceLock::new(),
             first_unit_start: OnceLock::new(),
         }
+    }
+
+    /// Append one timeline event, stamped with the job's age *under the
+    /// log's lock* — two racing pushes therefore cannot record out-of-order
+    /// timestamps. Past [`TIMELINE_CAP`] events, only the drop counter
+    /// moves.
+    pub fn push_timeline(&self, kind: TimelineKind) {
+        let mut log = self.timeline.lock().expect("timeline lock");
+        if log.events.len() >= TIMELINE_CAP {
+            log.dropped += 1;
+            return;
+        }
+        let at_us = self.submitted_at.elapsed().as_micros() as u64;
+        log.events.push(TimelineEvent { at_us, kind });
+    }
+
+    /// Copy of the job's timeline so far, plus how many events were dropped
+    /// at the cap.
+    pub fn timeline_snapshot(&self) -> (Vec<TimelineEvent>, u64) {
+        let log = self.timeline.lock().expect("timeline lock");
+        (log.events.clone(), log.dropped)
     }
 
     pub fn phase(&self) -> JobPhase {
@@ -239,6 +277,7 @@ impl JobRecord {
             inc.solution = Some(s.clone());
         }
         self.best.fetch_min(energy, Ordering::Relaxed);
+        self.push_timeline(TimelineKind::Incumbent { energy });
         let line = Response::Incumbent {
             job: self.id,
             energy,
@@ -277,9 +316,12 @@ impl JobRecord {
     /// Declare how many units the job was decomposed into. Called once at
     /// admission, before any unit is queued.
     pub fn plan_units(&self, total: u32) {
-        let mut book = self.units.lock().expect("units lock");
-        debug_assert_eq!(book.total, 0, "units planned twice");
-        book.total = total.max(1);
+        {
+            let mut book = self.units.lock().expect("units lock");
+            debug_assert_eq!(book.total, 0, "units planned twice");
+            book.total = total.max(1);
+        }
+        self.push_timeline(TimelineKind::Admitted);
     }
 
     /// In-job split: a running unit carved off part of its remaining budget
@@ -302,19 +344,20 @@ impl JobRecord {
     }
 
     /// Worker claim of one unit. The first claim moves the job
-    /// `Queued → Running`. Fails when the job is already terminal
-    /// (cancelled/expired while its units sat in queues) — the caller must
-    /// drop the unit without executing or accounting it.
-    pub fn begin_unit(&self) -> bool {
+    /// `Queued → Running`. Returns the unit's 1-based start ordinal, or
+    /// `None` when the job is already terminal (cancelled/expired while its
+    /// units sat in queues) — the caller must then drop the unit without
+    /// executing or accounting it.
+    pub fn begin_unit(&self) -> Option<u32> {
         let mut st = self.state.lock().expect("job state lock");
         match st.phase {
             JobPhase::Queued => st.phase = JobPhase::Running,
             JobPhase::Running => {}
-            _ => return false,
+            _ => return None,
         }
         let mut book = self.units.lock().expect("units lock");
         book.started += 1;
-        true
+        Some(book.started)
     }
 
     /// Stale-deadline dequeue (checked when a unit is *popped*, not only at
@@ -443,6 +486,9 @@ impl JobRecord {
     /// Wake synchronous waiters and send the terminal `done` line to every
     /// watcher. Call exactly once, after the terminal transition.
     fn notify_terminal(&self) {
+        self.push_timeline(TimelineKind::Terminal {
+            phase: self.phase().name().to_string(),
+        });
         self.terminal_cv.notify_all();
         let line = self.terminal_line().expect("just finished").encode();
         let mut ws = self.watchers.lock().expect("watchers lock");
@@ -783,6 +829,48 @@ mod tests {
         for r in &keep {
             assert!(reg.get(r.id).is_some(), "queued job {} evicted", r.id);
         }
+    }
+
+    #[test]
+    fn timeline_records_lifecycle_in_monotone_order() {
+        let r = record();
+        r.plan_units(1);
+        let unit = r.begin_unit().expect("claimable");
+        r.push_timeline(TimelineKind::UnitStart {
+            unit,
+            worker: 0,
+            queue_wait_us: 5,
+        });
+        r.publish_incumbent(-7, Duration::from_millis(1));
+        r.publish_incumbent(-3, Duration::from_millis(2)); // non-improvement: no event
+        r.finish(JobPhase::Done, None, None);
+        let (events, dropped) = r.timeline_snapshot();
+        assert_eq!(dropped, 0);
+        let kinds: Vec<&TimelineKind> = events.iter().map(|e| &e.kind).collect();
+        assert!(matches!(kinds[0], TimelineKind::Admitted));
+        assert!(matches!(kinds[1], TimelineKind::UnitStart { .. }));
+        assert!(matches!(kinds[2], TimelineKind::Incumbent { energy: -7 }));
+        assert!(matches!(kinds[3], TimelineKind::Terminal { .. }));
+        assert_eq!(kinds.len(), 4, "non-improving incumbent must not log");
+        assert!(
+            events.windows(2).all(|w| w[0].at_us <= w[1].at_us),
+            "timestamps must be monotone: {events:?}"
+        );
+    }
+
+    #[test]
+    fn timeline_is_bounded_and_counts_drops() {
+        let r = record();
+        for i in 0..600u32 {
+            r.push_timeline(TimelineKind::UnitStart {
+                unit: i,
+                worker: 0,
+                queue_wait_us: 0,
+            });
+        }
+        let (events, dropped) = r.timeline_snapshot();
+        assert_eq!(events.len(), 512);
+        assert_eq!(dropped, 88);
     }
 
     #[test]

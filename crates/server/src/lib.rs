@@ -42,6 +42,7 @@
 mod client;
 mod job;
 mod metrics;
+mod obs;
 mod pool;
 mod protocol;
 mod queue;
@@ -52,6 +53,7 @@ pub use client::{Client, JobOutcome};
 pub use dabs_core::StopFlag;
 pub use job::{JobPhase, JobRecord, JobRegistry, WatchKind};
 pub use metrics::{drive_fleet, percentile, LatencySummary, PoolLoad};
+pub use obs::{pool_obs, timeline_to_chrome, PoolObs, TimelineEvent, TimelineKind};
 pub use pool::{execute, ElasticPool, PoolGauges, MIN_UNIT_BATCHES};
 pub use protocol::{JobId, Request, Response};
 pub use queue::{AdmissionError, JobQueue};

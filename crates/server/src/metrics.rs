@@ -44,11 +44,21 @@ where
             })
         })
         .collect();
+    // Join *every* handle before reporting: returning on the first error
+    // would leak the remaining client threads, which keep driving the
+    // server (and racing the caller's teardown) behind its back.
     let mut all = Vec::with_capacity(jobs);
+    let mut first_err: Option<String> = None;
     for h in handles {
-        all.extend(h.join().map_err(|_| "client thread panicked")??);
+        match h.join().map_err(|_| "client thread panicked".to_string()) {
+            Ok(Ok(latencies)) => all.extend(latencies),
+            Ok(Err(e)) | Err(e) => first_err = first_err.or(Some(e)),
+        }
     }
-    Ok(all)
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(all),
+    }
 }
 
 /// Summary over a set of request latencies and the wall-clock window that
@@ -73,6 +83,10 @@ impl LatencySummary {
         samples.sort();
         let total: Duration = samples.iter().sum();
         let jobs = samples.len();
+        // Mean via f64 seconds: integer Duration division truncates toward
+        // zero (5ns over 3 jobs would report 1ns), while from_secs_f64
+        // rounds to the nearest nanosecond.
+        let mean = Duration::from_secs_f64(total.as_secs_f64() / jobs as f64);
         Some(Self {
             jobs,
             wall,
@@ -80,7 +94,7 @@ impl LatencySummary {
             p50: percentile(&samples, 50.0),
             p99: percentile(&samples, 99.0),
             max: samples[jobs - 1],
-            mean: total / jobs as u32,
+            mean,
         })
     }
 
@@ -201,6 +215,16 @@ mod tests {
         let line = s.report();
         assert!(line.contains("jobs/s"), "{line}");
         assert!(LatencySummary::from_samples(vec![], ms(1)).is_none());
+    }
+
+    #[test]
+    fn mean_rounds_instead_of_truncating() {
+        // 5ns over 3 jobs is 1.67ns: integer Duration division reported
+        // 1ns; the f64 path rounds to the nearest nanosecond.
+        let ns = Duration::from_nanos;
+        let samples = vec![ns(1), ns(2), ns(2)];
+        let s = LatencySummary::from_samples(samples, ns(10)).unwrap();
+        assert_eq!(s.mean, ns(2));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! are preserved exactly.
 
 use crate::job::{JobRecord, UnitEnd};
+use crate::obs::{pool_obs, TimelineKind};
 use crate::queue::AdmissionError;
 use crate::spec::{now_unix_ms, ExecMode, JobSpec, MAX_UNITS_PER_JOB};
 use dabs_core::{Incumbent, IncumbentObserver, SolveResult, Termination, UnitOutcome, WarmStart};
@@ -39,7 +40,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 pub use crate::job::JobPhase;
 
@@ -86,6 +87,9 @@ struct UnitTask {
     deadline_unix_ms: Option<u64>,
     /// Pool-wide admission order; lower = earlier (FIFO tie-break).
     seq: u64,
+    /// When this unit entered a deque — the origin of its queue-wait
+    /// measurement. Split/yield continuations reset it at re-enqueue.
+    enqueued_at: Instant,
 }
 
 impl UnitTask {
@@ -164,6 +168,7 @@ impl PoolShared {
         };
         s.deques[at].push_back(task);
         self.queued.fetch_add(1, Ordering::Relaxed);
+        pool_obs().enqueued.inc();
         drop(s);
         self.available.notify_all();
     }
@@ -277,8 +282,10 @@ impl ElasticPool {
                     priority: record.spec.priority,
                     deadline_unix_ms: record.spec.deadline_unix_ms,
                     seq,
+                    enqueued_at: Instant::now(),
                 });
                 self.shared.queued.fetch_add(1, Ordering::Relaxed);
+                pool_obs().enqueued.inc();
             }
         }
         self.shared.available.notify_all();
@@ -400,6 +407,8 @@ fn worker_loop(shared: &Arc<PoolShared>, me: usize) {
                     shared.queued.fetch_sub(1, Ordering::Relaxed);
                     if w != me {
                         shared.steals.fetch_add(1, Ordering::Relaxed);
+                        pool_obs().steals.inc();
+                        dabs_obs::global().instant("steal", "pool", me as u64, t.record.id);
                     }
                     break (Some(t), s.closed);
                 }
@@ -412,16 +421,37 @@ fn worker_loop(shared: &Arc<PoolShared>, me: usize) {
         let Some(task) = task else {
             return; // closed and fully drained
         };
+        let queue_wait = task.enqueued_at.elapsed();
+        let obs = pool_obs();
+        obs.popped.inc();
+        obs.queue_wait_us.record(queue_wait.as_micros() as u64);
         shared.busy.fetch_add(1, Ordering::Relaxed);
-        run_task(Some((shared, me)), &task, revoked);
+        run_task(Some((shared, me)), &task, revoked, queue_wait);
         shared.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Wire label for a unit's end, used in timelines and traces.
+fn end_name(end: UnitEnd) -> &'static str {
+    match end {
+        UnitEnd::Completed => "completed",
+        UnitEnd::Interrupted => "interrupted",
+        UnitEnd::Revoked => "revoked",
+        UnitEnd::Failed => "failed",
     }
 }
 
 /// Execute (or revoke) one popped unit. `pool` is absent when called from
 /// the standalone [`execute`] path — no splitting or yielding then.
-fn run_task(pool: Option<(&Arc<PoolShared>, usize)>, task: &UnitTask, revoked: bool) {
+/// `queue_wait` is how long the unit sat in a deque before this pop.
+fn run_task(
+    pool: Option<(&Arc<PoolShared>, usize)>,
+    task: &UnitTask,
+    revoked: bool,
+    queue_wait: Duration,
+) {
     let record = &task.record;
+    let worker = pool.map_or(0, |(_, me)| me as u64);
     if record.phase().is_terminal() {
         // Cancelled/expired while this unit sat in a deque; the record is
         // already folded or abandoned — just drop the unit.
@@ -436,6 +466,8 @@ fn run_task(pool: Option<(&Arc<PoolShared>, usize)>, task: &UnitTask, revoked: b
         .is_some_and(|deadline| now_unix_ms() >= deadline)
     {
         if record.expire_if_unstarted("deadline passed while queued") {
+            pool_obs().expired.inc();
+            dabs_obs::global().instant("expire", "pool", worker, record.id);
             return;
         }
         record.finish_unit(UnitEnd::Completed, None, None);
@@ -446,30 +478,69 @@ fn run_task(pool: Option<(&Arc<PoolShared>, usize)>, task: &UnitTask, revoked: b
         // unit is revoked without execution. (A sibling that reached the
         // target also lands here via the stop broadcast — the fold still
         // reports `done` because the merged result reached the target.)
+        pool_obs().revoked.inc();
+        dabs_obs::global().instant("revoke", "pool", worker, record.id);
         record.finish_unit(UnitEnd::Revoked, None, None);
         return;
     }
-    if !record.begin_unit() {
+    let Some(unit) = record.begin_unit() else {
         return; // lost a race with a terminal transition
-    }
-    execute_unit(pool, task);
+    };
+    record.push_timeline(TimelineKind::UnitStart {
+        unit,
+        worker,
+        queue_wait_us: queue_wait.as_micros() as u64,
+    });
+    let span = dabs_obs::global().span("unit_run", "pool", worker, record.id);
+    let started = Instant::now();
+    let (_end, batches) = execute_unit(pool, task, unit);
+    pool_obs()
+        .unit_run_us
+        .record(started.elapsed().as_micros() as u64);
+    span.finish("batches", batches as i64);
 }
 
-/// Run one claimed unit to an end and account it on the record.
-fn execute_unit(pool: Option<(&Arc<PoolShared>, usize)>, task: &UnitTask) {
+/// Log the unit's end on the job timeline, then fold its outcome into the
+/// record. The push must precede the fold: folding the last unit fires the
+/// terminal notification (and its `Terminal` timeline event), and clients
+/// fetch the timeline as soon as that lands — the terminal event must be
+/// the log's final entry.
+fn end_unit(
+    record: &Arc<JobRecord>,
+    unit: u32,
+    end: UnitEnd,
+    batches: u64,
+    out: Option<UnitOutcome>,
+    error: Option<String>,
+) -> (UnitEnd, u64) {
+    record.push_timeline(TimelineKind::UnitEnd {
+        unit,
+        end: end_name(end).to_string(),
+        batches,
+    });
+    record.finish_unit(end, out, error);
+    (end, batches)
+}
+
+/// Run one claimed unit to an end and account it on the record. Returns
+/// how the unit ended and how many batches it executed (for the caller's
+/// timeline/trace bookkeeping).
+fn execute_unit(
+    pool: Option<(&Arc<PoolShared>, usize)>,
+    task: &UnitTask,
+    ordinal: u32,
+) -> (UnitEnd, u64) {
     let record = &task.record;
     let model = match record.model() {
         Ok(m) => m,
         Err(e) => {
-            record.finish_unit(UnitEnd::Failed, None, Some(e));
-            return;
+            return end_unit(record, ordinal, UnitEnd::Failed, 0, None, Some(e));
         }
     };
     let solver = match record.spec.build_solver() {
         Ok(s) => s,
         Err(e) => {
-            record.finish_unit(UnitEnd::Failed, None, Some(e));
-            return;
+            return end_unit(record, ordinal, UnitEnd::Failed, 0, None, Some(e));
         }
     };
     let clock = record.unit_clock();
@@ -488,8 +559,7 @@ fn execute_unit(pool: Option<(&Arc<PoolShared>, usize)>, task: &UnitTask) {
         window = Some(window.map_or(left, |w| w.min(left)));
     }
     if window == Some(Duration::ZERO) {
-        record.finish_unit(UnitEnd::Completed, None, None);
-        return;
+        return end_unit(record, ordinal, UnitEnd::Completed, 0, None, None);
     }
 
     let observer: IncumbentObserver = {
@@ -508,8 +578,7 @@ fn execute_unit(pool: Option<(&Arc<PoolShared>, usize)>, task: &UnitTask) {
             // Threaded mode: the solver runs the whole job internally.
             term.max_batches = record.spec.max_batches;
             let result = solver.run_with_observer(&model, term.clone(), observer);
-            finish_run(record, &term, result);
-            return;
+            return finish_run(record, &term, result, ordinal);
         }
         UnitWork::Slice { batches } => (*batches, record.incumbent()),
         UnitWork::Cube { index, batches } => {
@@ -552,12 +621,15 @@ fn execute_unit(pool: Option<(&Arc<PoolShared>, usize)>, task: &UnitTask) {
                 remaining -= carved;
                 assigned = assigned.map(|a| a - carved);
                 shared.splits.fetch_add(1, Ordering::Relaxed);
+                pool_obs().splits.inc();
+                dabs_obs::global().instant("split", "pool", me as u64, record.id);
                 shared.push_unit(
                     UnitTask {
                         record: Arc::clone(record),
                         work: UnitWork::Slice {
                             batches: Some(carved),
                         },
+                        enqueued_at: Instant::now(),
                         ..task.clone()
                     },
                     Some(me),
@@ -574,12 +646,15 @@ fn execute_unit(pool: Option<(&Arc<PoolShared>, usize)>, task: &UnitTask) {
             if record.add_split_unit() {
                 assigned = assigned.map(|a| a - remaining);
                 shared.splits.fetch_add(1, Ordering::Relaxed);
+                pool_obs().yields.inc();
+                dabs_obs::global().instant("yield", "pool", me as u64, record.id);
                 shared.push_unit(
                     UnitTask {
                         record: Arc::clone(record),
                         work: UnitWork::Slice {
                             batches: Some(remaining),
                         },
+                        enqueued_at: Instant::now(),
                         ..task.clone()
                     },
                     Some(me),
@@ -603,11 +678,17 @@ fn execute_unit(pool: Option<(&Arc<PoolShared>, usize)>, task: &UnitTask) {
         JobPhase::Done => UnitEnd::Completed,
         _ => UnitEnd::Interrupted,
     };
-    record.finish_unit(end, Some(out), None);
+    let batches = out.result.batches;
+    end_unit(record, ordinal, end, batches, Some(out), None)
 }
 
 /// Account a whole-job (threaded-mode) run as the record's single unit.
-fn finish_run(record: &Arc<JobRecord>, term: &Termination, result: SolveResult) {
+fn finish_run(
+    record: &Arc<JobRecord>,
+    term: &Termination,
+    result: SolveResult,
+    unit: u32,
+) -> (UnitEnd, u64) {
     if result.reached_target {
         record.stop.stop();
     }
@@ -615,14 +696,18 @@ fn finish_run(record: &Arc<JobRecord>, term: &Termination, result: SolveResult) 
         JobPhase::Done => UnitEnd::Completed,
         _ => UnitEnd::Interrupted,
     };
-    record.finish_unit(
+    let batches = result.batches;
+    end_unit(
+        record,
+        unit,
         end,
+        batches,
         Some(UnitOutcome {
             result,
             found: true,
         }),
         None,
-    );
+    )
 }
 
 /// Execute one job record synchronously to a terminal phase, as a
@@ -651,8 +736,10 @@ pub fn execute(record: &Arc<JobRecord>) {
                 priority: record.spec.priority,
                 deadline_unix_ms: record.spec.deadline_unix_ms,
                 seq: seq as u64,
+                enqueued_at: Instant::now(),
             },
             false,
+            Duration::ZERO,
         );
     }
 }
@@ -907,7 +994,7 @@ mod tests {
         let spec_term = record.spec.termination();
         let complete = solver.run_sequential(&model, spec_term.clone());
         let partial = solver.run_sequential(&model, Termination::batches(5));
-        record.begin_unit();
+        assert_eq!(record.begin_unit(), Some(1));
         assert_eq!(classify(&record, &spec_term, &complete), JobPhase::Done);
         // A cancel that lands only after the run already hit its own
         // termination must not reclassify the completed run...

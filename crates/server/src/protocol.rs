@@ -8,8 +8,9 @@
 //! belongs to. `docs/PROTOCOL.md` documents each message with examples; the
 //! round-trip tests below keep that document honest.
 
+use crate::obs::TimelineEvent;
 use crate::spec::JobSpec;
-use dabs_core::SolveResult;
+use dabs_core::{MetricSet, SolveResult};
 use serde::json::Json;
 
 /// A job's identity, allocated at admission, unique per server lifetime.
@@ -32,6 +33,12 @@ pub enum Request {
     Subscribe(JobId),
     /// Runtime counters (queue depth, worker count, jobs by phase).
     Stats,
+    /// Full observability snapshot: solver counters, pool counters, and
+    /// latency histograms, as a metric set.
+    Metrics,
+    /// The job's event timeline (admission, unit starts/ends with queue
+    /// waits, incumbents, terminal transition).
+    Timeline(JobId),
     /// Liveness probe.
     Ping,
 }
@@ -49,6 +56,10 @@ impl Request {
                 Json::obj([("op", Json::str("subscribe")), ("job", (*id).into())])
             }
             Request::Stats => Json::obj([("op", Json::str("stats"))]),
+            Request::Metrics => Json::obj([("op", Json::str("metrics"))]),
+            Request::Timeline(id) => {
+                Json::obj([("op", Json::str("timeline")), ("job", (*id).into())])
+            }
             Request::Ping => Json::obj([("op", Json::str("ping"))]),
         }
     }
@@ -69,6 +80,8 @@ impl Request {
             "result" => Ok(Request::Result(job()?)),
             "subscribe" => Ok(Request::Subscribe(job()?)),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "timeline" => Ok(Request::Timeline(job()?)),
             "ping" => Ok(Request::Ping),
             other => Err(format!("unknown op {other:?}")),
         }
@@ -146,6 +159,17 @@ pub enum Response {
         steals: u64,
         /// Units created by in-job splitting (lifetime total).
         splits: u64,
+    },
+    /// Full observability snapshot (`metrics` request).
+    Metrics {
+        metrics: Box<MetricSet>,
+    },
+    /// A job's event timeline (`timeline` request). `dropped` counts
+    /// events lost to the record's bounded log.
+    Timeline {
+        job: JobId,
+        events: Vec<TimelineEvent>,
+        dropped: u64,
     },
     Pong,
 }
@@ -234,6 +258,25 @@ impl Response {
                 ("steals", (*steals).into()),
                 ("splits", (*splits).into()),
             ]),
+            Response::Metrics { metrics } => Json::obj([
+                ("type", Json::str("metrics")),
+                ("ok", Json::Bool(true)),
+                ("metrics", metrics.to_json()),
+            ]),
+            Response::Timeline {
+                job,
+                events,
+                dropped,
+            } => Json::obj([
+                ("type", Json::str("timeline")),
+                ("ok", Json::Bool(true)),
+                ("job", (*job).into()),
+                (
+                    "events",
+                    Json::Arr(events.iter().map(TimelineEvent::to_json).collect()),
+                ),
+                ("dropped", (*dropped).into()),
+            ]),
             Response::Pong => Json::obj([("type", Json::str("pong")), ("ok", Json::Bool(true))]),
         }
     }
@@ -296,6 +339,26 @@ impl Response {
                 steals: j.get_u64("steals").unwrap_or(0),
                 splits: j.get_u64("splits").unwrap_or(0),
             }),
+            "metrics" => {
+                let m = j.get("metrics").ok_or("metrics needs a \"metrics\" set")?;
+                Ok(Response::Metrics {
+                    metrics: Box::new(MetricSet::from_json(m)?),
+                })
+            }
+            "timeline" => {
+                let events = j
+                    .get("events")
+                    .and_then(Json::as_arr)
+                    .ok_or("timeline needs an \"events\" array")?
+                    .iter()
+                    .map(TimelineEvent::from_json)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Timeline {
+                    job: job()?,
+                    events,
+                    dropped: j.get_u64("dropped").unwrap_or(0),
+                })
+            }
             "pong" => Ok(Response::Pong),
             other => Err(format!("unknown response type {other:?}")),
         }
@@ -332,6 +395,8 @@ mod tests {
             Request::Result(9),
             Request::Subscribe(10),
             Request::Stats,
+            Request::Metrics,
+            Request::Timeline(11),
             Request::Ping,
         ];
         for r in reqs {
@@ -381,6 +446,42 @@ mod tests {
                 queued_units: 9,
                 steals: 17,
                 splits: 5,
+            },
+            Response::Metrics {
+                metrics: Box::new({
+                    let mut set = dabs_core::MetricSet::new();
+                    set.push(dabs_core::Metric::new(
+                        "pool.steals",
+                        17.0,
+                        "count",
+                        dabs_core::Direction::HigherIsBetter,
+                    ));
+                    set
+                }),
+            },
+            Response::Timeline {
+                job: 3,
+                events: vec![
+                    crate::obs::TimelineEvent {
+                        at_us: 0,
+                        kind: crate::obs::TimelineKind::Admitted,
+                    },
+                    crate::obs::TimelineEvent {
+                        at_us: 40,
+                        kind: crate::obs::TimelineKind::UnitStart {
+                            unit: 1,
+                            worker: 2,
+                            queue_wait_us: 40,
+                        },
+                    },
+                    crate::obs::TimelineEvent {
+                        at_us: 90,
+                        kind: crate::obs::TimelineKind::Terminal {
+                            phase: "done".into(),
+                        },
+                    },
+                ],
+                dropped: 1,
             },
             Response::Pong,
         ];

@@ -68,6 +68,47 @@ impl ServerState {
         }
     }
 
+    /// Full observability snapshot: solver hot-loop counters, pool
+    /// scheduler counters and latency histograms, plus job-phase and
+    /// occupancy gauges — one metric set, served by the `metrics` verb.
+    pub fn metrics(&self) -> dabs_core::MetricSet {
+        use dabs_core::{Direction, Metric};
+        let mut set = dabs_core::MetricSet::new();
+        dabs_core::solver_obs().metrics_into(&mut set);
+        crate::obs::pool_obs().metrics_into(&mut set);
+        let (queued, running, finished) = self.registry.phase_counts();
+        let gauges = self.pool.gauges();
+        let up = Direction::HigherIsBetter;
+        set.push(Metric::new("jobs.queued", queued as f64, "count", up));
+        set.push(Metric::new("jobs.running", running as f64, "count", up));
+        set.push(Metric::new("jobs.finished", finished as f64, "count", up));
+        set.push(Metric::new(
+            "pool.workers",
+            gauges.workers as f64,
+            "count",
+            up,
+        ));
+        set.push(Metric::new(
+            "pool.busy_workers",
+            gauges.busy as f64,
+            "count",
+            up,
+        ));
+        set.push(Metric::new(
+            "pool.queued_units",
+            gauges.queued_units as f64,
+            "count",
+            up,
+        ));
+        set.push(Metric::new(
+            "trace.dropped",
+            dabs_obs::global().dropped() as f64,
+            "count",
+            Direction::LowerIsBetter,
+        ));
+        set
+    }
+
     fn stats(&self) -> Response {
         let (queued, running, finished) = self.registry.phase_counts();
         let gauges = self.pool.gauges();
@@ -137,6 +178,23 @@ impl ServerState {
                 }),
             },
             Request::Stats => send(self.stats()),
+            Request::Metrics => send(Response::Metrics {
+                metrics: Box::new(self.metrics()),
+            }),
+            Request::Timeline(job) => match self.registry.get(job) {
+                Some(record) => {
+                    let (events, dropped) = record.timeline_snapshot();
+                    send(Response::Timeline {
+                        job,
+                        events,
+                        dropped,
+                    });
+                }
+                None => send(Response::Error {
+                    job: Some(job),
+                    reason: "no such job".into(),
+                }),
+            },
             Request::Ping => send(Response::Pong),
         }
     }

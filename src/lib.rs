@@ -3,6 +3,7 @@ pub use dabs_baselines as baselines;
 pub use dabs_core as core;
 pub use dabs_gpu_sim as gpu_sim;
 pub use dabs_model as model;
+pub use dabs_obs as obs;
 pub use dabs_problems as problems;
 pub use dabs_rng as rng;
 pub use dabs_search as search;

@@ -1,0 +1,76 @@
+//! Property-based tests on the `dabs-obs` histogram under concurrency:
+//! recorder threads race a snapshotting reader through arbitrary
+//! interleavings, and no snapshot may ever present an inconsistent view.
+//!
+//! A mid-race snapshot is documented as a *consistent lower bound* — the
+//! scalar fields (`sum`, `min`, `max`) are read from separate atomics and
+//! may lag or lead the bucket counts, so only the bucket-derived facts are
+//! asserted while recorders run; the exact-value facts are asserted once
+//! the histogram is quiescent.
+
+use dabs::obs::{LogHistogram, HIST_BUCKETS};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concurrent_record_vs_snapshot_interleavings_stay_consistent(
+        values in proptest::collection::vec(0u64..1_000_000, 1..400),
+        threads in 1usize..5,
+    ) {
+        let hist = Arc::new(LogHistogram::new());
+        let total = values.len() as u64;
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        let exact_sum: u64 = values.iter().sum();
+
+        let chunk = values.len().div_ceil(threads);
+        let recorders: Vec<_> = values
+            .chunks(chunk)
+            .map(|slice| {
+                let hist = Arc::clone(&hist);
+                let slice = slice.to_vec();
+                std::thread::spawn(move || {
+                    for v in slice {
+                        hist.record(v);
+                    }
+                })
+            })
+            .collect();
+
+        // Reader: snapshot in a tight loop until every observation has
+        // landed. Each snapshot must be a superset of the previous one
+        // (per-bucket monotone) and internally ordered.
+        let mut last_buckets = vec![0u64; HIST_BUCKETS];
+        loop {
+            let s = hist.snapshot();
+            let count = s.count();
+            prop_assert!(count <= total, "snapshot invented observations");
+            for (now, before) in s.buckets().iter().zip(&last_buckets) {
+                prop_assert!(now >= before, "a bucket count went backwards");
+            }
+            if count > 0 {
+                prop_assert!(s.p50() <= s.p99(), "percentiles out of order");
+                prop_assert!(s.p99() <= s.p999(), "percentiles out of order");
+            }
+            last_buckets = s.buckets().to_vec();
+            if count == total {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        for r in recorders {
+            r.join().expect("recorder thread");
+        }
+
+        // Quiescent: every scalar is exact again.
+        let fin = hist.snapshot();
+        prop_assert_eq!(fin.count(), total);
+        prop_assert_eq!(fin.sum(), exact_sum);
+        prop_assert_eq!(fin.min(), Some(lo));
+        prop_assert_eq!(fin.max(), Some(hi));
+        prop_assert!(fin.p999() <= hi);
+    }
+}

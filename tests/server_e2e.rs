@@ -12,7 +12,8 @@
 //! * `subscribe` streams monotonically non-increasing incumbent energies.
 
 use dabs::server::{
-    now_unix_ms, Client, ExecMode, JobSpec, ProblemSpec, Request, Response, Server, ServerConfig,
+    now_unix_ms, timeline_to_chrome, Client, ExecMode, JobSpec, ProblemSpec, Request, Response,
+    Server, ServerConfig, TimelineKind,
 };
 use std::time::{Duration, Instant};
 
@@ -330,6 +331,109 @@ fn graceful_shutdown_drains_in_flight_units() {
         let (_, started, _) = record.unit_counts();
         assert_eq!(started, 0, "drained unit executed on job {}", record.id);
     }
+}
+
+#[test]
+fn timeline_reconstructs_a_decomposed_job_and_exports_a_chrome_trace() {
+    let server = start_server(2);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Explicitly decompose into 4 stealable units so the timeline carries
+    // several unit spans (with queue waits) rather than one whole-job run.
+    let id = client
+        .submit(&JobSpec {
+            units: Some(4),
+            ..job(48, 13, 2_000)
+        })
+        .expect("submit");
+    let outcome = client.wait_result(id).expect("result");
+    assert_eq!(outcome.phase, "done", "{:?}", outcome.error);
+
+    let (events, dropped) = client.timeline(id).expect("timeline");
+    assert_eq!(dropped, 0, "a short job must not hit the timeline cap");
+
+    // Timestamps are monotone by construction (stamped under the log's
+    // lock) — the wire must preserve that.
+    for pair in events.windows(2) {
+        assert!(
+            pair[1].at_us >= pair[0].at_us,
+            "timeline out of order: {events:?}"
+        );
+    }
+
+    // Lifecycle shape: admission first, then ≥2 unit start/end spans (4
+    // units on 2 workers), incumbents in between, terminal `done` last.
+    assert!(
+        matches!(
+            events.first().expect("non-empty").kind,
+            TimelineKind::Admitted
+        ),
+        "first event must be admission: {events:?}"
+    );
+    let starts: Vec<_> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            TimelineKind::UnitStart { unit, .. } => Some(*unit),
+            _ => None,
+        })
+        .collect();
+    let ends = events
+        .iter()
+        .filter(|e| matches!(&e.kind, TimelineKind::UnitEnd { end, .. } if end == "completed"))
+        .count();
+    assert!(starts.len() >= 2, "expected ≥2 unit spans: {events:?}");
+    assert_eq!(starts.len(), ends, "every started unit must end");
+    // Ordinals are unique (1-based from `begin_unit`); two workers may
+    // interleave their pushes, so order across workers is not asserted.
+    let distinct: std::collections::BTreeSet<_> = starts.iter().collect();
+    assert_eq!(
+        distinct.len(),
+        starts.len(),
+        "duplicate ordinal: {starts:?}"
+    );
+    match &events.last().expect("non-empty").kind {
+        TimelineKind::Terminal { phase } => assert_eq!(phase, "done"),
+        other => panic!("last event must be terminal, got {other:?}"),
+    }
+
+    // The Chrome export of that timeline must be valid trace_event JSON:
+    // a traceEvents array whose objects carry name/cat/ph/ts/pid/tid.
+    let chrome = timeline_to_chrome(id, &events);
+    assert!(
+        chrome.len() >= events.len(),
+        "spans + instants can't collapse below the event count"
+    );
+    let doc = dabs::obs::chrome::write_trace(&chrome);
+    let parsed = serde::json::Json::parse(&doc).expect("trace file parses");
+    let trace_events = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    assert_eq!(trace_events.len(), chrome.len());
+    let mut phases_seen = std::collections::BTreeSet::new();
+    for ev in trace_events {
+        assert!(ev.get_str("name").is_some(), "missing name: {ev:?}");
+        assert!(ev.get_str("cat").is_some(), "missing cat: {ev:?}");
+        let ph = ev.get_str("ph").expect("missing ph");
+        assert!(matches!(ph, "X" | "i" | "B" | "E"), "bad phase {ph:?}");
+        phases_seen.insert(ph.to_string());
+        assert!(ev.get_u64("ts").is_some(), "missing ts: {ev:?}");
+        assert!(ev.get_u64("pid").is_some(), "missing pid: {ev:?}");
+        assert!(ev.get_u64("tid").is_some(), "missing tid: {ev:?}");
+        if ph == "X" {
+            assert!(ev.get_u64("dur").is_some(), "complete span needs dur");
+        }
+    }
+    // Unit runs export as complete spans, lifecycle marks as instants.
+    assert!(phases_seen.contains("X") && phases_seen.contains("i"));
+
+    // The metrics verb sees the work this job just did.
+    let metrics = client.metrics().expect("metrics");
+    let popped = metrics.get("pool.units_popped").expect("pool counter");
+    assert!(popped.value >= starts.len() as f64);
+    assert!(metrics.get("pool.queue_wait.p50").is_some());
+    assert!(metrics.get("solver.flips").expect("solver counter").value > 0.0);
+    server.shutdown();
 }
 
 #[test]
