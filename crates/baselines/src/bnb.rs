@@ -134,7 +134,7 @@ impl<'m> TreeSearch<'m> {
 
     fn dfs(&mut self, depth: usize, e_fixed: i64, incumbent: &mut BestTracker) -> bool {
         self.nodes += 1;
-        if self.nodes % 4096 == 0 && Instant::now() >= self.deadline {
+        if self.nodes.is_multiple_of(4096) && Instant::now() >= self.deadline {
             return false;
         }
         let n = self.model.n();

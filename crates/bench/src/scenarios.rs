@@ -1012,6 +1012,219 @@ pub mod scan {
 }
 
 // ---------------------------------------------------------------------------
+// Bit-sliced bulk search
+// ---------------------------------------------------------------------------
+
+/// Prices the bit-sliced bulk-search kernel against its scalar reference:
+/// a [`dabs_model::BatchState`] + [`dabs_search::BulkSweep`] runs all lanes
+/// through the lockstep threshold-accepting sweep in one pass over the
+/// weights, while the scalar arm runs the same trajectory as independent
+/// [`dabs_model::IncrementalState`] + [`dabs_search::ScalarSweep`] pairs.
+/// The two arms are bit-identical per lane (same lane seeds, same
+/// calibration), so the flip budgets match by construction and the speedup
+/// is a pure wall-time ratio. Contract: ≥ 4× aggregate Mflip/s (10× is the
+/// recorded, ungated target) with every lane in parity.
+pub mod batch {
+    use super::*;
+    use dabs_model::{BatchState, CsrKernel, IncrementalState, Solution};
+    use dabs_rng::Xorshift64Star;
+    use dabs_search::{lane_seed, BulkSweep, ScalarSweep, BULK_CYCLE_ROUNDS};
+    use std::time::Instant;
+
+    /// Conservative CI floor for the batch-vs-scalar speedup. The paper's
+    /// bulk-search argument needs roughly an order of magnitude; measured
+    /// headroom on a release build is well above this, so a trip means a
+    /// real lane-kernel regression, not runner noise.
+    pub const BATCH_MIN_SPEEDUP: f64 = 4.0;
+    /// The aspirational target, recorded ungated as `vs_target` so the
+    /// trajectory shows progress toward it across machines.
+    pub const BATCH_TARGET_SPEEDUP: f64 = 10.0;
+
+    /// Sweep shape per suite mode: `(n, lanes, cooling cycles, best-of
+    /// repetitions)`.
+    pub fn shape(mode: SuiteMode) -> (usize, usize, u64, usize) {
+        match mode {
+            SuiteMode::Test => (256, 64, 1, 1),
+            SuiteMode::Smoke => (1_024, 256, 2, 3),
+            SuiteMode::Full => (1_024, 256, 8, 5),
+        }
+    }
+
+    /// One measured instance: best-of-reps rates for both arms plus the
+    /// deterministic cross-checks from the final repetition.
+    pub struct BatchPoint {
+        pub batch_rate: f64,
+        pub scalar_rate: f64,
+        /// Every lane of the final rep bit-identical to its scalar run
+        /// (energy, best, flip count, solution) with equal total flips.
+        pub parity_ok: bool,
+        /// Total accepted flips of the final rep (equal in both arms when
+        /// `parity_ok`).
+        pub flips: u64,
+    }
+
+    impl BatchPoint {
+        pub fn speedup(&self) -> f64 {
+            self.batch_rate / self.scalar_rate.max(1e-9)
+        }
+    }
+
+    /// Run both arms `reps` times on the `scan_sweep` weighted instance.
+    /// State construction, lane seeding and amplitude calibration happen
+    /// outside the timed region in both arms; the timed region is exactly
+    /// the sweep.
+    pub fn sweep(mode: SuiteMode, seed: u64) -> BatchPoint {
+        let (n, lanes, cycles, reps) = shape(mode);
+        let model = scan::sparse_model(n, 12 * n, 99, seed.wrapping_add(80));
+        let kernel = CsrKernel::new(&model);
+        let rounds = cycles * BULK_CYCLE_ROUNDS;
+
+        let mut batch_rate = 0.0f64;
+        let mut scalar_rate = 0.0f64;
+        let mut parity_ok = false;
+        let mut flips = 0u64;
+        for r in 0..reps {
+            let rep_seed = seed.wrapping_add(101 * r as u64);
+            let mut starts = Xorshift64Star::new(rep_seed ^ 0x5A17);
+            let lane_starts: Vec<Solution> = (0..lanes)
+                .map(|_| Solution::random(n, &mut starts))
+                .collect();
+
+            // Batch arm.
+            let mut bs = BatchState::new(kernel, lanes);
+            for (l, start) in lane_starts.iter().enumerate() {
+                bs.seed_lane(l, start);
+            }
+            let mut bulk = BulkSweep::new(lanes, rep_seed);
+            bulk.calibrate(&bs);
+            let t0 = Instant::now();
+            let batch_flips = bulk.run(&mut bs, rounds);
+            let batch_secs = t0.elapsed().as_secs_f64().max(1e-9);
+            std::hint::black_box(bs.energies());
+
+            // Scalar arm: the same trajectories, one state per lane.
+            let mut states: Vec<IncrementalState<'_, CsrKernel<'_>>> = lane_starts
+                .iter()
+                .map(|s| IncrementalState::from_solution_with(&model, kernel, s.clone()))
+                .collect();
+            let mut sweeps: Vec<ScalarSweep> = (0..lanes)
+                .map(|l| {
+                    let mut sw = ScalarSweep::new(lane_seed(rep_seed, l));
+                    sw.calibrate(&states[l]);
+                    sw
+                })
+                .collect();
+            let t1 = Instant::now();
+            let mut scalar_flips = 0u64;
+            for (st, sw) in states.iter_mut().zip(sweeps.iter_mut()) {
+                scalar_flips += sw.run(st, rounds);
+            }
+            let scalar_secs = t1.elapsed().as_secs_f64().max(1e-9);
+            std::hint::black_box(&states);
+
+            batch_rate = batch_rate.max(batch_flips as f64 / batch_secs);
+            scalar_rate = scalar_rate.max(scalar_flips as f64 / scalar_secs);
+            if r == reps - 1 {
+                parity_ok = batch_flips == scalar_flips
+                    && (0..lanes).all(|l| {
+                        bs.lane_energy(l) == states[l].energy()
+                            && bs.lane_best_energy(l) == sweeps[l].best()
+                            && bs.lane_flip_counts()[l] == states[l].flips()
+                            && bs.lane_solution(l) == *states[l].solution()
+                    });
+                flips = batch_flips;
+            }
+        }
+        BatchPoint {
+            batch_rate,
+            scalar_rate,
+            parity_ok,
+            flips,
+        }
+    }
+
+    /// The suite entry. Timing gates (speedup, contract) are suspended at
+    /// `Test` scale like every other kernel entry; the parity verdict is
+    /// deterministic and gated in every mode — a debug-profile test run
+    /// must still prove the lanes track their scalar references.
+    pub fn entry(cfg: &SuiteConfig) -> MetricSet {
+        let gate_timing = cfg.mode != SuiteMode::Test;
+        let point = sweep(cfg.mode, cfg.seed);
+        let mut out = MetricSet::new();
+        out.push(Metric::new(
+            "batch_mflips",
+            point.batch_rate / 1e6,
+            "Mflip/s",
+            Direction::HigherIsBetter,
+        ));
+        out.push(Metric::new(
+            "scalar_mflips",
+            point.scalar_rate / 1e6,
+            "Mflip/s",
+            Direction::HigherIsBetter,
+        ));
+        let mut speedup = Metric::new(
+            "speedup",
+            point.speedup(),
+            "ratio",
+            Direction::HigherIsBetter,
+        );
+        if gate_timing {
+            // Machine-relative (both arms on one box), so it gates
+            // meaningfully across hosts.
+            speedup = speedup.gated(0.5);
+        }
+        out.push(speedup);
+        out.push(Metric::new(
+            "vs_target",
+            point.speedup() / BATCH_TARGET_SPEEDUP,
+            "ratio",
+            Direction::HigherIsBetter,
+        ));
+        out.push(
+            Metric::new(
+                "lane_flips",
+                point.flips as f64,
+                "count",
+                Direction::HigherIsBetter,
+            )
+            .deterministic(),
+        );
+        out.push(
+            Metric::new(
+                "parity_ok",
+                if point.parity_ok { 1.0 } else { 0.0 },
+                "bool",
+                Direction::HigherIsBetter,
+            )
+            .deterministic()
+            .gated(0.0),
+        );
+        let ok = point.parity_ok && point.speedup() >= BATCH_MIN_SPEEDUP;
+        let mut contract = Metric::new(
+            "contract_ok",
+            if ok { 1.0 } else { 0.0 },
+            "bool",
+            Direction::HigherIsBetter,
+        );
+        if gate_timing {
+            contract = contract.gated(0.0);
+        }
+        out.push(contract);
+        if !point.parity_ok {
+            eprintln!("batch_sweep contract violation: lane/scalar parity broke");
+        } else if gate_timing && point.speedup() < BATCH_MIN_SPEEDUP {
+            eprintln!(
+                "batch_sweep contract violation: bulk kernel is only {:.2}\u{d7} the scalar \
+                 reference (contract: \u{2265} {BATCH_MIN_SPEEDUP}\u{d7})",
+                point.speedup()
+            );
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Observability overhead
 // ---------------------------------------------------------------------------
 

@@ -168,6 +168,15 @@ pub fn registry() -> Vec<SuiteEntry> {
             run: scenarios::scan::entry,
         },
         SuiteEntry {
+            name: "batch_sweep",
+            family: Family::Kernel,
+            about: "bit-sliced bulk-search lanes vs independent scalar sweeps at a matched \
+                    flip budget on the weighted n=1024 instance + \u{2265}4\u{d7} speedup and \
+                    lane-parity contract",
+            context: &[("kernel", "csr"), ("lanes", "bit-sliced")],
+            run: scenarios::batch::entry,
+        },
+        SuiteEntry {
             name: "obs_overhead",
             family: Family::Kernel,
             about: "observability tax on the hot loop: batch-composite flips/s with the \

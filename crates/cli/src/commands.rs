@@ -32,6 +32,7 @@ pub fn solve(opts: &Options) -> Result<(), String> {
         DabsConfig::dabs(opts.devices, opts.blocks)
     };
     cfg.seed = opts.seed;
+    cfg.params.batch_lanes = opts.batch_lanes;
     let solver = DabsSolver::new(cfg)?;
 
     let mut term = Termination::time(opts.budget);
@@ -313,6 +314,7 @@ pub fn compare(opts: &Options) -> Result<(), String> {
 
     let mut cfg = DabsConfig::dabs(opts.devices, opts.blocks);
     cfg.seed = opts.seed;
+    cfg.params.batch_lanes = opts.batch_lanes;
     let r = DabsSolver::new(cfg)?.run(&model, Termination::time(opts.budget));
     println!(
         "{:<22} {:>14} {:>9.3}s",

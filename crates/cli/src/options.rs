@@ -18,6 +18,9 @@ pub struct Options {
     pub file: Option<String>,
     /// Energy-kernel backend (`auto` picks by instance density).
     pub kernel: KernelChoice,
+    /// Bit-sliced bulk-search lane count (0 = scalar device legs; a
+    /// multiple of 64 in [64, 256] switches devices to lockstep batches).
+    pub batch_lanes: u32,
     /// Emit the solve result as one machine-readable JSON line.
     pub json: bool,
     /// Stream incumbents to stderr while solving.
@@ -37,6 +40,7 @@ impl Options {
             target: None,
             file: None,
             kernel: KernelChoice::Auto,
+            batch_lanes: 0,
             json: false,
             progress: false,
         };
@@ -59,6 +63,15 @@ impl Options {
                 "--target" => o.target = Some(parse(&value("target")?, "target")?),
                 "--file" => o.file = Some(value("file")?),
                 "--kernel" => o.kernel = KernelChoice::from_name(&value("kernel")?)?,
+                "--batch-lanes" => {
+                    let lanes: u32 = parse(&value("batch-lanes")?, "batch-lanes")?;
+                    if lanes != 0 && !dabs_model::valid_lanes(lanes as usize) {
+                        return Err(format!(
+                            "--batch-lanes {lanes}: use 0 for scalar, or a multiple of 64 in [64, 256]"
+                        ));
+                    }
+                    o.batch_lanes = lanes;
+                }
                 "--abs" => o.use_abs = true,
                 "--json" => o.json = true,
                 "--progress" => o.progress = true,
@@ -271,6 +284,21 @@ mod tests {
         assert!(!o.json);
         assert!(!o.progress);
         assert_eq!(o.kernel, KernelChoice::Auto);
+        assert_eq!(o.batch_lanes, 0);
+    }
+
+    #[test]
+    fn batch_lanes_flag_validates_widths() {
+        for ok in [0u32, 64, 128, 192, 256] {
+            let o = opts(&format!("--problem g22 --batch-lanes {ok}")).unwrap();
+            assert_eq!(o.batch_lanes, ok);
+        }
+        for bad in ["1", "32", "63", "96", "320", "moo"] {
+            assert!(
+                opts(&format!("--problem g22 --batch-lanes {bad}")).is_err(),
+                "--batch-lanes {bad} should be rejected"
+            );
+        }
     }
 
     #[test]

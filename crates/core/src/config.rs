@@ -101,6 +101,12 @@ impl DabsConfig {
         if self.params.search_flip_factor <= 0.0 || self.params.batch_flip_factor <= 0.0 {
             return Err("flip factors must be positive".into());
         }
+        let lanes = self.params.batch_lanes as usize;
+        if lanes != 0 && !dabs_model::valid_lanes(lanes) {
+            return Err(format!(
+                "batch_lanes {lanes} invalid (0 for scalar, or a multiple of 64 in [64, 256])"
+            ));
+        }
         for p in [
             self.probabilities.mutation,
             self.probabilities.zero,
@@ -163,5 +169,19 @@ mod tests {
         let mut c = DabsConfig::default();
         c.probabilities.mutation = -0.1;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_checks_batch_lane_widths() {
+        for ok in [0u32, 64, 128, 192, 256] {
+            let mut c = DabsConfig::default();
+            c.params.batch_lanes = ok;
+            assert!(c.validate().is_ok(), "lanes {ok}");
+        }
+        for bad in [1u32, 32, 63, 96, 320] {
+            let mut c = DabsConfig::default();
+            c.params.batch_lanes = bad;
+            assert!(c.validate().is_err(), "lanes {bad}");
+        }
     }
 }

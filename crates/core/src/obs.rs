@@ -28,6 +28,10 @@ pub struct SolverObs {
     pub incumbents_by_algo: [Counter; N_ALGOS],
     /// Lazy Δ-segment re-reductions performed by the segment layer.
     pub seg_reductions: Counter,
+    /// Flips executed by bulk (bit-sliced) device legs — a subset of the
+    /// per-algorithm totals, split out so dashboards can tell lane-batched
+    /// throughput from scalar throughput.
+    pub bulk_flips: Counter,
 }
 
 impl SolverObs {
@@ -37,6 +41,7 @@ impl SolverObs {
             flips_by_algo: std::array::from_fn(|_| Counter::new()),
             incumbents_by_algo: std::array::from_fn(|_| Counter::new()),
             seg_reductions: Counter::new(),
+            bulk_flips: Counter::new(),
         }
     }
 
@@ -77,6 +82,12 @@ impl SolverObs {
             "count",
             up,
         ));
+        set.push(Metric::new(
+            "solver.bulk_flips",
+            self.bulk_flips.get() as f64,
+            "count",
+            up,
+        ));
         for algo in MainAlgorithm::ALL {
             let i = algo.index();
             set.push(Metric::new(
@@ -111,6 +122,7 @@ pub struct ObsAccumulator {
     pend_flips: [u64; N_ALGOS],
     pend_incumbents: [u64; N_ALGOS],
     pend_reductions: u64,
+    pend_bulk_flips: u64,
 }
 
 impl ObsAccumulator {
@@ -136,6 +148,14 @@ impl ObsAccumulator {
         }
     }
 
+    /// Record that the batch just tallied by [`Self::on_batch`] ran as a
+    /// bulk (bit-sliced) device leg with this many lane flips. Publishes
+    /// on the same sampling cadence as `on_batch`.
+    #[inline]
+    pub fn on_bulk(&mut self, flips: u64) {
+        self.pend_bulk_flips += flips;
+    }
+
     /// Publish all pending tallies to the global counters.
     pub fn flush(&mut self) {
         let obs = solver_obs();
@@ -146,6 +166,10 @@ impl ObsAccumulator {
         if self.pend_reductions > 0 {
             obs.seg_reductions.add(self.pend_reductions);
             self.pend_reductions = 0;
+        }
+        if self.pend_bulk_flips > 0 {
+            obs.bulk_flips.add(self.pend_bulk_flips);
+            self.pend_bulk_flips = 0;
         }
         for i in 0..N_ALGOS {
             if self.pend_flips[i] > 0 {
@@ -272,5 +296,17 @@ mod tests {
             assert!(set.get(&format!("solver.flips.{}", algo.name())).is_some());
         }
         assert!(set.get("solver.seg_reductions").is_some());
+        assert!(set.get("solver.bulk_flips").is_some());
+    }
+
+    #[test]
+    fn bulk_flips_flush_with_the_batch_tally() {
+        let before = solver_obs().bulk_flips.get();
+        {
+            let mut acc = ObsAccumulator::new();
+            acc.on_batch(0, 640, 0, false);
+            acc.on_bulk(640);
+        }
+        assert!(solver_obs().bulk_flips.get() >= before + 640);
     }
 }

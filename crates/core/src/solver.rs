@@ -22,7 +22,7 @@ use crossbeam::channel;
 use dabs_gpu_sim::{
     DeviceConfig, DeviceStats, InlineDevice, Packet, SharedBest, StopFlag, VirtualDevice,
 };
-use dabs_model::{CsrKernel, DenseKernel, KernelKind, QuboKernel, QuboModel, Solution};
+use dabs_model::{BatchKernel, CsrKernel, DenseKernel, KernelKind, QuboModel, Solution};
 use dabs_rng::{Rng64, SplitMix64, Xorshift64Star};
 use dabs_search::MainAlgorithm;
 use parking_lot::Mutex;
@@ -606,7 +606,7 @@ impl std::fmt::Debug for UnitRun<'_> {
 
 /// The sequential solver loop, held as resumable state instead of a stack
 /// frame: pools, host RNGs, inline devices, and the running best.
-struct SeqEngine<'m, K: QuboKernel> {
+struct SeqEngine<'m, K: BatchKernel> {
     cfg: DabsConfig,
     n: usize,
     termination: Termination,
@@ -627,7 +627,7 @@ struct SeqEngine<'m, K: QuboKernel> {
     done: bool,
 }
 
-impl<'m, K: QuboKernel> SeqEngine<'m, K> {
+impl<'m, K: BatchKernel> SeqEngine<'m, K> {
     fn new(
         cfg: DabsConfig,
         model: &'m QuboModel,
@@ -759,6 +759,9 @@ impl<'m, K: QuboKernel> SeqEngine<'m, K> {
         let improved = energy < self.best_energy;
         self.obs
             .on_batch(algo.index(), flips_delta, reds_delta, improved);
+        if self.cfg.params.batch_lanes >= 64 {
+            self.obs.on_bulk(flips_delta);
+        }
         if energy < self.best_energy {
             self.best_energy = energy;
             self.best_solution = Some(result.solution.clone());
@@ -999,6 +1002,68 @@ mod tests {
         let r = solver.run_sequential(&q, Termination::batches(17));
         assert_eq!(r.batches, 17);
         assert!(!r.reached_target);
+        assert!(r.flips > 0);
+    }
+
+    #[test]
+    fn sequential_bulk_mode_solves_and_counts_lane_flips() {
+        let q = random_model(16, 0.4, 206);
+        let opt = brute_force(&q);
+        let mut cfg = DabsConfig {
+            devices: 2,
+            blocks_per_device: 1,
+            pool_capacity: 8,
+            seed: 11,
+            ..DabsConfig::default()
+        };
+        cfg.params.batch_lanes = 64;
+        let bulk_before = crate::obs::solver_obs().bulk_flips.get();
+        let solver = DabsSolver::new(cfg).unwrap();
+        let r = solver.run_sequential(&q, Termination::target(opt).with_batches(400));
+        assert_eq!(q.energy(&r.best), r.energy);
+        assert_eq!(r.energy, opt, "bulk mode missed the optimum");
+        assert!(r.flips > 0);
+        assert!(
+            crate::obs::solver_obs().bulk_flips.get() > bulk_before,
+            "bulk legs must feed the solver.bulk_flips counter"
+        );
+    }
+
+    #[test]
+    fn sequential_bulk_mode_is_deterministic() {
+        let q = random_model(24, 0.3, 207);
+        let mk = || {
+            let mut cfg = DabsConfig {
+                devices: 2,
+                blocks_per_device: 1,
+                pool_capacity: 8,
+                seed: 78,
+                ..DabsConfig::default()
+            };
+            cfg.params.batch_lanes = 64;
+            DabsSolver::new(cfg).unwrap()
+        };
+        let a = mk().run_sequential(&q, Termination::batches(30));
+        let b = mk().run_sequential(&q, Termination::batches(30));
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.flips, b.flips);
+    }
+
+    #[test]
+    fn threaded_bulk_mode_reaches_a_valid_result() {
+        let q = Arc::new(random_model(20, 0.3, 208));
+        let mut cfg = DabsConfig {
+            devices: 2,
+            blocks_per_device: 2,
+            pool_capacity: 8,
+            seed: 21,
+            ..DabsConfig::default()
+        };
+        cfg.params.batch_lanes = 64;
+        let solver = DabsSolver::new(cfg).unwrap();
+        let r = solver.run(&q, Termination::batches(40));
+        assert_eq!(q.energy(&r.best), r.energy);
         assert!(r.flips > 0);
     }
 

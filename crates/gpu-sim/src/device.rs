@@ -3,10 +3,11 @@
 use crate::{DeviceStats, Packet, SharedBest, StopFlag};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use dabs_model::{
-    CsrKernel, DenseKernel, IncrementalState, KernelKind, QuboKernel, QuboModel, Solution,
+    BatchKernel, BatchState, CsrKernel, DenseKernel, IncrementalState, KernelKind, QuboModel,
+    Solution,
 };
 use dabs_rng::{Rng64, SplitMix64, Xorshift64Star};
-use dabs_search::{BatchSearch, SearchParams};
+use dabs_search::{BatchSearch, BulkSweep, SearchParams, BULK_CYCLE_ROUNDS};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -115,7 +116,7 @@ impl VirtualDevice {
 
 /// The per-block work loop (one CUDA block in the paper's Fig. 4(2)).
 #[allow(clippy::too_many_arguments)]
-fn block_loop<K: QuboKernel>(
+fn block_loop<K: BatchKernel>(
     model: &QuboModel,
     kernel: K,
     params: SearchParams,
@@ -127,6 +128,8 @@ fn block_loop<K: QuboKernel>(
     stats: &DeviceStats,
 ) {
     let mut rng = Xorshift64Star::new(seed);
+    let mut bulk = (params.batch_lanes >= 64)
+        .then(|| BulkResident::new(kernel, params.batch_lanes as usize, seed));
     let mut state = IncrementalState::with_kernel(model, kernel);
     let mut batch = BatchSearch::new(model.n(), params);
     loop {
@@ -138,14 +141,106 @@ fn block_loop<K: QuboKernel>(
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => return,
         };
-        let out = batch.run(&mut state, &packet.solution, packet.algorithm, &mut rng);
-        let improved = shared.update(out.energy);
-        stats.record_batch(out.flips, improved);
-        if results
-            .send(packet.into_result(out.best, out.energy))
-            .is_err()
-        {
+        let sent = if let Some(bulk) = bulk.as_mut() {
+            let leg = bulk.leg(&packet.solution, &mut rng);
+            let improved = shared.merge_lanes(bulk.state.best_energies());
+            stats.record_batch(leg.flips, improved);
+            results
+                .send(
+                    packet
+                        .into_result(leg.best, leg.energy)
+                        .with_lane_energies(bulk.state.energies().to_vec()),
+                )
+                .is_ok()
+        } else {
+            let out = batch.run(&mut state, &packet.solution, packet.algorithm, &mut rng);
+            let improved = shared.update(out.energy);
+            stats.record_batch(out.flips, improved);
+            results
+                .send(packet.into_result(out.best, out.energy))
+                .is_ok()
+        };
+        if !sent {
             return; // host went away
+        }
+    }
+}
+
+/// The resident bit-sliced batch of one bulk-mode block: `B` candidate
+/// lanes ([`BatchState`]) plus their threshold-accepting sweep
+/// ([`BulkSweep`]), persisting across legs like the scalar resident state.
+struct BulkResident<K: BatchKernel> {
+    state: BatchState<K>,
+    sweep: BulkSweep,
+    seeded: bool,
+}
+
+/// What one bulk leg produced: the winning lane's current solution/energy
+/// (so `energy == E(best)` exactly, as with scalar legs) and the flips
+/// accepted across all lanes.
+struct BulkLeg {
+    best: Solution,
+    energy: i64,
+    flips: u64,
+}
+
+impl<K: BatchKernel> BulkResident<K> {
+    fn new(kernel: K, lanes: usize, seed: u64) -> Self {
+        Self {
+            state: BatchState::new(kernel, lanes),
+            sweep: BulkSweep::new(lanes, seed),
+            seeded: false,
+        }
+    }
+
+    /// Seed every lane from `target`: lane 0 exact, siblings perturbed by
+    /// ~n/16 random bit flips so the batch starts as a cloud around the
+    /// target (the bulk analogue of one warm start; a cube-seeded unit's
+    /// incumbent fans out to a whole lane batch this way).
+    fn seed_all(&mut self, target: &Solution, rng: &mut Xorshift64Star) {
+        let n = self.state.n();
+        let spread = (n / 16).max(1);
+        for lane in 0..self.state.lanes() {
+            let mut sol = target.clone();
+            if lane > 0 {
+                for _ in 0..spread {
+                    sol.flip(rng.next_index(n));
+                }
+            }
+            self.seed_lane(lane, &sol);
+        }
+        self.seeded = true;
+    }
+
+    fn seed_lane(&mut self, lane: usize, sol: &Solution) {
+        self.state.seed_lane(lane, sol);
+        let amp = self.state.max_abs_delta(lane);
+        self.sweep.set_amp(lane, amp);
+    }
+
+    /// One bulk leg: inject the target (first leg seeds the whole batch;
+    /// later legs replace the worst current lane), run one cooling cycle
+    /// of the lockstep sweep, report the winning lane.
+    fn leg(&mut self, target: &Solution, rng: &mut Xorshift64Star) -> BulkLeg {
+        if self.seeded {
+            let worst = self
+                .state
+                .energies()
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &e)| e)
+                .map(|(l, _)| l)
+                .unwrap_or(0);
+            self.seed_lane(worst, target);
+        } else {
+            self.seed_all(target, rng);
+        }
+        let flips = self.sweep.run(&mut self.state, BULK_CYCLE_ROUNDS);
+        let (lane, energy) = self.state.argmin_lane();
+        BulkLeg {
+            best: self.state.lane_solution(lane),
+            energy,
+            flips,
         }
     }
 }
@@ -156,9 +251,11 @@ fn block_loop<K: QuboKernel>(
 /// energy-kernel backend; [`InlineDevice::new`] builds the CSR-backed
 /// default, [`InlineDevice::with_kernel`] takes whichever backend the model
 /// selected.
-pub struct InlineDevice<'m, K: QuboKernel = CsrKernel<'m>> {
+pub struct InlineDevice<'m, K: BatchKernel = CsrKernel<'m>> {
     state: IncrementalState<'m, K>,
     batch: BatchSearch,
+    bulk: Option<BulkResident<K>>,
+    params: SearchParams,
     rng: Xorshift64Star,
     shared: SharedBest,
     stats: DeviceStats,
@@ -171,12 +268,18 @@ impl<'m> InlineDevice<'m, CsrKernel<'m>> {
     }
 }
 
-impl<'m, K: QuboKernel> InlineDevice<'m, K> {
-    /// Build an inline device on an explicit kernel backend.
+impl<'m, K: BatchKernel> InlineDevice<'m, K> {
+    /// Build an inline device on an explicit kernel backend. A
+    /// `params.batch_lanes ≥ 64` switches the device to the bulk resident
+    /// mode: `batch_lanes` bit-sliced candidate lanes advanced in lockstep
+    /// by the threshold-accepting sweep instead of one scalar block.
     pub fn with_kernel(model: &'m QuboModel, kernel: K, params: SearchParams, seed: u64) -> Self {
         Self {
             state: IncrementalState::with_kernel(model, kernel),
             batch: BatchSearch::new(model.n(), params),
+            bulk: (params.batch_lanes >= 64)
+                .then(|| BulkResident::new(kernel, params.batch_lanes as usize, seed)),
+            params,
             rng: Xorshift64Star::new(seed),
             shared: SharedBest::new(),
             stats: DeviceStats::new(),
@@ -185,6 +288,14 @@ impl<'m, K: QuboKernel> InlineDevice<'m, K> {
 
     /// Process one request packet synchronously, returning the result.
     pub fn process(&mut self, packet: Packet) -> Packet {
+        if let Some(bulk) = self.bulk.as_mut() {
+            let leg = bulk.leg(&packet.solution, &mut self.rng);
+            let improved = self.shared.merge_lanes(bulk.state.best_energies());
+            self.stats.record_batch(leg.flips, improved);
+            return packet
+                .into_result(leg.best, leg.energy)
+                .with_lane_energies(bulk.state.energies().to_vec());
+        }
         let out = self.batch.run(
             &mut self.state,
             &packet.solution,
@@ -194,6 +305,11 @@ impl<'m, K: QuboKernel> InlineDevice<'m, K> {
         let improved = self.shared.update(out.energy);
         self.stats.record_batch(out.flips, improved);
         packet.into_result(out.best, out.energy)
+    }
+
+    /// The configured bit-sliced lane count (0 in scalar mode).
+    pub fn batch_lanes(&self) -> u32 {
+        self.params.batch_lanes
     }
 
     /// Device-wide best energy so far.
@@ -219,9 +335,16 @@ impl<'m, K: QuboKernel> InlineDevice<'m, K> {
 
     /// Re-seat the resident block on `solution`, recomputing energy and
     /// flip deltas. Used to warm-start a device from a sibling unit's
-    /// incumbent instead of whatever state it last held.
+    /// incumbent instead of whatever state it last held. In bulk mode the
+    /// warm start fans out across the whole lane batch (lane 0 exact,
+    /// siblings perturbed), so a cube-seeded unit hands its vector to all
+    /// `B` resident candidates at once.
     pub fn reset_resident(&mut self, solution: &Solution) {
-        self.state.reset_to(solution.clone());
+        if let Some(bulk) = self.bulk.as_mut() {
+            bulk.seed_all(solution, &mut self.rng);
+        } else {
+            self.state.reset_to(solution.clone());
+        }
     }
 }
 
@@ -393,6 +516,118 @@ mod tests {
         // the shared best equals the minimum over all results
         let min = results.iter().map(|r| r.energy.unwrap()).min().unwrap();
         assert_eq!(shared.get(), min);
+    }
+
+    #[test]
+    fn inline_bulk_device_round_trips_lane_results() {
+        let q = random_model(50, 310);
+        let params = SearchParams {
+            batch_lanes: 64,
+            ..SearchParams::default()
+        };
+        let mut dev = InlineDevice::new(&q, params, 1);
+        assert_eq!(dev.batch_lanes(), 64);
+        let mut rng = Xorshift64Star::new(2);
+        for op in 0..3u8 {
+            let req = Packet::request(Solution::random(50, &mut rng), MainAlgorithm::MaxMin, op);
+            let res = dev.process(req);
+            assert!(res.is_result());
+            assert_eq!(res.lane_energies.len(), 64);
+            // The reported winner is a real lane: its energy is the lane
+            // minimum and matches the ground-truth energy of the solution.
+            let min = *res.lane_energies.iter().min().unwrap();
+            assert_eq!(res.energy.unwrap(), min);
+            assert_eq!(q.energy(&res.solution), res.energy.unwrap());
+        }
+        assert_eq!(dev.stats().batches(), 3);
+        assert!(dev.stats().flips() > 0);
+        // The shared best was min-merged off the sentinel by the lane bests.
+        assert!(dev.best_energy() < i64::MAX);
+    }
+
+    #[test]
+    fn inline_bulk_device_is_deterministic() {
+        let q = random_model(40, 311);
+        let params = SearchParams {
+            batch_lanes: 128,
+            ..SearchParams::default()
+        };
+        let run = || {
+            let mut dev = InlineDevice::new(&q, params, 9);
+            let mut rng = Xorshift64Star::new(10);
+            let mut out = Vec::new();
+            for _ in 0..3 {
+                let req =
+                    Packet::request(Solution::random(40, &mut rng), MainAlgorithm::CyclicMin, 0);
+                let res = dev.process(req);
+                out.push((res.energy.unwrap(), res.lane_energies));
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bulk_warm_start_fans_out_across_lanes() {
+        let q = random_model(48, 312);
+        let params = SearchParams {
+            batch_lanes: 64,
+            ..SearchParams::default()
+        };
+        let mut dev = InlineDevice::new(&q, params, 5);
+        let mut rng = Xorshift64Star::new(6);
+        let warm = Solution::random(48, &mut rng);
+        dev.reset_resident(&warm);
+        let res = dev.process(Packet::request(warm, MainAlgorithm::MaxMin, 0));
+        assert_eq!(res.lane_energies.len(), 64);
+        assert_eq!(q.energy(&res.solution), res.energy.unwrap());
+    }
+
+    #[test]
+    fn threaded_bulk_device_processes_requests() {
+        let q = Arc::new(random_model(40, 313));
+        let (req_tx, req_rx) = channel::bounded::<Packet>(8);
+        let (res_tx, res_rx) = channel::unbounded::<Packet>();
+        let shared = Arc::new(SharedBest::new());
+        let stop = Arc::new(StopFlag::new());
+        let handle = VirtualDevice::spawn(
+            Arc::clone(&q),
+            DeviceConfig {
+                blocks: 2,
+                params: SearchParams {
+                    batch_lanes: 64,
+                    ..SearchParams::default()
+                },
+                seed: 77,
+            },
+            req_rx,
+            res_tx,
+            Arc::clone(&shared),
+            Arc::clone(&stop),
+            Arc::new(DeviceStats::new()),
+        );
+        let mut rng = Xorshift64Star::new(8);
+        for i in 0..4 {
+            req_tx
+                .send(Packet::request(
+                    Solution::random(40, &mut rng),
+                    MainAlgorithm::ALL[i % 5],
+                    i as u8,
+                ))
+                .unwrap();
+        }
+        let mut min = i64::MAX;
+        for _ in 0..4 {
+            let r = res_rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert_eq!(r.lane_energies.len(), 64);
+            assert_eq!(q.energy(&r.solution), r.energy.unwrap());
+            min = min.min(*r.lane_energies.iter().min().unwrap());
+        }
+        stop.stop();
+        handle.join();
+        // The shared register min-merged every lane, so it is at least as
+        // good as the best lane any result reported.
+        assert!(shared.get() <= min);
     }
 
     #[test]

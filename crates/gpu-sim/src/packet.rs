@@ -26,6 +26,11 @@ pub struct Packet {
     /// Opaque tag identifying the genetic operation that generated the
     /// target (interpreted only by the host layer in `dabs-core`).
     pub genetic_op: u8,
+    /// Per-lane current energies of a bulk (bit-sliced) device leg, one per
+    /// resident candidate lane; empty on scalar paths and on requests.
+    /// `energy` stays the min — `lane_energies` is the full distribution
+    /// for hosts that want more than the winner.
+    pub lane_energies: Vec<i64>,
 }
 
 impl Packet {
@@ -36,6 +41,7 @@ impl Packet {
             energy: None,
             algorithm,
             genetic_op,
+            lane_energies: Vec::new(),
         }
     }
 
@@ -43,6 +49,12 @@ impl Packet {
     pub fn into_result(mut self, best: Solution, energy: i64) -> Self {
         self.solution = best;
         self.energy = Some(energy);
+        self
+    }
+
+    /// Attach the per-lane energies of a bulk device leg.
+    pub fn with_lane_energies(mut self, lane_energies: Vec<i64>) -> Self {
+        self.lane_energies = lane_energies;
         self
     }
 
@@ -72,5 +84,16 @@ mod tests {
         assert_eq!(r.algorithm, MainAlgorithm::CyclicMin);
         assert_eq!(r.genetic_op, 5);
         assert_eq!(r.solution, Solution::ones(8));
+        assert!(r.lane_energies.is_empty(), "scalar results carry no lanes");
+    }
+
+    #[test]
+    fn lane_energies_attach_to_bulk_results() {
+        let p = Packet::request(Solution::zeros(8), MainAlgorithm::MaxMin, 0);
+        let r = p
+            .into_result(Solution::ones(8), -7)
+            .with_lane_energies(vec![-7, 3, 0]);
+        assert_eq!(r.lane_energies, vec![-7, 3, 0]);
+        assert_eq!(r.energy, Some(-7));
     }
 }

@@ -32,6 +32,17 @@ impl SharedBest {
     pub fn get(&self) -> i64 {
         self.energy.load(Ordering::Relaxed)
     }
+
+    /// Min-merge a bulk leg's per-lane energies: one `fetch_min` with the
+    /// lane minimum instead of one per lane. Returns `true` when the
+    /// register strictly improved; `false` on an empty slice.
+    #[inline]
+    pub fn merge_lanes(&self, lane_energies: &[i64]) -> bool {
+        match lane_energies.iter().min() {
+            Some(&e) => self.update(e),
+            None => false,
+        }
+    }
 }
 
 impl Default for SharedBest {
@@ -97,6 +108,18 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(b.get(), -700);
+    }
+
+    #[test]
+    fn merge_lanes_takes_the_minimum() {
+        let b = SharedBest::new();
+        assert!(!b.merge_lanes(&[]), "empty lane set is a no-op");
+        assert_eq!(b.get(), i64::MAX);
+        assert!(b.merge_lanes(&[5, -3, 8]));
+        assert_eq!(b.get(), -3);
+        assert!(!b.merge_lanes(&[0, -3]), "no strict improvement");
+        assert!(b.merge_lanes(&[-10, 99]));
+        assert_eq!(b.get(), -10);
     }
 
     #[test]

@@ -159,6 +159,12 @@ impl<'m> CsrKernel<'m> {
             diag: model.diag_slice(),
         }
     }
+
+    /// The mirrored adjacency this kernel walks — shared with the batch
+    /// kernel so both visit identical rows.
+    pub(crate) fn adjacency(&self) -> &'m SymmetricCsr {
+        self.adj
+    }
 }
 
 impl QuboKernel for CsrKernel<'_> {
@@ -274,11 +280,17 @@ impl<'m> DenseKernel<'m> {
         Self::try_new(model)
             .expect("model has no dense kernel storage (build it with KernelChoice::Dense)")
     }
+
+    /// The padded strip matrix this kernel walks — shared with the batch
+    /// kernel so both visit identical rows.
+    pub(crate) fn strips(&self) -> &'m DenseStrips {
+        self.dense
+    }
 }
 
 /// Branchless conditional negate: `w` when mask bit is 0, `−w` when 1.
 #[inline(always)]
-fn sign_select(w: i64, neg: i64) -> i64 {
+pub(crate) fn sign_select(w: i64, neg: i64) -> i64 {
     // neg ∈ {0, −1}: (w ^ 0) − 0 = w; (w ^ −1) − (−1) = !w + 1 = −w.
     (w ^ neg) - neg
 }

@@ -32,6 +32,7 @@
 //! Weights and energies are `i64` throughout: every benchmark in the paper is
 //! integral, and integer energies make optimality assertions exact.
 
+pub mod batch_kernel;
 mod builder;
 mod csr;
 mod dense;
@@ -44,6 +45,7 @@ mod qubo;
 pub mod segments;
 mod solution;
 
+pub use batch_kernel::{valid_lanes, BatchKernel, BatchState, MAX_BATCH_LANES, MIN_BATCH_LANES};
 pub use builder::QuboBuilder;
 pub use csr::SymmetricCsr;
 pub use dense::DenseStrips;

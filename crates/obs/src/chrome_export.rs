@@ -51,7 +51,11 @@ impl From<&TraceEvent> for ChromeEvent {
     }
 }
 
-/// Escape `s` for inclusion in a JSON string literal.
+/// Escape `s` for inclusion in a JSON string literal. The output is pure
+/// printable ASCII: control characters (C0, DEL, C1) and all non-ASCII
+/// text go out as `\u` escapes, with astral-plane characters encoded as
+/// UTF-16 surrogate pairs — a single `\u{:04x}` of the scalar value would
+/// silently truncate anything above the BMP.
 fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
@@ -60,10 +64,13 @@ fn escape_into(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+            ' '..='~' => out.push(c),
+            c => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    out.push_str(&format!("\\u{unit:04x}"));
+                }
             }
-            c => out.push(c),
         }
     }
 }
@@ -174,6 +181,83 @@ mod tests {
         ev.name = "we\"ird\\name\n".into();
         let doc = write_trace(&[ev]);
         assert!(doc.contains("we\\\"ird\\\\name\\n"));
+    }
+
+    /// Decode a JSON string-literal body (no surrounding quotes) exactly
+    /// as a spec-compliant parser would, combining surrogate pairs.
+    fn unescape(s: &str) -> String {
+        let mut out = String::new();
+        let mut it = s.chars();
+        while let Some(c) = it.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match it.next().unwrap() {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex4 = |it: &mut std::str::Chars| -> u32 {
+                        (0..4).fold(0, |a, _| a * 16 + it.next().unwrap().to_digit(16).unwrap())
+                    };
+                    let hi = hex4(&mut it);
+                    let cp = if (0xd800..0xdc00).contains(&hi) {
+                        assert_eq!(it.next(), Some('\\'), "lone high surrogate");
+                        assert_eq!(it.next(), Some('u'), "lone high surrogate");
+                        let lo = hex4(&mut it);
+                        assert!((0xdc00..0xe000).contains(&lo), "bad low surrogate {lo:04x}");
+                        0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                    } else {
+                        hi
+                    };
+                    out.push(char::from_u32(cp).unwrap());
+                }
+                other => panic!("unexpected escape \\{other}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hostile_job_names_round_trip() {
+        // DEL, C1 controls, BMP unicode, and astral-plane emoji — the
+        // names a job spec can legally carry into the trace export.
+        let hostile = [
+            "job\u{7f}name",
+            "c1\u{9c}control",
+            "quote\"back\\slash\nnewline\ttab",
+            "bmp: déjà vu — ✓",
+            "astral: \u{1f600}\u{1F680} \u{10FFFF}",
+        ];
+        for name in hostile {
+            let mut ev = sample();
+            ev.name = name.into();
+            let doc = write_trace(&[ev]);
+            // Perfetto's JSON ingestion wants plain ASCII documents.
+            assert!(doc.is_ascii(), "non-ASCII byte leaked for {name:?}");
+            let body = doc
+                .split("{\"name\":\"")
+                .nth(1)
+                .unwrap()
+                .split("\",\"cat\"")
+                .next()
+                .unwrap();
+            assert_eq!(unescape(body), name, "round-trip broke for {name:?}");
+        }
+        // The astral escape must be a surrogate pair, not a truncated
+        // single \u of the scalar value.
+        let mut ev = sample();
+        ev.name = "\u{1f600}".into();
+        let doc = write_trace(&[ev]);
+        assert!(
+            doc.contains("\\ud83d\\ude00"),
+            "missing surrogate pair: {doc}"
+        );
+        assert!(!doc.contains("\\uf600"), "truncated astral escape: {doc}");
     }
 
     #[test]

@@ -332,6 +332,33 @@ mod tests {
     }
 
     #[test]
+    fn percentile_of_empty_snapshot_is_zero() {
+        // Pinned behavior: an empty snapshot answers 0 at every quantile —
+        // never a panic, never the saturated `max` sentinel.
+        let snap = LogHistogram::new().snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.percentile(q), 0, "q={q}");
+        }
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p99(), 0);
+        assert_eq!(snap.p999(), 0);
+    }
+
+    #[test]
+    fn percentile_extremes_on_single_sample() {
+        // With one observation, every quantile — including the degenerate
+        // q=0.0 (rank clamps up to 1) and q=1.0 — is that sample.
+        for v in [0u64, 1, 7, 1_000] {
+            let h = LogHistogram::new();
+            h.record(v);
+            let snap = h.snapshot();
+            for q in [0.0, 0.5, 1.0] {
+                assert_eq!(snap.percentile(q), v, "v={v} q={q}");
+            }
+        }
+    }
+
+    #[test]
     fn percentiles_agree_with_exact_nearest_rank() {
         // ≤10k synthetic samples spanning several majors; the histogram's
         // answer must bracket the exact nearest-rank within one bucket.

@@ -167,7 +167,7 @@ mod tests {
         }
         for i in 0..k {
             heap_permute(arr, k - 1, out);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 arr.swap(i, k - 1);
             } else {
                 arr.swap(0, k - 1);

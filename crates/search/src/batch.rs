@@ -149,7 +149,7 @@ mod tests {
             let params = SearchParams {
                 search_flip_factor: 0.3,
                 batch_flip_factor: 2.0,
-                tabu_tenure: 8,
+                ..SearchParams::default()
             };
             let out = run_once(&q, algo, params, 92);
             assert!(
@@ -192,6 +192,7 @@ mod tests {
                 search_flip_factor: 1.0,
                 batch_flip_factor: 20.0,
                 tabu_tenure: 4,
+                ..SearchParams::default()
             },
         );
         for algo in MainAlgorithm::ALL {
@@ -226,7 +227,7 @@ mod tests {
         let params = SearchParams {
             search_flip_factor: 0.3,
             batch_flip_factor: 4.0,
-            tabu_tenure: 8,
+            ..SearchParams::default()
         };
         let configured = params.batch_flips(50);
         // Same budget through either entry point → identical batch.

@@ -1,0 +1,313 @@
+//! Bulk lockstep sweep: the batched search strategy driving
+//! [`dabs_model::BatchState`].
+//!
+//! The scalar strategies pick one variable per flip via segment-aggregate
+//! argmin queries — inherently serial per candidate. The bulk sweep instead
+//! runs the paper's GPU execution shape on the bit-sliced batch: all `B`
+//! lanes visit the variables **cyclically in lockstep** (`i = 0, 1, …,
+//! n−1`, the CyclicMin visiting order), and each lane independently decides
+//! `flip iff Δ_i ≤ θ_ℓ`, a per-lane *threshold-accepting* rule (Dueck &
+//! Scheuer's deterministic cousin of simulated annealing). One row walk
+//! then services every lane, which is the entire point of the batch kernel.
+//!
+//! The threshold schedule reuses the repo's cubic cooling idiom
+//! ([`crate::cubic`], the same shape MaxMin cools with): lane `ℓ` draws
+//! `θ_ℓ ~ U[0, amp]` each round, where `amp = amp0_ℓ · (1 − phase)³` and
+//! `phase` ramps over a [`BULK_CYCLE_ROUNDS`]-round cycle, then reheats —
+//! downhill moves (`Δ ≤ 0`) are always accepted since `θ ≥ 0`.
+//!
+//! **Parity contract:** lane `ℓ` of [`BulkSweep::run`] is bit-identical to
+//! a [`ScalarSweep::run`] over a scalar [`IncrementalState`] seeded from
+//! the same start vector with the same lane RNG ([`lane_seed`]) — both
+//! sides share [`threshold`] and the visiting order, so they accept the
+//! same flips in the same order. The tests below pin this for both
+//! backends; the `batch_sweep` bench leans on it to equate flip budgets.
+
+use crate::cubic;
+use dabs_model::{BatchKernel, BatchState, IncrementalState, QuboKernel};
+use dabs_rng::{Rng64, SplitMix64, Xorshift64Star};
+
+/// Rounds per threshold cooling cycle: amplitude decays cubically over a
+/// cycle, then reheats. One device leg runs exactly one cycle.
+pub const BULK_CYCLE_ROUNDS: u64 = 16;
+
+/// The RNG seed of lane `lane` under master seed `base` — the `lane`-th
+/// draw of a [`SplitMix64`] stream, shared by [`BulkSweep::new`] and any
+/// scalar reference run that wants to replay a single lane.
+pub fn lane_seed(base: u64, lane: usize) -> u64 {
+    let mut sm = SplitMix64::new(base);
+    let mut s = sm.next_u64();
+    for _ in 0..lane {
+        s = sm.next_u64();
+    }
+    s
+}
+
+/// The round's acceptance threshold: `U[0, amp0 · (1 − phase)³]` where
+/// `phase` is the position inside the current cooling cycle. Pure in
+/// `(amp0, round, draw)` so the batch and scalar paths cannot diverge.
+fn threshold(amp0: i64, round: u64, draw: u64) -> i64 {
+    let phase = (round % BULK_CYCLE_ROUNDS) as f64 / BULK_CYCLE_ROUNDS as f64;
+    let amp = (amp0 as f64 * cubic(1.0 - phase)) as i64;
+    if amp <= 0 {
+        0
+    } else {
+        (draw % (amp as u64 + 1)) as i64
+    }
+}
+
+/// Threshold-accepting lockstep sweep over a [`BatchState`]: per-lane RNG
+/// streams, per-lane amplitudes, one shared round counter. Rounds persist
+/// across [`BulkSweep::run`] calls so a resident device continues its
+/// schedule where the previous leg stopped.
+#[derive(Debug, Clone)]
+pub struct BulkSweep {
+    rngs: Vec<Xorshift64Star>,
+    amp0: Vec<i64>,
+    thresholds: Vec<i64>,
+    round: u64,
+}
+
+impl BulkSweep {
+    /// A sweep over `lanes` lanes; lane `ℓ` draws from
+    /// `Xorshift64Star(lane_seed(seed, ℓ))`. Amplitudes start at 1 —
+    /// call [`Self::calibrate`] (or [`Self::set_amp`]) after seeding.
+    pub fn new(lanes: usize, seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            rngs: (0..lanes)
+                .map(|_| Xorshift64Star::new(sm.next_u64()))
+                .collect(),
+            amp0: vec![1; lanes],
+            thresholds: vec![0; lanes],
+            round: 0,
+        }
+    }
+
+    /// Set lane `ℓ`'s threshold amplitude (clamped to ≥ 1).
+    pub fn set_amp(&mut self, lane: usize, amp: i64) {
+        self.amp0[lane] = amp.max(1);
+    }
+
+    /// Seed every lane's amplitude from its current `max |Δ|` — the same
+    /// rule [`ScalarSweep::calibrate`] applies to its single state.
+    pub fn calibrate<K: BatchKernel>(&mut self, bs: &BatchState<K>) {
+        for lane in 0..self.amp0.len() {
+            self.set_amp(lane, bs.max_abs_delta(lane));
+        }
+    }
+
+    /// Completed rounds since construction.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Run `rounds` lockstep rounds; returns accepted flips across all
+    /// lanes. Each round draws one threshold per lane, then every variable
+    /// is visited once with a predicated batch step.
+    pub fn run<K: BatchKernel>(&mut self, bs: &mut BatchState<K>, rounds: u64) -> u64 {
+        assert_eq!(bs.lanes(), self.rngs.len(), "sweep/batch lane mismatch");
+        let n = bs.n();
+        let mut accept = vec![0u64; bs.lane_words()];
+        let mut total = 0u64;
+        for _ in 0..rounds {
+            for (l, rng) in self.rngs.iter_mut().enumerate() {
+                self.thresholds[l] = threshold(self.amp0[l], self.round, rng.next_u64());
+            }
+            for i in 0..n {
+                bs.accept_mask_le(i, &self.thresholds, &mut accept);
+                total += u64::from(bs.step(i, &accept));
+            }
+            self.round += 1;
+        }
+        total
+    }
+}
+
+/// The scalar reference for one lane: the identical sweep loop over a
+/// plain [`IncrementalState`]. Exists for the parity harness and the
+/// `batch_sweep` bench's scalar arm — production scalar search keeps using
+/// the segment-aggregate strategies.
+#[derive(Debug, Clone)]
+pub struct ScalarSweep {
+    rng: Xorshift64Star,
+    amp0: i64,
+    best: i64,
+    round: u64,
+}
+
+impl ScalarSweep {
+    /// A single-lane sweep drawing from `Xorshift64Star(seed)` — pass
+    /// [`lane_seed`]`(base, ℓ)` to replay lane `ℓ` of a batch.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Xorshift64Star::new(seed),
+            amp0: 1,
+            best: i64::MAX,
+            round: 0,
+        }
+    }
+
+    /// Set the threshold amplitude (clamped to ≥ 1).
+    pub fn set_amp(&mut self, amp: i64) {
+        self.amp0 = amp.max(1);
+    }
+
+    /// Seed the amplitude from the state's current `max |Δ|`.
+    pub fn calibrate<K: QuboKernel>(&mut self, st: &IncrementalState<'_, K>) {
+        let amp = st.deltas().iter().map(|d| d.abs()).max().unwrap_or(0);
+        self.set_amp(amp);
+    }
+
+    /// Best energy seen across all [`Self::run`] calls (including each
+    /// run's starting energy) — the scalar mirror of
+    /// `BatchState::lane_best_energy`.
+    pub fn best(&self) -> i64 {
+        self.best
+    }
+
+    /// Run `rounds` sweep rounds; returns flips performed in this call.
+    pub fn run<K: QuboKernel>(&mut self, st: &mut IncrementalState<'_, K>, rounds: u64) -> u64 {
+        let n = st.n();
+        let start = st.flips();
+        self.best = self.best.min(st.energy());
+        for _ in 0..rounds {
+            let thr = threshold(self.amp0, self.round, self.rng.next_u64());
+            for i in 0..n {
+                if st.delta(i) <= thr {
+                    st.flip(i);
+                    self.best = self.best.min(st.energy());
+                }
+            }
+            self.round += 1;
+        }
+        st.flips() - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_model;
+    use dabs_model::{CsrKernel, DenseKernel, KernelChoice, QuboBuilder, Solution};
+
+    fn dense_model(n: usize, density: f64, seed: u64) -> dabs_model::QuboModel {
+        let mut rng = Xorshift64Star::new(seed);
+        let mut b = QuboBuilder::new(n);
+        b.kernel(KernelChoice::Dense);
+        for i in 0..n {
+            b.add_linear(i, rng.next_range_i64(-9, 9));
+            for j in (i + 1)..n {
+                if rng.next_bool(density) {
+                    b.add_quadratic(i, j, rng.next_range_i64(-9, 9));
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn threshold_stays_within_amplitude() {
+        for round in 0..2 * BULK_CYCLE_ROUNDS {
+            for draw in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+                let t = threshold(50, round, draw);
+                assert!((0..=50).contains(&t), "round {round} draw {draw} → {t}");
+            }
+        }
+        // Fully cooled phase and degenerate amplitudes pin θ to 0.
+        assert_eq!(threshold(50, BULK_CYCLE_ROUNDS - 1, u64::MAX), 0);
+        assert_eq!(threshold(0, 0, u64::MAX), 0);
+        assert_eq!(threshold(-3, 0, u64::MAX), 0);
+    }
+
+    #[test]
+    fn lane_seed_is_the_splitmix_stream() {
+        let mut sm = SplitMix64::new(99);
+        for lane in 0..8 {
+            assert_eq!(lane_seed(99, lane), sm.next_u64());
+        }
+    }
+
+    /// Every lane of the bulk sweep is bit-identical to its scalar
+    /// reference run — the module's central contract, both backends.
+    #[test]
+    fn sweep_parity_both_backends() {
+        let q = dense_model(65, 0.5, 42);
+        sweep_parity_case(&q, CsrKernel::new(&q));
+        sweep_parity_case(&q, DenseKernel::new(&q));
+    }
+
+    fn sweep_parity_case<K: BatchKernel>(q: &dabs_model::QuboModel, kernel: K) {
+        const LANES: usize = 64;
+        const SEED: u64 = 0xB01C;
+        let n = q.n();
+        let mut bs = BatchState::new(kernel, LANES);
+        let mut starts = Vec::new();
+        let mut rng = Xorshift64Star::new(7);
+        for l in 0..LANES {
+            let sol = Solution::random(n, &mut rng);
+            bs.seed_lane(l, &sol);
+            starts.push(sol);
+        }
+        let mut sweep = BulkSweep::new(LANES, SEED);
+        sweep.calibrate(&bs);
+        // Two calls to exercise round persistence across legs.
+        let flips =
+            sweep.run(&mut bs, BULK_CYCLE_ROUNDS) + sweep.run(&mut bs, BULK_CYCLE_ROUNDS / 2);
+        assert_eq!(sweep.round(), BULK_CYCLE_ROUNDS + BULK_CYCLE_ROUNDS / 2);
+        assert!(flips > 0, "sweep accepted nothing");
+
+        let mut scalar_total = 0u64;
+        for (l, start) in starts.iter().enumerate() {
+            let mut st = IncrementalState::from_solution_with(q, kernel, start.clone());
+            let mut sw = ScalarSweep::new(lane_seed(SEED, l));
+            sw.calibrate(&st);
+            scalar_total += sw.run(&mut st, BULK_CYCLE_ROUNDS);
+            scalar_total += sw.run(&mut st, BULK_CYCLE_ROUNDS / 2);
+            let tag = format!("kernel={} lane={l}", kernel.kernel_name());
+            assert_eq!(bs.lane_energy(l), st.energy(), "{tag}");
+            assert_eq!(bs.lane_best_energy(l), sw.best(), "{tag}");
+            assert_eq!(bs.lane_flip_counts()[l], st.flips(), "{tag}");
+            assert_eq!(bs.lane_solution(l), *st.solution(), "{tag}");
+        }
+        assert_eq!(flips, scalar_total, "matched flip budget");
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let q = random_model(50, 0.3, 11);
+        let run = || {
+            let mut bs = BatchState::new(CsrKernel::new(&q), 64);
+            let mut rng = Xorshift64Star::new(3);
+            for l in 0..64 {
+                bs.seed_lane(l, &Solution::random(50, &mut rng));
+            }
+            let mut sweep = BulkSweep::new(64, 0xD5);
+            sweep.calibrate(&bs);
+            let flips = sweep.run(&mut bs, BULK_CYCLE_ROUNDS);
+            (flips, bs.energies().to_vec(), bs.best_energies().to_vec())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sweep_actually_optimizes() {
+        let q = random_model(60, 0.4, 23);
+        let mut bs = BatchState::new(CsrKernel::new(&q), 64);
+        let mut rng = Xorshift64Star::new(9);
+        let mut start_best = i64::MAX;
+        for l in 0..64 {
+            let sol = Solution::random(60, &mut rng);
+            start_best = start_best.min(q.energy(&sol));
+            bs.seed_lane(l, &sol);
+        }
+        let mut sweep = BulkSweep::new(64, 0xF00D);
+        sweep.calibrate(&bs);
+        sweep.run(&mut bs, 4 * BULK_CYCLE_ROUNDS);
+        let swept_best = *bs.best_energies().iter().min().unwrap();
+        assert!(
+            swept_best < start_best,
+            "no improvement: {swept_best} vs {start_best}"
+        );
+    }
+}

@@ -58,6 +58,7 @@
 //! ```
 
 mod batch;
+pub mod bulk;
 mod cyclicmin;
 mod greedy;
 mod maxmin;
@@ -69,6 +70,7 @@ mod tabu;
 mod twoneighbor;
 
 pub use batch::{BatchOutcome, BatchSearch};
+pub use bulk::{lane_seed, BulkSweep, ScalarSweep, BULK_CYCLE_ROUNDS};
 pub use cyclicmin::cyclic_min;
 pub use greedy::greedy;
 pub use maxmin::max_min;
@@ -154,6 +156,10 @@ pub struct SearchParams {
     pub batch_flip_factor: f64,
     /// Tabu tenure (0 disables; the paper's experiments fix it to 8).
     pub tabu_tenure: u64,
+    /// Bit-sliced batch width: 0 runs the scalar strategies; a multiple of
+    /// 64 in `[64, 256]` switches devices to the bulk lockstep sweep with
+    /// that many resident candidate lanes ([`mod@bulk`]).
+    pub batch_lanes: u32,
 }
 
 impl SearchParams {
@@ -163,6 +169,7 @@ impl SearchParams {
             search_flip_factor: 0.1,
             batch_flip_factor: 10.0,
             tabu_tenure: 8,
+            batch_lanes: 0,
         }
     }
 
@@ -172,6 +179,7 @@ impl SearchParams {
             search_flip_factor: 0.1,
             batch_flip_factor: 1.0,
             tabu_tenure: 8,
+            batch_lanes: 0,
         }
     }
 
@@ -192,6 +200,7 @@ impl Default for SearchParams {
             search_flip_factor: 0.1,
             batch_flip_factor: 1.0,
             tabu_tenure: 8,
+            batch_lanes: 0,
         }
     }
 }
@@ -272,7 +281,7 @@ mod tests {
         let p = SearchParams {
             search_flip_factor: 0.6,
             batch_flip_factor: 2.0,
-            tabu_tenure: 8,
+            ..SearchParams::default()
         };
         assert_eq!(p.search_flips(1000), 600);
         assert_eq!(p.batch_flips(1000), 2000);

@@ -58,6 +58,20 @@ const SPLIT_QUANTUM: u64 = 32;
 /// A unit will not split or yield below this remaining budget.
 const MIN_SPLIT_BATCHES: u64 = 64;
 
+/// Budget an idle-split carves off for the sibling: half the remaining
+/// batches, but only when **both** halves stay positive — `None` otherwise.
+/// The explicit guard (rather than relying on [`MIN_SPLIT_BATCHES`] staying
+/// ≥ 2) is what keeps a unit with 0 or 1 remaining batches from minting a
+/// zero-budget sibling whose empty run would fold as a phantom unit
+/// outcome.
+fn split_carve(remaining: u64) -> Option<u64> {
+    let carved = remaining / 2;
+    if carved == 0 || remaining - carved == 0 {
+        return None;
+    }
+    Some(carved)
+}
+
 /// Cube seeding kicks in at this instance size (known-`n` problems only).
 const CUBE_MIN_N: usize = 128;
 
@@ -616,7 +630,9 @@ fn execute_unit(
             // In-job split: the pool went idle mid-run — carve half the
             // remaining budget into a stealable sibling so the idle worker
             // joins this job (warm-started from the shared incumbent).
-            let carved = remaining / 2;
+            let Some(carved) = split_carve(remaining) else {
+                continue;
+            };
             if record.add_split_unit() {
                 remaining -= carved;
                 assigned = assigned.map(|a| a - carved);
@@ -635,7 +651,7 @@ fn execute_unit(
                     Some(me),
                 );
             }
-        } else if remaining >= MIN_SPLIT_BATCHES
+        } else if remaining >= MIN_SPLIT_BATCHES.max(1)
             && shared.idle_workers() == 0
             && shared.higher_priority_waiting(task.priority)
         {
@@ -847,6 +863,50 @@ mod tests {
         let (total, started, finished) = record.unit_counts();
         assert_eq!(finished, total);
         assert!(started >= 6, "{started} of {total} units started");
+        pool.close();
+        pool.join();
+    }
+
+    #[test]
+    fn split_carve_never_mints_zero_budget_siblings() {
+        // Regression for the phantom-unit fold: remaining ∈ {0, 1} must not
+        // split at all, and every legal carve leaves both sides positive.
+        assert_eq!(split_carve(0), None);
+        assert_eq!(split_carve(1), None);
+        assert_eq!(split_carve(2), Some(1));
+        assert_eq!(split_carve(2 * MIN_SPLIT_BATCHES), Some(MIN_SPLIT_BATCHES));
+        for remaining in 0..=512u64 {
+            if let Some(carved) = split_carve(remaining) {
+                assert!(carved > 0, "zero-budget sibling at remaining={remaining}");
+                assert!(
+                    remaining - carved > 0,
+                    "parent left empty at remaining={remaining}"
+                );
+            } else {
+                assert!(remaining < 2, "refused a splittable budget {remaining}");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_lane_job_folds_like_its_offline_reference() {
+        // A lanes>0 job rides the same decomposition machinery; the folded
+        // result must match the sequential reference bit-for-bit.
+        let registry = registry();
+        let pool = ElasticPool::spawn(2, 64);
+        let record = registry.register(JobSpec {
+            lanes: Some(64),
+            units: Some(2),
+            ..small_job(7, 240)
+        });
+        pool.submit(&record).unwrap();
+        assert!(record.wait_terminal(Duration::from_secs(120)));
+        let (phase, result, error) = record.snapshot();
+        assert_eq!(phase, JobPhase::Done, "{error:?}");
+        let result = result.unwrap();
+        let (model, _) = record.spec.problem.build().unwrap();
+        assert_eq!(model.energy(&result.best), result.energy);
+        assert_eq!(result.batches, 240);
         pool.close();
         pool.join();
     }

@@ -328,6 +328,11 @@ pub struct JobSpec {
     /// decide from the batch budget and worker count; capped at
     /// [`MAX_UNITS_PER_JOB`].
     pub units: Option<u32>,
+    /// Bit-sliced batch width per device: `None`/0 runs the scalar
+    /// strategies, a multiple of 64 in `[64, 256]` runs the bulk lockstep
+    /// sweep with that many resident candidate lanes (a cube-seeded unit's
+    /// warm start then fans out across the whole lane batch).
+    pub lanes: Option<u32>,
 }
 
 /// Admission cap on a job's explicit unit count.
@@ -348,6 +353,7 @@ impl Default for JobSpec {
             priority: 0,
             deadline_unix_ms: None,
             units: None,
+            lanes: None,
         }
     }
 }
@@ -377,6 +383,13 @@ impl JobSpec {
                 return Err(format!("units must be in 1..={MAX_UNITS_PER_JOB}"));
             }
         }
+        if let Some(l) = self.lanes {
+            if l != 0 && !dabs_model::valid_lanes(l as usize) {
+                return Err(format!(
+                    "lanes {l} invalid (omit or 0 for scalar, or a multiple of 64 in [64, 256])"
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -388,6 +401,7 @@ impl JobSpec {
             DabsConfig::dabs(self.devices, self.blocks)
         };
         cfg.seed = self.seed;
+        cfg.params.batch_lanes = self.lanes.unwrap_or(0);
         DabsSolver::new(cfg)
     }
 
@@ -421,6 +435,7 @@ impl JobSpec {
             ("priority", Json::from(i64::from(self.priority))),
             ("deadline_unix_ms", self.deadline_unix_ms.into()),
             ("units", self.units.map(u64::from).into()),
+            ("lanes", self.lanes.map(u64::from).into()),
         ])
     }
 
@@ -443,6 +458,7 @@ impl JobSpec {
             priority: j.get_i64("priority").unwrap_or(0) as i32,
             deadline_unix_ms: j.get_u64("deadline_unix_ms"),
             units: j.get_u64("units").map(|v| v as u32),
+            lanes: j.get_u64("lanes").map(|v| v as u32),
         })
     }
 }
@@ -474,10 +490,33 @@ mod tests {
             priority: 5,
             deadline_unix_ms: Some(1_700_000_000_000),
             units: Some(4),
+            lanes: Some(128),
         };
         let line = spec.to_json().to_string();
         let back = JobSpec::from_json(&Json::parse(&line).unwrap()).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn lanes_validate_and_reach_the_solver_params() {
+        let mut spec = JobSpec {
+            max_batches: Some(10),
+            ..JobSpec::default()
+        };
+        // Omitted and 0 are scalar; legal widths pass.
+        for l in [None, Some(0), Some(64), Some(128), Some(192), Some(256)] {
+            spec.lanes = l;
+            spec.validate().unwrap();
+        }
+        for bad in [1u32, 63, 96, 320] {
+            spec.lanes = Some(bad);
+            assert!(spec.validate().is_err(), "lanes {bad}");
+        }
+        spec.lanes = Some(64);
+        assert!(spec.build_solver().is_ok());
+        // A bad width also fails solver construction (config validation).
+        spec.lanes = Some(96);
+        assert!(spec.build_solver().is_err());
     }
 
     #[test]

@@ -252,7 +252,7 @@ proptest! {
         }
         let (_, min_d) = st.min_delta();
         let bound = min_d.saturating_add(bound_off);
-        let blocked = |k: usize| k % 5 != 0; // arbitrary tabu-ish filter
+        let blocked = |k: usize| !k.is_multiple_of(5); // arbitrary tabu-ish filter
         // i64 bound
         let mut rng_a = dabs::rng::Xorshift64Star::new(seed ^ 1);
         let mut rng_b = dabs::rng::Xorshift64Star::new(seed ^ 1);
@@ -310,7 +310,7 @@ proptest! {
         }
         let pos = pos_raw % n;
         let width = (width_raw % n) + 1;
-        let blocked = |k: usize| k % 7 != 0;
+        let blocked = |k: usize| !k.is_multiple_of(7);
         let (arg, arg_any) = st.window_argmin(pos, width, blocked);
         let mut n_arg = usize::MAX;
         let mut n_min = i64::MAX;
