@@ -1494,6 +1494,7 @@ pub mod server_load {
             ServerConfig {
                 workers: spec.workers,
                 queue_capacity: (spec.jobs * 2).max(64),
+                ..ServerConfig::default()
             },
         )
         .map_err(|e| format!("cannot bind in-process server: {e}"))?;
@@ -1669,6 +1670,7 @@ pub mod server_load {
             ServerConfig {
                 workers: fleet.workers,
                 queue_capacity: (fleet.jobs * 2 + spec.large_units as usize).max(64),
+                ..ServerConfig::default()
             },
         )
         .map_err(|e| format!("cannot bind in-process server: {e}"))?;
@@ -1847,6 +1849,261 @@ pub mod server_load {
             }
             Err(e) => {
                 eprintln!("server_load entry failed: {e}");
+                out.push(
+                    Metric::new("ok", 0.0, "bool", Direction::HigherIsBetter)
+                        .deterministic()
+                        .gated(0.0),
+                );
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection scaling (event-loop serving core)
+// ---------------------------------------------------------------------------
+
+/// Connection scaling: hold a large pool of idle connections against the
+/// single-threaded event loop while a smaller active set does request/
+/// response traffic. Measures resident memory per held connection and the
+/// active-path ping p99 — the two things that degrade first when a
+/// per-connection-thread design is pushed past a few hundred sockets.
+pub mod conn_scale {
+    use super::*;
+    use dabs_server::{Client, Server, ServerConfig};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::time::Instant;
+
+    /// One connection-scale shape.
+    #[derive(Debug, Clone)]
+    pub struct ConnSpec {
+        /// Idle connections held open for the whole measurement.
+        pub idle: usize,
+        /// Connections doing ping round-trips while the idle pool is held.
+        pub active: usize,
+        /// Round-trips per active connection.
+        pub pings: usize,
+    }
+
+    /// Shape per suite mode. Full is the serving target from the event-loop
+    /// redesign: 10k idle + 1k active on one event-loop thread.
+    pub fn shape(mode: SuiteMode) -> ConnSpec {
+        match mode {
+            SuiteMode::Test => ConnSpec {
+                idle: 64,
+                active: 8,
+                pings: 20,
+            },
+            SuiteMode::Smoke => ConnSpec {
+                idle: 512,
+                active: 64,
+                pings: 20,
+            },
+            SuiteMode::Full => ConnSpec {
+                idle: 10_000,
+                active: 1_000,
+                pings: 10,
+            },
+        }
+    }
+
+    /// Soft open-file limit from `/proc/self/limits`, if readable.
+    fn fd_limit() -> Option<usize> {
+        let text = std::fs::read_to_string("/proc/self/limits").ok()?;
+        let line = text.lines().find(|l| l.starts_with("Max open files"))?;
+        line.split_whitespace().nth(3)?.parse().ok()
+    }
+
+    /// Resident set size in bytes from `/proc/self/status`, if readable.
+    fn vm_rss() -> Option<u64> {
+        let text = std::fs::read_to_string("/proc/self/status").ok()?;
+        let line = text.lines().find(|l| l.starts_with("VmRSS:"))?;
+        let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+        Some(kib * 1024)
+    }
+
+    /// What one connection-scale run observed.
+    pub struct ConnOutcome {
+        /// Idle connections actually held (after any fd-limit clamp).
+        pub idle_held: usize,
+        /// RSS growth per held connection — covers *both* endpoints, since
+        /// client sockets and server state live in the same process here.
+        /// `None` when `/proc` is unreadable.
+        pub bytes_per_conn: Option<f64>,
+        pub p50: Duration,
+        pub p99: Duration,
+    }
+
+    /// Spin up an in-process server on one event-loop thread, hold the idle
+    /// pool, then measure ping round-trips from the active set.
+    pub fn run(spec: &ConnSpec) -> Result<ConnOutcome, String> {
+        // Both endpoints of every connection live in this process: a held
+        // idle connection costs two fds, and an active `Client` costs three
+        // (its reader/writer split clones the socket). Clamp the idle pool
+        // so the pool, the active set, and everything else the process has
+        // open all fit.
+        let mut idle_target = spec.idle;
+        if let Some(limit) = fd_limit() {
+            let budget = limit.saturating_sub(3 * spec.active + 256) / 2;
+            if budget < idle_target {
+                eprintln!(
+                    "conn_scale: clamping idle pool {idle_target} -> {budget} (fd limit {limit})"
+                );
+                idle_target = budget;
+            }
+        }
+
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .map_err(|e| format!("cannot bind in-process server: {e}"))?;
+        let result = drive(&server, idle_target, spec);
+        server.shutdown();
+        result
+    }
+
+    fn drive(server: &Server, idle_target: usize, spec: &ConnSpec) -> Result<ConnOutcome, String> {
+        let addr = server.local_addr();
+
+        // Warm the accept path before the baseline RSS reading so one-time
+        // allocations (scratch buffers, slab) don't bill to the first conn.
+        {
+            let mut c = Client::connect(addr).map_err(|e| format!("warmup connect: {e}"))?;
+            c.ping().map_err(|e| format!("warmup ping: {e}"))?;
+        }
+        let rss_before = vm_rss();
+
+        // Hold the idle pool. One ping each proves the connection is fully
+        // accepted and registered before it goes quiet.
+        let mut idle = Vec::with_capacity(idle_target);
+        for i in 0..idle_target {
+            let mut s = TcpStream::connect(addr)
+                .map_err(|e| format!("idle connect {i}/{idle_target}: {e}"))?;
+            s.set_read_timeout(Some(Duration::from_secs(10)))
+                .map_err(|e| format!("idle timeout {i}: {e}"))?;
+            s.write_all(b"{\"op\":\"ping\"}\n")
+                .map_err(|e| format!("idle ping {i}: {e}"))?;
+            let mut r = BufReader::new(s);
+            let mut line = String::new();
+            r.read_line(&mut line)
+                .map_err(|e| format!("idle pong {i}: {e}"))?;
+            idle.push(r.into_inner());
+        }
+        let rss_after = vm_rss();
+        let bytes_per_conn = match (rss_before, rss_after) {
+            (Some(b), Some(a)) if !idle.is_empty() => {
+                Some(a.saturating_sub(b) as f64 / idle.len() as f64)
+            }
+            _ => None,
+        };
+
+        // Active traffic while the idle pool is held: sequential round-trips
+        // interleaved across the active set, so every RTT is measured with
+        // the full idle population registered in the poller.
+        let mut actives = Vec::with_capacity(spec.active);
+        for i in 0..spec.active {
+            actives.push(Client::connect(addr).map_err(|e| format!("active connect {i}: {e}"))?);
+        }
+        let mut rtts = Vec::with_capacity(spec.active * spec.pings);
+        for _ in 0..spec.pings {
+            for c in &mut actives {
+                let t = Instant::now();
+                c.ping().map_err(|e| format!("active ping: {e}"))?;
+                rtts.push(t.elapsed());
+            }
+        }
+        rtts.sort();
+        let q = |f: f64| rtts[((rtts.len() - 1) as f64 * f) as usize];
+        Ok(ConnOutcome {
+            idle_held: idle.len(),
+            bytes_per_conn,
+            p50: q(0.5),
+            p99: q(0.99),
+        })
+    }
+
+    /// Suite entry: `conn_scale`.
+    ///
+    /// Contract (enforced at Smoke/Full, recorded-only at Test scale):
+    /// per-connection memory stays under 64 KiB — both endpoints in this
+    /// process, so ≤32 KiB per socket — and the active-path ping p99 stays
+    /// under 50 ms with the idle pool held.
+    pub fn entry(cfg: &SuiteConfig) -> MetricSet {
+        let spec = shape(cfg.mode);
+        let enforce = cfg.mode != SuiteMode::Test;
+        let mut out = MetricSet::new();
+        match run(&spec) {
+            Ok(o) => {
+                out.push(
+                    Metric::new("ok", 1.0, "bool", Direction::HigherIsBetter)
+                        .deterministic()
+                        .gated(0.0),
+                );
+                out.push(Metric::new(
+                    "conns_held",
+                    o.idle_held as f64,
+                    "count",
+                    Direction::HigherIsBetter,
+                ));
+                let p50 = o.p50.as_secs_f64() * 1e3;
+                let p99 = o.p99.as_secs_f64() * 1e3;
+                out.push(Metric::new(
+                    "ping_p50_ms",
+                    p50,
+                    "ms",
+                    Direction::LowerIsBetter,
+                ));
+                // Host-timing metric — wide drift tolerance, suspended at
+                // Test scale (as in server_throughput).
+                let mut p99_m = Metric::new("ping_p99_ms", p99, "ms", Direction::LowerIsBetter);
+                if enforce {
+                    p99_m = p99_m.gated(1.5);
+                }
+                out.push(p99_m);
+                if let Some(bpc) = o.bytes_per_conn {
+                    let mut m = Metric::new("bytes_per_conn", bpc, "B", Direction::LowerIsBetter);
+                    if enforce {
+                        m = m.gated(1.0);
+                    }
+                    out.push(m);
+                }
+                let mem_ok = o.bytes_per_conn.is_none_or(|b| b <= 64.0 * 1024.0);
+                let p99_ok = p99 <= 50.0;
+                let pass = !enforce || (mem_ok && p99_ok);
+                if !pass {
+                    eprintln!(
+                        "conn_scale contract violation: {:.0} B/conn (≤65536 {}), \
+                         ping p99 {p99:.2} ms (≤50 {})",
+                        o.bytes_per_conn.unwrap_or(0.0),
+                        if mem_ok { "ok" } else { "VIOLATED" },
+                        if p99_ok { "ok" } else { "VIOLATED" },
+                    );
+                }
+                let mut contract = Metric::new(
+                    "contract_ok",
+                    f64::from(pass),
+                    "bool",
+                    Direction::HigherIsBetter,
+                );
+                if enforce {
+                    contract = contract.gated(0.0);
+                }
+                out.push(contract);
+                out.push(Metric::new(
+                    "gates_enforced",
+                    f64::from(enforce),
+                    "bool",
+                    Direction::HigherIsBetter,
+                ));
+            }
+            Err(e) => {
+                eprintln!("conn_scale entry failed: {e}");
                 out.push(
                     Metric::new("ok", 0.0, "bool", Direction::HigherIsBetter)
                         .deterministic()

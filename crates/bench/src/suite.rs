@@ -200,6 +200,15 @@ pub fn registry() -> Vec<SuiteEntry> {
             run: scenarios::server_load::load_entry,
         },
         SuiteEntry {
+            name: "conn_scale",
+            family: Family::Server,
+            about: "event-loop connection scaling: idle pool held + active ping p99, with \
+                    per-connection RSS and responsiveness contracts (10k idle / 1k active at \
+                    Full; gates suspended at Test scale)",
+            context: CTX_SOLVER,
+            run: scenarios::conn_scale::entry,
+        },
+        SuiteEntry {
             name: "ablation_adaptive",
             family: Family::Ablation,
             about: "adaptive (95% replay) vs uniform strategy selection",

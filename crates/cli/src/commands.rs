@@ -94,6 +94,8 @@ pub fn serve_from_args(args: &[String]) -> Result<(), String> {
         ServerConfig {
             workers: opts.workers,
             queue_capacity: opts.queue_capacity,
+            wal_dir: opts.wal_dir.as_ref().map(std::path::PathBuf::from),
+            rate: opts.rate_config(),
         },
     )
     .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
@@ -103,6 +105,15 @@ pub fn serve_from_args(args: &[String]) -> Result<(), String> {
         opts.workers,
         opts.queue_capacity
     );
+    if let Some(dir) = &opts.wal_dir {
+        println!("job log: {dir} (admitted jobs survive restart)");
+    }
+    if let Some(rate) = opts.rate_config() {
+        println!(
+            "admission rate: {}/s per tenant (burst {})",
+            rate.rate_per_sec, rate.burst
+        );
+    }
     println!("protocol: newline-delimited JSON (see docs/PROTOCOL.md)");
     server.run_forever();
     Ok(())
@@ -121,6 +132,7 @@ pub fn loadgen_from_args(args: &[String]) -> Result<(), String> {
                 ServerConfig {
                     workers: opts.workers,
                     queue_capacity: (opts.jobs * 2).max(64),
+                    ..ServerConfig::default()
                 },
             )
             .map_err(|e| format!("cannot start in-process server: {e}"))?,
@@ -143,6 +155,21 @@ pub fn loadgen_from_args(args: &[String]) -> Result<(), String> {
         opts.n,
         opts.batches
     );
+
+    // --idle-conns: connection-scaling mode. Park this many idle sockets
+    // on the server for the whole run — they cost the event loop one slab
+    // slot and one epoll registration each, and active traffic must stay
+    // fast behind them.
+    let mut idle_pool = Vec::with_capacity(opts.idle_conns);
+    if opts.idle_conns > 0 {
+        for i in 0..opts.idle_conns {
+            match std::net::TcpStream::connect(addr.as_str()) {
+                Ok(s) => idle_pool.push(s),
+                Err(e) => return Err(format!("idle conn {i}/{}: {e}", opts.idle_conns)),
+            }
+        }
+        println!("holding {} idle connections for the run", idle_pool.len());
+    }
 
     // --watch-pool: a side thread polls `stats` on its own connection and
     // prints pool load plus per-interval steal/split deltas while the
@@ -174,6 +201,7 @@ pub fn loadgen_from_args(args: &[String]) -> Result<(), String> {
         let _ = h.join();
     }
     let all = driven?;
+    drop(idle_pool);
     if let Some(s) = local {
         s.shutdown();
     }

@@ -123,6 +123,13 @@ pub struct ServeOptions {
     pub addr: String,
     pub workers: usize,
     pub queue_capacity: usize,
+    /// Durable job log directory: admitted jobs survive a crash and are
+    /// re-admitted on restart.
+    pub wal_dir: Option<String>,
+    /// Per-tenant sustained admissions/sec (with `--burst` headroom);
+    /// absent = no rate limiting.
+    pub rate_per_sec: Option<f64>,
+    pub burst: Option<f64>,
 }
 
 impl ServeOptions {
@@ -131,6 +138,9 @@ impl ServeOptions {
             addr: "127.0.0.1:7878".into(),
             workers: 2,
             queue_capacity: 256,
+            wal_dir: None,
+            rate_per_sec: None,
+            burst: None,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -143,13 +153,34 @@ impl ServeOptions {
                 "--addr" => o.addr = value("addr")?,
                 "--workers" => o.workers = parse(&value("workers")?, "workers")?,
                 "--queue" => o.queue_capacity = parse(&value("queue")?, "queue")?,
+                "--wal-dir" => o.wal_dir = Some(value("wal-dir")?),
+                "--rate" => o.rate_per_sec = Some(parse(&value("rate")?, "rate")?),
+                "--burst" => o.burst = Some(parse(&value("burst")?, "burst")?),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
         if o.workers == 0 {
             return Err("--workers must be ≥ 1".into());
         }
+        if let Some(r) = o.rate_per_sec {
+            if !r.is_finite() || r <= 0.0 {
+                return Err("--rate must be > 0".into());
+            }
+        }
+        if o.burst.is_some() && o.rate_per_sec.is_none() {
+            return Err("--burst requires --rate".into());
+        }
         Ok(o)
+    }
+
+    /// The admission rate config these flags describe (burst defaults to
+    /// the per-second rate).
+    pub fn rate_config(&self) -> Option<dabs_server::RateConfig> {
+        self.rate_per_sec
+            .map(|rate_per_sec| dabs_server::RateConfig {
+                rate_per_sec,
+                burst: self.burst.unwrap_or(rate_per_sec.max(1.0)),
+            })
     }
 }
 
@@ -168,6 +199,10 @@ pub struct LoadgenOptions {
     /// Print pool-load snapshots (with steal/split deltas) every N ms
     /// while the fleet runs.
     pub watch_pool: Option<u64>,
+    /// Connection-scaling mode: hold this many extra idle connections open
+    /// for the whole run, demonstrating the event loop's cost per idle
+    /// socket (0 = off).
+    pub idle_conns: usize,
 }
 
 impl LoadgenOptions {
@@ -181,6 +216,7 @@ impl LoadgenOptions {
             workers: 2,
             seed: 1,
             watch_pool: None,
+            idle_conns: 0,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -198,6 +234,7 @@ impl LoadgenOptions {
                 "--workers" => o.workers = parse(&value("workers")?, "workers")?,
                 "--seed" => o.seed = parse(&value("seed")?, "seed")?,
                 "--watch-pool" => o.watch_pool = Some(parse(&value("watch-pool")?, "watch-pool")?),
+                "--idle-conns" => o.idle_conns = parse(&value("idle-conns")?, "idle-conns")?,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -389,6 +426,26 @@ mod tests {
     }
 
     #[test]
+    fn serve_wal_and_rate_flags() {
+        let args: Vec<String> = "--wal-dir /tmp/dabs-wal --rate 50 --burst 10"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let o = ServeOptions::parse(&args).unwrap();
+        assert_eq!(o.wal_dir.as_deref(), Some("/tmp/dabs-wal"));
+        let rate = o.rate_config().unwrap();
+        assert_eq!((rate.rate_per_sec, rate.burst), (50.0, 10.0));
+        // Burst defaults to the rate; rate must be positive; burst alone
+        // is meaningless.
+        let args: Vec<String> = vec!["--rate".into(), "5".into()];
+        let o = ServeOptions::parse(&args).unwrap();
+        assert_eq!(o.rate_config().unwrap().burst, 5.0);
+        assert!(ServeOptions::parse(&["--rate".into(), "0".into()]).is_err());
+        assert!(ServeOptions::parse(&["--burst".into(), "5".into()]).is_err());
+        assert!(ServeOptions::parse(&[]).unwrap().rate_config().is_none());
+    }
+
+    #[test]
     fn loadgen_options_defaults_and_flags() {
         let o = LoadgenOptions::parse(&[]).unwrap();
         assert_eq!((o.clients, o.jobs), (4, 20));
@@ -414,6 +471,13 @@ mod tests {
         assert_eq!(o.watch_pool, Some(250));
         assert!(LoadgenOptions::parse(&["--watch-pool".into(), "0".into()]).is_err());
         assert!(LoadgenOptions::parse(&["--watch-pool".into()]).is_err());
+    }
+
+    #[test]
+    fn loadgen_idle_conns_flag() {
+        assert_eq!(LoadgenOptions::parse(&[]).unwrap().idle_conns, 0);
+        let args: Vec<String> = vec!["--idle-conns".into(), "500".into()];
+        assert_eq!(LoadgenOptions::parse(&args).unwrap().idle_conns, 500);
     }
 
     #[test]

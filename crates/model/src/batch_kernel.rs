@@ -14,7 +14,7 @@
 //! * **branchless accumulate** — per weight `W_ij`, the lanes to negate are
 //!   `x_i ^ x_j` (σ_iσ_j = +1 iff the bits agree) and the lanes to touch
 //!   are the caller's accept mask, both applied with
-//!   [`sign_select`]-style mask arithmetic: no branches in the lane loop.
+//!   `sign_select`-style mask arithmetic: no branches in the lane loop.
 //!
 //! The execution model is deliberately SIMT-lockstep: every lane considers
 //! the **same** variable `i` with per-lane predication (the accept mask),

@@ -11,7 +11,7 @@
 //! then services every lane, which is the entire point of the batch kernel.
 //!
 //! The threshold schedule reuses the repo's cubic cooling idiom
-//! ([`crate::cubic`], the same shape MaxMin cools with): lane `ℓ` draws
+//! (`crate::cubic`, the same shape MaxMin cools with): lane `ℓ` draws
 //! `θ_ℓ ~ U[0, amp]` each round, where `amp = amp0_ℓ · (1 − phase)³` and
 //! `phase` ramps over a [`BULK_CYCLE_ROUNDS`]-round cycle, then reheats —
 //! downhill moves (`Δ ≤ 0`) are always accepted since `θ ≥ 0`.
@@ -19,7 +19,7 @@
 //! **Parity contract:** lane `ℓ` of [`BulkSweep::run`] is bit-identical to
 //! a [`ScalarSweep::run`] over a scalar [`IncrementalState`] seeded from
 //! the same start vector with the same lane RNG ([`lane_seed`]) — both
-//! sides share [`threshold`] and the visiting order, so they accept the
+//! sides share `threshold` and the visiting order, so they accept the
 //! same flips in the same order. The tests below pin this for both
 //! backends; the `batch_sweep` bench leans on it to equate flip budgets.
 

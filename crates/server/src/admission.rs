@@ -1,0 +1,140 @@
+//! Admission control: per-tenant token-bucket rate limiting.
+//!
+//! The queue-capacity check in the pool protects the *server*; the token
+//! bucket protects *other tenants* — one chatty client cannot monopolize
+//! admission slots. Tenancy is declarative: a connection names its tenant
+//! in `hello` (or per-submit in the spec), and unnamed traffic shares the
+//! `"default"` bucket. Refused submits get `rate_limited`, a retryable
+//! code.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Token-bucket parameters, per tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateConfig {
+    /// Sustained admissions per second.
+    pub rate_per_sec: f64,
+    /// Burst headroom: a fresh (or long-idle) tenant can admit this many
+    /// back-to-back before the sustained rate applies.
+    pub burst: f64,
+}
+
+/// The bucket name used when neither the connection nor the spec names a
+/// tenant.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Buckets stop being tracked past this many tenants; new tenants then
+/// evict the fullest (least-recently-throttled) bucket. Bounds memory
+/// against tenant-name cardinality attacks.
+const MAX_TRACKED_TENANTS: usize = 4096;
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// Per-tenant token buckets. `None` config disables limiting entirely
+/// (every `try_admit` succeeds) — the default, so embedded and test servers
+/// never throttle.
+#[derive(Debug)]
+pub struct TenantRateLimiter {
+    cfg: Option<RateConfig>,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl TenantRateLimiter {
+    pub fn new(cfg: Option<RateConfig>) -> Self {
+        Self {
+            cfg,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Spend one admission token for `tenant`. Returns `false` when the
+    /// bucket is empty — the submit must be refused with `rate_limited`.
+    pub fn try_admit(&self, tenant: &str) -> bool {
+        let Some(cfg) = self.cfg else {
+            return true;
+        };
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock().expect("rate buckets lock");
+        if buckets.len() >= MAX_TRACKED_TENANTS && !buckets.contains_key(tenant) {
+            // Evict the fullest bucket: it is the one losing least by being
+            // reset to a fresh (full) bucket later.
+            if let Some(k) = buckets
+                .iter()
+                .max_by(|a, b| a.1.tokens.total_cmp(&b.1.tokens))
+                .map(|(k, _)| k.clone())
+            {
+                buckets.remove(&k);
+            }
+        }
+        let b = buckets.entry(tenant.to_string()).or_insert(Bucket {
+            tokens: cfg.burst.max(1.0),
+            last_refill: now,
+        });
+        let elapsed = now.duration_since(b.last_refill).as_secs_f64();
+        b.tokens = (b.tokens + elapsed * cfg.rate_per_sec).min(cfg.burst.max(1.0));
+        b.last_refill = now;
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_when_unconfigured() {
+        let rl = TenantRateLimiter::new(None);
+        for _ in 0..10_000 {
+            assert!(rl.try_admit("anyone"));
+        }
+    }
+
+    #[test]
+    fn burst_then_throttle_then_refill() {
+        let rl = TenantRateLimiter::new(Some(RateConfig {
+            rate_per_sec: 50.0,
+            burst: 3.0,
+        }));
+        assert!(rl.try_admit("t"));
+        assert!(rl.try_admit("t"));
+        assert!(rl.try_admit("t"));
+        assert!(!rl.try_admit("t"), "burst spent");
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(rl.try_admit("t"), "tokens refill at the sustained rate");
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let rl = TenantRateLimiter::new(Some(RateConfig {
+            rate_per_sec: 0.001,
+            burst: 1.0,
+        }));
+        assert!(rl.try_admit("a"));
+        assert!(!rl.try_admit("a"));
+        assert!(rl.try_admit("b"), "a's exhaustion must not throttle b");
+    }
+
+    #[test]
+    fn tracked_tenant_count_is_bounded() {
+        let rl = TenantRateLimiter::new(Some(RateConfig {
+            rate_per_sec: 1.0,
+            burst: 2.0,
+        }));
+        for i in 0..(MAX_TRACKED_TENANTS + 100) {
+            let _ = rl.try_admit(&format!("tenant-{i}"));
+        }
+        assert!(rl.buckets.lock().unwrap().len() <= MAX_TRACKED_TENANTS);
+    }
+}

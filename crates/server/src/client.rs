@@ -7,8 +7,19 @@
 //! loops skip unrelated traffic by job id. The CLI's `loadgen`, the
 //! throughput benchmark, and the integration tests all drive the server
 //! through this type — it is the reference client implementation.
+//!
+//! Two ways in:
+//!
+//! * [`Client::connect`] — the original constructor: raw connection, no
+//!   handshake, `String` errors. Kept verbatim so existing callers compile
+//!   unchanged; prefer the builder in new code.
+//! * [`Client::builder`] — protocol-v2 aware: performs the `hello`
+//!   handshake (version + optional tenant), surfaces failures as typed
+//!   [`ClientError`]s carrying the server's stable [`ErrorCode`], and can
+//!   stamp submits with generated idempotency keys so retrying a submit
+//!   over a fresh connection cannot double-run the job.
 
-use crate::protocol::{JobId, Request, Response};
+use crate::protocol::{ErrorCode, JobId, Request, Response, PROTOCOL_VERSION};
 use crate::spec::JobSpec;
 use dabs_core::SolveResult;
 use std::io::{BufRead, BufReader, Write};
@@ -20,6 +31,12 @@ use std::time::Duration;
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Protocol version settled by `hello` (1 when no handshake was done).
+    negotiated: u64,
+    /// Prefix for generated idempotency keys; `None` leaves submits unkeyed.
+    idempotency_prefix: Option<String>,
+    /// Monotonic suffix for generated keys.
+    key_seq: u64,
 }
 
 /// A job's terminal outcome as seen by a client.
@@ -32,7 +49,128 @@ pub struct JobOutcome {
     pub error: Option<String>,
 }
 
+/// What `try_submit` learned: the job id and whether the server matched an
+/// earlier submit with the same idempotency key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitAck {
+    pub job: JobId,
+    /// `true` when this submit collapsed onto an existing job — the id is
+    /// the *original* job's.
+    pub duplicate: bool,
+}
+
+/// Typed client errors. The `code` on `Rejected`/`Server` is the server's
+/// stable machine-readable error code — match on it instead of parsing
+/// reason strings.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, send, receive).
+    Io(std::io::Error),
+    /// The server refused an admission (`submit`): retryable iff the code
+    /// says so (`over_capacity`, `rate_limited`).
+    Rejected { code: ErrorCode, reason: String },
+    /// The server answered with an error response to a non-submit request.
+    Server { code: ErrorCode, reason: String },
+    /// The server said something this client cannot interpret — wrong
+    /// response for the request, unparseable line, or closed connection.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Rejected { code, reason } => write!(f, "rejected ({code}): {reason}"),
+            Self::Server { code, reason } => write!(f, "server error ({code}): {reason}"),
+            Self::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl ClientError {
+    /// `true` when backing off and retrying the same request may succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Self::Rejected {
+                code: ErrorCode::OverCapacity | ErrorCode::RateLimited,
+                ..
+            }
+        )
+    }
+}
+
+/// Configures and opens a v2 [`Client`]. See [`Client::builder`].
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    addr: String,
+    read_timeout: Option<Duration>,
+    tenant: Option<String>,
+    idempotency_prefix: Option<String>,
+}
+
+impl ClientBuilder {
+    /// Read timeout applied to every receive on the connection.
+    pub fn read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Tenant this connection's submits are accounted to (rate limiting).
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Stamp every keyless `try_submit` with a generated idempotency key
+    /// `"{prefix}-{seq}"`, making submit retries at-least-once safe.
+    pub fn idempotency_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.idempotency_prefix = Some(prefix.into());
+        self
+    }
+
+    /// Connect and perform the `hello` handshake.
+    pub fn connect(self) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(self.addr.as_str())?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(self.read_timeout)?;
+        let writer = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+            writer,
+            negotiated: 1,
+            idempotency_prefix: self.idempotency_prefix,
+            key_seq: 0,
+        };
+        let hello = Request::Hello {
+            version: PROTOCOL_VERSION,
+            tenant: self.tenant,
+        };
+        match client.request_typed(&hello)? {
+            Response::Hello { version, .. } => {
+                client.negotiated = version;
+                Ok(client)
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected hello, got {other:?}"
+            ))),
+        }
+    }
+}
+
 impl Client {
+    /// Raw connection, no handshake, `String` errors — the original
+    /// constructor, kept for compatibility. New code should use
+    /// [`Client::builder`], which negotiates the protocol version and
+    /// returns typed errors.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
@@ -40,7 +178,25 @@ impl Client {
         Ok(Self {
             reader: BufReader::new(stream),
             writer,
+            negotiated: 1,
+            idempotency_prefix: None,
+            key_seq: 0,
         })
+    }
+
+    /// Start a protocol-v2 client configuration for `addr`.
+    pub fn builder(addr: impl Into<String>) -> ClientBuilder {
+        ClientBuilder {
+            addr: addr.into(),
+            read_timeout: None,
+            tenant: None,
+            idempotency_prefix: None,
+        }
+    }
+
+    /// The protocol version settled with the server (1 without handshake).
+    pub fn protocol_version(&self) -> u64 {
+        self.negotiated
     }
 
     /// Optional read timeout for every subsequent receive.
@@ -83,13 +239,39 @@ impl Client {
         self.recv()
     }
 
+    fn request_typed(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.request(request).map_err(ClientError::Protocol)
+    }
+
     /// Submit a job; returns its id.
     pub fn submit(&mut self, spec: &JobSpec) -> Result<JobId, String> {
         match self.request(&Request::Submit(Box::new(spec.clone())))? {
-            Response::Submitted { job } => Ok(job),
-            Response::Rejected { reason } => Err(format!("rejected: {reason}")),
+            Response::Submitted { job, .. } => Ok(job),
+            Response::Rejected { reason, .. } => Err(format!("rejected: {reason}")),
             Response::Error { reason, .. } => Err(reason),
             other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Submit with typed errors and duplicate detection. When the builder
+    /// configured an idempotency prefix and the spec carries no key, a
+    /// generated key is attached so a retry of this submit (even over a new
+    /// connection with the same prefix sequence) lands on the same job.
+    pub fn try_submit(&mut self, spec: &JobSpec) -> Result<SubmitAck, ClientError> {
+        let mut spec = spec.clone();
+        if spec.idempotency_key.is_none() {
+            if let Some(prefix) = &self.idempotency_prefix {
+                spec.idempotency_key = Some(format!("{prefix}-{}", self.key_seq));
+                self.key_seq += 1;
+            }
+        }
+        match self.request_typed(&Request::Submit(Box::new(spec)))? {
+            Response::Submitted { job, duplicate } => Ok(SubmitAck { job, duplicate }),
+            Response::Rejected { code, reason } => Err(ClientError::Rejected { code, reason }),
+            Response::Error { code, reason, .. } => Err(ClientError::Server { code, reason }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
         }
     }
 
@@ -133,8 +315,11 @@ impl Client {
                 Response::Error {
                     job: Some(id),
                     reason,
+                    ..
                 } if id == job => return Err(reason),
-                Response::Error { job: None, reason } => return Err(reason),
+                Response::Error {
+                    job: None, reason, ..
+                } => return Err(reason),
                 _ => continue, // other jobs' traffic on a shared connection
             }
         }
@@ -171,6 +356,7 @@ impl Client {
                 Response::Error {
                     job: Some(id),
                     reason,
+                    ..
                 } if id == job => return Err(reason),
                 _ => continue,
             }
@@ -208,8 +394,11 @@ impl Client {
                 Response::Error {
                     job: Some(id),
                     reason,
+                    ..
                 } if id == job => return Err(reason),
-                Response::Error { job: None, reason } => return Err(reason),
+                Response::Error {
+                    job: None, reason, ..
+                } => return Err(reason),
                 _ => continue, // other jobs' traffic on a shared connection
             }
         }

@@ -4,21 +4,30 @@
 //! job's [`StopFlag`] (the cancellation hook threaded into the solver's
 //! `Termination`), its phase machine, and its *watchers* — per-connection
 //! line sinks that receive incumbent updates (`subscribe`) and the terminal
-//! `done` notification (`result` and `subscribe` both). Watchers hold the
-//! encoded line channel of a connection's writer thread, so publishing is a
-//! non-blocking channel send; a watcher whose connection died is pruned on
-//! the next send.
+//! `done` notification (`result` and `subscribe` both). Watchers hold a
+//! [`LineSink`] — the event loop's per-connection outbound queue, or a
+//! plain channel for in-process embedding — so publishing is a non-blocking
+//! enqueue; a watcher whose connection died is pruned on the next send.
 
 use crate::obs::{TimelineEvent, TimelineKind};
 use crate::protocol::{JobId, Response};
+use crate::sink::LineSink;
 use crate::spec::{now_unix_ms, JobSpec};
 use dabs_core::{SolveResult, StopFlag, UnitOutcome};
 use dabs_model::{QuboModel, Solution};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Called once per job, at its terminal transition, with the final phase,
+/// result, and error. The durable job log hangs off this: the server
+/// installs a hook that appends a `terminal` record, so replay knows which
+/// admitted jobs need re-running. Runs before watcher fan-out (log first,
+/// tell clients second) and must not block for long — it executes on
+/// whatever thread drove the transition.
+pub type TerminalHook =
+    Arc<dyn Fn(JobId, JobPhase, Option<&SolveResult>, Option<&str>) + Send + Sync>;
 
 /// Where a job is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +59,19 @@ impl JobPhase {
         }
     }
 
+    /// Inverse of [`JobPhase::name`] (WAL replay parses stored phases).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "queued" => JobPhase::Queued,
+            "running" => JobPhase::Running,
+            "done" => JobPhase::Done,
+            "cancelled" => JobPhase::Cancelled,
+            "expired" => JobPhase::Expired,
+            "failed" => JobPhase::Failed,
+            _ => return None,
+        })
+    }
+
     /// Terminal phases never transition again.
     pub fn is_terminal(self) -> bool {
         !matches!(self, JobPhase::Queued | JobPhase::Running)
@@ -74,7 +96,7 @@ pub enum WatchKind {
 }
 
 struct Watcher {
-    sink: Sender<String>,
+    sink: Arc<dyn LineSink>,
     kind: WatchKind,
 }
 
@@ -155,6 +177,9 @@ pub struct JobRecord {
     /// wall-clock window, shared by all units so `time_ms` bounds the job,
     /// not each unit.
     first_unit_start: OnceLock<Instant>,
+    /// Installed at registration when the registry has one; fires once at
+    /// the terminal transition (see [`TerminalHook`]).
+    terminal_hook: OnceLock<TerminalHook>,
 }
 
 impl JobRecord {
@@ -178,12 +203,13 @@ impl JobRecord {
             timeline: Mutex::new(TimelineLog::default()),
             model: OnceLock::new(),
             first_unit_start: OnceLock::new(),
+            terminal_hook: OnceLock::new(),
         }
     }
 
     /// Append one timeline event, stamped with the job's age *under the
     /// log's lock* — two racing pushes therefore cannot record out-of-order
-    /// timestamps. Past [`TIMELINE_CAP`] events, only the drop counter
+    /// timestamps. Past `TIMELINE_CAP` events, only the drop counter
     /// moves.
     pub fn push_timeline(&self, kind: TimelineKind) {
         let mut log = self.timeline.lock().expect("timeline lock");
@@ -285,7 +311,7 @@ impl JobRecord {
         }
         .encode();
         let mut ws = self.watchers.lock().expect("watchers lock");
-        ws.retain(|w| w.kind != WatchKind::Subscribe || w.sink.send(line.clone()).is_ok());
+        ws.retain(|w| w.kind != WatchKind::Subscribe || w.sink.send_line(line.clone()));
     }
 
     /// Snapshot of the job-wide best `(solution, energy)` — what a freshly
@@ -483,17 +509,28 @@ impl JobRecord {
         self.notify_terminal();
     }
 
-    /// Wake synchronous waiters and send the terminal `done` line to every
-    /// watcher. Call exactly once, after the terminal transition.
+    /// Wake synchronous waiters, fire the terminal hook (durable log first),
+    /// then send the terminal `done` line to every watcher. Call exactly
+    /// once, after the terminal transition.
     fn notify_terminal(&self) {
+        let (phase, result, error) = self.snapshot();
         self.push_timeline(TimelineKind::Terminal {
-            phase: self.phase().name().to_string(),
+            phase: phase.name().to_string(),
         });
         self.terminal_cv.notify_all();
-        let line = self.terminal_line().expect("just finished").encode();
+        if let Some(hook) = self.terminal_hook.get() {
+            hook(self.id, phase, result.as_ref(), error.as_deref());
+        }
+        let line = Response::Done {
+            job: self.id,
+            phase: phase.name().to_string(),
+            result: result.map(Box::new),
+            error,
+        }
+        .encode();
         let mut ws = self.watchers.lock().expect("watchers lock");
         for w in ws.drain(..) {
-            let _ = w.sink.send(line.clone());
+            let _ = w.sink.send_line(line.clone());
         }
     }
 
@@ -512,12 +549,12 @@ impl JobRecord {
     /// `done` line immediately and is not registered. A fresh subscriber to
     /// a live job first receives the current best (if any) so its stream
     /// starts from the job's present state.
-    pub fn add_watcher(&self, sink: Sender<String>, kind: WatchKind) {
+    pub fn add_watcher(&self, sink: Arc<dyn LineSink>, kind: WatchKind) {
         // Hold the watcher lock across the terminal check so a concurrent
         // finish() cannot slip between the check and the registration.
         let mut ws = self.watchers.lock().expect("watchers lock");
         if let Some(line) = self.terminal_line() {
-            let _ = sink.send(line.encode());
+            let _ = sink.send_line(line.encode());
             return;
         }
         if kind == WatchKind::Subscribe {
@@ -528,7 +565,7 @@ impl JobRecord {
                     at_ms: self.age().as_millis() as u64,
                 }
                 .encode();
-                let _ = sink.send(snapshot);
+                let _ = sink.send_line(snapshot);
             }
         }
         ws.push(Watcher { sink, kind });
@@ -581,12 +618,34 @@ const DEFAULT_TERMINAL_RETENTION: usize = 1024;
 /// (oldest id first) on admission, so a long-lived server's memory tracks
 /// its *live* load, not its lifetime job count. Evicted jobs still count in
 /// [`JobRegistry::phase_counts`]' finished total.
-#[derive(Debug)]
 pub struct JobRegistry {
     next_id: AtomicU64,
     jobs: Mutex<HashMap<JobId, Arc<JobRecord>>>,
+    /// Idempotency key → original job id, for submits that carry one.
+    /// Entries live exactly as long as their job stays in the retention
+    /// window (pruning and eviction clean both maps together).
+    keys: Mutex<HashMap<String, JobId>>,
     terminal_retention: usize,
     evicted_terminal: AtomicU64,
+    hook: Mutex<Option<TerminalHook>>,
+}
+
+impl std::fmt::Debug for JobRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (queued, running, finished) = self.phase_counts();
+        f.debug_struct("JobRegistry")
+            .field("queued", &queued)
+            .field("running", &running)
+            .field("finished", &finished)
+            .finish()
+    }
+}
+
+/// Outcome of a keyed registration: a fresh record, or the record the same
+/// idempotency key already admitted.
+pub enum Registered {
+    New(Arc<JobRecord>),
+    Duplicate(Arc<JobRecord>),
 }
 
 impl Default for JobRegistry {
@@ -605,15 +664,87 @@ impl JobRegistry {
         Self {
             next_id: AtomicU64::new(1),
             jobs: Mutex::new(HashMap::new()),
+            keys: Mutex::new(HashMap::new()),
             terminal_retention: terminal_retention.max(1),
             evicted_terminal: AtomicU64::new(0),
+            hook: Mutex::new(None),
         }
     }
 
-    /// Allocate an id and register a fresh record.
+    /// Install the terminal hook copied into every record registered from
+    /// now on (the WAL's `terminal` appender). Records registered *before*
+    /// — replayed already-terminal jobs — never fire it.
+    pub fn set_terminal_hook(&self, hook: TerminalHook) {
+        *self.hook.lock().expect("hook lock") = Some(hook);
+    }
+
+    /// Allocate an id and register a fresh record. Any idempotency key on
+    /// the spec is indexed but *not* checked — use
+    /// [`JobRegistry::register_keyed`] for collapse-on-duplicate semantics.
     pub fn register(&self, spec: JobSpec) -> Arc<JobRecord> {
+        let mut keys = self.keys.lock().expect("keys lock");
+        let key = spec.idempotency_key.clone();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let record = self.insert_locked(id, spec, &mut keys);
+        if let Some(k) = key {
+            keys.insert(k, id);
+        }
+        record
+    }
+
+    /// Register honoring the spec's idempotency key: if the key already
+    /// names a retained job, no new job is created and the original record
+    /// comes back as [`Registered::Duplicate`]. The check and the insert
+    /// share the key-index lock, so two racing submits with the same key
+    /// cannot both admit.
+    pub fn register_keyed(&self, spec: JobSpec) -> Registered {
+        let mut keys = self.keys.lock().expect("keys lock");
+        if let Some(k) = &spec.idempotency_key {
+            if let Some(&id) = keys.get(k) {
+                if let Some(existing) = self.get(id) {
+                    return Registered::Duplicate(existing);
+                }
+                // The job fell out of the retention window before its key
+                // was cleaned; treat the key as fresh.
+                keys.remove(k);
+            }
+        }
+        let key = spec.idempotency_key.clone();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let record = self.insert_locked(id, spec, &mut keys);
+        if let Some(k) = key {
+            keys.insert(k, id);
+        }
+        Registered::New(record)
+    }
+
+    /// Register under a fixed id (WAL replay): the record keeps its
+    /// pre-crash identity, its idempotency key is re-indexed, and fresh-id
+    /// allocation resumes above every replayed id.
+    pub fn register_with_id(&self, id: JobId, spec: JobSpec) -> Arc<JobRecord> {
+        let mut keys = self.keys.lock().expect("keys lock");
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        let key = spec.idempotency_key.clone();
+        let record = self.insert_locked(id, spec, &mut keys);
+        if let Some(k) = key {
+            keys.insert(k, id);
+        }
+        record
+    }
+
+    /// Insert one record. `keys` is the already-held key index: lock order
+    /// is keys → jobs, and pruning cleans both maps in one critical
+    /// section, so an evicted job's key can never resurrect it.
+    fn insert_locked(
+        &self,
+        id: JobId,
+        spec: JobSpec,
+        keys: &mut HashMap<String, JobId>,
+    ) -> Arc<JobRecord> {
         let record = Arc::new(JobRecord::new(id, spec));
+        if let Some(hook) = self.hook.lock().expect("hook lock").clone() {
+            let _ = record.terminal_hook.set(hook);
+        }
         let mut jobs = self.jobs.lock().expect("registry lock");
         jobs.insert(id, Arc::clone(&record));
         // Amortized prune: only scan once the map could plausibly hold more
@@ -627,9 +758,11 @@ impl JobRegistry {
             if terminal.len() > self.terminal_retention {
                 terminal.sort_unstable();
                 let excess = terminal.len() - self.terminal_retention;
-                for old in terminal.into_iter().take(excess) {
-                    jobs.remove(&old);
+                let evicted: HashSet<JobId> = terminal.into_iter().take(excess).collect();
+                for old in &evicted {
+                    jobs.remove(old);
                 }
+                keys.retain(|_, id| !evicted.contains(id));
                 self.evicted_terminal
                     .fetch_add(excess as u64, Ordering::Relaxed);
             }
@@ -637,9 +770,12 @@ impl JobRegistry {
         record
     }
 
-    /// Drop a record that failed admission after registration.
+    /// Drop a record that failed admission after registration, along with
+    /// its idempotency key (a refused submit must not poison retries).
     pub fn evict(&self, id: JobId) {
+        let mut keys = self.keys.lock().expect("keys lock");
         self.jobs.lock().expect("registry lock").remove(&id);
+        keys.retain(|_, kid| *kid != id);
     }
 
     pub fn get(&self, id: JobId) -> Option<Arc<JobRecord>> {
@@ -757,7 +893,7 @@ mod tests {
         r.mark_running();
         r.finish(JobPhase::Done, None, None);
         let (tx, rx) = channel();
-        r.add_watcher(tx, WatchKind::ResultOnly);
+        r.add_watcher(Arc::new(tx), WatchKind::ResultOnly);
         let line = rx.try_recv().expect("immediate done line");
         assert!(line.contains("\"done\""), "{line}");
     }
@@ -768,7 +904,7 @@ mod tests {
         r.mark_running();
         r.publish_incumbent(-5, Duration::from_millis(1));
         let (tx, rx) = channel();
-        r.add_watcher(tx, WatchKind::Subscribe);
+        r.add_watcher(Arc::new(tx), WatchKind::Subscribe);
         // snapshot of the pre-subscription best
         let snap = Response::parse_line(&rx.try_recv().unwrap()).unwrap();
         assert!(matches!(snap, Response::Incumbent { energy: -5, .. }));
@@ -785,7 +921,7 @@ mod tests {
         let r = record();
         r.mark_running();
         let (tx, rx) = channel();
-        r.add_watcher(tx, WatchKind::ResultOnly);
+        r.add_watcher(Arc::new(tx), WatchKind::ResultOnly);
         r.publish_incumbent(-3, Duration::from_millis(1));
         assert!(rx.try_recv().is_err(), "no incumbent for result watchers");
         r.finish(JobPhase::Cancelled, None, None);
@@ -892,5 +1028,99 @@ mod tests {
         reg.evict(a.id);
         assert!(reg.get(a.id).is_none());
         assert_eq!(reg.phase_counts(), (0, 0, 1));
+    }
+
+    fn keyed_spec(key: &str) -> JobSpec {
+        JobSpec {
+            max_batches: Some(1),
+            idempotency_key: Some(key.into()),
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn duplicate_idempotency_key_returns_original_record() {
+        let reg = JobRegistry::new();
+        let first = match reg.register_keyed(keyed_spec("req-1")) {
+            Registered::New(r) => r,
+            Registered::Duplicate(_) => panic!("fresh key must be new"),
+        };
+        // Same key collapses — even after the job went terminal.
+        first.mark_running();
+        first.finish(JobPhase::Done, None, None);
+        match reg.register_keyed(keyed_spec("req-1")) {
+            Registered::Duplicate(r) => assert_eq!(r.id, first.id),
+            Registered::New(_) => panic!("duplicate key must not re-admit"),
+        }
+        // A different key admits normally.
+        match reg.register_keyed(keyed_spec("req-2")) {
+            Registered::New(r) => assert_ne!(r.id, first.id),
+            Registered::Duplicate(_) => panic!("distinct key collapsed"),
+        }
+        // No key: always new, never collapses.
+        let anon = JobSpec {
+            max_batches: Some(1),
+            ..JobSpec::default()
+        };
+        assert!(matches!(
+            reg.register_keyed(anon.clone()),
+            Registered::New(_)
+        ));
+        assert!(matches!(reg.register_keyed(anon), Registered::New(_)));
+    }
+
+    #[test]
+    fn evicted_key_frees_the_idempotency_slot() {
+        let reg = JobRegistry::new();
+        let first = match reg.register_keyed(keyed_spec("req-9")) {
+            Registered::New(r) => r,
+            Registered::Duplicate(_) => panic!("fresh"),
+        };
+        reg.evict(first.id);
+        match reg.register_keyed(keyed_spec("req-9")) {
+            Registered::New(r) => assert_ne!(r.id, first.id),
+            Registered::Duplicate(_) => panic!("evicted job's key must not pin"),
+        }
+    }
+
+    #[test]
+    fn register_with_id_pins_identity_and_bumps_allocation() {
+        let reg = JobRegistry::new();
+        let replayed = reg.register_with_id(41, keyed_spec("crash-req"));
+        assert_eq!(replayed.id, 41);
+        // Fresh allocation resumes above the replayed id.
+        let fresh = reg.register(JobSpec::default());
+        assert_eq!(fresh.id, 42);
+        // The replayed job's idempotency key is re-indexed.
+        match reg.register_keyed(keyed_spec("crash-req")) {
+            Registered::Duplicate(r) => assert_eq!(r.id, 41),
+            Registered::New(_) => panic!("replayed key lost"),
+        }
+    }
+
+    type SeenTerminals = Arc<Mutex<Vec<(JobId, JobPhase, Option<String>)>>>;
+
+    #[test]
+    fn terminal_hook_fires_once_with_final_state() {
+        let reg = JobRegistry::new();
+        let seen: SeenTerminals = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        reg.set_terminal_hook(Arc::new(move |id, phase, _result, error| {
+            sink.lock()
+                .unwrap()
+                .push((id, phase, error.map(String::from)));
+        }));
+        let r = reg.register(JobSpec {
+            max_batches: Some(1),
+            ..JobSpec::default()
+        });
+        r.mark_running();
+        r.finish(JobPhase::Failed, None, Some("boom".into()));
+        r.finish(JobPhase::Done, None, None); // late duplicate: no second fire
+        let events = seen.lock().unwrap();
+        assert_eq!(
+            *events,
+            vec![(r.id, JobPhase::Failed, Some("boom".to_string()))]
+        );
     }
 }

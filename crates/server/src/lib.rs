@@ -39,7 +39,9 @@
 //! server.shutdown();
 //! ```
 
+mod admission;
 mod client;
+mod event_loop;
 mod job;
 mod metrics;
 mod obs;
@@ -47,18 +49,27 @@ mod pool;
 mod protocol;
 mod queue;
 mod server;
+mod sink;
 mod spec;
+mod wal;
 
-pub use client::{Client, JobOutcome};
+pub use admission::{RateConfig, TenantRateLimiter};
+pub use client::{Client, ClientBuilder, ClientError, JobOutcome, SubmitAck};
 pub use dabs_core::StopFlag;
-pub use job::{JobPhase, JobRecord, JobRegistry, WatchKind};
+pub use job::{JobPhase, JobRecord, JobRegistry, Registered, TerminalHook, WatchKind};
 pub use metrics::{drive_fleet, percentile, LatencySummary, PoolLoad};
-pub use obs::{pool_obs, timeline_to_chrome, PoolObs, TimelineEvent, TimelineKind};
+pub use obs::{
+    net_obs, pool_obs, timeline_to_chrome, NetObs, PoolObs, TimelineEvent, TimelineKind,
+};
 pub use pool::{execute, ElasticPool, PoolGauges, MIN_UNIT_BATCHES};
-pub use protocol::{JobId, Request, Response};
+pub use protocol::{
+    ErrorCode, JobId, ProtocolError, Request, Response, PROTOCOL_FEATURES, PROTOCOL_VERSION,
+};
 pub use queue::{AdmissionError, JobQueue};
 pub use server::{Server, ServerConfig, ServerState};
+pub use sink::LineSink;
 pub use spec::{
     now_unix_ms, ExecMode, JobSpec, ProblemSpec, MAX_BLOCKS, MAX_DEVICES, MAX_PROBLEM_N,
     MAX_QAP_SIZE, MAX_UNITS_PER_JOB,
 };
+pub use wal::{ReplayedTerminal, Wal, WalRecord, WalReplay};

@@ -85,6 +85,77 @@ pub fn pool_obs() -> &'static PoolObs {
     OBS.get_or_init(PoolObs::new)
 }
 
+/// Process-wide serving-layer counters: event-loop activity and the durable
+/// job log. The event loop drives the `net.*` family; the WAL drives
+/// `wal.*`.
+#[derive(Debug, Default)]
+pub struct NetObs {
+    /// Connections accepted by the event loop.
+    pub accepted: Counter,
+    /// Connections fully closed (all causes).
+    pub closed: Counter,
+    /// Request lines parsed and dispatched.
+    pub lines_in: Counter,
+    /// Response lines flushed to sockets.
+    pub lines_out: Counter,
+    /// Bytes read from sockets.
+    pub bytes_in: Counter,
+    /// Bytes written to sockets.
+    pub bytes_out: Counter,
+    /// Times a connection's outbound queue crossed the high-water mark and
+    /// its reads were paused.
+    pub read_pauses: Counter,
+    /// Submits refused by per-tenant rate limiting.
+    pub rate_limited: Counter,
+    /// Submits collapsed onto an existing job by idempotency key.
+    pub duplicate_submits: Counter,
+    /// `epoll_wait` wakeups (readiness batches, not events).
+    pub polls: Counter,
+    /// Records appended to the job log.
+    pub wal_appends: Counter,
+    /// `sync_data` calls the flusher issued (appends ÷ syncs = batching).
+    pub wal_syncs: Counter,
+    /// Live (queued/running) jobs re-admitted by replay.
+    pub wal_replayed_live: Counter,
+    /// Terminal jobs re-registered by replay.
+    pub wal_replayed_terminal: Counter,
+    /// Torn-tail bytes dropped by replay.
+    pub wal_truncated_bytes: Counter,
+}
+
+impl NetObs {
+    /// Export everything under `net.*` / `wal.*` names.
+    pub fn metrics_into(&self, set: &mut MetricSet) {
+        use dabs_core::{Direction, Metric};
+        let up = Direction::HigherIsBetter;
+        for (name, c) in [
+            ("net.accepted", &self.accepted),
+            ("net.closed", &self.closed),
+            ("net.lines_in", &self.lines_in),
+            ("net.lines_out", &self.lines_out),
+            ("net.bytes_in", &self.bytes_in),
+            ("net.bytes_out", &self.bytes_out),
+            ("net.read_pauses", &self.read_pauses),
+            ("net.rate_limited", &self.rate_limited),
+            ("net.duplicate_submits", &self.duplicate_submits),
+            ("net.polls", &self.polls),
+            ("wal.appends", &self.wal_appends),
+            ("wal.syncs", &self.wal_syncs),
+            ("wal.replayed_live", &self.wal_replayed_live),
+            ("wal.replayed_terminal", &self.wal_replayed_terminal),
+            ("wal.truncated_bytes", &self.wal_truncated_bytes),
+        ] {
+            set.push(Metric::new(name, c.get() as f64, "count", up));
+        }
+    }
+}
+
+/// The process-wide [`NetObs`] singleton, sibling of [`pool_obs`].
+pub fn net_obs() -> &'static NetObs {
+    static OBS: OnceLock<NetObs> = OnceLock::new();
+    OBS.get_or_init(NetObs::default)
+}
+
 /// What happened at one point of a job's timeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TimelineKind {

@@ -14,11 +14,138 @@ use dabs_core::{MetricSet, SolveResult};
 use serde::json::Json;
 
 /// A job's identity, allocated at admission, unique per server lifetime.
+/// With a durable job log (`--wal-dir`) ids also survive restarts: replay
+/// re-registers jobs under their original ids and resumes allocation above
+/// the highest replayed id.
 pub type JobId = u64;
+
+/// The protocol version this server speaks. Version 1 is the PR 2 wire
+/// format (no `hello`, no error codes); version 2 adds the `hello`
+/// handshake, machine-readable `code` fields on `rejected`/`error` lines,
+/// and idempotent submit. v2 is a strict superset: v1 clients that never
+/// send `hello` keep working unchanged.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// Feature tags advertised in the `hello` response, so clients can detect
+/// capabilities without version arithmetic.
+pub const PROTOCOL_FEATURES: &[&str] = &["error_codes", "idempotency", "tenants", "wal"];
+
+/// Stable machine-readable reason classes carried by every `rejected` and
+/// `error` line (protocol v2). The human `msg`/`reason` text may change
+/// between releases; these strings never do — clients branch on them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was not valid JSON.
+    BadJson,
+    /// The request was structurally invalid (missing fields, bad types).
+    BadRequest,
+    /// The submitted job spec failed validation.
+    BadSpec,
+    /// A request line exceeded the per-line byte cap; the connection closes.
+    LineTooLong,
+    /// The request line was not UTF-8; the connection closes.
+    NotUtf8,
+    /// Unknown `op` — likely a newer client against an older server.
+    UnknownOp,
+    /// The named job id is unknown (or evicted past the retention window).
+    NoSuchJob,
+    /// The admission queue is at capacity; retry with backoff.
+    OverCapacity,
+    /// The tenant's admission token bucket is empty; retry after a pause.
+    RateLimited,
+    /// The job's absolute deadline already passed at admission.
+    PastDeadline,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// Unexpected server-side failure.
+    Internal,
+    /// Forward compatibility: a code this build does not know.
+    Other(String),
+}
+
+impl ErrorCode {
+    /// The stable wire string.
+    pub fn as_str(&self) -> &str {
+        match self {
+            ErrorCode::BadJson => "bad_json",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::BadSpec => "bad_spec",
+            ErrorCode::LineTooLong => "line_too_long",
+            ErrorCode::NotUtf8 => "not_utf8",
+            ErrorCode::UnknownOp => "unknown_op",
+            ErrorCode::NoSuchJob => "no_such_job",
+            ErrorCode::OverCapacity => "over_capacity",
+            ErrorCode::RateLimited => "rate_limited",
+            ErrorCode::PastDeadline => "past_deadline",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+            ErrorCode::Other(s) => s,
+        }
+    }
+
+    /// Inverse of [`ErrorCode::as_str`]; unknown strings survive as
+    /// [`ErrorCode::Other`] so a newer server's codes pass through older
+    /// clients intact.
+    pub fn from_wire(s: &str) -> ErrorCode {
+        match s {
+            "bad_json" => ErrorCode::BadJson,
+            "bad_request" => ErrorCode::BadRequest,
+            "bad_spec" => ErrorCode::BadSpec,
+            "line_too_long" => ErrorCode::LineTooLong,
+            "not_utf8" => ErrorCode::NotUtf8,
+            "unknown_op" => ErrorCode::UnknownOp,
+            "no_such_job" => ErrorCode::NoSuchJob,
+            "over_capacity" => ErrorCode::OverCapacity,
+            "rate_limited" => ErrorCode::RateLimited,
+            "past_deadline" => ErrorCode::PastDeadline,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            "internal" => ErrorCode::Internal,
+            other => ErrorCode::Other(other.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A request that could not be parsed, with the code the error line must
+/// carry. What [`Request::parse_line`] returns on failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    pub code: ErrorCode,
+    pub reason: String,
+}
+
+impl ProtocolError {
+    fn new(code: ErrorCode, reason: impl Into<String>) -> Self {
+        Self {
+            code,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.reason)
+    }
+}
 
 /// Client → server messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Protocol v2 version negotiation. Optional: a connection that never
+    /// sends `hello` is treated as a v1 client. `tenant` names the admission
+    /// bucket for every later submit on this connection that does not carry
+    /// its own.
+    Hello {
+        /// Highest protocol version the client speaks.
+        version: u64,
+        tenant: Option<String>,
+    },
     /// Admit a new job.
     Submit(Box<JobSpec>),
     /// Snapshot a job's phase and best-so-far energy.
@@ -46,6 +173,11 @@ pub enum Request {
 impl Request {
     pub fn to_json(&self) -> Json {
         match self {
+            Request::Hello { version, tenant } => Json::obj([
+                ("op", Json::str("hello")),
+                ("version", (*version).into()),
+                ("tenant", tenant.clone().map(Json::str).into()),
+            ]),
             Request::Submit(spec) => {
                 Json::obj([("op", Json::str("submit")), ("job", spec.to_json())])
             }
@@ -64,15 +196,26 @@ impl Request {
         }
     }
 
-    pub fn from_json(j: &Json) -> Result<Self, String> {
-        let op = j.get_str("op").ok_or("request needs an \"op\" field")?;
+    pub fn from_json(j: &Json) -> Result<Self, ProtocolError> {
+        let op = j.get_str("op").ok_or_else(|| {
+            ProtocolError::new(ErrorCode::BadRequest, "request needs an \"op\" field")
+        })?;
         let job = || {
-            j.get_u64("job")
-                .ok_or_else(|| format!("{op:?} needs a \"job\" id"))
+            j.get_u64("job").ok_or_else(|| {
+                ProtocolError::new(ErrorCode::BadRequest, format!("{op:?} needs a \"job\" id"))
+            })
         };
         match op {
+            "hello" => Ok(Request::Hello {
+                version: j.get_u64("version").unwrap_or(1),
+                tenant: j.get_str("tenant").map(String::from),
+            }),
             "submit" => {
-                let spec = JobSpec::from_json(j.get("job").ok_or("submit needs a \"job\" spec")?)?;
+                let spec_json = j.get("job").ok_or_else(|| {
+                    ProtocolError::new(ErrorCode::BadRequest, "submit needs a \"job\" spec")
+                })?;
+                let spec = JobSpec::from_json(spec_json)
+                    .map_err(|e| ProtocolError::new(ErrorCode::BadSpec, e))?;
                 Ok(Request::Submit(Box::new(spec)))
             }
             "status" => Ok(Request::Status(job()?)),
@@ -83,13 +226,17 @@ impl Request {
             "metrics" => Ok(Request::Metrics),
             "timeline" => Ok(Request::Timeline(job()?)),
             "ping" => Ok(Request::Ping),
-            other => Err(format!("unknown op {other:?}")),
+            other => Err(ProtocolError::new(
+                ErrorCode::UnknownOp,
+                format!("unknown op {other:?}"),
+            )),
         }
     }
 
     /// Parse one protocol line.
-    pub fn parse_line(line: &str) -> Result<Self, String> {
-        let j = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    pub fn parse_line(line: &str) -> Result<Self, ProtocolError> {
+        let j = Json::parse(line)
+            .map_err(|e| ProtocolError::new(ErrorCode::BadJson, format!("bad JSON: {e}")))?;
         Self::from_json(&j)
     }
 }
@@ -97,17 +244,28 @@ impl Request {
 /// Server → client messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// Job admitted and queued.
+    /// Version-negotiation reply (protocol v2). `version` is the highest
+    /// version both sides speak.
+    Hello {
+        version: u64,
+        features: Vec<String>,
+    },
+    /// Job admitted and queued. `duplicate` is true when the submit carried
+    /// an idempotency key already seen within the retention window — `job`
+    /// is then the *original* job's id, and no second job was admitted.
     Submitted {
         job: JobId,
+        duplicate: bool,
     },
     /// Job refused at admission (queue full, past deadline, invalid spec).
     Rejected {
+        code: ErrorCode,
         reason: String,
     },
     /// Request-level failure (unknown job, malformed line, …).
     Error {
         job: Option<JobId>,
+        code: ErrorCode,
         reason: String,
     },
     /// Point-in-time job snapshot.
@@ -177,20 +335,32 @@ pub enum Response {
 impl Response {
     pub fn to_json(&self) -> Json {
         match self {
-            Response::Submitted { job } => Json::obj([
+            Response::Hello { version, features } => Json::obj([
+                ("type", Json::str("hello")),
+                ("ok", Json::Bool(true)),
+                ("version", (*version).into()),
+                (
+                    "features",
+                    Json::Arr(features.iter().map(|f| Json::str(f.clone())).collect()),
+                ),
+            ]),
+            Response::Submitted { job, duplicate } => Json::obj([
                 ("type", Json::str("submitted")),
                 ("ok", Json::Bool(true)),
                 ("job", (*job).into()),
+                ("duplicate", Json::Bool(*duplicate)),
             ]),
-            Response::Rejected { reason } => Json::obj([
+            Response::Rejected { code, reason } => Json::obj([
                 ("type", Json::str("rejected")),
                 ("ok", Json::Bool(false)),
+                ("code", Json::str(code.as_str())),
                 ("reason", Json::str(reason.clone())),
             ]),
-            Response::Error { job, reason } => Json::obj([
+            Response::Error { job, code, reason } => Json::obj([
                 ("type", Json::str("error")),
                 ("ok", Json::Bool(false)),
                 ("job", (*job).into()),
+                ("code", Json::str(code.as_str())),
                 ("reason", Json::str(reason.clone())),
             ]),
             Response::Status {
@@ -292,13 +462,34 @@ impl Response {
                 .map(String::from)
                 .ok_or_else(|| format!("{ty:?} needs a \"phase\""))
         };
+        // Absent `code` (a v1 server) maps to `internal`: the client still
+        // sees the human-readable reason, just no machine-readable class.
+        let code = || ErrorCode::from_wire(j.get_str("code").unwrap_or("internal"));
         match ty {
-            "submitted" => Ok(Response::Submitted { job: job()? }),
+            "hello" => Ok(Response::Hello {
+                version: j.get_u64("version").unwrap_or(1),
+                features: j
+                    .get("features")
+                    .and_then(Json::as_arr)
+                    .map(|a| {
+                        a.iter()
+                            .filter_map(Json::as_str)
+                            .map(String::from)
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            }),
+            "submitted" => Ok(Response::Submitted {
+                job: job()?,
+                duplicate: j.get_bool("duplicate").unwrap_or(false),
+            }),
             "rejected" => Ok(Response::Rejected {
+                code: code(),
                 reason: j.get_str("reason").unwrap_or_default().to_string(),
             }),
             "error" => Ok(Response::Error {
                 job: j.get_u64("job"),
+                code: code(),
                 reason: j.get_str("reason").unwrap_or_default().to_string(),
             }),
             "status" => Ok(Response::Status {
@@ -384,6 +575,14 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let reqs = [
+            Request::Hello {
+                version: 2,
+                tenant: Some("acme".into()),
+            },
+            Request::Hello {
+                version: 1,
+                tenant: None,
+            },
             Request::Submit(Box::new(JobSpec {
                 problem: ProblemSpec::random(16, 2),
                 max_batches: Some(100),
@@ -409,17 +608,36 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         let resps = [
-            Response::Submitted { job: 1 },
+            Response::Hello {
+                version: 2,
+                features: PROTOCOL_FEATURES.iter().map(|f| f.to_string()).collect(),
+            },
+            Response::Submitted {
+                job: 1,
+                duplicate: false,
+            },
+            Response::Submitted {
+                job: 1,
+                duplicate: true,
+            },
             Response::Rejected {
+                code: ErrorCode::OverCapacity,
                 reason: "queue full".into(),
             },
             Response::Error {
                 job: Some(4),
+                code: ErrorCode::NoSuchJob,
                 reason: "no such job".into(),
             },
             Response::Error {
                 job: None,
+                code: ErrorCode::BadJson,
                 reason: "bad JSON".into(),
+            },
+            Response::Error {
+                job: None,
+                code: ErrorCode::Other("from_the_future".into()),
+                reason: "novel failure".into(),
             },
             Response::Status {
                 job: 2,
@@ -526,13 +744,83 @@ mod tests {
     }
 
     #[test]
-    fn malformed_lines_are_rejected() {
-        assert!(Request::parse_line("not json").is_err());
-        assert!(Request::parse_line("{}").is_err());
-        assert!(
-            Request::parse_line("{\"op\":\"status\"}").is_err(),
+    fn malformed_lines_carry_stable_codes() {
+        let code = |line: &str| Request::parse_line(line).unwrap_err().code;
+        assert_eq!(code("not json"), ErrorCode::BadJson);
+        assert_eq!(code("{}"), ErrorCode::BadRequest);
+        assert_eq!(
+            code("{\"op\":\"status\"}"),
+            ErrorCode::BadRequest,
             "no job id"
         );
+        assert_eq!(code("{\"op\":\"warp\"}"), ErrorCode::UnknownOp);
+        assert_eq!(
+            code(
+                "{\"op\":\"submit\",\"job\":{\"problem\":{\"kind\":\"random\"},\"mode\":\"warp\"}}"
+            ),
+            ErrorCode::BadSpec
+        );
+        assert_eq!(
+            code("{\"op\":\"submit\"}"),
+            ErrorCode::BadRequest,
+            "no spec"
+        );
         assert!(Response::parse_line("{\"type\":\"warp\"}").is_err());
+    }
+
+    #[test]
+    fn v1_lines_without_v2_fields_still_parse() {
+        // A v1 server's lines carry no code/duplicate fields; a v2 client
+        // must still accept them with sensible defaults.
+        match Response::parse_line("{\"type\":\"submitted\",\"ok\":true,\"job\":9}").unwrap() {
+            Response::Submitted { job, duplicate } => {
+                assert_eq!(job, 9);
+                assert!(!duplicate);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match Response::parse_line("{\"type\":\"rejected\",\"ok\":false,\"reason\":\"full\"}")
+            .unwrap()
+        {
+            Response::Rejected { code, reason } => {
+                assert_eq!(code, ErrorCode::Internal);
+                assert_eq!(reason, "full");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // And a v1 server ignores fields it does not know, so a v2 hello
+        // request parsing as v1 would fail with unknown_op — the client
+        // treats that as "v1 server" rather than an error.
+        assert_eq!(
+            Request::parse_line("{\"op\":\"hello\",\"version\":2}").unwrap(),
+            Request::Hello {
+                version: 2,
+                tenant: None
+            }
+        );
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_pass_through_unknowns() {
+        for code in [
+            ErrorCode::BadJson,
+            ErrorCode::BadRequest,
+            ErrorCode::BadSpec,
+            ErrorCode::LineTooLong,
+            ErrorCode::NotUtf8,
+            ErrorCode::UnknownOp,
+            ErrorCode::NoSuchJob,
+            ErrorCode::OverCapacity,
+            ErrorCode::RateLimited,
+            ErrorCode::PastDeadline,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_wire(code.as_str()), code);
+        }
+        assert_eq!(
+            ErrorCode::from_wire("subspace_anomaly"),
+            ErrorCode::Other("subspace_anomaly".into())
+        );
     }
 }

@@ -1,34 +1,48 @@
-//! The TCP front end: accept loop, per-connection reader/writer threads,
-//! request dispatch.
+//! The serving core: shared state, admission, dispatch, and the bound
+//! server.
 //!
-//! Connection model: each accepted socket gets a *reader* thread (parses
-//! request lines, dispatches against the shared [`ServerState`]) and a
-//! *writer* thread (drains an mpsc channel of encoded response lines onto
-//! the socket). Everything that wants to talk to a connection — the request
+//! Connection model (PR 9): one epoll-driven event-loop thread
+//! (`dabs-net`, see [`crate::event_loop`]) owns every socket — accept,
+//! non-blocking reads, line framing, dispatch, and write flushing. Each
+//! connection's outbound is a queue of encoded lines behind a
+//! [`LineSink`]; everything that wants to talk to a connection — the
 //! dispatcher, a job's incumbent fan-out, a terminal notification — just
-//! clones the channel sender, so slow solvers never block on slow sockets
-//! and a dead connection is discovered by the writer and pruned lazily.
+//! enqueues and wakes the loop, so slow solvers never block on slow
+//! sockets and a dead connection is discovered at flush time and pruned.
+//!
+//! With [`ServerConfig::wal_dir`] set, admission and terminals are
+//! recorded in a durable job log ([`crate::wal`]); [`Server::bind`]
+//! replays it so queued/running jobs survive a crash.
 
-use crate::job::{JobRegistry, WatchKind};
+use crate::admission::{RateConfig, TenantRateLimiter, DEFAULT_TENANT};
+use crate::event_loop::{self, NetHandle};
+use crate::job::{JobPhase, JobRegistry, Registered, WatchKind};
+use crate::obs::net_obs;
 use crate::pool::ElasticPool;
-use crate::protocol::{JobId, Request, Response};
+use crate::protocol::{ErrorCode, JobId, Request, Response, PROTOCOL_FEATURES, PROTOCOL_VERSION};
+use crate::queue::AdmissionError;
+use crate::sink::LineSink;
 use crate::spec::JobSpec;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use crate::wal::{Wal, WalRecord};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
 
 /// Runtime knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Solver worker threads (`W`): the concurrent-solve ceiling.
     pub workers: usize,
     /// Admission bound, in *units* (the stealable slices jobs decompose
     /// into; a plain job is at least one unit).
     pub queue_capacity: usize,
+    /// Directory for the durable job log; `None` (the default) serves
+    /// purely in memory, exactly as before PR 9.
+    pub wal_dir: Option<PathBuf>,
+    /// Per-tenant admission rate limit; `None` (the default) never
+    /// throttles.
+    pub rate: Option<RateConfig>,
 }
 
 impl Default for ServerConfig {
@@ -36,46 +50,162 @@ impl Default for ServerConfig {
         Self {
             workers: 2,
             queue_capacity: 256,
+            wal_dir: None,
+            rate: None,
         }
     }
 }
 
-/// State shared by every connection and worker.
+/// Per-connection protocol context: what `hello` negotiated. In-process
+/// callers use `ConnCtx::default()` — a v1 connection with no tenant.
+#[derive(Debug, Clone)]
+pub struct ConnCtx {
+    /// Negotiated protocol version (1 until a `hello` arrives).
+    pub version: u64,
+    /// Tenant named by `hello`, the admission bucket for submits whose
+    /// spec does not name its own.
+    pub tenant: Option<String>,
+}
+
+impl Default for ConnCtx {
+    fn default() -> Self {
+        Self {
+            version: 1,
+            tenant: None,
+        }
+    }
+}
+
+/// A successful admission, as the typed in-process API reports it.
 #[derive(Debug)]
+pub struct Admitted {
+    pub job: JobId,
+    /// True when an idempotency key collapsed this submit onto an earlier
+    /// job — `job` is then the original id and nothing new was admitted.
+    pub duplicate: bool,
+    /// The original job's terminal `done` line, when a duplicate resolved
+    /// to an already-finished job.
+    pub terminal: Option<Response>,
+}
+
+/// A refused admission: the stable code plus human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitError {
+    pub code: ErrorCode,
+    pub reason: String,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.reason)
+    }
+}
+
+/// State shared by every connection and worker.
 pub struct ServerState {
     pub registry: Arc<JobRegistry>,
     pub pool: Arc<ElasticPool>,
     pub config: ServerConfig,
+    limiter: TenantRateLimiter,
+    wal: Option<Arc<Wal>>,
     shutting_down: AtomicBool,
 }
 
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerState")
+            .field("config", &self.config)
+            .field("registry", &self.registry)
+            .finish()
+    }
+}
+
 impl ServerState {
-    /// Admission: validate the spec, register, and hand the record to the
-    /// pool (which decomposes it into units). On refusal the record is
-    /// evicted so rejected jobs leave no trace.
+    /// Admission, stringly-typed: the pre-v2 in-process API, kept for
+    /// embedders and tests. Thin wrapper over [`ServerState::admit`].
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, String> {
+        self.admit(spec, &ConnCtx::default())
+            .map(|a| a.job)
+            .map_err(|e| e.reason)
+    }
+
+    /// Admission: validate, rate-limit, collapse idempotent duplicates,
+    /// register, hand the record to the pool, and log the admit. On
+    /// refusal the record is evicted so rejected jobs leave no trace — in
+    /// the registry or the job log.
+    pub fn admit(&self, spec: JobSpec, ctx: &ConnCtx) -> Result<Admitted, SubmitError> {
         if self.shutting_down.load(Ordering::Relaxed) {
-            return Err("server is shutting down".into());
+            return Err(SubmitError {
+                code: ErrorCode::ShuttingDown,
+                reason: "server is shutting down".into(),
+            });
         }
-        spec.validate()?;
-        let record = self.registry.register(spec);
+        let tenant = spec
+            .tenant
+            .as_deref()
+            .or(ctx.tenant.as_deref())
+            .unwrap_or(DEFAULT_TENANT);
+        if !self.limiter.try_admit(tenant) {
+            net_obs().rate_limited.inc();
+            return Err(SubmitError {
+                code: ErrorCode::RateLimited,
+                reason: format!("tenant {tenant:?} is over its admission rate"),
+            });
+        }
+        spec.validate().map_err(|reason| SubmitError {
+            code: ErrorCode::BadSpec,
+            reason,
+        })?;
+        let record = match self.registry.register_keyed(spec) {
+            Registered::Duplicate(original) => {
+                net_obs().duplicate_submits.inc();
+                return Ok(Admitted {
+                    job: original.id,
+                    duplicate: true,
+                    terminal: original.terminal_line(),
+                });
+            }
+            Registered::New(record) => record,
+        };
         match self.pool.submit(&record) {
-            Ok(()) => Ok(record.id),
+            Ok(()) => {
+                if let Some(wal) = &self.wal {
+                    wal.append(&WalRecord::Admit {
+                        job: record.id,
+                        spec: record.spec.clone(),
+                    });
+                }
+                Ok(Admitted {
+                    job: record.id,
+                    duplicate: false,
+                    terminal: None,
+                })
+            }
             Err(e) => {
                 self.registry.evict(record.id);
-                Err(e.to_string())
+                let code = match e {
+                    AdmissionError::Full { .. } => ErrorCode::OverCapacity,
+                    AdmissionError::PastDeadline { .. } => ErrorCode::PastDeadline,
+                    AdmissionError::Closed => ErrorCode::ShuttingDown,
+                };
+                Err(SubmitError {
+                    code,
+                    reason: e.to_string(),
+                })
             }
         }
     }
 
     /// Full observability snapshot: solver hot-loop counters, pool
-    /// scheduler counters and latency histograms, plus job-phase and
-    /// occupancy gauges — one metric set, served by the `metrics` verb.
+    /// scheduler counters and latency histograms, serving-layer and job-log
+    /// counters, plus job-phase and occupancy gauges — one metric set,
+    /// served by the `metrics` verb.
     pub fn metrics(&self) -> dabs_core::MetricSet {
         use dabs_core::{Direction, Metric};
         let mut set = dabs_core::MetricSet::new();
         dabs_core::solver_obs().metrics_into(&mut set);
         crate::obs::pool_obs().metrics_into(&mut set);
+        net_obs().metrics_into(&mut set);
         let (queued, running, finished) = self.registry.phase_counts();
         let gauges = self.pool.gauges();
         let up = Direction::HigherIsBetter;
@@ -126,16 +256,38 @@ impl ServerState {
     }
 
     /// Handle one request, pushing any responses onto the connection's
-    /// writer channel. `sink` may also be registered for future lines
-    /// (result waits, subscriptions).
-    pub fn dispatch(&self, request: Request, sink: &Sender<String>) {
+    /// outbound sink. `sink` may also be registered for future lines
+    /// (result waits, subscriptions). `ctx` carries (and `hello` mutates)
+    /// the connection's negotiated protocol state.
+    pub fn dispatch(&self, request: Request, sink: &Arc<dyn LineSink>, ctx: &mut ConnCtx) {
         let send = |r: Response| {
-            let _ = sink.send(r.encode());
+            let _ = sink.send_line(r.encode());
+        };
+        let no_such_job = |job: JobId| Response::Error {
+            job: Some(job),
+            code: ErrorCode::NoSuchJob,
+            reason: "no such job".into(),
         };
         match request {
-            Request::Submit(spec) => match self.submit(*spec) {
-                Ok(job) => send(Response::Submitted { job }),
-                Err(reason) => send(Response::Rejected { reason }),
+            Request::Hello { version, tenant } => {
+                ctx.version = version.clamp(1, PROTOCOL_VERSION);
+                if tenant.is_some() {
+                    ctx.tenant = tenant;
+                }
+                send(Response::Hello {
+                    version: ctx.version,
+                    features: PROTOCOL_FEATURES.iter().map(|f| f.to_string()).collect(),
+                });
+            }
+            Request::Submit(spec) => match self.admit(*spec, ctx) {
+                Ok(admitted) => send(Response::Submitted {
+                    job: admitted.job,
+                    duplicate: admitted.duplicate,
+                }),
+                Err(e) => send(Response::Rejected {
+                    code: e.code,
+                    reason: e.reason,
+                }),
             },
             Request::Status(job) => match self.registry.get(job) {
                 Some(record) => send(Response::Status {
@@ -144,10 +296,7 @@ impl ServerState {
                     best: record.best_energy(),
                     age_ms: record.age().as_millis() as u64,
                 }),
-                None => send(Response::Error {
-                    job: Some(job),
-                    reason: "no such job".into(),
-                }),
+                None => send(no_such_job(job)),
             },
             Request::Cancel(job) => match self.registry.get(job) {
                 Some(record) => {
@@ -157,25 +306,16 @@ impl ServerState {
                         phase: phase.name().to_string(),
                     });
                 }
-                None => send(Response::Error {
-                    job: Some(job),
-                    reason: "no such job".into(),
-                }),
+                None => send(no_such_job(job)),
             },
             Request::Result(job) => match self.registry.get(job) {
                 // Responds now if terminal, otherwise when the job ends.
-                Some(record) => record.add_watcher(sink.clone(), WatchKind::ResultOnly),
-                None => send(Response::Error {
-                    job: Some(job),
-                    reason: "no such job".into(),
-                }),
+                Some(record) => record.add_watcher(Arc::clone(sink), WatchKind::ResultOnly),
+                None => send(no_such_job(job)),
             },
             Request::Subscribe(job) => match self.registry.get(job) {
-                Some(record) => record.add_watcher(sink.clone(), WatchKind::Subscribe),
-                None => send(Response::Error {
-                    job: Some(job),
-                    reason: "no such job".into(),
-                }),
+                Some(record) => record.add_watcher(Arc::clone(sink), WatchKind::Subscribe),
+                None => send(no_such_job(job)),
             },
             Request::Stats => send(self.stats()),
             Request::Metrics => send(Response::Metrics {
@@ -190,60 +330,88 @@ impl ServerState {
                         dropped,
                     });
                 }
-                None => send(Response::Error {
-                    job: Some(job),
-                    reason: "no such job".into(),
-                }),
+                None => send(no_such_job(job)),
             },
             Request::Ping => send(Response::Pong),
         }
     }
 }
 
-/// A running server: accept thread + elastic pool over shared state.
+/// A running server: event-loop thread + elastic pool over shared state.
 pub struct Server {
     state: Arc<ServerState>,
     addr: SocketAddr,
-    accept_handle: Option<JoinHandle<()>>,
+    net: Option<NetHandle>,
 }
 
 impl Server {
     /// Bind and start serving. `addr` may use port 0 for an ephemeral port
-    /// (see [`Server::local_addr`]).
+    /// (see [`Server::local_addr`]). With a `wal_dir` configured, any
+    /// existing job log is replayed first: terminal jobs re-register as
+    /// history (late `result` requests and idempotency keys still
+    /// resolve), and jobs that were queued or running at crash time are
+    /// re-admitted before the listener accepts its first connection.
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let registry = Arc::new(JobRegistry::new());
         let pool = Arc::new(ElasticPool::spawn(config.workers, config.queue_capacity));
+
+        let wal = match &config.wal_dir {
+            Some(dir) => {
+                let (wal, replay) = Wal::open(dir)?;
+                let wal = Arc::new(wal);
+                // 1. Terminal history first, with no hook installed: these
+                //    records are already in the (just-compacted) log, so
+                //    their finish() must not append again.
+                for t in replay.terminals {
+                    let record = registry.register_with_id(t.job, t.spec);
+                    record.finish(t.phase, t.result, t.error);
+                }
+                // 2. Hook next: every terminal from here on is logged.
+                let hook_wal = Arc::clone(&wal);
+                registry.set_terminal_hook(Arc::new(move |job, phase, result, error| {
+                    hook_wal.append(&WalRecord::Terminal {
+                        job,
+                        phase,
+                        result: result.cloned().map(Box::new),
+                        error: error.map(String::from),
+                    });
+                }));
+                // 3. Re-admit jobs that were live at crash time. Their
+                //    admit records survived compaction; a refusal now
+                //    (deadline passed while down, pool full) goes terminal
+                //    through the hook, so the log stays truthful.
+                for (job, spec) in replay.live {
+                    let record = registry.register_with_id(job, spec);
+                    match pool.submit(&record) {
+                        Ok(()) => {}
+                        Err(AdmissionError::PastDeadline { .. }) => record.finish(
+                            JobPhase::Expired,
+                            None,
+                            Some("deadline passed before restart replay".into()),
+                        ),
+                        Err(e) => record.finish(JobPhase::Failed, None, Some(e.to_string())),
+                    }
+                }
+                Some(wal)
+            }
+            None => None,
+        };
+
         let state = Arc::new(ServerState {
             registry,
             pool,
+            limiter: TenantRateLimiter::new(config.rate),
+            wal,
             config,
             shutting_down: AtomicBool::new(false),
         });
-        let accept_state = Arc::clone(&state);
-        let accept_handle = std::thread::Builder::new()
-            .name("dabs-accept".into())
-            .spawn(move || {
-                for stream in listener.incoming() {
-                    if accept_state.shutting_down.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    match stream {
-                        Ok(stream) => {
-                            let state = Arc::clone(&accept_state);
-                            let _ = std::thread::Builder::new()
-                                .name("dabs-conn".into())
-                                .spawn(move || handle_connection(stream, &state));
-                        }
-                        Err(_) => continue,
-                    }
-                }
-            })?;
+        let net = event_loop::spawn(listener, Arc::clone(&state))?;
         Ok(Server {
             state,
             addr,
-            accept_handle: Some(accept_handle),
+            net: Some(net),
         })
     }
 
@@ -259,26 +427,29 @@ impl Server {
 
     /// Block forever serving connections (`dabs serve`).
     pub fn run_forever(mut self) {
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
+        if let Some(net) = self.net.take() {
+            net.join();
         }
     }
 
     /// Graceful stop: refuse new work, trip every live job's stop flag
     /// (running units observe it at their next batch), stop dispatch so the
-    /// workers drain still-queued units in revoked mode, and join every
-    /// runtime thread. Partially-run jobs fold to `cancelled` with their
-    /// best-so-far incumbent.
+    /// workers drain still-queued units in revoked mode, join the pool —
+    /// at which point every job is terminal and its `done` lines are
+    /// queued — then give the event loop a short flush window before
+    /// closing every socket. With a WAL, all appended records are synced
+    /// before return.
     pub fn shutdown(mut self) {
         self.state.shutting_down.store(true, Ordering::Relaxed);
         self.state.registry.stop_all();
         self.state.pool.close();
-        // Wake the blocking accept loop with a no-op connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
-        }
         self.state.pool.join();
+        if let Some(net) = self.net.take() {
+            net.shutdown();
+        }
+        if let Some(wal) = &self.state.wal {
+            wal.flush();
+        }
     }
 }
 
@@ -294,158 +465,11 @@ impl std::fmt::Debug for Server {
 /// the server past the bounded-admission-queue guarantee.
 pub const MAX_REQUEST_LINE_BYTES: usize = 4 * 1024 * 1024;
 
-/// Outcome of one bounded line read.
-#[derive(Debug, PartialEq, Eq)]
-enum LineRead {
-    /// `buf` holds the next line (newline included, except at EOF).
-    Line,
-    /// Clean end of stream.
-    Eof,
-    /// The cap was hit mid-line. The line boundary is lost, so the caller
-    /// must report the oversize and drop the connection.
-    TooLong,
-    /// The peer errored; nothing useful can be said to it.
-    Failed,
-}
-
-/// Pull the next `\n`-terminated line into `buf`, refusing to buffer more
-/// than [`MAX_REQUEST_LINE_BYTES`] of it.
-fn read_bounded_line(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> LineRead {
-    buf.clear();
-    match reader
-        .take(MAX_REQUEST_LINE_BYTES as u64 + 1)
-        .read_until(b'\n', buf)
-    {
-        Err(_) => LineRead::Failed,
-        Ok(0) => LineRead::Eof,
-        Ok(_) if buf.len() > MAX_REQUEST_LINE_BYTES && !buf.ends_with(b"\n") => LineRead::TooLong,
-        Ok(_) => LineRead::Line,
-    }
-}
-
-/// Tear-down for a protocol-fatal error: queue the writer's close sentinel
-/// (after the already-queued error line) so the writer exits even while
-/// live jobs' watcher lists still hold sender clones, then wait for its
-/// exit ack. A writer parked inside `write_all` on a peer that stopped
-/// reading never reaches the sentinel — and a write timeout set now would
-/// not interrupt its already-entered syscall — so on ack timeout the socket
-/// is shut down, which does force the blocked write to return (the error
-/// line was undeliverable to such a peer anyway). Either way the reader's
-/// subsequent join is bounded.
-fn hang_up(tx: &Sender<String>, writer_done: &Receiver<()>, stream: &TcpStream) {
-    let _ = tx.send(String::new());
-    if writer_done.recv_timeout(Duration::from_secs(5)).is_err() {
-        let _ = stream.shutdown(Shutdown::Both);
-    }
-}
-
-/// Best-effort discard of whatever an oversized-line peer still has in
-/// flight before the socket closes: closing with unread bytes in the
-/// receive queue makes the kernel send RST, which would also destroy the
-/// queued `error` line on the peer's side. Bounded in both bytes (a peer
-/// streaming forever costs a thread, never memory) and time (a peer that
-/// goes quiet without closing cannot pin the thread).
-fn drain_flood(stream: &mut TcpStream) {
-    const DRAIN_BUDGET: usize = 64 * 1024 * 1024;
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let mut scratch = [0u8; 64 * 1024];
-    let mut drained = 0usize;
-    while drained < DRAIN_BUDGET {
-        match stream.read(&mut scratch) {
-            Ok(0) | Err(_) => break, // EOF, timeout, or peer error
-            Ok(n) => drained += n,
-        }
-    }
-}
-
-/// Reader side of one connection; spawns the paired writer thread.
-fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let (tx, rx) = channel::<String>();
-    let (done_tx, done_rx) = channel::<()>();
-    let writer = std::thread::Builder::new()
-        .name("dabs-conn-writer".into())
-        .spawn(move || {
-            let mut out = write_half;
-            while let Ok(line) = rx.recv() {
-                // Empty line = close sentinel from the reader (real protocol
-                // lines are always JSON objects). Without it the writer
-                // would outlive a protocol-fatal error for as long as any
-                // live job's watcher list holds a sender clone, keeping the
-                // socket half-open for minutes.
-                if line.is_empty() {
-                    break;
-                }
-                if out
-                    .write_all(line.as_bytes())
-                    .and_then(|()| out.write_all(b"\n"))
-                    .and_then(|()| out.flush())
-                    .is_err()
-                {
-                    break; // peer gone; senders see the drop via send errors
-                }
-            }
-            let _ = done_tx.send(()); // exit ack for hang_up
-        });
-
-    let mut reader = BufReader::new(stream);
-    let mut buf = Vec::new();
-    loop {
-        match read_bounded_line(&mut reader, &mut buf) {
-            LineRead::Line => {}
-            LineRead::Eof | LineRead::Failed => break,
-            LineRead::TooLong => {
-                let _ = tx.send(
-                    Response::Error {
-                        job: None,
-                        reason: format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"),
-                    }
-                    .encode(),
-                );
-                drain_flood(reader.get_mut());
-                hang_up(&tx, &done_rx, reader.get_mut());
-                break;
-            }
-        }
-        let Ok(line) = std::str::from_utf8(&buf) else {
-            let _ = tx.send(
-                Response::Error {
-                    job: None,
-                    reason: "request line is not UTF-8".into(),
-                }
-                .encode(),
-            );
-            // Pipelined bytes after the bad line would RST the close and
-            // destroy the error line in flight, same as the flood case.
-            drain_flood(reader.get_mut());
-            hang_up(&tx, &done_rx, reader.get_mut());
-            break;
-        };
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        match Request::parse_line(line) {
-            Ok(request) => state.dispatch(request, &tx),
-            Err(reason) => {
-                let _ = tx.send(Response::Error { job: None, reason }.encode());
-            }
-        }
-    }
-    // Reader done (peer closed): dropping `tx` ends the writer once every
-    // watcher-held clone is gone too.
-    drop(tx);
-    if let Ok(w) = writer {
-        let _ = w.join();
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::spec::ProblemSpec;
+    use std::net::TcpStream;
     use std::time::Duration;
 
     fn server() -> Server {
@@ -454,6 +478,7 @@ mod tests {
             ServerConfig {
                 workers: 2,
                 queue_capacity: 8,
+                ..ServerConfig::default()
             },
         )
         .expect("bind ephemeral")
@@ -498,6 +523,23 @@ mod tests {
     }
 
     #[test]
+    fn typed_admit_carries_stable_codes() {
+        let srv = server();
+        let err = srv
+            .state()
+            .admit(
+                JobSpec {
+                    deadline_unix_ms: Some(1),
+                    ..job(1, 10)
+                },
+                &ConnCtx::default(),
+            )
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::PastDeadline);
+        srv.shutdown();
+    }
+
+    #[test]
     fn rejected_jobs_leave_no_registry_trace() {
         let srv = server();
         let err = srv
@@ -514,25 +556,83 @@ mod tests {
     }
 
     #[test]
-    fn bounded_line_reader_accepts_lines_and_refuses_floods() {
-        use std::io::Cursor;
-        let mut buf = Vec::new();
-        // Normal framing: two lines then EOF.
-        let mut r = Cursor::new(b"abc\ndef".to_vec());
-        assert_eq!(read_bounded_line(&mut r, &mut buf), LineRead::Line);
-        assert_eq!(buf, b"abc\n");
-        assert_eq!(read_bounded_line(&mut r, &mut buf), LineRead::Line);
-        assert_eq!(buf, b"def");
-        assert_eq!(read_bounded_line(&mut r, &mut buf), LineRead::Eof);
-        // A line of exactly the cap (plus its newline) still passes...
-        let mut max = vec![b'x'; MAX_REQUEST_LINE_BYTES];
-        max.push(b'\n');
-        let mut r = Cursor::new(max);
-        assert_eq!(read_bounded_line(&mut r, &mut buf), LineRead::Line);
-        assert_eq!(buf.len(), MAX_REQUEST_LINE_BYTES + 1);
-        // ...but one unterminated byte more is refused instead of buffered.
-        let mut r = Cursor::new(vec![b'x'; MAX_REQUEST_LINE_BYTES + 1]);
-        assert_eq!(read_bounded_line(&mut r, &mut buf), LineRead::TooLong);
+    fn duplicate_idempotency_key_collapses_and_resolves_result() {
+        let srv = server();
+        let spec = JobSpec {
+            idempotency_key: Some("in-proc-1".into()),
+            ..job(3, 50)
+        };
+        let first = srv
+            .state()
+            .admit(spec.clone(), &ConnCtx::default())
+            .unwrap();
+        assert!(!first.duplicate);
+        let record = srv.state().registry.get(first.job).unwrap();
+        assert!(record.wait_terminal(Duration::from_secs(30)));
+        let dup = srv.state().admit(spec, &ConnCtx::default()).unwrap();
+        assert!(dup.duplicate);
+        assert_eq!(dup.job, first.job);
+        assert!(
+            matches!(dup.terminal, Some(Response::Done { .. })),
+            "terminal result must ride along for finished duplicates"
+        );
+        srv.shutdown();
+    }
+
+    #[test]
+    fn rate_limited_submit_gets_the_retryable_code() {
+        let srv = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 64,
+                rate: Some(RateConfig {
+                    rate_per_sec: 0.001,
+                    burst: 1.0,
+                }),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(srv.state().admit(job(1, 5), &ConnCtx::default()).is_ok());
+        let err = srv
+            .state()
+            .admit(job(2, 5), &ConnCtx::default())
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::RateLimited);
+        // A different tenant is unaffected.
+        let other = ConnCtx {
+            tenant: Some("other".into()),
+            ..ConnCtx::default()
+        };
+        assert!(srv.state().admit(job(3, 5), &other).is_ok());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn hello_negotiates_version_and_tenant() {
+        let srv = server();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let sink: Arc<dyn LineSink> = Arc::new(tx);
+        let mut ctx = ConnCtx::default();
+        srv.state().dispatch(
+            Request::Hello {
+                version: 99,
+                tenant: Some("acme".into()),
+            },
+            &sink,
+            &mut ctx,
+        );
+        assert_eq!(ctx.version, PROTOCOL_VERSION, "server caps the version");
+        assert_eq!(ctx.tenant.as_deref(), Some("acme"));
+        match Response::parse_line(&rx.try_recv().unwrap()).unwrap() {
+            Response::Hello { version, features } => {
+                assert_eq!(version, PROTOCOL_VERSION);
+                assert!(features.iter().any(|f| f == "idempotency"), "{features:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        srv.shutdown();
     }
 
     #[test]
@@ -550,6 +650,7 @@ mod tests {
         let mut lines = BufReader::new(conn).lines();
         let reply = lines.next().expect("error line before close").unwrap();
         assert!(reply.contains("exceeds"), "{reply}");
+        assert!(reply.contains("line_too_long"), "{reply}");
         assert!(lines.next().is_none(), "connection must be closed");
         srv.shutdown();
     }
@@ -559,7 +660,7 @@ mod tests {
         use std::io::{BufRead, BufReader, Write};
         let srv = server();
         // A job that stays alive well past the assertion window, so its
-        // watcher list keeps holding this connection's sender clone.
+        // watcher list keeps holding this connection's sink.
         let id = srv
             .state()
             .submit(JobSpec {

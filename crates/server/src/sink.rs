@@ -1,0 +1,46 @@
+//! Line sinks: where encoded protocol lines go.
+//!
+//! Watchers and the dispatcher write *encoded lines*, not sockets: a
+//! [`LineSink`] is the one-way door between job-side fan-out and whatever
+//! transport carries the bytes. The event loop's per-connection outbound
+//! queue implements it; so does a plain `mpsc::Sender<String>`, which keeps
+//! in-process embedding (tests, benches) free of any socket machinery.
+
+/// Destination for one encoded protocol line (no trailing newline).
+pub trait LineSink: Send + Sync {
+    /// Deliver the line. Returns `false` when the sink is gone — its
+    /// connection closed — so the caller can prune the watcher. Must not
+    /// block: sinks queue, they do not flush.
+    fn send_line(&self, line: String) -> bool;
+
+    /// Bytes queued but not yet handed to the transport. Advisory — used
+    /// for backpressure accounting; the default says "nothing queued".
+    fn queued_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// In-process embedding: an mpsc sender is a sink. (`Sender<String>` is
+/// `Sync` since Rust 1.72, so the blanket `Send + Sync` bound holds.)
+impl LineSink for std::sync::mpsc::Sender<String> {
+    fn send_line(&self, line: String) -> bool {
+        self.send(line).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+    use std::sync::Arc;
+
+    #[test]
+    fn mpsc_sender_is_a_sink_and_reports_closure() {
+        let (tx, rx) = channel();
+        let sink: Arc<dyn LineSink> = Arc::new(tx);
+        assert!(sink.send_line("hello".into()));
+        assert_eq!(rx.recv().unwrap(), "hello");
+        drop(rx);
+        assert!(!sink.send_line("into the void".into()));
+    }
+}

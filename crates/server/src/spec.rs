@@ -333,10 +333,27 @@ pub struct JobSpec {
     /// sweep with that many resident candidate lanes (a cube-seeded unit's
     /// warm start then fans out across the whole lane batch).
     pub lanes: Option<u32>,
+    /// Which tenant this job bills against (admission rate limiting). A
+    /// connection's `hello`-declared tenant fills this in when the spec
+    /// leaves it unset; unset on an anonymous v1 connection means the
+    /// default tenant bucket.
+    pub tenant: Option<String>,
+    /// Client-chosen idempotency key. A resubmit carrying a key the server
+    /// has already admitted (within the retained-jobs window) returns the
+    /// original job id — and its terminal result, if any — instead of
+    /// admitting a second copy, which makes at-least-once submit retry safe
+    /// across the durable job log's replay.
+    pub idempotency_key: Option<String>,
 }
 
 /// Admission cap on a job's explicit unit count.
 pub const MAX_UNITS_PER_JOB: u32 = 64;
+
+/// Admission cap on the `tenant` field's length.
+pub const MAX_TENANT_BYTES: usize = 64;
+
+/// Admission cap on the `idempotency_key` field's length.
+pub const MAX_IDEMPOTENCY_KEY_BYTES: usize = 128;
 
 impl Default for JobSpec {
     fn default() -> Self {
@@ -354,6 +371,8 @@ impl Default for JobSpec {
             deadline_unix_ms: None,
             units: None,
             lanes: None,
+            tenant: None,
+            idempotency_key: None,
         }
     }
 }
@@ -387,6 +406,18 @@ impl JobSpec {
             if l != 0 && !dabs_model::valid_lanes(l as usize) {
                 return Err(format!(
                     "lanes {l} invalid (omit or 0 for scalar, or a multiple of 64 in [64, 256])"
+                ));
+            }
+        }
+        if let Some(t) = &self.tenant {
+            if t.is_empty() || t.len() > MAX_TENANT_BYTES {
+                return Err(format!("tenant must be 1..={MAX_TENANT_BYTES} bytes"));
+            }
+        }
+        if let Some(k) = &self.idempotency_key {
+            if k.is_empty() || k.len() > MAX_IDEMPOTENCY_KEY_BYTES {
+                return Err(format!(
+                    "idempotency_key must be 1..={MAX_IDEMPOTENCY_KEY_BYTES} bytes"
                 ));
             }
         }
@@ -436,6 +467,11 @@ impl JobSpec {
             ("deadline_unix_ms", self.deadline_unix_ms.into()),
             ("units", self.units.map(u64::from).into()),
             ("lanes", self.lanes.map(u64::from).into()),
+            ("tenant", self.tenant.clone().map(Json::str).into()),
+            (
+                "idempotency_key",
+                self.idempotency_key.clone().map(Json::str).into(),
+            ),
         ])
     }
 
@@ -459,6 +495,8 @@ impl JobSpec {
             deadline_unix_ms: j.get_u64("deadline_unix_ms"),
             units: j.get_u64("units").map(|v| v as u32),
             lanes: j.get_u64("lanes").map(|v| v as u32),
+            tenant: j.get_str("tenant").map(String::from),
+            idempotency_key: j.get_str("idempotency_key").map(String::from),
         })
     }
 }
@@ -491,6 +529,8 @@ mod tests {
             deadline_unix_ms: Some(1_700_000_000_000),
             units: Some(4),
             lanes: Some(128),
+            tenant: Some("acme".into()),
+            idempotency_key: Some("req-0017".into()),
         };
         let line = spec.to_json().to_string();
         let back = JobSpec::from_json(&Json::parse(&line).unwrap()).unwrap();

@@ -1,0 +1,504 @@
+//! Offline stand-in for [mio](https://docs.rs/mio): readiness-based I/O
+//! event polling over raw Linux `epoll`.
+//!
+//! The build environment has no cargo registry, so this shim implements the
+//! small slice of mio's surface the workspace uses — [`Poll`], [`Events`],
+//! [`Token`], [`Interest`], [`Waker`] — directly on the `epoll` family of
+//! syscalls (declared as `extern "C"` against the libc the Rust standard
+//! library already links; no `libc` crate needed).
+//!
+//! Deliberate divergences from real mio, documented here because call sites
+//! rely on them:
+//!
+//! * **Level-triggered**, not edge-triggered: an event keeps firing while
+//!   the condition holds, so a handler that does not fully drain a socket is
+//!   re-notified on the next poll instead of hanging. This makes the event
+//!   loop's pause/resume read-interest dance (backpressure) simpler and is
+//!   why [`Waker`] exposes an explicit [`Waker::drain`].
+//! * Registration takes any [`AsRawFd`] source directly — no
+//!   `mio::net` wrapper types, `std::net` sockets register as-is (callers
+//!   set them non-blocking themselves).
+//! * Only Linux is supported, matching the repo's target environment.
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// Identifies one registered event source in a poll's results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness classes a registration listens for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    pub const READABLE: Interest = Interest(0b01);
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combine two interests (named `add` for real-mio API compatibility).
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    pub fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    pub fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+
+    fn epoll_mask(self) -> u32 {
+        let mut mask = 0;
+        if self.is_readable() {
+            // RDHUP rides with read interest only: a write-only
+            // registration on a half-closed socket must not level-fire
+            // forever on the peer's FIN.
+            mask |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.is_writable() {
+            mask |= sys::EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// The raw syscall layer. Everything `unsafe` in this crate lives here.
+#[allow(unsafe_code)]
+mod sys {
+    use std::io;
+    use std::os::fd::RawFd;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o0004000;
+
+    /// Linux's `struct epoll_event`. Packed on x86_64 (the kernel ABI);
+    /// `data` carries the registration's token.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    // The libc the standard library links already exports these; declaring
+    // them here avoids a `libc` crate dependency the offline build cannot
+    // fetch.
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    fn check(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn epoll_create() -> io::Result<RawFd> {
+        // SAFETY: epoll_create1 takes no pointers; the flag is a valid
+        // constant and the return value is checked for -1/errno.
+        check(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+    }
+
+    pub fn ctl(epfd: RawFd, op: i32, fd: RawFd, event: Option<&mut EpollEvent>) -> io::Result<()> {
+        let ptr = event.map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+        // SAFETY: `ptr` is either null (only for EPOLL_CTL_DEL, where the
+        // kernel ignores it) or a valid, live `EpollEvent` borrowed for the
+        // duration of the call.
+        check(unsafe { epoll_ctl(epfd, op, fd, ptr) })?;
+        Ok(())
+    }
+
+    /// Wait for events; retries on EINTR. Returns how many slots of `buf`
+    /// were filled.
+    pub fn wait(epfd: RawFd, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: `buf` is a live, writable slice and `maxevents` is
+            // exactly its length, so the kernel writes only within bounds.
+            let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) };
+            match check(n) {
+                Ok(n) => return Ok(n as usize),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    pub fn eventfd_new() -> io::Result<RawFd> {
+        // SAFETY: eventfd takes no pointers; flags are valid constants and
+        // the return value is checked for -1/errno.
+        check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+    }
+
+    pub fn close_fd(fd: RawFd) {
+        // SAFETY: the callers own `fd` (created by epoll_create/eventfd in
+        // this module) and call this exactly once, from Drop.
+        let _ = unsafe { close(fd) };
+    }
+
+    /// Write one u64 to an eventfd (the wake signal).
+    pub fn eventfd_write(fd: RawFd) -> io::Result<()> {
+        let one: u64 = 1;
+        // SAFETY: the buffer is a live 8-byte value, the exact size an
+        // eventfd write requires.
+        let n = unsafe { write(fd, (&raw const one).cast::<u8>(), 8) };
+        // EAGAIN means the counter is already saturated — the wakeup is
+        // pending either way, so that is success for our purposes.
+        if n == 8 || io::Error::last_os_error().kind() == io::ErrorKind::WouldBlock {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+
+    /// Read the eventfd counter down to zero (clears the level-triggered
+    /// readiness).
+    pub fn eventfd_drain(fd: RawFd) {
+        let mut buf = [0u8; 8];
+        // SAFETY: the buffer is a live 8-byte array, the exact size an
+        // eventfd read produces; a short/failed read (EAGAIN once drained)
+        // just ends the drain.
+        while unsafe { read(fd, buf.as_mut_ptr(), 8) } == 8 {}
+    }
+}
+
+/// One readiness notification out of [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    events: u32,
+    token: u64,
+}
+
+impl Event {
+    pub fn token(&self) -> Token {
+        Token(self.token as usize)
+    }
+
+    pub fn is_readable(&self) -> bool {
+        self.events & (sys::EPOLLIN | sys::EPOLLHUP) != 0
+    }
+
+    pub fn is_writable(&self) -> bool {
+        self.events & sys::EPOLLOUT != 0
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.events & sys::EPOLLERR != 0
+    }
+
+    /// The peer shut down its write half (or the connection is gone).
+    pub fn is_read_closed(&self) -> bool {
+        self.events & (sys::EPOLLRDHUP | sys::EPOLLHUP) != 0
+    }
+}
+
+/// Reusable buffer of readiness events.
+pub struct Events {
+    buf: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    pub fn with_capacity(cap: usize) -> Events {
+        Events {
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; cap.max(1)],
+            len: 0,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|e| Event {
+            // Copy out of the packed struct before use.
+            events: e.events,
+            token: e.data,
+        })
+    }
+}
+
+impl std::fmt::Debug for Events {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Events").field("len", &self.len).finish()
+    }
+}
+
+/// The epoll instance: register sources, wait for readiness.
+#[derive(Debug)]
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            epfd: sys::epoll_create()?,
+        })
+    }
+
+    /// Start watching `source` for `interest`, tagged with `token`.
+    /// Level-triggered (see the module docs).
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: interest.epoll_mask(),
+            data: token.0 as u64,
+        };
+        sys::ctl(
+            self.epfd,
+            sys::EPOLL_CTL_ADD,
+            source.as_raw_fd(),
+            Some(&mut ev),
+        )
+    }
+
+    /// Replace an existing registration's token/interest.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events: interest.epoll_mask(),
+            data: token.0 as u64,
+        };
+        sys::ctl(
+            self.epfd,
+            sys::EPOLL_CTL_MOD,
+            source.as_raw_fd(),
+            Some(&mut ev),
+        )
+    }
+
+    /// Stop watching `source`.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        sys::ctl(self.epfd, sys::EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+
+    /// Block until at least one event is ready, `timeout` passes (`None` =
+    /// forever), or a [`Waker`] fires. EINTR is retried internally.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms = match timeout {
+            // Round up so a 1ns timeout doesn't busy-spin as 0ms.
+            Some(t) => {
+                i32::try_from(t.as_millis().max(u128::from(!t.is_zero()))).unwrap_or(i32::MAX)
+            }
+            None => -1,
+        };
+        events.len = sys::wait(self.epfd, &mut events.buf, timeout_ms)?;
+        Ok(())
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+/// Cross-thread wakeup for a [`Poll`]: an eventfd registered for
+/// readability. Any thread may call [`Waker::wake`]; the polling thread sees
+/// the waker's token and calls [`Waker::drain`] to clear it (level-triggered
+/// divergence from real mio, which clears implicitly).
+#[derive(Debug)]
+pub struct Waker {
+    efd: RawFd,
+}
+
+impl Waker {
+    /// Create and register with `poll` under `token`.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let efd = sys::eventfd_new()?;
+        let mut ev = sys::EpollEvent {
+            events: sys::EPOLLIN,
+            data: token.0 as u64,
+        };
+        if let Err(e) = sys::ctl(poll.epfd, sys::EPOLL_CTL_ADD, efd, Some(&mut ev)) {
+            sys::close_fd(efd);
+            return Err(e);
+        }
+        Ok(Waker { efd })
+    }
+
+    /// Make the next (or current) `poll` call return with this waker's
+    /// token. Cheap and safe from any thread; coalesces with pending wakes.
+    pub fn wake(&self) -> io::Result<()> {
+        sys::eventfd_write(self.efd)
+    }
+
+    /// Clear pending wakeups so the level-triggered registration stops
+    /// firing. Call from the polling thread when the waker's token shows up.
+    pub fn drain(&self) {
+        sys::eventfd_drain(self.efd);
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::close_fd(self.efd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    const LISTENER: Token = Token(0);
+    const WAKER: Token = Token(1);
+
+    #[test]
+    fn poll_times_out_when_idle() {
+        let poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        let t0 = Instant::now();
+        poll.poll(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(events.is_empty());
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let poll = Poll::new().unwrap();
+        poll.register(&listener, LISTENER, Interest::READABLE)
+            .unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().expect("accept readiness");
+        assert_eq!(ev.token(), LISTENER);
+        assert!(ev.is_readable());
+    }
+
+    #[test]
+    fn level_triggering_refires_until_drained() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        client.write_all(b"hi").unwrap();
+
+        let poll = Poll::new().unwrap();
+        poll.register(&server, Token(7), Interest::READABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(8);
+        // Unread data keeps the source readable across polls.
+        for _ in 0..2 {
+            poll.poll(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(events
+                .iter()
+                .any(|e| e.token() == Token(7) && e.is_readable()));
+        }
+        // Drain, then the readiness goes away.
+        let mut buf = [0u8; 8];
+        let mut srv = &server;
+        assert_eq!(srv.read(&mut buf).unwrap(), 2);
+        poll.poll(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(!events.iter().any(|e| e.token() == Token(7)));
+    }
+
+    #[test]
+    fn interest_add_combines_and_reregister_switches() {
+        let both = Interest::READABLE.add(Interest::WRITABLE);
+        assert!(both.is_readable() && both.is_writable());
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let poll = Poll::new().unwrap();
+        poll.register(&server, Token(3), Interest::READABLE)
+            .unwrap();
+        // An idle established socket is writable but not readable.
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(events.is_empty(), "no data yet, no readable event");
+        poll.reregister(&server, Token(3), both).unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().find(|e| e.token() == Token(3)).unwrap();
+        assert!(ev.is_writable());
+        poll.deregister(&server).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(events.is_empty());
+        drop(client);
+    }
+
+    #[test]
+    fn peer_shutdown_reports_read_closed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let poll = Poll::new().unwrap();
+        poll.register(&server, Token(9), Interest::READABLE)
+            .unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().find(|e| e.token() == Token(9)).unwrap();
+        assert!(ev.is_read_closed());
+        assert!(ev.is_readable(), "EOF also reads as readable (read -> 0)");
+    }
+
+    #[test]
+    fn waker_wakes_poll_from_another_thread_and_drains() {
+        let poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&poll, WAKER).unwrap());
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            remote.wake().unwrap();
+            remote.wake().unwrap(); // coalesces
+        });
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().expect("waker event");
+        assert_eq!(ev.token(), WAKER);
+        waker.drain();
+        // Once drained the level-triggered eventfd stops firing.
+        poll.poll(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(events.is_empty());
+        handle.join().unwrap();
+    }
+}

@@ -13,7 +13,7 @@
 
 use dabs::server::{
     now_unix_ms, timeline_to_chrome, Client, ExecMode, JobSpec, ProblemSpec, Request, Response,
-    Server, ServerConfig, TimelineKind,
+    Server, ServerConfig, TimelineKind, PROTOCOL_VERSION,
 };
 use std::time::{Duration, Instant};
 
@@ -45,6 +45,7 @@ fn start_server(workers: usize) -> Server {
         ServerConfig {
             workers,
             queue_capacity: 128,
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral server")
@@ -166,7 +167,7 @@ fn past_deadline_job_is_rejected_at_admission() {
         })))
         .unwrap();
     match client.recv().unwrap() {
-        Response::Rejected { reason } => assert!(reason.contains("deadline"), "{reason}"),
+        Response::Rejected { reason, .. } => assert!(reason.contains("deadline"), "{reason}"),
         other => panic!("expected rejected, got {other:?}"),
     }
 
@@ -434,6 +435,121 @@ fn timeline_reconstructs_a_decomposed_job_and_exports_a_chrome_trace() {
     assert!(metrics.get("pool.queue_wait.p50").is_some());
     assert!(metrics.get("solver.flips").expect("solver counter").value > 0.0);
     server.shutdown();
+}
+
+#[test]
+fn v2_handshake_negotiates_and_v1_clients_still_work() {
+    let server = start_server(1);
+    let addr = server.local_addr().to_string();
+
+    // The builder performs the hello handshake and lands on v2.
+    let mut v2 = Client::builder(addr.clone())
+        .tenant("e2e")
+        .connect()
+        .expect("v2 connect");
+    assert_eq!(v2.protocol_version(), PROTOCOL_VERSION);
+    let ack = v2.try_submit(&job(16, 4, 30)).expect("typed submit");
+    assert!(!ack.duplicate);
+    assert_eq!(v2.wait_result(ack.job).expect("result").phase, "done");
+
+    // The legacy constructor speaks v1 — no hello, same verbs, same
+    // answers. Existing deployments must keep working unchanged.
+    let mut v1 = Client::connect(server.local_addr()).expect("v1 connect");
+    assert_eq!(v1.protocol_version(), 1);
+    let id = v1.submit(&job(16, 5, 30)).expect("v1 submit");
+    assert_eq!(v1.wait_result(id).expect("result").phase, "done");
+    server.shutdown();
+}
+
+#[test]
+fn idempotent_resubmit_collapses_over_the_wire() {
+    let server = start_server(2);
+    let addr = server.local_addr().to_string();
+    let mut client = Client::builder(addr.clone()).connect().expect("connect");
+
+    let spec = JobSpec {
+        idempotency_key: Some("e2e-collapse".into()),
+        ..job(20, 8, 60)
+    };
+    let first = client.try_submit(&spec).expect("first submit");
+    assert!(!first.duplicate);
+    let outcome = client.wait_result(first.job).expect("result");
+    assert_eq!(outcome.phase, "done");
+    let energy = outcome.result.expect("result").energy;
+
+    // Same key, fresh connection — the retry a client does after a lost
+    // ack. It must land on the same job and fetch the original result.
+    let mut retry = Client::builder(addr).connect().expect("reconnect");
+    let second = retry.try_submit(&spec).expect("resubmit");
+    assert!(second.duplicate, "same key must collapse");
+    assert_eq!(second.job, first.job);
+    let replayed = retry.wait_result(second.job).expect("replayed result");
+    assert_eq!(replayed.phase, "done");
+    assert_eq!(replayed.result.expect("result").energy, energy);
+    server.shutdown();
+}
+
+#[test]
+fn wal_preserves_jobs_across_graceful_restart() {
+    let wal_dir = std::env::temp_dir().join(format!(
+        "dabs-wal-restart-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 64,
+        wal_dir: Some(wal_dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    let first_id;
+    let energy;
+    {
+        let server = Server::bind("127.0.0.1:0", config.clone()).expect("bind");
+        let mut client = Client::builder(server.local_addr().to_string())
+            .connect()
+            .expect("connect");
+        let ack = client
+            .try_submit(&JobSpec {
+                idempotency_key: Some("restart-done".into()),
+                ..job(20, 3, 50)
+            })
+            .expect("submit");
+        first_id = ack.job;
+        let outcome = client.wait_result(ack.job).expect("result");
+        assert_eq!(outcome.phase, "done");
+        energy = outcome.result.expect("result").energy;
+        server.shutdown();
+    }
+
+    // Restart on the same log: the terminal outcome and the idempotency
+    // key both survive, and new ids never collide with replayed ones.
+    let server = Server::bind("127.0.0.1:0", config).expect("rebind");
+    let mut client = Client::builder(server.local_addr().to_string())
+        .connect()
+        .expect("reconnect");
+    let again = client
+        .try_submit(&JobSpec {
+            idempotency_key: Some("restart-done".into()),
+            ..job(20, 3, 50)
+        })
+        .expect("resubmit");
+    assert!(again.duplicate, "key must survive the restart");
+    assert_eq!(again.job, first_id);
+    let replayed = client.wait_result(again.job).expect("replayed result");
+    assert_eq!(replayed.phase, "done");
+    assert_eq!(replayed.result.expect("result").energy, energy);
+
+    let fresh = client.try_submit(&job(16, 9, 30)).expect("fresh submit");
+    assert!(
+        fresh.job > first_id,
+        "id allocation resumes past replayed ids"
+    );
+    assert_eq!(client.wait_result(fresh.job).expect("result").phase, "done");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_dir);
 }
 
 #[test]
