@@ -209,6 +209,16 @@ pub fn registry() -> Vec<SuiteEntry> {
             run: scenarios::conn_scale::entry,
         },
         SuiteEntry {
+            name: "chaos_soak",
+            family: Family::Server,
+            about: "self-healing under a seeded fault storm: unit panics → quarantine, worker \
+                    kills → supervisor respawn, WAL fsync faults → degraded-then-heal; gates \
+                    no-lost-jobs, workers-restored, healed, and exact gauge accounting \
+                    (suspended at Test scale / <4 cores)",
+            context: CTX_SOLVER,
+            run: scenarios::chaos_soak::entry,
+        },
+        SuiteEntry {
             name: "ablation_adaptive",
             family: Family::Ablation,
             about: "adaptive (95% replay) vs uniform strategy selection",

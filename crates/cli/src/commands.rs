@@ -96,6 +96,8 @@ pub fn serve_from_args(args: &[String]) -> Result<(), String> {
             queue_capacity: opts.queue_capacity,
             wal_dir: opts.wal_dir.as_ref().map(std::path::PathBuf::from),
             rate: opts.rate_config(),
+            chaos: opts.fault_plan(),
+            allow_volatile: opts.allow_volatile,
         },
     )
     .map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
@@ -113,6 +115,12 @@ pub fn serve_from_args(args: &[String]) -> Result<(), String> {
             "admission rate: {}/s per tenant (burst {})",
             rate.rate_per_sec, rate.burst
         );
+    }
+    if let Some(spec) = &opts.chaos {
+        println!("CHAOS ARMED: {spec} (fault injection is live on this server)");
+    }
+    if opts.allow_volatile {
+        println!("volatile admission allowed: submits are accepted while the job log is degraded");
     }
     println!("protocol: newline-delimited JSON (see docs/PROTOCOL.md)");
     server.run_forever();

@@ -75,7 +75,8 @@ USAGE:
                [--kernel auto|csr|dense] [--json] [--progress]
   dabs compare --problem <kind> [--n N] [--seed S] [--budget-ms B]
   dabs info    --problem <kind> [--n N] [--seed S]
-  dabs serve   [--addr A] [--workers W] [--queue Q]
+  dabs serve   [--addr A] [--workers W] [--queue Q] [--wal-dir DIR]
+               [--rate R] [--burst B] [--chaos SPEC] [--allow-volatile]
   dabs loadgen [--addr A] [--clients C] [--jobs J] [--n N] [--batches B]
                [--workers W] [--seed S] [--watch-pool MS]
   dabs timeline <job> [--addr A]
@@ -106,6 +107,9 @@ SERVER:
   concurrent clients × J jobs and reports jobs/s and latency percentiles;
   without --addr it spins up an in-process server first, and with
   --watch-pool MS it prints pool load + steal/split deltas every MS ms.
+  --chaos SPEC arms deterministic fault injection (WAL errors, unit
+  panics, worker kills, socket EIO — grammar in docs/RELIABILITY.md);
+  --allow-volatile keeps admitting while the job log is degraded.
 
 OBSERVABILITY:
   dabs timeline prints a job's recorded lifecycle (admission, per-unit

@@ -130,6 +130,12 @@ pub struct ServeOptions {
     /// absent = no rate limiting.
     pub rate_per_sec: Option<f64>,
     pub burst: Option<f64>,
+    /// Fault-injection spec (e.g. `seed=7,wal_fsync=0.5x2,unit_panic=0.05`);
+    /// see `docs/RELIABILITY.md` for the grammar. Absent = no chaos.
+    pub chaos: Option<String>,
+    /// Keep accepting submits while the WAL is degraded (admissions are
+    /// then volatile: a crash may lose them).
+    pub allow_volatile: bool,
 }
 
 impl ServeOptions {
@@ -141,6 +147,8 @@ impl ServeOptions {
             wal_dir: None,
             rate_per_sec: None,
             burst: None,
+            chaos: None,
+            allow_volatile: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -156,11 +164,16 @@ impl ServeOptions {
                 "--wal-dir" => o.wal_dir = Some(value("wal-dir")?),
                 "--rate" => o.rate_per_sec = Some(parse(&value("rate")?, "rate")?),
                 "--burst" => o.burst = Some(parse(&value("burst")?, "burst")?),
+                "--chaos" => o.chaos = Some(value("chaos")?),
+                "--allow-volatile" => o.allow_volatile = true,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
         if o.workers == 0 {
             return Err("--workers must be ≥ 1".into());
+        }
+        if let Some(spec) = &o.chaos {
+            dabs_server::FaultPlan::parse(spec).map_err(|e| format!("--chaos: {e}"))?;
         }
         if let Some(r) = o.rate_per_sec {
             if !r.is_finite() || r <= 0.0 {
@@ -181,6 +194,15 @@ impl ServeOptions {
                 rate_per_sec,
                 burst: self.burst.unwrap_or(rate_per_sec.max(1.0)),
             })
+    }
+
+    /// The armed fault plan `--chaos` describes (already validated by
+    /// `parse`, so this cannot fail on parsed options).
+    pub fn fault_plan(&self) -> Option<std::sync::Arc<dabs_server::FaultPlan>> {
+        self.chaos
+            .as_deref()
+            .and_then(|spec| dabs_server::FaultPlan::parse(spec).ok())
+            .map(std::sync::Arc::new)
     }
 }
 
@@ -443,6 +465,24 @@ mod tests {
         assert!(ServeOptions::parse(&["--rate".into(), "0".into()]).is_err());
         assert!(ServeOptions::parse(&["--burst".into(), "5".into()]).is_err());
         assert!(ServeOptions::parse(&[]).unwrap().rate_config().is_none());
+    }
+
+    #[test]
+    fn serve_chaos_and_volatile_flags() {
+        let args: Vec<String> = "--chaos seed=7,unit_panic=0.5x2 --allow-volatile"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        let o = ServeOptions::parse(&args).unwrap();
+        assert!(o.allow_volatile);
+        assert_eq!(o.chaos.as_deref(), Some("seed=7,unit_panic=0.5x2"));
+        assert!(o.fault_plan().is_some());
+        // A malformed spec is refused at parse time, not at serve time.
+        let bad: Vec<String> = vec!["--chaos".into(), "not_a_site=1".into()];
+        assert!(ServeOptions::parse(&bad).is_err());
+        // Defaults: no chaos, durable-only admission.
+        let o = ServeOptions::parse(&[]).unwrap();
+        assert!(o.chaos.is_none() && !o.allow_volatile && o.fault_plan().is_none());
     }
 
     #[test]

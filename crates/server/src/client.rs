@@ -18,13 +18,30 @@
 //!   [`ClientError`]s carrying the server's stable [`ErrorCode`], and can
 //!   stamp submits with generated idempotency keys so retrying a submit
 //!   over a fresh connection cannot double-run the job.
+//!
+//! With [`ClientBuilder::retry`] configured, `try_submit` and
+//! `try_wait_result` ride out transient failures on their own: transport
+//! errors reconnect (re-running the `hello` handshake), retryable
+//! rejections (`over_capacity`, `rate_limited`, `shed`, `wal_degraded`)
+//! back off exponentially with deterministic seeded jitter, and the
+//! idempotency key generated for the first attempt is reused verbatim so a
+//! replayed submit can never double-run the job.
 
+use crate::chaos::splitmix64;
 use crate::protocol::{ErrorCode, JobId, Request, Response, PROTOCOL_VERSION};
 use crate::spec::JobSpec;
 use dabs_core::SolveResult;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Exponential-backoff retry configuration. See [`ClientBuilder::retry`].
+#[derive(Debug, Clone, Copy)]
+struct RetryPolicy {
+    max: u32,
+    base: Duration,
+    cap: Duration,
+}
 
 /// Blocking protocol client over one connection.
 #[derive(Debug)]
@@ -37,6 +54,12 @@ pub struct Client {
     idempotency_prefix: Option<String>,
     /// Monotonic suffix for generated keys.
     key_seq: u64,
+    /// Builder snapshot for reconnecting after a transport failure; `None`
+    /// for `Client::connect` clients (no handshake to replay).
+    reconnect: Option<ClientBuilder>,
+    retry: Option<RetryPolicy>,
+    /// SplitMix64 state for deterministic backoff jitter.
+    jitter_state: u64,
 }
 
 /// A job's terminal outcome as seen by a client.
@@ -96,15 +119,23 @@ impl From<std::io::Error> for ClientError {
 }
 
 impl ClientError {
-    /// `true` when backing off and retrying the same request may succeed.
+    /// `true` when backing off and retrying the same request may succeed:
+    /// any transport failure (the connection can be re-dialed), or a
+    /// rejection whose code names a transient server condition. Protocol
+    /// confusion and hard rejections (bad spec, unknown job, quarantined)
+    /// are never retryable.
     pub fn is_retryable(&self) -> bool {
-        matches!(
-            self,
-            Self::Rejected {
-                code: ErrorCode::OverCapacity | ErrorCode::RateLimited,
-                ..
-            }
-        )
+        match self {
+            Self::Io(_) => true,
+            Self::Rejected { code, .. } => matches!(
+                code,
+                ErrorCode::OverCapacity
+                    | ErrorCode::RateLimited
+                    | ErrorCode::Shed
+                    | ErrorCode::WalDegraded
+            ),
+            _ => false,
+        }
     }
 }
 
@@ -115,6 +146,8 @@ pub struct ClientBuilder {
     read_timeout: Option<Duration>,
     tenant: Option<String>,
     idempotency_prefix: Option<String>,
+    retry: Option<RetryPolicy>,
+    retry_seed: u64,
 }
 
 impl ClientBuilder {
@@ -137,31 +170,82 @@ impl ClientBuilder {
         self
     }
 
+    /// Retry `try_submit`/`try_wait_result` up to `max` extra attempts.
+    /// Attempt `n` sleeps `min(cap, base * 2^n)` scaled by a deterministic
+    /// jitter factor in `[0.5, 1.0)` (seeded — see
+    /// [`ClientBuilder::retry_seed`]); transport errors additionally
+    /// re-dial the server and replay the `hello` handshake before the next
+    /// attempt. Only [`ClientError::is_retryable`] failures are retried.
+    pub fn retry(mut self, max: u32, base: Duration, cap: Duration) -> Self {
+        self.retry = Some(RetryPolicy { max, base, cap });
+        self
+    }
+
+    /// Seed for the backoff jitter stream; two clients with the same seed
+    /// sleep identical schedules. Defaults to 1.
+    pub fn retry_seed(mut self, seed: u64) -> Self {
+        self.retry_seed = seed;
+        self
+    }
+
     /// Connect and perform the `hello` handshake.
     pub fn connect(self) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(self.addr.as_str())?;
-        stream.set_nodelay(true).ok();
-        stream.set_read_timeout(self.read_timeout)?;
-        let writer = stream.try_clone()?;
-        let mut client = Client {
-            reader: BufReader::new(stream),
+        let (reader, writer, negotiated) = dial(&self)?;
+        Ok(Client {
+            reader,
             writer,
-            negotiated: 1,
-            idempotency_prefix: self.idempotency_prefix,
+            negotiated,
+            idempotency_prefix: self.idempotency_prefix.clone(),
             key_seq: 0,
-        };
-        let hello = Request::Hello {
-            version: PROTOCOL_VERSION,
-            tenant: self.tenant,
-        };
-        match client.request_typed(&hello)? {
-            Response::Hello { version, .. } => {
-                client.negotiated = version;
-                Ok(client)
-            }
-            other => Err(ClientError::Protocol(format!(
-                "expected hello, got {other:?}"
-            ))),
+            retry: self.retry,
+            jitter_state: splitmix64(self.retry_seed),
+            reconnect: Some(self),
+        })
+    }
+}
+
+/// Dial + handshake, shared by first connect and retry reconnects.
+fn dial(cfg: &ClientBuilder) -> Result<(BufReader<TcpStream>, TcpStream, u64), ClientError> {
+    let stream = TcpStream::connect(cfg.addr.as_str())?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(cfg.read_timeout)?;
+    let writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let hello = Request::Hello {
+        version: PROTOCOL_VERSION,
+        tenant: cfg.tenant.clone(),
+    };
+    send_on(&writer, &hello)?;
+    match recv_on(&mut reader)? {
+        Response::Hello { version, .. } => Ok((reader, writer, version)),
+        other => Err(ClientError::Protocol(format!(
+            "expected hello, got {other:?}"
+        ))),
+    }
+}
+
+fn send_on(mut writer: &TcpStream, request: &Request) -> Result<(), ClientError> {
+    let line = request.to_json().to_string();
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    Ok(())
+}
+
+fn recv_on(reader: &mut BufReader<TcpStream>) -> Result<Response, ClientError> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let trimmed = line.trim();
+        if !trimmed.is_empty() {
+            return Response::parse_line(trimmed).map_err(ClientError::Protocol);
         }
     }
 }
@@ -181,6 +265,9 @@ impl Client {
             negotiated: 1,
             idempotency_prefix: None,
             key_seq: 0,
+            reconnect: None,
+            retry: None,
+            jitter_state: 1,
         })
     }
 
@@ -191,6 +278,8 @@ impl Client {
             read_timeout: None,
             tenant: None,
             idempotency_prefix: None,
+            retry: None,
+            retry_seed: 1,
         }
     }
 
@@ -240,7 +329,62 @@ impl Client {
     }
 
     fn request_typed(&mut self, request: &Request) -> Result<Response, ClientError> {
-        self.request(request).map_err(ClientError::Protocol)
+        send_on(&self.writer, request)?;
+        recv_on(&mut self.reader)
+    }
+
+    /// Sleep the backoff for retry `attempt` (0-based): `min(cap, base*2^n)`
+    /// scaled by deterministic jitter in `[0.5, 1.0)`.
+    fn backoff(&mut self, attempt: u32) {
+        let Some(p) = self.retry else { return };
+        let exp = p.base.saturating_mul(1u32 << attempt.min(16));
+        let draw = splitmix64(self.jitter_state);
+        self.jitter_state = draw;
+        let frac = 0.5 + ((draw >> 11) as f64 / (1u64 << 53) as f64) * 0.5;
+        let delay = exp.min(p.cap).mul_f64(frac);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+
+    /// Re-dial and replay the handshake after a transport failure. Keeps
+    /// the idempotency key sequence — a replayed submit reuses its key.
+    fn redial(&mut self) -> Result<(), ClientError> {
+        let Some(cfg) = self.reconnect.clone() else {
+            return Err(ClientError::Protocol(
+                "cannot reconnect: client was built without Client::builder".into(),
+            ));
+        };
+        let (reader, writer, negotiated) = dial(&cfg)?;
+        self.reader = reader;
+        self.writer = writer;
+        self.negotiated = negotiated;
+        Ok(())
+    }
+
+    /// Run one attempt plus up to `retry.max` retries of `op`, backing off
+    /// between attempts and re-dialing after transport failures.
+    fn with_retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let max = self.retry.map_or(0, |p| p.max);
+        let mut attempt = 0u32;
+        loop {
+            match op(self) {
+                Err(e) if e.is_retryable() && attempt < max => {
+                    self.backoff(attempt);
+                    if matches!(e, ClientError::Io(_)) {
+                        // A failed re-dial is itself retryable: the stale
+                        // socket stays installed and the next attempt fails
+                        // fast with Io, landing back here.
+                        let _ = self.redial();
+                    }
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Submit a job; returns its id.
@@ -257,6 +401,10 @@ impl Client {
     /// configured an idempotency prefix and the spec carries no key, a
     /// generated key is attached so a retry of this submit (even over a new
     /// connection with the same prefix sequence) lands on the same job.
+    ///
+    /// With [`ClientBuilder::retry`] configured, retryable failures back
+    /// off and resubmit automatically — always with the *same* key, so the
+    /// server collapses any replay onto the original job.
     pub fn try_submit(&mut self, spec: &JobSpec) -> Result<SubmitAck, ClientError> {
         let mut spec = spec.clone();
         if spec.idempotency_key.is_none() {
@@ -265,14 +413,15 @@ impl Client {
                 self.key_seq += 1;
             }
         }
-        match self.request_typed(&Request::Submit(Box::new(spec)))? {
+        let request = Request::Submit(Box::new(spec));
+        self.with_retry(|c| match c.request_typed(&request)? {
             Response::Submitted { job, duplicate } => Ok(SubmitAck { job, duplicate }),
             Response::Rejected { code, reason } => Err(ClientError::Rejected { code, reason }),
             Response::Error { code, reason, .. } => Err(ClientError::Server { code, reason }),
             other => Err(ClientError::Protocol(format!(
                 "unexpected response {other:?}"
             ))),
-        }
+        })
     }
 
     /// Snapshot a job's phase and best energy.
@@ -360,6 +509,55 @@ impl Client {
                 } if id == job => return Err(reason),
                 _ => continue,
             }
+        }
+    }
+
+    /// Typed `wait_result`: block until the job is terminal. With
+    /// [`ClientBuilder::retry`] configured, a connection lost mid-wait is
+    /// re-dialed and the `result` request re-issued — results are replayed
+    /// for terminal jobs, so the retry converges.
+    pub fn try_wait_result(&mut self, job: JobId) -> Result<JobOutcome, ClientError> {
+        self.with_retry(|c| {
+            send_on(&c.writer, &Request::Result(job))?;
+            loop {
+                match recv_on(&mut c.reader)? {
+                    Response::Done {
+                        job: id,
+                        phase,
+                        result,
+                        error,
+                    } if id == job => {
+                        return Ok(JobOutcome {
+                            job,
+                            phase,
+                            result: result.map(|b| *b),
+                            error,
+                        })
+                    }
+                    Response::Error {
+                        job: Some(id),
+                        code,
+                        reason,
+                    } if id == job => return Err(ClientError::Server { code, reason }),
+                    Response::Error {
+                        job: None,
+                        code,
+                        reason,
+                    } => return Err(ClientError::Server { code, reason }),
+                    _ => continue, // other jobs' traffic on a shared connection
+                }
+            }
+        })
+    }
+
+    /// Server health: `("ok" | "degraded" | "draining", reasons)`.
+    pub fn health(&mut self) -> Result<(String, Vec<String>), ClientError> {
+        match self.request_typed(&Request::Health)? {
+            Response::Health { status, reasons } => Ok((status, reasons)),
+            Response::Error { code, reason, .. } => Err(ClientError::Server { code, reason }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
         }
     }
 

@@ -31,6 +31,7 @@
 //!   watcher still holds its sink (observed via `Arc::strong_count`), so
 //!   `subscribe`/`result` streams outlive request EOF, as before.
 
+use crate::chaos::{chaos_hit, FaultSite};
 use crate::obs::net_obs;
 use crate::protocol::{ErrorCode, Request, Response};
 use crate::server::{ConnCtx, ServerState, MAX_REQUEST_LINE_BYTES};
@@ -273,7 +274,7 @@ fn run_loop(
         let mut touched: Vec<usize> = Vec::new();
         for ev in events.iter() {
             match ev.token() {
-                LISTENER => accept_all(poll, listener, notifier, &mut slab),
+                LISTENER => accept_all(poll, listener, notifier, &mut slab, state),
                 WAKER => notifier.waker.drain(),
                 Token(t) => {
                     let idx = t - FIRST_CONN;
@@ -323,7 +324,7 @@ fn run_loop(
         }
         for idx in pending {
             if let Some(conn) = slab.get_mut(idx) {
-                flush_writes(conn);
+                flush_writes(conn, state);
             }
         }
         let _ = poll.poll(&mut events, Some(Duration::from_millis(10)));
@@ -336,10 +337,23 @@ fn run_loop(
     }
 }
 
-fn accept_all(poll: &Poll, listener: &TcpListener, notifier: &Arc<Notifier>, slab: &mut Slab) {
+fn accept_all(
+    poll: &Poll,
+    listener: &TcpListener,
+    notifier: &Arc<Notifier>,
+    slab: &mut Slab,
+    state: &Arc<ServerState>,
+) {
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // Chaos: a faulted accept behaves like the kernel handing us
+                // a connection that died before we could register it — the
+                // stream is dropped (RST to the client) and the loop keeps
+                // serving everyone else.
+                if chaos_hit(&state.chaos, FaultSite::Accept) {
+                    continue;
+                }
                 if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
@@ -389,7 +403,7 @@ fn service(poll: &Poll, slab: &mut Slab, idx: usize, state: &Arc<ServerState>, s
         } else if !conn.read_closed && !conn.paused {
             read_input(conn, state, scratch);
         }
-        flush_writes(conn);
+        flush_writes(conn, state);
         apply_backpressure(conn);
         update_interest(poll, conn, idx);
     }
@@ -400,6 +414,13 @@ fn service(poll: &Poll, slab: &mut Slab, idx: usize, state: &Arc<ServerState>, s
 
 fn read_input(conn: &mut Conn, state: &Arc<ServerState>, scratch: &mut [u8]) {
     loop {
+        // Chaos: a faulted read is indistinguishable from EIO off the
+        // socket — the connection dies the same way the `Err(_)` arm below
+        // kills it, and the client is expected to reconnect/retry.
+        if chaos_hit(&state.chaos, FaultSite::Read) {
+            conn.dead = true;
+            break;
+        }
         match conn.stream.read(scratch) {
             Ok(0) => {
                 conn.read_closed = true;
@@ -550,8 +571,15 @@ fn drain_input(conn: &mut Conn, scratch: &mut [u8]) {
     }
 }
 
-fn flush_writes(conn: &mut Conn) {
+fn flush_writes(conn: &mut Conn, state: &Arc<ServerState>) {
     loop {
+        // Chaos: a faulted write is an EIO/EPIPE mid-flush; the line being
+        // written is lost with the connection, exactly like the real error
+        // arm below.
+        if chaos_hit(&state.chaos, FaultSite::Write) {
+            conn.dead = true;
+            break;
+        }
         if conn.front_pos == conn.front.len() {
             match conn.out.pop_line() {
                 Some(line) => {

@@ -16,7 +16,7 @@ use crate::spec::{now_unix_ms, JobSpec};
 use dabs_core::{SolveResult, StopFlag, UnitOutcome};
 use dabs_model::{QuboModel, Solution};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -28,6 +28,16 @@ use std::time::{Duration, Instant};
 /// whatever thread drove the transition.
 pub type TerminalHook =
     Arc<dyn Fn(JobId, JobPhase, Option<&SolveResult>, Option<&str>) + Send + Sync>;
+
+/// Called once per job when it is quarantined (its units panicked at or
+/// beyond [`QUARANTINE_PANIC_THRESHOLD`]). The server installs a hook that
+/// appends a durable `quarantine` record so the mark survives restart.
+pub type QuarantineHook = Arc<dyn Fn(JobId) + Send + Sync>;
+
+/// How many unit panics a single job is allowed before it is quarantined —
+/// refused further execution as a poison job rather than allowed to keep
+/// killing workers.
+pub const QUARANTINE_PANIC_THRESHOLD: u32 = 3;
 
 /// Where a job is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,6 +190,14 @@ pub struct JobRecord {
     /// Installed at registration when the registry has one; fires once at
     /// the terminal transition (see [`TerminalHook`]).
     terminal_hook: OnceLock<TerminalHook>,
+    /// Units of this job that panicked under supervision.
+    panics: AtomicU32,
+    /// Poison mark: once set, the pool refuses to execute any further unit
+    /// of this job.
+    quarantined: AtomicBool,
+    /// Installed at registration when the registry has one; fires once at
+    /// the quarantine transition (see [`QuarantineHook`]).
+    quarantine_hook: OnceLock<QuarantineHook>,
 }
 
 impl JobRecord {
@@ -204,6 +222,9 @@ impl JobRecord {
             model: OnceLock::new(),
             first_unit_start: OnceLock::new(),
             terminal_hook: OnceLock::new(),
+            panics: AtomicU32::new(0),
+            quarantined: AtomicBool::new(false),
+            quarantine_hook: OnceLock::new(),
         }
     }
 
@@ -595,6 +616,41 @@ impl JobRecord {
         let st = self.state.lock().expect("job state lock");
         (st.phase, st.result.clone(), st.error.clone())
     }
+
+    /// Record one panicked unit; returns the cumulative panic count (the
+    /// pool compares it against [`QUARANTINE_PANIC_THRESHOLD`]).
+    pub fn note_panic(&self) -> u32 {
+        self.panics.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// How many of this job's units have panicked so far.
+    pub fn panic_count(&self) -> u32 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Whether the job carries the poison mark.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Quarantine the job. Idempotent: only the first call fires the
+    /// durable-record hook, and returns `true` so the caller can account
+    /// the transition exactly once.
+    pub fn quarantine(&self) -> bool {
+        if self.quarantined.swap(true, Ordering::Relaxed) {
+            return false;
+        }
+        if let Some(hook) = self.quarantine_hook.get() {
+            hook(self.id);
+        }
+        true
+    }
+
+    /// Re-apply a quarantine mark learned from WAL replay, without firing
+    /// the hook (the mark is already durable).
+    pub fn restore_quarantine(&self) {
+        self.quarantined.store(true, Ordering::Relaxed);
+    }
 }
 
 impl std::fmt::Debug for JobRecord {
@@ -628,6 +684,7 @@ pub struct JobRegistry {
     terminal_retention: usize,
     evicted_terminal: AtomicU64,
     hook: Mutex<Option<TerminalHook>>,
+    quarantine_hook: Mutex<Option<QuarantineHook>>,
 }
 
 impl std::fmt::Debug for JobRegistry {
@@ -668,6 +725,7 @@ impl JobRegistry {
             terminal_retention: terminal_retention.max(1),
             evicted_terminal: AtomicU64::new(0),
             hook: Mutex::new(None),
+            quarantine_hook: Mutex::new(None),
         }
     }
 
@@ -676,6 +734,12 @@ impl JobRegistry {
     /// — replayed already-terminal jobs — never fire it.
     pub fn set_terminal_hook(&self, hook: TerminalHook) {
         *self.hook.lock().expect("hook lock") = Some(hook);
+    }
+
+    /// Install the quarantine hook copied into every record registered from
+    /// now on (the WAL's `quarantine` appender).
+    pub fn set_quarantine_hook(&self, hook: QuarantineHook) {
+        *self.quarantine_hook.lock().expect("hook lock") = Some(hook);
     }
 
     /// Allocate an id and register a fresh record. Any idempotency key on
@@ -744,6 +808,9 @@ impl JobRegistry {
         let record = Arc::new(JobRecord::new(id, spec));
         if let Some(hook) = self.hook.lock().expect("hook lock").clone() {
             let _ = record.terminal_hook.set(hook);
+        }
+        if let Some(hook) = self.quarantine_hook.lock().expect("hook lock").clone() {
+            let _ = record.quarantine_hook.set(hook);
         }
         let mut jobs = self.jobs.lock().expect("registry lock");
         jobs.insert(id, Arc::clone(&record));
@@ -1122,5 +1189,41 @@ mod tests {
             *events,
             vec![(r.id, JobPhase::Failed, Some("boom".to_string()))]
         );
+    }
+
+    #[test]
+    fn quarantine_is_sticky_and_fires_hook_once() {
+        let reg = JobRegistry::new();
+        let seen: Arc<Mutex<Vec<JobId>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        reg.set_quarantine_hook(Arc::new(move |id| {
+            sink.lock().unwrap().push(id);
+        }));
+        let r = reg.register(JobSpec {
+            max_batches: Some(1),
+            ..JobSpec::default()
+        });
+        assert!(!r.is_quarantined());
+        assert_eq!(r.note_panic(), 1);
+        assert_eq!(r.note_panic(), 2);
+        assert_eq!(r.panic_count(), 2);
+        assert!(r.quarantine(), "first quarantine call wins");
+        assert!(!r.quarantine(), "second call is a no-op");
+        assert!(r.is_quarantined());
+        assert_eq!(*seen.lock().unwrap(), vec![r.id]);
+    }
+
+    #[test]
+    fn restore_quarantine_marks_without_firing_hook() {
+        let reg = JobRegistry::new();
+        let seen: Arc<Mutex<Vec<JobId>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        reg.set_quarantine_hook(Arc::new(move |id| {
+            sink.lock().unwrap().push(id);
+        }));
+        let r = reg.register_with_id(7, JobSpec::default());
+        r.restore_quarantine();
+        assert!(r.is_quarantined());
+        assert!(seen.lock().unwrap().is_empty(), "replay must not re-append");
     }
 }

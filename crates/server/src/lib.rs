@@ -40,6 +40,7 @@
 //! ```
 
 mod admission;
+mod chaos;
 mod client;
 mod event_loop;
 mod job;
@@ -54,9 +55,13 @@ mod spec;
 mod wal;
 
 pub use admission::{RateConfig, TenantRateLimiter};
+pub use chaos::{chaos_hit, FaultPlan, FaultSite};
 pub use client::{Client, ClientBuilder, ClientError, JobOutcome, SubmitAck};
 pub use dabs_core::StopFlag;
-pub use job::{JobPhase, JobRecord, JobRegistry, Registered, TerminalHook, WatchKind};
+pub use job::{
+    JobPhase, JobRecord, JobRegistry, QuarantineHook, Registered, TerminalHook, WatchKind,
+    QUARANTINE_PANIC_THRESHOLD,
+};
 pub use metrics::{drive_fleet, percentile, LatencySummary, PoolLoad};
 pub use obs::{
     net_obs, pool_obs, timeline_to_chrome, NetObs, PoolObs, TimelineEvent, TimelineKind,

@@ -36,6 +36,15 @@ pub struct PoolObs {
     pub expired: Counter,
     /// Units revoked without execution (cancel, shutdown drain).
     pub revoked: Counter,
+    /// Unit executions that panicked and were contained by the worker's
+    /// `catch_unwind` supervision boundary.
+    pub unit_panics: Counter,
+    /// Dead worker threads respawned by the supervisor tick.
+    pub worker_restarts: Counter,
+    /// Jobs quarantined after repeated unit panics.
+    pub quarantined_jobs: Counter,
+    /// Queued units shed by brownout to keep admission bounded.
+    pub shed_units: Counter,
     /// Microseconds a unit waited in a deque before its pop.
     pub queue_wait_us: LogHistogram,
     /// Microseconds a claimed unit spent executing.
@@ -52,6 +61,10 @@ impl PoolObs {
             yields: Counter::new(),
             expired: Counter::new(),
             revoked: Counter::new(),
+            unit_panics: Counter::new(),
+            worker_restarts: Counter::new(),
+            quarantined_jobs: Counter::new(),
+            shed_units: Counter::new(),
             queue_wait_us: LogHistogram::new(),
             unit_run_us: LogHistogram::new(),
         }
@@ -69,6 +82,10 @@ impl PoolObs {
             ("pool.yields", &self.yields),
             ("pool.expired", &self.expired),
             ("pool.revoked", &self.revoked),
+            ("pool.unit_panics", &self.unit_panics),
+            ("pool.worker_restarts", &self.worker_restarts),
+            ("pool.quarantined_jobs", &self.quarantined_jobs),
+            ("pool.shed_units", &self.shed_units),
         ] {
             set.push(Metric::new(name, c.get() as f64, "count", up));
         }
@@ -121,6 +138,9 @@ pub struct NetObs {
     pub wal_replayed_terminal: Counter,
     /// Torn-tail bytes dropped by replay.
     pub wal_truncated_bytes: Counter,
+    /// Job-log write/fsync failures (each one also flips the WAL's
+    /// degraded flag until a later sync succeeds).
+    pub wal_errors: Counter,
 }
 
 impl NetObs {
@@ -144,6 +164,7 @@ impl NetObs {
             ("wal.replayed_live", &self.wal_replayed_live),
             ("wal.replayed_terminal", &self.wal_replayed_terminal),
             ("wal.truncated_bytes", &self.wal_truncated_bytes),
+            ("wal.errors", &self.wal_errors),
         ] {
             set.push(Metric::new(name, c.get() as f64, "count", up));
         }
@@ -457,6 +478,10 @@ mod tests {
             "pool.yields",
             "pool.expired",
             "pool.revoked",
+            "pool.unit_panics",
+            "pool.worker_restarts",
+            "pool.quarantined_jobs",
+            "pool.shed_units",
             "pool.queue_wait.p99",
             "pool.unit_run.mean",
         ] {

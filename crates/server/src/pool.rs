@@ -30,15 +30,16 @@
 //! so the cancel/expired/done semantics of the one-job-per-worker runtime
 //! are preserved exactly.
 
-use crate::job::{JobRecord, UnitEnd};
+use crate::chaos::{chaos_hit, FaultPlan, FaultSite};
+use crate::job::{JobRecord, UnitEnd, QUARANTINE_PANIC_THRESHOLD};
 use crate::obs::{pool_obs, TimelineKind};
 use crate::queue::AdmissionError;
 use crate::spec::{now_unix_ms, ExecMode, JobSpec, MAX_UNITS_PER_JOB};
 use dabs_core::{Incumbent, IncumbentObserver, SolveResult, Termination, UnitOutcome, WarmStart};
 use dabs_model::{IncrementalState, QuboModel, Solution};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -57,6 +58,9 @@ const SPLIT_QUANTUM: u64 = 32;
 
 /// A unit will not split or yield below this remaining budget.
 const MIN_SPLIT_BATCHES: u64 = 64;
+
+/// How often the supervisor scans for dead worker threads.
+const SUPERVISE_TICK: Duration = Duration::from_millis(10);
 
 /// Budget an idle-split carves off for the sibling: half the remaining
 /// batches, but only when **both** halves stay positive — `None` otherwise.
@@ -135,6 +139,13 @@ pub struct PoolGauges {
     pub steals: u64,
     /// Units created by in-job splitting (idle-split + priority yield).
     pub splits: u64,
+    /// Dead worker threads respawned by the supervisor.
+    pub worker_restarts: u64,
+    /// Queued units evicted by overload brownout.
+    pub shed_units: u64,
+    /// Whether the pool is currently in brownout (shedding low-priority
+    /// load; clears once the queue drains below half capacity).
+    pub brownout: bool,
 }
 
 #[derive(Debug)]
@@ -155,9 +166,27 @@ struct PoolShared {
     queued: AtomicUsize,
     steals: AtomicU64,
     splits: AtomicU64,
+    restarts: AtomicU64,
+    shed: AtomicU64,
+    /// Overload brownout latch: set when a shed happens, cleared once the
+    /// queue drains below half capacity. While set, victim-less full
+    /// rejections are reported as `Shed` so clients back off.
+    brownout: AtomicBool,
+    /// Fault-injection plan (`None` in production — the hooks cost one
+    /// branch on a `None` option).
+    chaos: Option<Arc<FaultPlan>>,
 }
 
 impl PoolShared {
+    /// The scheduler lock, recovering from poisoning: every mutation under
+    /// it is a single push/remove that leaves the deques structurally
+    /// intact, so when a worker thread dies mid-section the survivors take
+    /// the guard back instead of cascading the panic pool-wide. The death
+    /// itself stays supervisor-visible through the dead thread's handle.
+    fn lock_sched(&self) -> MutexGuard<'_, Sched> {
+        self.sched.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Queued-unit count across all deques (gauge; racy by nature).
     fn queued_units(&self) -> usize {
         self.queued.load(Ordering::Relaxed)
@@ -171,7 +200,7 @@ impl PoolShared {
     /// Push one unit onto a deque — the submitting round-robin target, or
     /// `home` (the splitting worker's own deque, so an idle thief takes it).
     fn push_unit(&self, task: UnitTask, home: Option<usize>) {
-        let mut s = self.sched.lock().expect("sched lock");
+        let mut s = self.lock_sched();
         let at = match home {
             Some(w) => w,
             None => {
@@ -193,7 +222,7 @@ impl PoolShared {
         if self.queued_units() == 0 {
             return false;
         }
-        let s = self.sched.lock().expect("sched lock");
+        let s = self.lock_sched();
         s.deques
             .iter()
             .flat_map(|d| d.iter())
@@ -201,16 +230,30 @@ impl PoolShared {
     }
 }
 
-/// The elastic pool: `W` worker threads over per-worker unit deques.
+/// The elastic pool: `W` supervised worker threads over per-worker unit
+/// deques.
 #[derive(Debug)]
 pub struct ElasticPool {
     shared: Arc<PoolShared>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// One slot per worker index; the supervisor swaps fresh handles in on
+    /// respawn. `None` only transiently during a respawn or after `join`.
+    slots: Arc<Mutex<Vec<Option<JoinHandle<()>>>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl ElasticPool {
     /// Spawn `workers` threads; at most `capacity` units may be queued.
     pub fn spawn(workers: usize, capacity: usize) -> Self {
+        Self::spawn_with_chaos(workers, capacity, None)
+    }
+
+    /// [`ElasticPool::spawn`] with a fault-injection plan threaded into the
+    /// workers' chaos hooks (tests and `serve --chaos`).
+    pub fn spawn_with_chaos(
+        workers: usize,
+        capacity: usize,
+        chaos: Option<Arc<FaultPlan>>,
+    ) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(PoolShared {
             sched: Mutex::new(Sched {
@@ -226,24 +269,43 @@ impl ElasticPool {
             queued: AtomicUsize::new(0),
             steals: AtomicU64::new(0),
             splits: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            brownout: AtomicBool::new(false),
+            chaos,
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("dabs-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, i))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let slots: Arc<Mutex<Vec<Option<JoinHandle<()>>>>> = Arc::new(Mutex::new(
+            (0..workers)
+                .map(|i| Some(spawn_worker(&shared, i)))
+                .collect(),
+        ));
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let slots = Arc::clone(&slots);
+            std::thread::Builder::new()
+                .name("dabs-pool-supervisor".into())
+                .spawn(move || supervisor_loop(&shared, &slots))
+                .expect("spawn supervisor thread")
+        };
         Self {
             shared,
-            handles: Mutex::new(handles),
+            slots,
+            supervisor: Mutex::new(Some(supervisor)),
         }
     }
 
     pub fn workers(&self) -> usize {
         self.shared.workers
+    }
+
+    /// Worker threads currently alive. Supervision heals this back to
+    /// [`ElasticPool::workers`] within a tick of any worker death.
+    pub fn live_workers(&self) -> usize {
+        let slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        slots
+            .iter()
+            .filter(|s| s.as_ref().is_some_and(|h| !h.is_finished()))
+            .count()
     }
 
     pub fn capacity(&self) -> usize {
@@ -258,6 +320,9 @@ impl ElasticPool {
             queued_units: self.shared.queued_units() as u64,
             steals: self.shared.steals.load(Ordering::Relaxed),
             splits: self.shared.splits.load(Ordering::Relaxed),
+            worker_restarts: self.shared.restarts.load(Ordering::Relaxed),
+            shed_units: self.shared.shed.load(Ordering::Relaxed),
+            brownout: self.shared.brownout.load(Ordering::Relaxed),
         }
     }
 
@@ -275,14 +340,25 @@ impl ElasticPool {
         }
         let works = decompose(&record.spec, self.shared.workers);
         {
-            let mut s = self.shared.sched.lock().expect("sched lock");
+            let mut s = self.shared.lock_sched();
             if s.closed {
                 return Err(AdmissionError::Closed);
             }
-            if self.shared.queued_units() + works.len() > self.shared.capacity {
-                return Err(AdmissionError::Full {
-                    capacity: self.shared.capacity,
-                });
+            // Overload brownout: when the queue is full, shed strictly
+            // lower-priority queued jobs (whole jobs, lowest priority first)
+            // to make room. A victim-less full rejection while the brownout
+            // latch is set comes back as `Shed` so clients back off instead
+            // of hammering a saturated pool.
+            while self.shared.queued_units() + works.len() > self.shared.capacity {
+                if !shed_one_lower(&self.shared, &mut s, record.spec.priority) {
+                    return Err(if self.shared.brownout.load(Ordering::Relaxed) {
+                        AdmissionError::Shed
+                    } else {
+                        AdmissionError::Full {
+                            capacity: self.shared.capacity,
+                        }
+                    });
+                }
             }
             record.plan_units(works.len() as u32);
             for work in works {
@@ -312,18 +388,103 @@ impl ElasticPool {
     /// best-so-far incumbent attached. Running units observe their job's
     /// stop flag (trip it via `JobRegistry::stop_all`) at the next batch.
     pub fn close(&self) {
-        self.shared.sched.lock().expect("sched lock").closed = true;
+        self.shared.lock_sched().closed = true;
         self.shared.available.notify_all();
     }
 
-    /// Phase 2: wait for every worker to exit (call [`ElasticPool::close`]
-    /// first). Idempotent; callable through a shared handle.
+    /// Phase 2: wait for the supervisor and every worker to exit (call
+    /// [`ElasticPool::close`] first). Idempotent; callable through a shared
+    /// handle.
     pub fn join(&self) {
-        let handles = std::mem::take(&mut *self.handles.lock().expect("handles lock"));
+        let supervisor = self
+            .supervisor
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(h) = supervisor {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            slots.iter_mut().filter_map(Option::take).collect()
+        };
         for h in handles {
             let _ = h.join();
         }
     }
+}
+
+fn spawn_worker(shared: &Arc<PoolShared>, i: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("dabs-worker-{i}"))
+        .spawn(move || worker_loop(&shared, i))
+        .expect("spawn worker thread")
+}
+
+/// The supervisor tick: scan the worker slots, join any thread that died
+/// (chaos kill, or a panic that escaped containment), and respawn its slot.
+/// Voluntary exits — the pool is closed and drained — are left for `join`.
+fn supervisor_loop(shared: &Arc<PoolShared>, slots: &Arc<Mutex<Vec<Option<JoinHandle<()>>>>>) {
+    loop {
+        if shared.lock_sched().closed {
+            return;
+        }
+        std::thread::sleep(SUPERVISE_TICK);
+        let mut guard = slots.lock().unwrap_or_else(PoisonError::into_inner);
+        for (i, slot) in guard.iter_mut().enumerate() {
+            if !slot.as_ref().is_some_and(|h| h.is_finished()) {
+                continue;
+            }
+            if shared.lock_sched().closed {
+                return;
+            }
+            if let Some(h) = slot.take() {
+                let _ = h.join();
+            }
+            shared.restarts.fetch_add(1, Ordering::Relaxed);
+            pool_obs().worker_restarts.inc();
+            dabs_obs::global().instant("worker_restart", "pool", i as u64, 0);
+            *slot = Some(spawn_worker(shared, i));
+        }
+    }
+}
+
+/// Evict every queued unit of one brownout victim: the lowest-priority job
+/// strictly below `than` that has not started executing. The victim fails
+/// terminally with a `shed` error (its client can retry with backoff) and
+/// the brownout latch is set. Returns `false` when no victim exists.
+fn shed_one_lower(shared: &PoolShared, s: &mut Sched, than: i32) -> bool {
+    let victim = s
+        .deques
+        .iter()
+        .flat_map(|d| d.iter())
+        .filter(|t| {
+            t.priority < than && t.record.unit_counts().1 == 0 && !t.record.phase().is_terminal()
+        })
+        .min_by_key(|t| (t.priority, std::cmp::Reverse(t.seq)))
+        .map(|t| Arc::clone(&t.record));
+    let Some(victim) = victim else {
+        return false;
+    };
+    let mut removed = 0u64;
+    for d in &mut s.deques {
+        let before = d.len();
+        d.retain(|t| t.record.id != victim.id);
+        removed += (before - d.len()) as u64;
+    }
+    shared.queued.fetch_sub(removed as usize, Ordering::Relaxed);
+    shared.shed.fetch_add(removed, Ordering::Relaxed);
+    shared.brownout.store(true, Ordering::Relaxed);
+    pool_obs().shed_units.add(removed);
+    dabs_obs::global().instant("shed", "pool", removed, victim.id);
+    victim.stop.stop();
+    victim.finish(
+        JobPhase::Failed,
+        None,
+        Some("shed under overload brownout".into()),
+    );
+    removed > 0
 }
 
 /// Decompose a job spec into unit work descriptors.
@@ -402,7 +563,7 @@ fn cube_seed(model: &QuboModel, index: u32) -> Solution {
 fn worker_loop(shared: &Arc<PoolShared>, me: usize) {
     loop {
         let (task, revoked) = {
-            let mut s = shared.sched.lock().expect("sched lock");
+            let mut s = shared.lock_sched();
             loop {
                 // Most urgent unit anywhere in the pool; taking it from
                 // another worker's deque is a steal. The seq tie-break
@@ -429,12 +590,26 @@ fn worker_loop(shared: &Arc<PoolShared>, me: usize) {
                 if s.closed {
                     break (None, true);
                 }
-                s = shared.available.wait(s).expect("sched lock");
+                s = shared
+                    .available
+                    .wait(s)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let Some(task) = task else {
             return; // closed and fully drained
         };
+        if shared.brownout.load(Ordering::Relaxed) && shared.queued_units() < shared.capacity / 2 {
+            // The queue drained below half capacity: brownout is over.
+            shared.brownout.store(false, Ordering::Relaxed);
+        }
+        if chaos_hit(&shared.chaos, FaultSite::WorkerKill) {
+            // Simulated worker death: give the unit back, then vanish. The
+            // supervisor notices the dead slot within a tick and respawns
+            // it; no unit is lost.
+            shared.push_unit(task, None);
+            return;
+        }
         let queue_wait = task.enqueued_at.elapsed();
         let obs = pool_obs();
         obs.popped.inc();
@@ -469,6 +644,17 @@ fn run_task(
     if record.phase().is_terminal() {
         // Cancelled/expired while this unit sat in a deque; the record is
         // already folded or abandoned — just drop the unit.
+        return;
+    }
+    if record.is_quarantined() {
+        // Poison job: refuse execution outright. Each refused unit folds as
+        // failed, so the job still reaches its terminal phase.
+        pool_obs().revoked.inc();
+        record.finish_unit(
+            UnitEnd::Failed,
+            None,
+            Some("job quarantined after repeated unit panics".into()),
+        );
         return;
     }
     // Stale-deadline dequeue: a deadline that passed while the unit was
@@ -507,7 +693,33 @@ fn run_task(
     });
     let span = dabs_obs::global().span("unit_run", "pool", worker, record.id);
     let started = Instant::now();
-    let (_end, batches) = execute_unit(pool, task, unit);
+    // Supervision boundary: a panicking unit must not take its worker (or
+    // the whole process) down. The unit folds as failed, and a job whose
+    // units keep panicking is quarantined — refused further execution.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_unit(pool, task, unit)
+    }));
+    let (_end, batches) = match outcome {
+        Ok(done) => done,
+        Err(_) => {
+            pool_obs().unit_panics.inc();
+            let panics = record.note_panic();
+            if panics >= QUARANTINE_PANIC_THRESHOLD && record.quarantine() {
+                pool_obs().quarantined_jobs.inc();
+                // Stop running siblings promptly; their interrupted ends
+                // still lose to the failed fold.
+                record.stop.stop();
+            }
+            end_unit(
+                record,
+                unit,
+                UnitEnd::Failed,
+                0,
+                None,
+                Some(format!("unit panicked ({panics} panics for this job)")),
+            )
+        }
+    };
     pool_obs()
         .unit_run_us
         .record(started.elapsed().as_micros() as u64);
@@ -545,6 +757,17 @@ fn execute_unit(
     ordinal: u32,
 ) -> (UnitEnd, u64) {
     let record = &task.record;
+    if let Some((shared, _)) = pool {
+        if chaos_hit(&shared.chaos, FaultSite::UnitStall) {
+            let ms = shared.chaos.as_ref().map_or(0, |p| p.stall_ms());
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        if chaos_hit(&shared.chaos, FaultSite::UnitPanic) {
+            // resume_unwind skips the panic hook: an injected panic should
+            // exercise the supervision boundary, not spam stderr.
+            std::panic::resume_unwind(Box::new("chaos: injected unit panic"));
+        }
+    }
     let model = match record.model() {
         Ok(m) => m,
         Err(e) => {
@@ -1270,6 +1493,146 @@ mod tests {
             Err(AdmissionError::Full { capacity: 4 }) => {}
             other => panic!("expected Full, got {other:?}"),
         }
+        pool.close();
+        pool.join();
+    }
+
+    #[test]
+    fn panicking_unit_fails_job_and_worker_survives() {
+        let plan = Arc::new(FaultPlan::parse("seed=1,unit_panic=1x1").unwrap());
+        let registry = registry();
+        let pool = ElasticPool::spawn_with_chaos(1, 64, Some(Arc::clone(&plan)));
+        let doomed = registry.register(small_job(1, 150));
+        pool.submit(&doomed).unwrap();
+        assert!(doomed.wait_terminal(Duration::from_secs(30)));
+        let (phase, _, error) = doomed.snapshot();
+        assert_eq!(phase, JobPhase::Failed);
+        assert!(error.unwrap().contains("unit panicked"));
+        assert_eq!(plan.injected(FaultSite::UnitPanic), 1);
+        // The worker contained the panic: the next job runs normally on the
+        // same (still-alive) thread.
+        let healthy = registry.register(small_job(2, 150));
+        pool.submit(&healthy).unwrap();
+        assert!(healthy.wait_terminal(Duration::from_secs(30)));
+        assert_eq!(healthy.snapshot().0, JobPhase::Done);
+        assert_eq!(pool.live_workers(), 1);
+        assert_eq!(pool.gauges().worker_restarts, 0, "no thread died");
+        pool.close();
+        pool.join();
+    }
+
+    #[test]
+    fn repeated_panics_quarantine_the_job() {
+        let plan = Arc::new(FaultPlan::parse("seed=1,unit_panic=1x3").unwrap());
+        let registry = registry();
+        let pool = ElasticPool::spawn_with_chaos(1, 64, Some(plan));
+        let poison = registry.register(JobSpec {
+            units: Some(4),
+            ..small_job(3, 1_200)
+        });
+        pool.submit(&poison).unwrap();
+        assert!(poison.wait_terminal(Duration::from_secs(30)));
+        let (phase, _, error) = poison.snapshot();
+        assert_eq!(phase, JobPhase::Failed);
+        assert!(error.unwrap().contains("unit panicked"));
+        assert!(poison.is_quarantined(), "3 panics must quarantine");
+        assert_eq!(poison.panic_count(), 3);
+        // The pool itself still serves fresh jobs.
+        let healthy = registry.register(small_job(5, 150));
+        pool.submit(&healthy).unwrap();
+        assert!(healthy.wait_terminal(Duration::from_secs(30)));
+        assert_eq!(healthy.snapshot().0, JobPhase::Done);
+        pool.close();
+        pool.join();
+    }
+
+    #[test]
+    fn dead_worker_is_respawned_and_its_unit_survives() {
+        let plan = Arc::new(FaultPlan::parse("seed=1,worker_kill=1x1").unwrap());
+        let registry = registry();
+        let pool = ElasticPool::spawn_with_chaos(1, 64, Some(Arc::clone(&plan)));
+        let record = registry.register(small_job(4, 150));
+        pool.submit(&record).unwrap();
+        // The first pop kills the only worker; the unit is re-queued and
+        // the supervisor must respawn the slot for the job to finish at
+        // all.
+        assert!(record.wait_terminal(Duration::from_secs(30)));
+        assert_eq!(record.snapshot().0, JobPhase::Done);
+        assert_eq!(plan.injected(FaultSite::WorkerKill), 1);
+        assert!(pool.gauges().worker_restarts >= 1);
+        assert_eq!(pool.live_workers(), 1, "pool not healed to full width");
+        pool.close();
+        pool.join();
+    }
+
+    #[test]
+    fn poisoned_sched_lock_does_not_cascade() {
+        let registry = registry();
+        let pool = ElasticPool::spawn(2, 64);
+        let shared = Arc::clone(&pool.shared);
+        let poisoner = std::thread::spawn(move || {
+            let _guard = shared.sched.lock().unwrap();
+            // resume_unwind: poison the lock without panic-hook noise.
+            std::panic::resume_unwind(Box::new("poison the sched lock"));
+        });
+        assert!(poisoner.join().is_err());
+        assert!(pool.shared.sched.is_poisoned());
+        // Admission and execution still work through the recovered guard.
+        let record = registry.register(small_job(6, 150));
+        pool.submit(&record).unwrap();
+        assert!(record.wait_terminal(Duration::from_secs(30)));
+        assert_eq!(record.snapshot().0, JobPhase::Done);
+        pool.close();
+        pool.join();
+    }
+
+    #[test]
+    fn brownout_sheds_lower_priority_queued_jobs() {
+        let registry = registry();
+        let pool = ElasticPool::spawn(1, 4);
+        // Occupy the single worker so everything below stays queued.
+        let blocker = registry.register(JobSpec {
+            max_batches: None,
+            time_ms: Some(400),
+            priority: 9,
+            ..small_job(8, 0)
+        });
+        pool.submit(&blocker).unwrap();
+        let t0 = Instant::now();
+        while pool.gauges().busy == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(10), "blocker stuck");
+            std::thread::yield_now();
+        }
+        // Three low-priority jobs fill 3 of the 4 unit slots.
+        let victims: Vec<_> = (0..3)
+            .map(|i| {
+                let r = registry.register(small_job(10 + i, 150));
+                pool.submit(&r).unwrap();
+                r
+            })
+            .collect();
+        // A wide higher-priority job needs all 4 slots: every victim is
+        // shed to admit it.
+        let urgent = registry.register(JobSpec {
+            units: Some(4),
+            priority: 3,
+            ..small_job(2, 1_200)
+        });
+        pool.submit(&urgent).unwrap();
+        for v in &victims {
+            let (phase, _, error) = v.snapshot();
+            assert_eq!(phase, JobPhase::Failed);
+            assert!(error.unwrap().contains("shed"), "victim not shed");
+        }
+        let g = pool.gauges();
+        assert_eq!(g.shed_units, 3);
+        assert!(g.brownout);
+        // While browned out, a victim-less full rejection reports `Shed`
+        // (the client should back off, not just retry the same queue).
+        let refused = registry.register(small_job(20, 150));
+        assert!(matches!(pool.submit(&refused), Err(AdmissionError::Shed)));
+        assert!(urgent.wait_terminal(Duration::from_secs(60)));
+        assert_eq!(urgent.snapshot().0, JobPhase::Done);
         pool.close();
         pool.join();
     }

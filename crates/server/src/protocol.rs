@@ -28,7 +28,7 @@ pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Feature tags advertised in the `hello` response, so clients can detect
 /// capabilities without version arithmetic.
-pub const PROTOCOL_FEATURES: &[&str] = &["error_codes", "idempotency", "tenants", "wal"];
+pub const PROTOCOL_FEATURES: &[&str] = &["error_codes", "idempotency", "tenants", "wal", "health"];
 
 /// Stable machine-readable reason classes carried by every `rejected` and
 /// `error` line (protocol v2). The human `msg`/`reason` text may change
@@ -57,6 +57,17 @@ pub enum ErrorCode {
     PastDeadline,
     /// The server is draining for shutdown.
     ShuttingDown,
+    /// The durable job log is failing writes or fsyncs: the server is in
+    /// declared degraded mode and refuses durable admissions (unless it
+    /// runs `--allow-volatile`). Retryable — the WAL heals itself when
+    /// syncs start succeeding again.
+    WalDegraded,
+    /// The job's units panicked repeatedly and the job is quarantined:
+    /// it will never be re-executed, on this server or after a restart.
+    Quarantined,
+    /// Brownout: the pool shed load to keep latency bounded and this
+    /// admission was turned away. Retryable once pressure drains.
+    Shed,
     /// Unexpected server-side failure.
     Internal,
     /// Forward compatibility: a code this build does not know.
@@ -78,6 +89,9 @@ impl ErrorCode {
             ErrorCode::RateLimited => "rate_limited",
             ErrorCode::PastDeadline => "past_deadline",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::WalDegraded => "wal_degraded",
+            ErrorCode::Quarantined => "quarantined",
+            ErrorCode::Shed => "shed",
             ErrorCode::Internal => "internal",
             ErrorCode::Other(s) => s,
         }
@@ -99,6 +113,9 @@ impl ErrorCode {
             "rate_limited" => ErrorCode::RateLimited,
             "past_deadline" => ErrorCode::PastDeadline,
             "shutting_down" => ErrorCode::ShuttingDown,
+            "wal_degraded" => ErrorCode::WalDegraded,
+            "quarantined" => ErrorCode::Quarantined,
+            "shed" => ErrorCode::Shed,
             "internal" => ErrorCode::Internal,
             other => ErrorCode::Other(other.to_string()),
         }
@@ -166,6 +183,9 @@ pub enum Request {
     /// The job's event timeline (admission, unit starts/ends with queue
     /// waits, incumbents, terminal transition).
     Timeline(JobId),
+    /// Declared health: `ok | degraded | draining` plus the reasons — the
+    /// probe a load balancer or retry loop polls before routing traffic.
+    Health,
     /// Liveness probe.
     Ping,
 }
@@ -192,6 +212,7 @@ impl Request {
             Request::Timeline(id) => {
                 Json::obj([("op", Json::str("timeline")), ("job", (*id).into())])
             }
+            Request::Health => Json::obj([("op", Json::str("health"))]),
             Request::Ping => Json::obj([("op", Json::str("ping"))]),
         }
     }
@@ -225,6 +246,7 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
             "timeline" => Ok(Request::Timeline(job()?)),
+            "health" => Ok(Request::Health),
             "ping" => Ok(Request::Ping),
             other => Err(ProtocolError::new(
                 ErrorCode::UnknownOp,
@@ -328,6 +350,13 @@ pub enum Response {
         job: JobId,
         events: Vec<TimelineEvent>,
         dropped: u64,
+    },
+    /// Declared health (`health` request). `status` is one of
+    /// `ok | degraded | draining`; `reasons` lists the active degradations
+    /// (`wal_errors`, `brownout`, …), empty when `ok`.
+    Health {
+        status: String,
+        reasons: Vec<String>,
     },
     Pong,
 }
@@ -447,6 +476,15 @@ impl Response {
                 ),
                 ("dropped", (*dropped).into()),
             ]),
+            Response::Health { status, reasons } => Json::obj([
+                ("type", Json::str("health")),
+                ("ok", Json::Bool(status == "ok")),
+                ("status", Json::str(status.clone())),
+                (
+                    "reasons",
+                    Json::Arr(reasons.iter().map(|r| Json::str(r.clone())).collect()),
+                ),
+            ]),
             Response::Pong => Json::obj([("type", Json::str("pong")), ("ok", Json::Bool(true))]),
         }
     }
@@ -550,6 +588,22 @@ impl Response {
                     dropped: j.get_u64("dropped").unwrap_or(0),
                 })
             }
+            "health" => Ok(Response::Health {
+                status: j
+                    .get_str("status")
+                    .ok_or("health needs a \"status\"")?
+                    .to_string(),
+                reasons: j
+                    .get("reasons")
+                    .and_then(Json::as_arr)
+                    .map(|a| {
+                        a.iter()
+                            .filter_map(Json::as_str)
+                            .map(String::from)
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            }),
             "pong" => Ok(Response::Pong),
             other => Err(format!("unknown response type {other:?}")),
         }
@@ -596,6 +650,7 @@ mod tests {
             Request::Stats,
             Request::Metrics,
             Request::Timeline(11),
+            Request::Health,
             Request::Ping,
         ];
         for r in reqs {
@@ -700,6 +755,14 @@ mod tests {
                     },
                 ],
                 dropped: 1,
+            },
+            Response::Health {
+                status: "ok".into(),
+                reasons: vec![],
+            },
+            Response::Health {
+                status: "degraded".into(),
+                reasons: vec!["wal_errors".into(), "brownout".into()],
             },
             Response::Pong,
         ];
@@ -814,6 +877,9 @@ mod tests {
             ErrorCode::RateLimited,
             ErrorCode::PastDeadline,
             ErrorCode::ShuttingDown,
+            ErrorCode::WalDegraded,
+            ErrorCode::Quarantined,
+            ErrorCode::Shed,
             ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::from_wire(code.as_str()), code);

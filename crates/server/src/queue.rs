@@ -21,6 +21,9 @@ pub enum AdmissionError {
     PastDeadline { late_by_ms: u64 },
     /// The queue was closed (server shutting down).
     Closed,
+    /// Brownout: the pool is shedding low-priority load and this job was
+    /// refused (or evicted from the queue) to protect higher-priority work.
+    Shed,
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -33,6 +36,9 @@ impl std::fmt::Display for AdmissionError {
                 write!(f, "deadline already passed {late_by_ms} ms ago")
             }
             AdmissionError::Closed => write!(f, "server is shutting down"),
+            AdmissionError::Shed => {
+                write!(f, "shed under overload brownout; retry with backoff")
+            }
         }
     }
 }

@@ -15,6 +15,7 @@
 //! replays it so queued/running jobs survive a crash.
 
 use crate::admission::{RateConfig, TenantRateLimiter, DEFAULT_TENANT};
+use crate::chaos::FaultPlan;
 use crate::event_loop::{self, NetHandle};
 use crate::job::{JobPhase, JobRegistry, Registered, WatchKind};
 use crate::obs::net_obs;
@@ -43,6 +44,14 @@ pub struct ServerConfig {
     /// Per-tenant admission rate limit; `None` (the default) never
     /// throttles.
     pub rate: Option<RateConfig>,
+    /// Seeded fault-injection plan (`serve --chaos`). `None` also consults
+    /// the `DABS_CHAOS` env var at bind, so tests can arm a storm without
+    /// plumbing config.
+    pub chaos: Option<Arc<FaultPlan>>,
+    /// Keep admitting jobs while the job log is degraded (write/fsync
+    /// errors): durability is declared lost instead of refusing submits
+    /// with `wal_degraded`.
+    pub allow_volatile: bool,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +61,8 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             wal_dir: None,
             rate: None,
+            chaos: None,
+            allow_volatile: false,
         }
     }
 }
@@ -109,6 +120,8 @@ pub struct ServerState {
     limiter: TenantRateLimiter,
     wal: Option<Arc<Wal>>,
     shutting_down: AtomicBool,
+    /// Fault plan shared with the event loop's accept/read/write hooks.
+    pub(crate) chaos: Option<Arc<FaultPlan>>,
 }
 
 impl std::fmt::Debug for ServerState {
@@ -140,6 +153,18 @@ impl ServerState {
                 reason: "server is shutting down".into(),
             });
         }
+        if !self.config.allow_volatile && self.wal.as_ref().is_some_and(|w| w.is_degraded()) {
+            // Declared degradation: the job log cannot currently persist
+            // records, so refusing admission is the honest move. The code
+            // is retryable — the flusher keeps retrying the sync and clears
+            // the flag once the disk recovers.
+            return Err(SubmitError {
+                code: ErrorCode::WalDegraded,
+                reason: "job log is degraded; retry later or start the server with \
+                         --allow-volatile to accept non-durable admission"
+                    .into(),
+            });
+        }
         let tenant = spec
             .tenant
             .as_deref()
@@ -158,6 +183,17 @@ impl ServerState {
         })?;
         let record = match self.registry.register_keyed(spec) {
             Registered::Duplicate(original) => {
+                if original.is_quarantined() {
+                    // A poison job is refused re-execution, not silently
+                    // collapsed onto its (failed) original.
+                    return Err(SubmitError {
+                        code: ErrorCode::Quarantined,
+                        reason: format!(
+                            "job {} is quarantined after repeated unit panics",
+                            original.id
+                        ),
+                    });
+                }
                 net_obs().duplicate_submits.inc();
                 return Ok(Admitted {
                     job: original.id,
@@ -187,6 +223,7 @@ impl ServerState {
                     AdmissionError::Full { .. } => ErrorCode::OverCapacity,
                     AdmissionError::PastDeadline { .. } => ErrorCode::PastDeadline,
                     AdmissionError::Closed => ErrorCode::ShuttingDown,
+                    AdmissionError::Shed => ErrorCode::Shed,
                 };
                 Err(SubmitError {
                     code,
@@ -231,12 +268,53 @@ impl ServerState {
             up,
         ));
         set.push(Metric::new(
+            "pool.live_workers",
+            self.pool.live_workers() as f64,
+            "count",
+            up,
+        ));
+        set.push(Metric::new(
+            "pool.brownout",
+            u64::from(gauges.brownout) as f64,
+            "count",
+            Direction::LowerIsBetter,
+        ));
+        set.push(Metric::new(
             "trace.dropped",
             dabs_obs::global().dropped() as f64,
             "count",
             Direction::LowerIsBetter,
         ));
         set
+    }
+
+    /// Declared health: `draining` while shutting down, `degraded` when the
+    /// job log cannot persist or the pool is shedding load (with the
+    /// reasons listed), `ok` otherwise. Served by the `health` verb so
+    /// load balancers and retrying clients can act on the server's own
+    /// judgment instead of probing for symptoms.
+    pub fn health(&self) -> Response {
+        let mut reasons = Vec::new();
+        let status = if self.shutting_down.load(Ordering::Relaxed) {
+            reasons.push("shutting_down".to_string());
+            "draining"
+        } else {
+            if self.wal.as_ref().is_some_and(|w| w.is_degraded()) {
+                reasons.push("wal_degraded".to_string());
+            }
+            if self.pool.gauges().brownout {
+                reasons.push("brownout".to_string());
+            }
+            if reasons.is_empty() {
+                "ok"
+            } else {
+                "degraded"
+            }
+        };
+        Response::Health {
+            status: status.to_string(),
+            reasons,
+        }
     }
 
     fn stats(&self) -> Response {
@@ -333,6 +411,7 @@ impl ServerState {
                 None => send(no_such_job(job)),
             },
             Request::Ping => send(Response::Pong),
+            Request::Health => send(self.health()),
         }
     }
 }
@@ -355,20 +434,29 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let registry = Arc::new(JobRegistry::new());
-        let pool = Arc::new(ElasticPool::spawn(config.workers, config.queue_capacity));
+        let chaos = config.chaos.clone().or_else(FaultPlan::from_env);
+        let pool = Arc::new(ElasticPool::spawn_with_chaos(
+            config.workers,
+            config.queue_capacity,
+            chaos.clone(),
+        ));
 
         let wal = match &config.wal_dir {
             Some(dir) => {
-                let (wal, replay) = Wal::open(dir)?;
+                let (wal, replay) = Wal::open_with_chaos(dir, chaos.clone())?;
                 let wal = Arc::new(wal);
                 // 1. Terminal history first, with no hook installed: these
                 //    records are already in the (just-compacted) log, so
                 //    their finish() must not append again.
                 for t in replay.terminals {
                     let record = registry.register_with_id(t.job, t.spec);
+                    if replay.quarantined.contains(&t.job) {
+                        record.restore_quarantine();
+                    }
                     record.finish(t.phase, t.result, t.error);
                 }
-                // 2. Hook next: every terminal from here on is logged.
+                // 2. Hooks next: every terminal and quarantine from here on
+                //    is logged.
                 let hook_wal = Arc::clone(&wal);
                 registry.set_terminal_hook(Arc::new(move |job, phase, result, error| {
                     hook_wal.append(&WalRecord::Terminal {
@@ -378,12 +466,28 @@ impl Server {
                         error: error.map(String::from),
                     });
                 }));
+                let quarantine_wal = Arc::clone(&wal);
+                registry.set_quarantine_hook(Arc::new(move |job| {
+                    quarantine_wal.append(&WalRecord::Quarantine { job });
+                }));
                 // 3. Re-admit jobs that were live at crash time. Their
                 //    admit records survived compaction; a refusal now
                 //    (deadline passed while down, pool full) goes terminal
-                //    through the hook, so the log stays truthful.
+                //    through the hook, so the log stays truthful. A job
+                //    quarantined before the crash stays refused: it fails
+                //    terminally instead of getting another chance to kill
+                //    workers.
                 for (job, spec) in replay.live {
                     let record = registry.register_with_id(job, spec);
+                    if replay.quarantined.contains(&job) {
+                        record.restore_quarantine();
+                        record.finish(
+                            JobPhase::Failed,
+                            None,
+                            Some("job quarantined after repeated unit panics".into()),
+                        );
+                        continue;
+                    }
                     match pool.submit(&record) {
                         Ok(()) => {}
                         Err(AdmissionError::PastDeadline { .. }) => record.finish(
@@ -406,6 +510,7 @@ impl Server {
             wal,
             config,
             shutting_down: AtomicBool::new(false),
+            chaos,
         });
         let net = event_loop::spawn(listener, Arc::clone(&state))?;
         Ok(Server {
@@ -689,6 +794,95 @@ mod tests {
             t0.elapsed()
         );
         srv.shutdown();
+    }
+
+    #[test]
+    fn health_reports_ok_then_draining() {
+        let srv = server();
+        match srv.state().health() {
+            Response::Health { status, reasons } => {
+                assert_eq!(status, "ok");
+                assert!(reasons.is_empty(), "{reasons:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        srv.state().shutting_down.store(true, Ordering::Relaxed);
+        match srv.state().health() {
+            Response::Health { status, reasons } => {
+                assert_eq!(status, "draining");
+                assert_eq!(reasons, vec!["shutting_down".to_string()]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        srv.state().shutting_down.store(false, Ordering::Relaxed);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn degraded_wal_refuses_submits_unless_volatile() {
+        // Every fsync fails (uncapped): the WAL goes degraded at the first
+        // admit and stays there, so the second admit must be refused with
+        // the retryable wal_degraded code — except under --allow-volatile.
+        let plan = Arc::new(FaultPlan::parse("seed=1,wal_fsync=1").unwrap());
+        let dir = std::env::temp_dir().join(format!("dabs-degraded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let srv = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                wal_dir: Some(dir.clone()),
+                chaos: Some(plan),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(srv.state().admit(job(1, 20), &ConnCtx::default()).is_ok());
+        let t0 = std::time::Instant::now();
+        while !srv.state().wal.as_ref().unwrap().is_degraded() {
+            assert!(t0.elapsed() < Duration::from_secs(10), "never degraded");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        match srv.state().health() {
+            Response::Health { status, reasons } => {
+                assert_eq!(status, "degraded");
+                assert!(reasons.contains(&"wal_degraded".to_string()), "{reasons:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = srv
+            .state()
+            .admit(job(2, 20), &ConnCtx::default())
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::WalDegraded);
+        srv.shutdown();
+
+        // Same permanently-broken disk, but volatile admission was opted
+        // into: submits keep landing.
+        let plan = Arc::new(FaultPlan::parse("seed=1,wal_fsync=1").unwrap());
+        let volatile = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                wal_dir: Some(dir.clone()),
+                chaos: Some(plan),
+                allow_volatile: true,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(volatile
+            .state()
+            .admit(job(3, 20), &ConnCtx::default())
+            .is_ok());
+        let t0 = std::time::Instant::now();
+        while !volatile.state().wal.as_ref().unwrap().is_degraded() {
+            assert!(t0.elapsed() < Duration::from_secs(10), "never degraded");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(volatile
+            .state()
+            .admit(job(4, 20), &ConnCtx::default())
+            .is_ok());
+        volatile.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

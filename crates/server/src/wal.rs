@@ -22,6 +22,7 @@
 //! log is compacted on every open (live admits plus a bounded window of
 //! recent terminals), so it tracks live load, not lifetime history.
 
+use crate::chaos::{chaos_hit, FaultPlan, FaultSite};
 use crate::job::JobPhase;
 use crate::obs::net_obs;
 use crate::protocol::JobId;
@@ -31,8 +32,10 @@ use serde::json::Json;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Terminal records kept across a compaction. Mirrors the registry's
 /// retention window: enough for late `result` requests and idempotency
@@ -58,6 +61,9 @@ pub enum WalRecord {
         result: Option<Box<SolveResult>>,
         error: Option<String>,
     },
+    /// The job's units panicked repeatedly and the job was quarantined —
+    /// it must never be re-executed, including across a restart.
+    Quarantine { job: JobId },
 }
 
 impl WalRecord {
@@ -83,6 +89,9 @@ impl WalRecord {
                 ),
                 ("error", error.as_ref().map(|e| Json::str(e.clone())).into()),
             ]),
+            WalRecord::Quarantine { job } => {
+                Json::obj([("rec", Json::str("quarantine")), ("job", (*job).into())])
+            }
         }
     }
 
@@ -110,6 +119,7 @@ impl WalRecord {
                     error: j.get_str("error").map(String::from),
                 })
             }
+            "quarantine" => Ok(WalRecord::Quarantine { job }),
             other => Err(format!("unknown wal record {other:?}")),
         }
     }
@@ -149,6 +159,10 @@ pub struct WalReplay {
     pub max_job_id: JobId,
     /// Bytes dropped from a torn tail (crash mid-append).
     pub truncated_bytes: u64,
+    /// Jobs with a durable quarantine record, restricted to ids still in
+    /// `live` or `terminals`. A live quarantined job must not be
+    /// re-admitted: it registers as failed instead.
+    pub quarantined: Vec<JobId>,
 }
 
 /// Shared flusher bookkeeping: how many records have been written vs
@@ -164,6 +178,12 @@ struct WalInner {
     file: Mutex<File>,
     state: Mutex<FlushState>,
     cv: Condvar,
+    /// Declared degraded mode: set by any write/fsync failure, cleared by
+    /// the next successful sync. While set, the flusher retries the sync
+    /// on a short timer so durability heals without waiting for traffic.
+    degraded: AtomicBool,
+    /// Fault-injection plan (`None` in production: one branch).
+    chaos: Option<Arc<FaultPlan>>,
 }
 
 /// Append-only handle to the durable job log. Cloning is cheap (shared
@@ -178,6 +198,15 @@ impl Wal {
     /// Open (or create) the log at `dir/jobs.wal`, replaying and compacting
     /// any existing contents. Returns the handle plus what was recovered.
     pub fn open(dir: &Path) -> std::io::Result<(Wal, WalReplay)> {
+        Self::open_with_chaos(dir, None)
+    }
+
+    /// [`Wal::open`] with a fault-injection plan armed on the write and
+    /// fsync sites.
+    pub fn open_with_chaos(
+        dir: &Path,
+        chaos: Option<Arc<FaultPlan>>,
+    ) -> std::io::Result<(Wal, WalReplay)> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join("jobs.wal");
         let replay = match File::open(&path) {
@@ -222,6 +251,10 @@ impl Wal {
                     .encode(),
                 );
                 buf.push('\n');
+                if replay.quarantined.contains(&t.job) {
+                    buf.push_str(&WalRecord::Quarantine { job: t.job }.encode());
+                    buf.push('\n');
+                }
             }
             for (job, spec) in &replay.live {
                 buf.push_str(
@@ -232,6 +265,10 @@ impl Wal {
                     .encode(),
                 );
                 buf.push('\n');
+                if replay.quarantined.contains(job) {
+                    buf.push_str(&WalRecord::Quarantine { job: *job }.encode());
+                    buf.push('\n');
+                }
             }
             out.write_all(buf.as_bytes())?;
             out.sync_data()?;
@@ -252,6 +289,8 @@ impl Wal {
                 closed: false,
             }),
             cv: Condvar::new(),
+            degraded: AtomicBool::new(false),
+            chaos,
         });
         let flusher = {
             let inner = Arc::clone(&inner);
@@ -275,6 +314,7 @@ impl Wal {
         let mut replay = WalReplay::default();
         let mut live: Vec<(JobId, JobSpec)> = Vec::new();
         let mut terminals: Vec<ReplayedTerminal> = Vec::new();
+        let mut quarantined: Vec<JobId> = Vec::new();
         let mut good = 0usize;
         let mut pos = 0usize;
         while pos < raw.len() {
@@ -315,6 +355,12 @@ impl Wal {
                     // A terminal without its admit (lost to an older
                     // compaction) carries nothing replayable: skip.
                 }
+                WalRecord::Quarantine { job } => {
+                    replay.max_job_id = replay.max_job_id.max(job);
+                    if !quarantined.contains(&job) {
+                        quarantined.push(job);
+                    }
+                }
             }
         }
         replay.truncated_bytes = (raw.len() - good) as u64;
@@ -322,8 +368,14 @@ impl Wal {
             let drop = terminals.len() - WAL_TERMINAL_RETENTION;
             terminals.drain(..drop);
         }
+        // Quarantine marks for jobs that fell out of the retained window
+        // carry nothing actionable; keep only ids replay still knows.
+        quarantined.retain(|id| {
+            live.iter().any(|(j, _)| j == id) || terminals.iter().any(|t| t.job == *id)
+        });
         replay.live = live;
         replay.terminals = terminals;
+        replay.quarantined = quarantined;
         replay
     }
 
@@ -335,9 +387,18 @@ impl Wal {
         line.push('\n');
         {
             let mut f = self.inner.file.lock().expect("wal file lock");
-            // A failed append (disk full) degrades durability, not service:
-            // the job still runs, it just may not survive a crash.
-            if f.write_all(line.as_bytes()).is_err() {
+            // A failed append (disk full, injected EIO) degrades durability,
+            // not service: the job still runs, it just may not survive a
+            // crash — but the failure is *declared*, never silent: the
+            // error counter ticks and the server reports `degraded` until
+            // a later sync proves the log writable again.
+            let failed = chaos_hit(&self.inner.chaos, FaultSite::WalWrite)
+                || f.write_all(line.as_bytes()).is_err();
+            if failed {
+                net_obs().wal_errors.inc();
+                self.inner.degraded.store(true, Ordering::Relaxed);
+                // Wake the flusher so its retry timer starts now.
+                self.inner.cv.notify_all();
                 return;
             }
         }
@@ -345,6 +406,12 @@ impl Wal {
         let mut st = self.inner.state.lock().expect("wal state lock");
         st.appended += 1;
         self.inner.cv.notify_all();
+    }
+
+    /// True while the log is in declared degraded mode (a write or fsync
+    /// failed and no sync has succeeded since).
+    pub fn is_degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::Relaxed)
     }
 
     /// Block until every record appended so far is durably synced.
@@ -378,24 +445,53 @@ impl Drop for Wal {
 /// Background fsync loop: waits for appends, syncs once per burst (many
 /// appends coalesce into one `sync_data`), repeats. On close it performs a
 /// final sync so a clean shutdown loses nothing.
+///
+/// A failed sync is never dropped: it ticks `wal.errors` and flips the
+/// shared degraded flag, and while degraded the loop retries on a short
+/// timer — even with no new appends — so the server heals (and clears
+/// `health: degraded`) as soon as the disk recovers. `synced` still
+/// advances past failed targets: the at-least-once contract means
+/// [`Wal::flush`] callers unblock with durability *declared* lost rather
+/// than hanging on a dead disk.
 fn flusher_loop(inner: &WalInner, file: &File) {
+    /// Degraded-mode retry cadence.
+    const RETRY: Duration = Duration::from_millis(20);
     let mut st = inner.state.lock().expect("wal state lock");
     loop {
         while st.synced == st.appended && !st.closed {
-            st = inner.cv.wait(st).expect("wal state lock");
+            if inner.degraded.load(Ordering::Relaxed) {
+                let (guard, timeout) = inner.cv.wait_timeout(st, RETRY).expect("wal state lock");
+                st = guard;
+                if timeout.timed_out() {
+                    break; // retry the sync now
+                }
+            } else {
+                st = inner.cv.wait(st).expect("wal state lock");
+            }
         }
-        if st.synced == st.appended && st.closed {
+        let healing = st.synced == st.appended;
+        if healing && st.closed && !inner.degraded.load(Ordering::Relaxed) {
             return;
         }
+        // On a degraded close, the final sync below gets exactly one shot:
+        // a dead disk must not wedge Drop.
+        let last_chance = st.closed && healing;
         let target = st.appended;
         drop(st);
-        let ok = file.sync_data().is_ok();
+        let ok = !chaos_hit(&inner.chaos, FaultSite::WalFsync) && file.sync_data().is_ok();
         if ok {
             net_obs().wal_syncs.inc();
+            inner.degraded.store(false, Ordering::Relaxed);
+        } else {
+            net_obs().wal_errors.inc();
+            inner.degraded.store(true, Ordering::Relaxed);
         }
         st = inner.state.lock().expect("wal state lock");
-        st.synced = target;
+        st.synced = st.synced.max(target);
         inner.cv.notify_all();
+        if last_chance {
+            return;
+        }
     }
 }
 
@@ -442,6 +538,7 @@ mod tests {
                 result: None,
                 error: Some("model build failed".into()),
             },
+            WalRecord::Quarantine { job: 9 },
         ];
         for r in recs {
             let line = r.encode();
@@ -550,5 +647,117 @@ mod tests {
         );
         assert_eq!(replay.terminals[0].job, 41);
         let _ = replay;
+    }
+
+    /// Spin until the WAL leaves degraded mode (the flusher's retry timer
+    /// heals it once injected failures are spent), or fail loudly.
+    fn wait_healed(wal: &Wal) {
+        for _ in 0..500 {
+            if !wal.is_degraded() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("wal did not heal within 2.5s");
+    }
+
+    // Regression for the silent-error flusher path: before chaos, a failed
+    // `sync_data` vanished — no counter, no flag. Injected fsync failures
+    // must tick `wal.errors`, flip degraded, and heal on the next good sync.
+    #[test]
+    fn injected_fsync_errors_surface_then_heal() {
+        let dir = tmp_dir("fsync-err");
+        let plan = Arc::new(FaultPlan::parse("seed=1,wal_fsync=1x2").unwrap());
+        let before = net_obs().wal_errors.get();
+        {
+            let (wal, _) = Wal::open_with_chaos(&dir, Some(Arc::clone(&plan))).unwrap();
+            wal.append(&WalRecord::Admit {
+                job: 1,
+                spec: spec(16),
+            });
+            // flush() must return even though the first sync fails —
+            // durability is declared lost, not hung on.
+            wal.flush();
+            assert!(wal.is_degraded(), "failed fsync must flip degraded");
+            wait_healed(&wal);
+            assert_eq!(plan.injected(FaultSite::WalFsync), 2);
+            assert_eq!(net_obs().wal_errors.get() - before, 2);
+            // Healed log keeps working.
+            wal.append(&WalRecord::Terminal {
+                job: 1,
+                phase: JobPhase::Done,
+                result: None,
+                error: None,
+            });
+            wal.flush();
+            assert!(!wal.is_degraded());
+        }
+        let (_wal, replay) = Wal::open(&dir).unwrap();
+        assert_eq!(replay.terminals.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_error_degrades_and_drops_only_that_record() {
+        let dir = tmp_dir("write-err");
+        let plan = Arc::new(FaultPlan::parse("seed=1,wal_write=1x1").unwrap());
+        {
+            let (wal, _) = Wal::open_with_chaos(&dir, Some(plan)).unwrap();
+            wal.append(&WalRecord::Admit {
+                job: 1,
+                spec: spec(16),
+            }); // injected EIO: dropped, degraded
+            assert!(wal.is_degraded());
+            wal.append(&WalRecord::Admit {
+                job: 2,
+                spec: spec(24),
+            }); // cap spent: lands
+            wal.flush();
+            wait_healed(&wal);
+        }
+        let (_wal, replay) = Wal::open(&dir).unwrap();
+        assert_eq!(replay.live.len(), 1, "only the surviving record replays");
+        assert_eq!(replay.live[0].0, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_records_survive_replay_and_compaction() {
+        let dir = tmp_dir("quarantine");
+        {
+            let (wal, _) = Wal::open(&dir).unwrap();
+            wal.append(&WalRecord::Admit {
+                job: 1,
+                spec: spec(16),
+            });
+            wal.append(&WalRecord::Admit {
+                job: 2,
+                spec: spec(24),
+            });
+            wal.append(&WalRecord::Quarantine { job: 1 });
+            wal.append(&WalRecord::Terminal {
+                job: 2,
+                phase: JobPhase::Failed,
+                result: None,
+                error: Some("unit panicked".into()),
+            });
+            wal.append(&WalRecord::Quarantine { job: 2 });
+            wal.flush();
+        }
+        // First reopen replays both marks; the compaction it performs must
+        // carry them forward for the second reopen.
+        for round in 0..2 {
+            let (_wal, replay) = Wal::open(&dir).unwrap();
+            assert_eq!(replay.live.len(), 1, "round {round}");
+            assert_eq!(replay.terminals.len(), 1, "round {round}");
+            let mut q = replay.quarantined.clone();
+            q.sort_unstable();
+            assert_eq!(q, vec![1, 2], "round {round}");
+        }
+        // A quarantine mark for an unknown job carries nothing replayable.
+        let orphan = format!("{}\n", WalRecord::Quarantine { job: 99 }.encode());
+        let replay = Wal::replay_bytes(orphan.as_bytes());
+        assert!(replay.quarantined.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,252 @@
+//! Chaos soak: a seeded fault storm over a live server, then heal.
+//!
+//! One test, alone in its own binary so the process-wide obs counters it
+//! asserts on (`pool.unit_panics`, `wal.errors`, …) see no traffic from
+//! other tests. The storm is a capped, deterministic [`FaultPlan`]: unit
+//! panics drive one job into quarantine, worker kills exercise the
+//! supervisor, WAL fsync errors flip degraded mode (admissions are refused
+//! with `wal_degraded` until the log heals), socket faults kill live
+//! connections under retrying clients, and a queue squeeze triggers the
+//! brownout shedder. Because every site carries a cap, the storm *ends*:
+//! the soak's invariants are exact equalities against
+//! [`FaultPlan::injected`], not tolerances.
+//!
+//! End-state invariants (the self-healing contract):
+//! * every submitted job is terminal — none lost, none duplicated;
+//! * the pool's live worker count is restored;
+//! * `health` reports `ok` with no reasons;
+//! * gauges match injected counts exactly.
+
+use dabs::server::{
+    net_obs, pool_obs, Client, ClientError, ErrorCode, FaultPlan, FaultSite, JobSpec, ProblemSpec,
+    Server, ServerConfig,
+};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 2;
+const CAPACITY: usize = 6;
+
+fn tmp_dir() -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dabs-chaos-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn spec(n: usize, batches: u64, units: u32, priority: i32, key: &str) -> JobSpec {
+    JobSpec {
+        problem: ProblemSpec::random(n, 9),
+        max_batches: Some(batches),
+        units: Some(units),
+        priority,
+        idempotency_key: Some(key.to_string()),
+        ..JobSpec::default()
+    }
+}
+
+/// Connect with retries: accept/read/write faults can kill the handshake.
+fn connect_retry(addr: &str, prefix: &str) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Client::builder(addr)
+            .read_timeout(Duration::from_secs(10))
+            .idempotency_prefix(prefix)
+            .retry(10, Duration::from_millis(5), Duration::from_millis(100))
+            .retry_seed(7)
+            .connect()
+        {
+            Ok(c) => return c,
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "could not connect through the storm: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn poll_until(what: &str, deadline: Duration, mut ok: impl FnMut() -> bool) {
+    let end = Instant::now() + deadline;
+    while !ok() {
+        assert!(Instant::now() < end, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn seeded_fault_storm_heals_with_no_lost_jobs() {
+    let plan = Arc::new(
+        FaultPlan::parse(concat!(
+            "seed=42,unit_panic=1x3,worker_kill=1x2,wal_fsync=1x4,",
+            "accept=1x1,read=1x2,write=1x2,unit_stall=1x2,stall_ms=5"
+        ))
+        .unwrap(),
+    );
+    let dir = tmp_dir();
+    let panics0 = pool_obs().unit_panics.get();
+    let quarantined0 = pool_obs().quarantined_jobs.get();
+    let wal_errors0 = net_obs().wal_errors.get();
+    let srv = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: WORKERS,
+            queue_capacity: CAPACITY,
+            wal_dir: Some(dir.clone()),
+            chaos: Some(Arc::clone(&plan)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = srv.local_addr().to_string();
+    let mut ids: Vec<u64> = Vec::new();
+
+    // Phase 1 — quarantine under panic + worker-kill fire. The only live
+    // job, so every injected panic lands on it: 3 panics → quarantined,
+    // queued units refused, terminal `failed`. Worker kills re-push the
+    // popped unit and die quietly; the supervisor restores them.
+    let mut admin = connect_retry(&addr, "admin");
+    let q_spec = spec(24, 400, 4, 0, "q-job");
+    let q = admin.try_submit(&q_spec).expect("submit through storm").job;
+    ids.push(q);
+    let outcome = admin.try_wait_result(q).expect("terminal through storm");
+    assert_eq!(outcome.phase, "failed", "{outcome:?}");
+    assert!(
+        outcome.error.as_deref().unwrap_or("").contains("panicked"),
+        "stable panic error: {outcome:?}"
+    );
+    let record = srv.state().registry.get(q).expect("record retained");
+    assert!(record.is_quarantined());
+    assert_eq!(record.panic_count(), 3);
+
+    // Resubmitting the same idempotency key must be refused with the
+    // stable `quarantined` code (after any `wal_degraded` retries heal).
+    match admin.try_submit(&q_spec) {
+        Err(ClientError::Rejected { code, .. }) => assert_eq!(code, ErrorCode::Quarantined),
+        other => panic!("quarantined resubmit must be refused, got {other:?}"),
+    }
+
+    // Phase 2 — the WAL heals: fsync faults are capped, the flusher's
+    // retry timer spends them, health returns to ok.
+    poll_until(
+        "wal heal",
+        Duration::from_secs(10),
+        || matches!(admin.health(), Ok((status, _)) if status == "ok"),
+    );
+
+    // Phase 3 — normal load through socket chaos: clients whose
+    // connections are killed mid-flight redial and replay by idempotency
+    // key; every job completes exactly once.
+    for (c, prefix) in ["alpha", "beta", "gamma"].iter().enumerate() {
+        let mut client = connect_retry(&addr, prefix);
+        for j in 0..2u64 {
+            let key = format!("{prefix}-{j}");
+            let ack = client
+                .try_submit(&spec(24, 200, 2, 0, &key))
+                .unwrap_or_else(|e| panic!("client {c} job {j}: {e}"));
+            ids.push(ack.job);
+            let outcome = client.try_wait_result(ack.job).unwrap();
+            assert_eq!(outcome.phase, "done", "{outcome:?}");
+        }
+    }
+
+    // Phase 4 — brownout: both workers blocked on time-budget jobs, the
+    // queue filled to capacity with low-priority units, then one urgent
+    // job. Admission sheds exactly one victim (2 units) to make room.
+    let mut blockers = Vec::new();
+    for b in 0..WORKERS {
+        let ack = admin
+            .try_submit(&JobSpec {
+                problem: ProblemSpec::random(24, 9),
+                time_ms: Some(400),
+                priority: 9,
+                idempotency_key: Some(format!("blocker-{b}")),
+                ..JobSpec::default()
+            })
+            .unwrap();
+        ids.push(ack.job);
+        blockers.push(ack.job);
+    }
+    poll_until("blockers running", Duration::from_secs(5), || {
+        blockers
+            .iter()
+            .all(|&b| matches!(admin.status(b).ok(), Some((phase, _)) if phase == "running"))
+    });
+    let mut victims = Vec::new();
+    for v in 0..3u64 {
+        let ack = admin
+            .try_submit(&spec(24, 200, 2, 0, &format!("victim-{v}")))
+            .unwrap();
+        ids.push(ack.job);
+        victims.push(ack.job);
+    }
+    let urgent = admin
+        .try_submit(&spec(24, 200, 2, 5, "urgent"))
+        .expect("urgent submit rides on shedding")
+        .job;
+    ids.push(urgent);
+    let gauges = srv.state().pool.gauges();
+    assert_eq!(gauges.shed_units, 2, "one 2-unit victim shed: {gauges:?}");
+    assert_eq!(
+        admin.try_wait_result(urgent).unwrap().phase,
+        "done",
+        "urgent job must complete"
+    );
+    let mut shed_jobs = 0;
+    for &v in &victims {
+        let outcome = admin.try_wait_result(v).unwrap();
+        if outcome.phase == "failed" {
+            assert!(
+                outcome.error.as_deref().unwrap_or("").contains("shed"),
+                "{outcome:?}"
+            );
+            shed_jobs += 1;
+        } else {
+            assert_eq!(outcome.phase, "done", "{outcome:?}");
+        }
+    }
+    assert_eq!(shed_jobs, 1, "exactly one victim browns out");
+    for &b in &blockers {
+        let phase = admin.try_wait_result(b).unwrap().phase;
+        assert!(phase == "done" || phase == "expired", "{phase}");
+    }
+
+    // Heal point: every fault cap is spent, nothing left to inject.
+    assert!(plan.spent(), "storm must be over: {plan:?}");
+
+    // End-state invariants.
+    let unique: HashSet<u64> = ids.iter().copied().collect();
+    assert_eq!(unique.len(), ids.len(), "no duplicated job ids: {ids:?}");
+    for &id in &ids {
+        let record = srv.state().registry.get(id).expect("no lost jobs");
+        assert!(record.phase().is_terminal(), "job {id} not terminal");
+    }
+    poll_until("workers restored", Duration::from_secs(5), || {
+        srv.state().pool.live_workers() == WORKERS
+    });
+    poll_until(
+        "health ok",
+        Duration::from_secs(5),
+        || matches!(admin.health(), Ok((status, reasons)) if status == "ok" && reasons.is_empty()),
+    );
+    let gauges = srv.state().pool.gauges();
+    assert_eq!(
+        gauges.worker_restarts,
+        plan.injected(FaultSite::WorkerKill),
+        "{gauges:?}"
+    );
+    assert_eq!(
+        pool_obs().unit_panics.get() - panics0,
+        plan.injected(FaultSite::UnitPanic)
+    );
+    assert_eq!(pool_obs().quarantined_jobs.get() - quarantined0, 1);
+    assert_eq!(
+        net_obs().wal_errors.get() - wal_errors0,
+        plan.injected(FaultSite::WalFsync)
+    );
+    srv.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

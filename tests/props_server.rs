@@ -2,7 +2,7 @@
 //! survive an encode → parse round trip exactly, for arbitrary job specs
 //! and terminal outcomes — the replay path trusts this bijection.
 
-use dabs::server::{ExecMode, JobPhase, JobSpec, ProblemSpec, WalRecord};
+use dabs::server::{ExecMode, JobPhase, JobSpec, ProblemSpec, Wal, WalRecord};
 use proptest::prelude::*;
 
 /// Derive a full [`JobSpec`] from three unconstrained words: every bit of
@@ -110,6 +110,64 @@ proptest! {
             }
             other => prop_assert!(false, "wrong variant back: {:?}", other),
         }
+    }
+
+    // A crash at the compaction boundary is the WAL's nastiest moment: the
+    // old log may end in a torn record AND a half-written `jobs.wal.tmp`
+    // from the interrupted rewrite is still on disk. Reopen must replay
+    // from the old log only — every retained terminal and every unfinished
+    // admit survives, the stale tmp is discarded, and the compaction that
+    // reopen performs leaves a log that replays cleanly.
+    #[test]
+    fn compaction_boundary_crash_preserves_retained_state(
+        seed in any::<u64>(),
+        n_term in 1usize..6,
+        n_live in 1usize..6,
+        cut_word in any::<u64>(),
+        tmp_garbage in collection::vec(any::<u8>(), 0..120),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "dabs-props-compact-{}-{seed:x}-{n_term}-{n_live}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Compacted shape: terminal pairs first, then live admits. Job 1 is
+        // quarantined — that mark must also ride out the crash.
+        let mut raw = String::new();
+        for id in 1..=n_term as u64 {
+            raw.push_str(&WalRecord::Admit { job: id, spec: spec_from_words(seed ^ id, id, 3) }.encode());
+            raw.push('\n');
+            raw.push_str(&WalRecord::Terminal { job: id, phase: JobPhase::Done, result: None, error: None }.encode());
+            raw.push('\n');
+        }
+        raw.push_str(&WalRecord::Quarantine { job: 1 }.encode());
+        raw.push('\n');
+        for k in 0..n_live as u64 {
+            let job = n_term as u64 + 1 + k;
+            raw.push_str(&WalRecord::Admit { job, spec: spec_from_words(seed ^ job, job, 5) }.encode());
+            raw.push('\n');
+        }
+        // Crash mid-append: a partial record with no newline at the tail.
+        let torn = WalRecord::Admit { job: 99, spec: spec_from_words(7, 8, 9) }.encode();
+        let cut = 1 + (cut_word as usize) % (torn.len() - 1);
+        std::fs::write(dir.join("jobs.wal"), format!("{raw}{}", &torn[..cut])).unwrap();
+        // Crash mid-compaction: the half-written tmp is still on disk.
+        std::fs::write(dir.join("jobs.wal.tmp"), &tmp_garbage).unwrap();
+        {
+            let (_wal, replay) = Wal::open(&dir).unwrap();
+            prop_assert_eq!(replay.terminals.len(), n_term);
+            prop_assert_eq!(replay.live.len(), n_live);
+            prop_assert_eq!(replay.max_job_id, (n_term + n_live) as u64);
+            prop_assert!(replay.truncated_bytes > 0, "torn tail must be measured");
+            prop_assert_eq!(&replay.quarantined, &vec![1]);
+        }
+        let (_wal, replay) = Wal::open(&dir).unwrap();
+        prop_assert_eq!(replay.truncated_bytes, 0, "reopened log replays cleanly");
+        prop_assert_eq!(replay.terminals.len(), n_term);
+        prop_assert_eq!(replay.live.len(), n_live);
+        prop_assert_eq!(&replay.quarantined, &vec![1]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
